@@ -1,0 +1,79 @@
+//! Ablation: candidate deduplication strategy. The engines use a
+//! generation-stamped array (O(1) per posting, no clearing between
+//! events); the obvious alternative is a `HashSet`. This bench
+//! justifies the choice.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated association-table output: `postings` subscription ids in
+/// `0..n_subs`, with duplicates (the shared-predicate case).
+fn postings(n_subs: usize, postings: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..postings)
+        .map(|_| rng.random_range(0..n_subs as u32))
+        .collect()
+}
+
+fn ablation_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dedup");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    for &(n_subs, n_postings) in &[(100_000usize, 50_000usize), (1_000_000, 200_000)] {
+        let input = postings(n_subs, n_postings, 5);
+
+        group.bench_with_input(
+            BenchmarkId::new("stamped_array", format!("{n_subs}s_{n_postings}p")),
+            &input,
+            |b, input| {
+                let mut stamps = vec![0u32; n_subs];
+                let mut generation = 0u32;
+                let mut candidates: Vec<u32> = Vec::new();
+                b.iter(|| {
+                    generation += 1;
+                    candidates.clear();
+                    for &s in input {
+                        let st = &mut stamps[s as usize];
+                        if *st != generation {
+                            *st = generation;
+                            candidates.push(s);
+                        }
+                    }
+                    std::hint::black_box(candidates.len())
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("hash_set", format!("{n_subs}s_{n_postings}p")),
+            &input,
+            |b, input| {
+                let mut seen: HashSet<u32> = HashSet::new();
+                let mut candidates: Vec<u32> = Vec::new();
+                b.iter(|| {
+                    seen.clear();
+                    candidates.clear();
+                    for &s in input {
+                        if seen.insert(s) {
+                            candidates.push(s);
+                        }
+                    }
+                    std::hint::black_box(candidates.len())
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_dedup);
+criterion_main!(benches);

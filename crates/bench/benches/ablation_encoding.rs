@@ -1,0 +1,76 @@
+//! Ablation: byte-encoded subscription trees (paper §3.3) versus a
+//! boxed AST — is the compact encoding worth it for evaluation speed,
+//! on top of its memory savings?
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use boolmatch_core::{encode, eval_iterative, eval_recursive, FulfilledSet, IdExpr, PredicateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TREES: usize = 1_000;
+const PREDS_PER_TREE: usize = 10;
+
+/// Paper-shape tree over ids `[base, base + 10)`: AND of 5 binary ORs.
+fn paper_tree(base: usize) -> IdExpr {
+    IdExpr::And(
+        (0..PREDS_PER_TREE / 2)
+            .map(|g| {
+                IdExpr::Or(vec![
+                    IdExpr::Pred(PredicateId::from_index(base + 2 * g)),
+                    IdExpr::Pred(PredicateId::from_index(base + 2 * g + 1)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn ablation_encoding(c: &mut Criterion) {
+    let trees: Vec<IdExpr> = (0..TREES).map(|i| paper_tree(i * PREDS_PER_TREE)).collect();
+    let encoded: Vec<Vec<u8>> = trees.iter().map(|t| encode(t).unwrap()).collect();
+
+    let universe = TREES * PREDS_PER_TREE;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut set = FulfilledSet::with_universe(universe);
+    for _ in 0..universe / 5 {
+        set.insert(PredicateId::from_index(rng.random_range(0..universe)));
+    }
+
+    let mut group = c.benchmark_group("ablation_encoding");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    group.bench_function("boxed_ast", |b| {
+        b.iter(|| {
+            let matched = trees.iter().filter(|t| t.eval(&set)).count();
+            std::hint::black_box(matched)
+        })
+    });
+    group.bench_function("encoded_recursive", |b| {
+        b.iter(|| {
+            let matched = encoded
+                .iter()
+                .filter(|bytes| eval_recursive(bytes, &set))
+                .count();
+            std::hint::black_box(matched)
+        })
+    });
+    group.bench_function("encoded_iterative", |b| {
+        b.iter(|| {
+            let matched = encoded
+                .iter()
+                .filter(|bytes| eval_iterative(bytes, &set))
+                .count();
+            std::hint::black_box(matched)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_encoding);
+criterion_main!(benches);

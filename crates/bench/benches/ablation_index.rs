@@ -1,0 +1,119 @@
+//! Ablation: the range index behind phase 1 — the from-scratch B+ tree
+//! (what the paper prescribes) versus a sorted-vector index. The sorted
+//! vector wins raw scan constants but pays O(n) maintenance; the paper
+//! workloads churn subscriptions, so the engines use the tree.
+
+use std::ops::Bound;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_index::{BPlusTree, SortedIndex};
+use boolmatch_types::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn constants(seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N).map(|_| rng.random_range(0..1_000_000)).collect()
+}
+
+fn ablation_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_index");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    let data = constants(1);
+
+    // Build cost.
+    group.bench_function(BenchmarkId::new("build", "bptree"), |b| {
+        b.iter(|| {
+            let mut t: BPlusTree<Value, Vec<u32>> = BPlusTree::new();
+            for (i, &k) in data.iter().enumerate() {
+                let key = Value::from(k);
+                if let Some(list) = t.get_mut(&key) {
+                    list.push(i as u32);
+                } else {
+                    t.insert(key, vec![i as u32]);
+                }
+            }
+            std::hint::black_box(t.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("build", "sorted_vec_bulk"), |b| {
+        b.iter(|| {
+            let pairs: Vec<(Value, u32)> = data
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (Value::from(k), i as u32))
+                .collect();
+            std::hint::black_box(SortedIndex::from_pairs(pairs).len())
+        })
+    });
+
+    // Range-query cost (the phase-1 hot path: constants below an event
+    // value).
+    let mut tree: BPlusTree<Value, Vec<u32>> = BPlusTree::new();
+    let mut sorted: SortedIndex<u32> = SortedIndex::new();
+    for (i, &k) in data.iter().enumerate() {
+        let key = Value::from(k);
+        sorted.insert(key.clone(), i as u32);
+        if let Some(list) = tree.get_mut(&key) {
+            list.push(i as u32);
+        } else {
+            tree.insert(key, vec![i as u32]);
+        }
+    }
+    let queries: Vec<i64> = constants(2)[..200].to_vec();
+
+    group.bench_function(BenchmarkId::new("range_query", "bptree"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                let lo = Value::from(q.saturating_sub(5_000));
+                let hi = Value::from(q);
+                total += tree
+                    .range((Bound::Included(lo), Bound::Excluded(hi)))
+                    .map(|(_, v)| v.len())
+                    .sum::<usize>();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("range_query", "sorted_vec"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                let lo = Value::from(q.saturating_sub(5_000));
+                let hi = Value::from(q);
+                total += sorted.range(&(lo..hi)).count();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    // Maintenance cost under churn (the reason the tree wins overall).
+    group.bench_function(BenchmarkId::new("churn", "bptree"), |b| {
+        let key = Value::from(424_242_i64);
+        b.iter(|| {
+            tree.insert(key.clone(), vec![u32::MAX]);
+            std::hint::black_box(tree.remove(&key));
+        })
+    });
+    group.bench_function(BenchmarkId::new("churn", "sorted_vec"), |b| {
+        let key = Value::from(424_242_i64);
+        b.iter(|| {
+            sorted.insert(key.clone(), u32::MAX);
+            std::hint::black_box(sorted.remove(&key, &u32::MAX));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_index);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation: subscription tree reordering — the optimisation the paper
+//! proposes and defers ("e.g. reordering subscription trees …; their
+//! impact remains to be investigated", §3.2), implemented as
+//! `transform::reorder` / `NonCanonicalConfig::reorder_trees`.
+//!
+//! Workload designed so ordering matters: each subscription is
+//! `(wide OR of 8 predicates) AND (one rare predicate)`. Authored
+//! order evaluates the wide OR first; reordering moves the rare
+//! single predicate first, so unfulfilled candidates are refuted after
+//! one set lookup.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_core::{
+    FilterEngine, FulfilledSet, NonCanonicalConfig, NonCanonicalEngine, PredicateId,
+};
+use boolmatch_expr::{CompareOp, Expr, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SUBS: usize = 10_000;
+const OR_WIDTH: usize = 8;
+
+/// `(a{i}_0 = 1 or ... or a{i}_7 = 1) and gate{i} = 1`, authored with
+/// the expensive group first.
+fn subscription(i: usize) -> Expr {
+    let group = Expr::or(
+        (0..OR_WIDTH)
+            .map(|j| Expr::pred(Predicate::new(&format!("a{i}_{j}"), CompareOp::Eq, 1_i64)))
+            .collect(),
+    );
+    let gate = Expr::pred(Predicate::new(&format!("gate{i}"), CompareOp::Eq, 1_i64));
+    Expr::and(vec![group, gate])
+}
+
+fn build(reorder: bool) -> NonCanonicalEngine {
+    let mut engine = NonCanonicalEngine::with_config(NonCanonicalConfig {
+        enable_phase1_index: false,
+        reorder_trees: reorder,
+    });
+    for i in 0..SUBS {
+        engine.subscribe(&subscription(i)).unwrap();
+    }
+    engine
+}
+
+/// Fulfilled set: many OR-group predicates hit (making lots of
+/// candidates), but only a few gates — most candidates must be refuted.
+fn fulfilled(engine: &NonCanonicalEngine, seed: u64) -> FulfilledSet {
+    let universe = engine.predicate_universe();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = FulfilledSet::with_universe(universe);
+    // Predicate ids are interned in syntactic order: for subscription i,
+    // ids [i*(OR_WIDTH+1), i*(OR_WIDTH+1)+OR_WIDTH] with the gate last.
+    for i in 0..SUBS {
+        let base = i * (OR_WIDTH + 1);
+        // Every subscription gets one fulfilled OR predicate -> becomes
+        // a candidate.
+        let j = rng.random_range(0..OR_WIDTH);
+        set.insert(PredicateId::from_index(base + j));
+        // Only 2% of gates are open.
+        if rng.random_bool(0.02) {
+            set.insert(PredicateId::from_index(base + OR_WIDTH));
+        }
+    }
+    set
+}
+
+fn ablation_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reorder");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    for (label, reorder) in [("authored_order", false), ("reordered", true)] {
+        let mut engine = build(reorder);
+        let set = fulfilled(&engine, 3);
+        let mut matched = Vec::new();
+        group.bench_with_input(BenchmarkId::new("phase2", label), &(), |b, ()| {
+            b.iter(|| {
+                let stats = engine.phase2(&set, &mut matched);
+                std::hint::black_box(stats.matched)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_reorder);
+criterion_main!(benches);

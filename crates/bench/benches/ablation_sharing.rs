@@ -1,0 +1,75 @@
+//! Ablation: predicate sharing. The paper avoids shared predicates "in
+//! order to directly observe the influence of increasing numbers of
+//! subscriptions"; real workloads share heavily (everyone watches
+//! `symbol = "IBM"`). Sharing shrinks the interned-predicate universe
+//! but lengthens association lists — this bench shows the phase-2
+//! effect on the non-canonical engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_bench::{build_engine, fulfilled_for};
+use boolmatch_core::EngineKind;
+use boolmatch_workload::{Shape, SubscriptionGenerator};
+
+const SUBS: usize = 20_000;
+const FULFILLED: usize = 2_000;
+
+fn ablation_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sharing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    // (label, generator): unique predicates vs two degrees of sharing.
+    let generators: Vec<(&str, SubscriptionGenerator)> = vec![
+        (
+            "unique",
+            SubscriptionGenerator::new(1, Shape::AndOfOrPairs, 6),
+        ),
+        (
+            "pool10000",
+            SubscriptionGenerator::new(1, Shape::AndOfOrPairs, 6)
+                .with_attribute_pool(10_000)
+                .with_domain(1_000),
+        ),
+        (
+            "pool500",
+            SubscriptionGenerator::new(1, Shape::AndOfOrPairs, 6)
+                .with_attribute_pool(500)
+                .with_domain(50),
+        ),
+    ];
+
+    for (label, mut gen) in generators {
+        let mut engine = build_engine(EngineKind::NonCanonical);
+        for _ in 0..SUBS {
+            engine.subscribe(&gen.generate()).unwrap();
+        }
+        let set = fulfilled_for(engine.as_ref(), FULFILLED, 3);
+        let mut matched = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("noncanonical_phase2", label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let stats = engine.phase2(&set, &mut matched);
+                    std::hint::black_box(stats.candidates)
+                })
+            },
+        );
+        // Universe size goes in the bench id's console output via eprintln
+        // once per configuration, for EXPERIMENTS.md.
+        eprintln!(
+            "ablation_sharing/{label}: {} distinct predicates for {SUBS} subscriptions",
+            engine.predicate_count()
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_sharing);
+criterion_main!(benches);

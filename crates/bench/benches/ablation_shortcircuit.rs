@@ -1,0 +1,91 @@
+//! Ablation: short-circuit evaluation of subscription trees. The
+//! encoded child widths (paper §3.3) exist so AND/OR can stop at the
+//! first decisive child; this bench quantifies the win against a
+//! full-evaluation variant that always visits every leaf.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_core::{encode, eval_iterative, FulfilledSet, IdExpr, PredicateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TREES: usize = 1_000;
+const PREDS: usize = 10;
+
+fn paper_tree(base: usize) -> IdExpr {
+    IdExpr::And(
+        (0..PREDS / 2)
+            .map(|g| {
+                IdExpr::Or(vec![
+                    IdExpr::Pred(PredicateId::from_index(base + 2 * g)),
+                    IdExpr::Pred(PredicateId::from_index(base + 2 * g + 1)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Evaluates without short-circuiting: every leaf is consulted.
+fn eval_full(tree: &IdExpr, set: &FulfilledSet) -> bool {
+    match tree {
+        IdExpr::Pred(id) => set.contains(*id),
+        IdExpr::And(cs) => cs.iter().fold(true, |acc, c| acc & eval_full(c, set)),
+        IdExpr::Or(cs) => cs.iter().fold(false, |acc, c| acc | eval_full(c, set)),
+        IdExpr::Not(c) => !eval_full(c, set),
+    }
+}
+
+fn ablation_shortcircuit(c: &mut Criterion) {
+    let trees: Vec<IdExpr> = (0..TREES).map(|i| paper_tree(i * PREDS)).collect();
+    let encoded: Vec<Vec<u8>> = trees.iter().map(|t| encode(t).unwrap()).collect();
+    let universe = TREES * PREDS;
+
+    let mut group = c.benchmark_group("ablation_shortcircuit");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    // Two fulfillment densities: sparse sets fail fast (short-circuit
+    // shines), dense sets succeed and must visit most groups anyway.
+    for (label, density) in [("sparse_5pct", 0.05f64), ("dense_50pct", 0.5)] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut set = FulfilledSet::with_universe(universe);
+        for i in 0..universe {
+            if rng.random_bool(density) {
+                set.insert(PredicateId::from_index(i));
+            }
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("short_circuit_encoded", label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let matched = encoded
+                        .iter()
+                        .filter(|bytes| eval_iterative(bytes, &set))
+                        .count();
+                    std::hint::black_box(matched)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_eval_ast", label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let matched = trees.iter().filter(|t| eval_full(t, &set)).count();
+                    std::hint::black_box(matched)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_shortcircuit);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! B+ tree microbenchmarks against `std::collections::BTreeMap` — a
+//! sanity check that the from-scratch range index substrate is in the
+//! right performance class.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_index::BPlusTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn keys(seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N).map(|_| rng.random_range(0..10_000_000)).collect()
+}
+
+fn bptree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bptree");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    let data = keys(1);
+    let probe = keys(2);
+
+    group.bench_function(BenchmarkId::new("insert", "bptree"), |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new();
+            for &k in &data {
+                t.insert(k, k);
+            }
+            std::hint::black_box(t.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("insert", "std_btreemap"), |b| {
+        b.iter(|| {
+            let mut t = BTreeMap::new();
+            for &k in &data {
+                t.insert(k, k);
+            }
+            std::hint::black_box(t.len())
+        })
+    });
+
+    let tree: BPlusTree<i64, i64> = data.iter().map(|&k| (k, k)).collect();
+    let oracle: BTreeMap<i64, i64> = data.iter().map(|&k| (k, k)).collect();
+
+    group.bench_function(BenchmarkId::new("get", "bptree"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &probe[..1_000] {
+                hits += usize::from(tree.get(k).is_some());
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function(BenchmarkId::new("get", "std_btreemap"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &probe[..1_000] {
+                hits += usize::from(oracle.get(k).is_some());
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("range_scan", "bptree"), |b| {
+        b.iter(|| {
+            let total: i64 = tree.range(1_000_000..2_000_000).map(|(_, v)| *v).sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("range_scan", "std_btreemap"), |b| {
+        b.iter(|| {
+            let total: i64 = oracle.range(1_000_000..2_000_000).map(|(_, v)| *v).sum();
+            std::hint::black_box(total)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bptree);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion version of Fig. 3: subscription-matching (phase 2) time
+//! per event, one benchmark group per figure panel, one series per
+//! engine, at two corpus sizes.
+//!
+//! The `fig3` binary covers the full subscription-count ladder; this
+//! bench gives Criterion-grade statistics at two representative sizes
+//! per panel. Expected shape (paper §4.1): counting grows linearly
+//! with corpus size, the variant and the non-canonical engine do not,
+//! and the non-canonical engine does the least phase-2 work throughout.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_bench::{engine_with_corpus, fulfilled_for};
+use boolmatch_core::EngineKind;
+use boolmatch_workload::Table1Config;
+
+fn bench_panel(c: &mut Criterion, panel: char, predicates: usize, fulfilled: usize) {
+    let mut group = c.benchmark_group(format!("fig3{panel}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_200));
+    for n in [5_000usize, 20_000] {
+        for kind in EngineKind::ALL {
+            let mut engine = engine_with_corpus(kind, predicates, n, 2_005);
+            let set = fulfilled_for(engine.as_ref(), fulfilled, 7);
+            let mut matched = Vec::new();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let stats = engine.phase2(&set, &mut matched);
+                        std::hint::black_box(stats.candidates)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    for (panel, predicates, fulfilled) in Table1Config::paper().figure3_panels() {
+        bench_panel(c, panel, predicates, fulfilled);
+    }
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Phase-1 (predicate matching) microbenchmarks: the per-attribute
+//! hash/B+ tree indexes of paper §3.2. Not a figure in the paper —
+//! the paper excludes phase 1 from its comparison because it is
+//! identical across engines — but the index substrate deserves its own
+//! numbers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boolmatch_expr::{CompareOp, Predicate};
+use boolmatch_index::PredicateIndex;
+use boolmatch_types::Event;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An index with `n` predicates spread over `attrs` attributes:
+/// half equality (hash-indexed), half range (B+ tree-indexed).
+fn build_index(n: usize, attrs: usize, seed: u64) -> PredicateIndex<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx = PredicateIndex::new();
+    for i in 0..n {
+        let attr = format!("a{}", rng.random_range(0..attrs));
+        let value = rng.random_range(0..1_000_000_i64);
+        let op = match i % 4 {
+            0 => CompareOp::Eq,
+            1 => CompareOp::Gt,
+            2 => CompareOp::Le,
+            _ => CompareOp::Ge,
+        };
+        idx.insert(i as u32, &Predicate::new(&attr, op, value));
+    }
+    idx
+}
+
+fn event(width: usize, seed: u64) -> Event {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Event::from_pairs((0..width).map(|i| {
+        (format!("a{i}"), rng.random_range(0..1_000_000_i64))
+    }))
+}
+
+fn phase1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_index");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500));
+
+    for &n in &[10_000usize, 100_000] {
+        let idx = build_index(n, 64, 1);
+        let ev = event(16, 2);
+        group.bench_with_input(BenchmarkId::new("matching", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                idx.for_each_match(&ev, |id| out.push(id));
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+
+    // Insert/remove churn cost.
+    group.bench_function("insert_remove_churn", |b| {
+        let mut idx = build_index(10_000, 64, 3);
+        let p = Predicate::new("a1", CompareOp::Gt, 123_456_i64);
+        b.iter(|| {
+            idx.insert(u32::MAX, &p);
+            assert!(idx.remove(u32::MAX, &p));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, phase1);
+criterion_main!(benches);

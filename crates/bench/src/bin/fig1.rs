@@ -1,0 +1,64 @@
+//! Regenerates Fig. 1 of the paper: the example subscription tree
+//! `s = (a>10 ∨ a≤5 ∨ b=1) ∧ (c≤20 ∨ c=30 ∨ d=5)` — its compacted
+//! n-ary form, its byte encoding (§3.3) and the 9-conjunction DNF a
+//! canonical engine is forced to register.
+//!
+//! ```text
+//! cargo run -p boolmatch-bench --bin fig1
+//! ```
+
+use boolmatch_core::{encode, FilterEngine, NonCanonicalEngine};
+use boolmatch_expr::{transform, Expr};
+
+const FIG1: &str = "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)";
+
+fn print_tree(expr: &Expr, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match expr {
+        Expr::Pred(p) => println!("{pad}{p}"),
+        Expr::And(cs) => {
+            println!("{pad}AND");
+            cs.iter().for_each(|c| print_tree(c, indent + 1));
+        }
+        Expr::Or(cs) => {
+            println!("{pad}OR");
+            cs.iter().for_each(|c| print_tree(c, indent + 1));
+        }
+        Expr::Not(c) => {
+            println!("{pad}NOT");
+            print_tree(c, indent + 1);
+        }
+    }
+}
+
+fn main() {
+    let s = Expr::parse(FIG1).expect("fig 1 subscription parses");
+    println!("subscription source:\n  {FIG1}\n");
+
+    println!("compacted subscription tree (paper Fig. 1):");
+    print_tree(&transform::compact(&s), 1);
+
+    // Register in the engine to obtain the interned byte encoding.
+    let mut engine = NonCanonicalEngine::new();
+    let id = engine.subscribe(&s).expect("subscribe");
+    let tree = engine.subscription_tree(id).expect("tree");
+    let bytes = encode(&tree).expect("encode");
+    println!("\nbyte encoding (§3.3 layout, {} bytes):", bytes.len());
+    for chunk in bytes.chunks(16) {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        println!("  {}", hex.join(" "));
+    }
+
+    let dnf = transform::to_dnf(&s, 100).expect("within limit");
+    println!(
+        "\nDNF a canonical engine must register ({} disjunctions, {} predicate slots \
+         vs {} original predicates):",
+        dnf.len(),
+        dnf.predicate_slots(),
+        s.predicate_count()
+    );
+    for (i, conjunct) in dnf.conjuncts().iter().enumerate() {
+        let parts: Vec<String> = conjunct.iter().map(|p| p.to_string()).collect();
+        println!("  {:>2}. {}", i + 1, parts.join(" and "));
+    }
+}

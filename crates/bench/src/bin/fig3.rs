@@ -1,0 +1,119 @@
+//! Regenerates Fig. 3 of the paper: subscription-matching (phase 2)
+//! time versus subscription count, for all six panels.
+//!
+//! ```text
+//! cargo run --release -p boolmatch-bench --bin fig3 -- [options]
+//!   --panel a|b|c|d|e|f|all   which panel(s)             [all]
+//!   --max N                   cap on subscription count  [50_000]
+//!   --events N                events measured per point  [5]
+//!   --seed N                  workload seed              [2005]
+//!   --csv PATH                also write rows as CSV
+//!   --full                    shorthand for --max 400_000
+//! ```
+//!
+//! Measured times are host times; the `modeled` column applies the
+//! paper's 512 MB memory wall (see DESIGN.md substitution 1) to the
+//! phase-2 working set, which is what produces the paper's "sharp
+//! bends". Shapes — who wins, where curves bend — are the reproduction
+//! target, not absolute milliseconds (the paper's machine was a 1.8 GHz
+//! uniprocessor).
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use boolmatch_bench::{mib, Args};
+use boolmatch_core::EngineKind;
+use boolmatch_workload::sweep::{self, SweepConfig, SweepRow};
+use boolmatch_workload::{MemoryModel, Table1Config};
+
+fn main() {
+    let args = Args::parse();
+    let table1 = Table1Config::paper();
+    let max = if args.has("full") {
+        args.get_usize("max", 400_000)
+    } else {
+        args.get_usize("max", 50_000)
+    };
+    let events = args.get_usize("events", 5);
+    let seed = args.get_u64("seed", 2005);
+    let which = args.get("panel").unwrap_or("all");
+
+    let mut all_rows: Vec<SweepRow> = Vec::new();
+    for (panel, predicates, fulfilled) in table1.figure3_panels() {
+        if which != "all" && !which.contains(panel) {
+            continue;
+        }
+        println!(
+            "── Fig. 3({panel}): {predicates} predicates, {fulfilled} fulfilled predicates/event \
+             (DNF factor {}x) ──",
+            table1.transformation_factor(predicates)
+        );
+        println!(
+            "{:<18} {:>9} {:>10} {:>12} {:>12} {:>11}",
+            "engine", "subs", "units", "measured", "modeled", "phase2 MiB"
+        );
+        let config = SweepConfig {
+            label: format!("fig3{panel}"),
+            engines: EngineKind::ALL.to_vec(),
+            subscription_counts: table1.panel_subscription_counts(predicates, max),
+            predicates_per_sub: predicates,
+            fulfilled_per_event: fulfilled,
+            events_per_point: events,
+            seed,
+            memory_model: MemoryModel::paper(),
+        };
+        let rows = sweep::run_with_progress(&config, |row| {
+            let bend = if row.modeled > row.measured { "  <- memory wall" } else { "" };
+            println!(
+                "{:<18} {:>9} {:>10} {:>9.3} ms {:>9.3} ms {:>11}{}",
+                row.engine.label(),
+                row.subscriptions,
+                row.units,
+                row.measured.as_secs_f64() * 1e3,
+                row.modeled.as_secs_f64() * 1e3,
+                mib(row.phase2_bytes),
+                bend
+            );
+        });
+        summarize_panel(panel, &rows);
+        all_rows.extend(rows);
+        println!();
+    }
+
+    if let Some(path) = args.get("csv") {
+        let file = File::create(path).expect("create csv file");
+        sweep::write_csv(&all_rows, &mut BufWriter::new(file)).expect("write csv");
+        println!("wrote {} rows to {path}", all_rows.len());
+    }
+}
+
+/// Prints the paper-shape checks for one panel: who wins at the largest
+/// measured point, and where each engine crosses the 512 MB wall.
+fn summarize_panel(panel: char, rows: &[SweepRow]) {
+    let top = rows.iter().map(|r| r.subscriptions).max().unwrap_or(0);
+    let at_top = |k: EngineKind| rows.iter().find(|r| r.engine == k && r.subscriptions == top);
+    let wall = |k: EngineKind| {
+        rows.iter()
+            .find(|r| r.engine == k && r.modeled > r.measured)
+            .map(|r| format!("{}", r.subscriptions))
+            .unwrap_or_else(|| "beyond sweep".to_owned())
+    };
+    if let (Some(nc), Some(c), Some(v)) = (
+        at_top(EngineKind::NonCanonical),
+        at_top(EngineKind::Counting),
+        at_top(EngineKind::CountingVariant),
+    ) {
+        println!(
+            "panel {panel} @ {top} subs: non-canonical {:.3} ms | counting {:.3} ms | variant {:.3} ms",
+            nc.modeled.as_secs_f64() * 1e3,
+            c.modeled.as_secs_f64() * 1e3,
+            v.modeled.as_secs_f64() * 1e3,
+        );
+        println!(
+            "memory wall first crossed at: non-canonical {} | counting {} | variant {}",
+            wall(EngineKind::NonCanonical),
+            wall(EngineKind::Counting),
+            wall(EngineKind::CountingVariant),
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Prints Table 1 of the paper — the experimental parameters — along
+//! with the quantities our harness derives from it.
+//!
+//! ```text
+//! cargo run -p boolmatch-bench --bin table1
+//! ```
+
+use boolmatch_workload::{MemoryModel, Table1Config};
+
+fn main() {
+    let t = Table1Config::paper();
+    println!("Table 1. Parameters in experiments (paper values)");
+    println!("--------------------------------------------------");
+    println!("{:<44} {}", "CPU speed", format_args!("{} GHz", t.cpu_ghz));
+    println!(
+        "{:<44} {} MB",
+        "Total machine memory",
+        t.machine_memory_bytes / (1024 * 1024)
+    );
+    println!(
+        "{:<44} {} - {}",
+        "Number of subscriptions", t.min_subscriptions, t.max_subscriptions
+    );
+    println!(
+        "{:<44} {} to {}",
+        "Original (unique) predicates per subscription",
+        t.predicates_per_subscription[0],
+        t.predicates_per_subscription[2]
+    );
+    println!(
+        "{:<44} {} to {}",
+        "Subscriptions per subscription after transform",
+        t.transformation_factor(t.predicates_per_subscription[0]),
+        t.transformation_factor(t.predicates_per_subscription[2])
+    );
+    println!("{:<44} AND, OR", "Used Boolean operators");
+    println!(
+        "{:<44} {} - {}",
+        "Matching predicates per event", t.fulfilled_per_event[0], t.fulfilled_per_event[1]
+    );
+
+    println!();
+    println!("Derived quantities used by the harness");
+    println!("--------------------------------------------------");
+    for p in t.predicates_per_subscription {
+        println!(
+            "|p| = {p}: {} OR-groups -> {} DNF conjunctions of {} predicates each",
+            p / 2,
+            t.transformation_factor(p),
+            t.transformed_predicates(p)
+        );
+    }
+    let wall = MemoryModel::paper();
+    println!(
+        "memory-wall model: budget {} MiB (512 MB minus OS allowance), swap penalty {}x",
+        wall.budget_bytes / (1024 * 1024),
+        wall.swap_penalty
+    );
+    println!();
+    println!("panel ladders (subscription counts per Fig. 3 panel, uncapped):");
+    for (panel, predicates, fulfilled) in t.figure3_panels() {
+        let ladder = t.panel_subscription_counts(predicates, usize::MAX);
+        println!(
+            "fig 3({panel}) |p|={predicates} fulfilled={fulfilled}: {} points up to {}",
+            ladder.len(),
+            ladder.last().unwrap()
+        );
+    }
+}

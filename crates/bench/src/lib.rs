@@ -1,0 +1,190 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! The binaries (`fig3`, `fig1`, `table1`, `memory`) regenerate the
+//! paper's tables and figures; the Criterion benches
+//! (`fig3_phase2`, `phase1_index`, `bptree`, `ablation_*`) measure the
+//! same quantities under Criterion's statistics, plus the ablations
+//! DESIGN.md calls out. See `EXPERIMENTS.md` at the workspace root for
+//! the experiment index and recorded results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use boolmatch_core::{
+    CountingConfig, CountingEngine, CountingVariantEngine, EngineKind, FilterEngine,
+    FulfilledSet, NonCanonicalConfig, NonCanonicalEngine,
+};
+use boolmatch_workload::{synthetic_fulfilled, Shape, SubscriptionGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds an engine configured for phase-2 isolation experiments
+/// (phase-1 indexes disabled; the harness synthesizes fulfilled sets,
+/// exactly like the paper's experiments).
+pub fn build_engine(kind: EngineKind) -> Box<dyn FilterEngine + Send + Sync> {
+    match kind {
+        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(
+            NonCanonicalConfig {
+                enable_phase1_index: false,
+                ..NonCanonicalConfig::default()
+            },
+        )),
+        EngineKind::Counting => Box::new(CountingEngine::with_config(CountingConfig {
+            dnf_limit: 65_536,
+            enable_phase1_index: false,
+        })),
+        EngineKind::CountingVariant => {
+            Box::new(CountingVariantEngine::with_config(CountingConfig {
+                dnf_limit: 65_536,
+                enable_phase1_index: false,
+            }))
+        }
+    }
+}
+
+/// Builds an engine and registers `n` paper-shape (Table 1)
+/// subscriptions with `predicates` predicates each.
+pub fn engine_with_corpus(
+    kind: EngineKind,
+    predicates: usize,
+    n: usize,
+    seed: u64,
+) -> Box<dyn FilterEngine + Send + Sync> {
+    let mut engine = build_engine(kind);
+    let mut gen = SubscriptionGenerator::new(seed, Shape::AndOfOrPairs, predicates);
+    for _ in 0..n {
+        engine
+            .subscribe(&gen.generate())
+            .expect("paper workloads are within all engine limits");
+    }
+    engine
+}
+
+/// A synthetic fulfilled set of `k` predicates for an engine's
+/// universe (capped at the universe size).
+pub fn fulfilled_for(engine: &dyn FilterEngine, k: usize, seed: u64) -> FulfilledSet {
+    let universe = engine.predicate_universe();
+    let mut rng = StdRng::seed_from_u64(seed);
+    FulfilledSet::from_ids(
+        synthetic_fulfilled(&mut rng, universe, k.min(universe)),
+        universe,
+    )
+}
+
+/// A minimal `--flag value` argument parser for the harness binaries
+/// (no external dependencies; flags may appear in any order).
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_bench::Args;
+///
+/// let args = Args::parse_from(["--panel", "c", "--max", "50000"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get("panel"), Some("c"));
+/// assert_eq!(args.get_usize("max", 10), 50_000);
+/// assert_eq!(args.get_usize("events", 5), 5);
+/// assert!(!args.has("full"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (used in tests).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut pending: Option<String> = None;
+        for arg in args {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some(prev) = pending.take() {
+                    out.flags.push(prev);
+                }
+                pending = Some(name.to_owned());
+            } else if let Some(name) = pending.take() {
+                out.values.insert(name, arg);
+            }
+        }
+        if let Some(prev) = pending {
+            out.flags.push(prev);
+        }
+        out
+    }
+
+    /// The value of `--name value`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A numeric option with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .map(|v| {
+                v.replace('_', "")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got `{v}`"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A numeric `u64` option with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get_usize(name, default as usize) as u64
+    }
+
+    /// Whether a bare `--name` flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse(&["--panel", "b", "--full", "--events", "7"]);
+        assert_eq!(a.get("panel"), Some("b"));
+        assert!(a.has("full"));
+        assert_eq!(a.get_usize("events", 1), 7);
+        assert_eq!(a.get_usize("missing", 9), 9);
+        assert!(!a.has("panel"));
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let a = parse(&["--max", "1_000_000"]);
+        assert_eq!(a.get_usize("max", 0), 1_000_000);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--full"]);
+        assert!(a.has("full"));
+    }
+
+    #[test]
+    fn mib_formatting() {
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(mib(0), "0.00");
+    }
+}

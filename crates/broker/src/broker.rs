@@ -1,0 +1,448 @@
+//! The broker itself.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use boolmatch_core::{
+    EngineKind, FilterEngine, MemoryUsage, SubscribeError, SubscriptionId,
+};
+use boolmatch_expr::{Expr, ParseError};
+use boolmatch_types::Event;
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+
+use crate::delivery::DeliveryPolicy;
+use crate::subscriber::Subscription;
+
+/// Errors surfaced by [`Broker`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The subscription text failed to parse.
+    Parse(ParseError),
+    /// The engine refused the subscription.
+    Subscribe(SubscribeError),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Parse(e) => write!(f, "subscription parse error: {e}"),
+            BrokerError::Subscribe(e) => write!(f, "subscription rejected: {e}"),
+        }
+    }
+}
+
+impl Error for BrokerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BrokerError::Parse(e) => Some(e),
+            BrokerError::Subscribe(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for BrokerError {
+    fn from(e: ParseError) -> Self {
+        BrokerError::Parse(e)
+    }
+}
+
+impl From<SubscribeError> for BrokerError {
+    fn from(e: SubscribeError) -> Self {
+        BrokerError::Subscribe(e)
+    }
+}
+
+/// Monotonic operational counters; snapshot via [`Broker::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Events accepted by [`Broker::publish`].
+    pub events_published: u64,
+    /// Notifications placed on subscriber queues.
+    pub notifications_delivered: u64,
+    /// Notifications dropped by a full [`DeliveryPolicy::DropNewest`]
+    /// queue.
+    pub notifications_dropped: u64,
+    /// Subscriptions registered over the broker's lifetime.
+    pub subscriptions_created: u64,
+    /// Subscriptions removed (explicitly or by handle drop).
+    pub subscriptions_removed: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    events_published: AtomicU64,
+    notifications_delivered: AtomicU64,
+    notifications_dropped: AtomicU64,
+    subscriptions_created: AtomicU64,
+    subscriptions_removed: AtomicU64,
+}
+
+pub(crate) struct BrokerInner {
+    engine: RwLock<Box<dyn FilterEngine + Send + Sync>>,
+    senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
+    policy: DeliveryPolicy,
+    stats: AtomicStats,
+}
+
+impl BrokerInner {
+    pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let existed = self.senders.write().remove(&id).is_some();
+        if existed {
+            // The sender map is the source of truth; engine state follows.
+            self.engine
+                .write()
+                .unsubscribe(id)
+                .expect("engine and sender map are kept in sync");
+            self.stats
+                .subscriptions_removed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        existed
+    }
+}
+
+/// A content-based publish/subscribe broker; see the [crate docs](crate).
+///
+/// Cheap to clone (`Arc` inside); clones share the same engine and
+/// subscriber registry.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+impl Broker {
+    /// Starts configuring a broker.
+    pub fn builder() -> BrokerBuilder {
+        BrokerBuilder::default()
+    }
+
+    /// Registers a subscription written in the subscription language
+    /// and returns the handle notifications arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Parse`] for malformed text and
+    /// [`BrokerError::Subscribe`] when the engine refuses the
+    /// expression (e.g. a canonical engine hitting its DNF limit).
+    pub fn subscribe(&self, expression: &str) -> Result<Subscription, BrokerError> {
+        self.subscribe_expr(&Expr::parse(expression)?)
+    }
+
+    /// Registers an already-parsed subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Subscribe`] when the engine refuses it.
+    pub fn subscribe_expr(&self, expr: &Expr) -> Result<Subscription, BrokerError> {
+        let id = self.inner.engine.write().subscribe(expr)?;
+        let (tx, rx) = self.inner.policy.channel();
+        self.inner.senders.write().insert(id, tx);
+        self.inner
+            .stats
+            .subscriptions_created
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Subscription::new(id, rx, Arc::downgrade(&self.inner)))
+    }
+
+    /// Removes a subscription by id (handles also unsubscribe on drop).
+    /// Returns whether it was registered.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.inner.unsubscribe(id)
+    }
+
+    /// Publishes an event: matches it against every subscription and
+    /// queues notifications to the matching subscribers. Returns the
+    /// number of notifications delivered.
+    ///
+    /// Subscribers found disconnected (handle dropped without
+    /// unsubscribe — possible when the handle's broker reference was
+    /// already gone) are pruned.
+    pub fn publish(&self, event: Event) -> usize {
+        let result = self.inner.engine.write().match_event(&event);
+        self.inner
+            .stats
+            .events_published
+            .fetch_add(1, Ordering::Relaxed);
+        if result.matched.is_empty() {
+            return 0;
+        }
+
+        let event = Arc::new(event);
+        let mut delivered = 0usize;
+        let mut dead: Vec<SubscriptionId> = Vec::new();
+        {
+            let senders = self.inner.senders.read();
+            for id in &result.matched {
+                let Some(sender) = senders.get(id) else {
+                    continue;
+                };
+                match self.inner.policy.deliver(sender, Arc::clone(&event)) {
+                    Ok(true) => delivered += 1,
+                    Ok(false) => {
+                        self.inner
+                            .stats
+                            .notifications_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(()) => dead.push(*id),
+                }
+            }
+        }
+        for id in dead {
+            self.inner.unsubscribe(id);
+        }
+        self.inner
+            .stats
+            .notifications_delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        delivered
+    }
+
+    /// A cloneable publishing handle for producer threads.
+    pub fn publisher(&self) -> Publisher {
+        Publisher {
+            broker: self.clone(),
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.senders.read().len()
+    }
+
+    /// The engine's memory breakdown.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.inner.engine.read().memory_usage()
+    }
+
+    /// Which engine kind the broker runs.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.inner.engine.read().kind()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        let s = &self.inner.stats;
+        BrokerStats {
+            events_published: s.events_published.load(Ordering::Relaxed),
+            notifications_delivered: s.notifications_delivered.load(Ordering::Relaxed),
+            notifications_dropped: s.notifications_dropped.load(Ordering::Relaxed),
+            subscriptions_created: s.subscriptions_created.load(Ordering::Relaxed),
+            subscriptions_removed: s.subscriptions_removed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("engine", &self.engine_kind())
+            .field("subscriptions", &self.subscription_count())
+            .finish()
+    }
+}
+
+/// A cloneable handle for publishing from producer threads.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_broker::Broker;
+/// use boolmatch_types::Event;
+///
+/// let broker = Broker::builder().build();
+/// let publisher = broker.publisher();
+/// std::thread::spawn(move || {
+///     publisher.publish(Event::builder().attr("n", 1_i64).build());
+/// })
+/// .join()
+/// .unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Publisher {
+    broker: Broker,
+}
+
+impl Publisher {
+    /// Publishes an event; see [`Broker::publish`].
+    pub fn publish(&self, event: Event) -> usize {
+        self.broker.publish(event)
+    }
+}
+
+/// Configures and builds a [`Broker`].
+#[derive(Debug, Default)]
+pub struct BrokerBuilder {
+    kind: Option<EngineKind>,
+    policy: DeliveryPolicy,
+}
+
+impl BrokerBuilder {
+    /// Selects the matching engine (default:
+    /// [`EngineKind::NonCanonical`]).
+    #[must_use]
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Sets the delivery policy (default:
+    /// [`DeliveryPolicy::Unbounded`]).
+    #[must_use]
+    pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the broker.
+    pub fn build(self) -> Broker {
+        let kind = self.kind.unwrap_or(EngineKind::NonCanonical);
+        Broker {
+            inner: Arc::new(BrokerInner {
+                engine: RwLock::new(kind.build()),
+                senders: RwLock::new(HashMap::new()),
+                policy: self.policy,
+                stats: AtomicStats::default(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pairs: &[(&str, i64)]) -> Event {
+        Event::from_pairs(pairs.iter().map(|(n, v)| (*n, *v)))
+    }
+
+    #[test]
+    fn subscribe_publish_receive() {
+        let broker = Broker::builder().build();
+        let sub = broker.subscribe("a = 1 and b = 2").unwrap();
+        assert_eq!(broker.publish(ev(&[("a", 1), ("b", 2)])), 1);
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 0);
+        let got = sub.try_recv().unwrap();
+        assert_eq!(got.get("b"), Some(&2_i64.into()));
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn every_engine_kind_works() {
+        for kind in EngineKind::ALL {
+            let broker = Broker::builder().engine(kind).build();
+            assert_eq!(broker.engine_kind(), kind);
+            let sub = broker.subscribe("(a = 1 or b = 2) and c = 3").unwrap();
+            assert_eq!(broker.publish(ev(&[("b", 2), ("c", 3)])), 1);
+            assert!(sub.try_recv().is_some());
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let broker = Broker::builder().build();
+        assert!(matches!(
+            broker.subscribe("a >"),
+            Err(BrokerError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_unsubscribe_stops_delivery() {
+        let broker = Broker::builder().build();
+        let sub = broker.subscribe("a = 1").unwrap();
+        let id = sub.id();
+        assert!(broker.unsubscribe(id));
+        assert!(!broker.unsubscribe(id));
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 0);
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn handle_drop_unsubscribes() {
+        let broker = Broker::builder().build();
+        {
+            let _sub = broker.subscribe("a = 1").unwrap();
+            assert_eq!(broker.subscription_count(), 1);
+        }
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 0);
+        let stats = broker.stats();
+        assert_eq!(stats.subscriptions_created, 1);
+        assert_eq!(stats.subscriptions_removed, 1);
+    }
+
+    #[test]
+    fn drop_newest_policy_counts_drops() {
+        let broker = Broker::builder()
+            .delivery(DeliveryPolicy::DropNewest { capacity: 1 })
+            .build();
+        let sub = broker.subscribe("a = 1").unwrap();
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 0); // queue full
+        assert_eq!(broker.stats().notifications_dropped, 1);
+        assert!(sub.try_recv().is_some());
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+    }
+
+    #[test]
+    fn fanout_to_many_subscribers() {
+        let broker = Broker::builder().build();
+        let subs: Vec<_> = (0..20)
+            .map(|_| broker.subscribe("tick = 1").unwrap())
+            .collect();
+        assert_eq!(broker.publish(ev(&[("tick", 1)])), 20);
+        for sub in &subs {
+            assert!(sub.try_recv().is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_publishers_and_subscribers() {
+        let broker = Broker::builder().build();
+        let subs: Vec<_> = (0..8)
+            .map(|i| broker.subscribe(&format!("topic = {i}")).unwrap())
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let publisher = broker.publisher();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    publisher.publish(
+                        Event::builder().attr("topic", ((t + i) % 8) as i64).build(),
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = subs.iter().map(|s| s.drain().len()).sum();
+        assert_eq!(total, 400);
+        assert_eq!(broker.stats().events_published, 400);
+        assert_eq!(broker.stats().notifications_delivered, 400);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent() {
+        let broker = Broker::builder().build();
+        let _sub = broker.subscribe("a = 1").unwrap();
+        broker.publish(ev(&[("a", 1)]));
+        broker.publish(ev(&[("a", 2)]));
+        let s = broker.stats();
+        assert_eq!(s.events_published, 2);
+        assert_eq!(s.notifications_delivered, 1);
+        assert_eq!(s.subscriptions_created, 1);
+    }
+
+    #[test]
+    fn memory_usage_is_exposed() {
+        let broker = Broker::builder().build();
+        let _sub = broker.subscribe("(a = 1 or b = 2) and c = 3").unwrap();
+        assert!(broker.memory_usage().total() > 0);
+    }
+}

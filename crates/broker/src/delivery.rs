@@ -1,0 +1,89 @@
+//! Delivery channel policies.
+
+use std::sync::Arc;
+
+use boolmatch_types::Event;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+/// How notifications are queued towards a slow subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Unbounded queue: the broker never blocks and never drops; a
+    /// subscriber that stops draining grows the queue.
+    Unbounded,
+    /// Bounded queue of the given capacity; when full, new
+    /// notifications for that subscriber are **dropped** and counted in
+    /// [`crate::BrokerStats::notifications_dropped`]. This is the
+    /// classic real-time notification trade-off (Elvin's "quenching"
+    /// drops at the source instead).
+    DropNewest {
+        /// Queue capacity per subscriber.
+        capacity: usize,
+    },
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy::Unbounded
+    }
+}
+
+impl DeliveryPolicy {
+    pub(crate) fn channel(self) -> (Sender<Arc<Event>>, Receiver<Arc<Event>>) {
+        match self {
+            DeliveryPolicy::Unbounded => unbounded(),
+            DeliveryPolicy::DropNewest { capacity } => bounded(capacity),
+        }
+    }
+
+    /// Attempts delivery under this policy. Returns:
+    /// `Ok(true)` delivered, `Ok(false)` dropped (queue full),
+    /// `Err(())` subscriber disconnected.
+    pub(crate) fn deliver(
+        self,
+        sender: &Sender<Arc<Event>>,
+        event: Arc<Event>,
+    ) -> Result<bool, ()> {
+        match sender.try_send(event) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => Ok(false),
+            Err(TrySendError::Disconnected(_)) => Err(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Arc<Event> {
+        Arc::new(Event::builder().attr("a", 1_i64).build())
+    }
+
+    #[test]
+    fn unbounded_never_drops() {
+        let (tx, rx) = DeliveryPolicy::Unbounded.channel();
+        for _ in 0..1000 {
+            assert_eq!(DeliveryPolicy::Unbounded.deliver(&tx, event()), Ok(true));
+        }
+        assert_eq!(rx.len(), 1000);
+    }
+
+    #[test]
+    fn drop_newest_drops_when_full() {
+        let policy = DeliveryPolicy::DropNewest { capacity: 2 };
+        let (tx, rx) = policy.channel();
+        assert_eq!(policy.deliver(&tx, event()), Ok(true));
+        assert_eq!(policy.deliver(&tx, event()), Ok(true));
+        assert_eq!(policy.deliver(&tx, event()), Ok(false));
+        rx.recv().unwrap();
+        assert_eq!(policy.deliver(&tx, event()), Ok(true));
+    }
+
+    #[test]
+    fn disconnected_receiver_is_reported() {
+        let (tx, rx) = DeliveryPolicy::Unbounded.channel();
+        drop(rx);
+        assert_eq!(DeliveryPolicy::Unbounded.deliver(&tx, event()), Err(()));
+    }
+}

@@ -1,0 +1,43 @@
+//! A thread-based publish/subscribe broker built on the `boolmatch`
+//! matching engines.
+//!
+//! The reproduced paper is about the *matching* core of a
+//! publish/subscribe system; this crate wraps that core in the service
+//! shell a downstream user actually runs: subscriber registration with
+//! delivery channels, concurrent publishers, engine selection, delivery
+//! policies and operational counters.
+//!
+//! Threading model: the engine sits behind a [`parking_lot::RwLock`];
+//! matching takes the write lock (engines keep mutable per-event
+//! scratch — see [`boolmatch_core::FilterEngine`]), delivery happens
+//! outside it. Events are reference counted, so fan-out to thousands of
+//! subscribers copies pointers, not payloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use boolmatch_broker::Broker;
+//! use boolmatch_core::EngineKind;
+//! use boolmatch_types::Event;
+//!
+//! let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+//! let tickers = broker.subscribe("symbol = \"IBM\" and price > 80.0")?;
+//!
+//! let delivered = broker.publish(
+//!     Event::builder().attr("symbol", "IBM").attr("price", 84.5).build(),
+//! );
+//! assert_eq!(delivered, 1);
+//! assert_eq!(tickers.try_recv().unwrap().get("symbol"), Some(&"IBM".into()));
+//! # Ok::<(), boolmatch_broker::BrokerError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod broker;
+mod delivery;
+mod subscriber;
+
+pub use broker::{Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher};
+pub use delivery::DeliveryPolicy;
+pub use subscriber::Subscription;

@@ -1,0 +1,390 @@
+//! Storage for encoded subscription trees.
+//!
+//! The paper's *subscription location table* maps `id(s)` to `loc(s)`,
+//! the memory address of the encoded tree. [`TreeArena`] is that
+//! memory: fixed-size blocks with a free list, so `loc(s)` is a stable
+//! `(offset, len)` pair and unsubscription returns the block for reuse.
+//!
+//! Blocks are allocated in [`BLOCK_SIZE`] chunks and **never moved or
+//! re-grown**: no allocation is ever copied (stable `loc(s)`), and the
+//! allocator slack is bounded by one block instead of the ~50% a
+//! doubling `Vec` would average — this matters because the engines'
+//! memory accounting feeds the paper's 512 MB wall model.
+
+use std::fmt;
+
+/// Size of one arena block. Also the maximum size of a single encoded
+/// subscription tree (≈200 000 predicates — far beyond any workload).
+pub const BLOCK_SIZE: usize = 1 << 20;
+
+/// The location of one encoded subscription tree inside a
+/// [`TreeArena`] — `loc(s)` in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    offset: u32,
+    len: u32,
+}
+
+impl Loc {
+    /// The distinguished empty location (never produced by an arena);
+    /// used by location tables as a vacancy sentinel.
+    pub fn empty() -> Loc {
+        Loc { offset: 0, len: 0 }
+    }
+
+    /// Global byte offset of the tree in the arena.
+    pub fn offset(self) -> usize {
+        self.offset as usize
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the vacancy sentinel.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    fn block(self) -> usize {
+        self.offset() / BLOCK_SIZE
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}+{}", self.offset, self.len)
+    }
+}
+
+/// A block-based byte arena with reuse; see the module documentation.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::arena::TreeArena;
+///
+/// let mut arena = TreeArena::new();
+/// let a = arena.insert(&[1, 2, 3]);
+/// let b = arena.insert(&[4, 5]);
+/// assert_eq!(arena.get(a), &[1, 2, 3]);
+/// arena.remove(a);
+/// // The freed space is reused by a fitting allocation.
+/// let c = arena.insert(&[9, 9]);
+/// assert_eq!(c.offset(), a.offset());
+/// assert_eq!(arena.get(b), &[4, 5]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TreeArena {
+    blocks: Vec<Box<[u8]>>,
+    /// Bytes bump-allocated in the last block.
+    tail_used: usize,
+    /// Sorted by offset; adjacent blocks are coalesced, but never
+    /// across a block boundary (allocations must not span blocks).
+    free: Vec<Loc>,
+    live_bytes: usize,
+    live_allocs: usize,
+}
+
+impl TreeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `data` into the arena, returning its location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or longer than [`BLOCK_SIZE`] (the
+    /// engine validates tree sizes before insertion).
+    pub fn insert(&mut self, data: &[u8]) -> Loc {
+        assert!(!data.is_empty(), "cannot store an empty tree");
+        assert!(
+            data.len() <= BLOCK_SIZE,
+            "tree of {} bytes exceeds the {} byte block size",
+            data.len(),
+            BLOCK_SIZE
+        );
+        let len = data.len() as u32;
+
+        // First fit over the free list.
+        if let Some(pos) = self.free.iter().position(|b| b.len >= len) {
+            let block = self.free[pos];
+            let loc = Loc {
+                offset: block.offset,
+                len,
+            };
+            if block.len == len {
+                self.free.remove(pos);
+            } else {
+                self.free[pos] = Loc {
+                    offset: block.offset + len,
+                    len: block.len - len,
+                };
+            }
+            self.write(loc, data);
+            self.live_bytes += data.len();
+            self.live_allocs += 1;
+            return loc;
+        }
+
+        // Bump-allocate in the tail block, opening a new one if the
+        // remainder is too small (the remainder joins the free list).
+        if self.blocks.is_empty() || BLOCK_SIZE - self.tail_used < data.len() {
+            if let Some(last) = self.blocks.len().checked_sub(1) {
+                let remainder = BLOCK_SIZE - self.tail_used;
+                if remainder > 0 {
+                    self.release(Loc {
+                        offset: (last * BLOCK_SIZE + self.tail_used) as u32,
+                        len: remainder as u32,
+                    });
+                }
+            }
+            self.blocks.push(vec![0u8; BLOCK_SIZE].into_boxed_slice());
+            self.tail_used = 0;
+        }
+        let loc = Loc {
+            offset: ((self.blocks.len() - 1) * BLOCK_SIZE + self.tail_used) as u32,
+            len,
+        };
+        self.tail_used += data.len();
+        self.write(loc, data);
+        self.live_bytes += data.len();
+        self.live_allocs += 1;
+        loc
+    }
+
+    fn write(&mut self, loc: Loc, data: &[u8]) {
+        let start = loc.offset() % BLOCK_SIZE;
+        self.blocks[loc.block()][start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// The bytes stored at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of bounds. Reading a freed location is
+    /// *not* detected (the caller — the engine's location table — owns
+    /// liveness).
+    pub fn get(&self, loc: Loc) -> &[u8] {
+        let start = loc.offset() % BLOCK_SIZE;
+        &self.blocks[loc.block()][start..start + loc.len()]
+    }
+
+    /// Returns `loc`'s bytes to the free list, coalescing with adjacent
+    /// free space in the same block.
+    pub fn remove(&mut self, loc: Loc) {
+        self.live_bytes -= loc.len();
+        self.live_allocs -= 1;
+        self.release(loc);
+    }
+
+    fn release(&mut self, loc: Loc) {
+        let pos = self.free.partition_point(|b| b.offset < loc.offset);
+        let mut merged = loc;
+        // Coalesce with the free block after, if contiguous in the
+        // same arena block.
+        if pos < self.free.len() {
+            let next = self.free[pos];
+            if merged.offset + merged.len == next.offset && merged.block() == next.block() {
+                merged.len += next.len;
+                self.free.remove(pos);
+            }
+        }
+        // ... and with the one before.
+        if pos > 0 {
+            let before = self.free[pos - 1];
+            if before.offset + before.len == merged.offset && before.block() == merged.block()
+            {
+                self.free[pos - 1] = Loc {
+                    offset: before.offset,
+                    len: before.len + merged.len,
+                };
+                return;
+            }
+        }
+        self.free.insert(pos, merged);
+    }
+
+    /// Bytes in live allocations.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocs(&self) -> usize {
+        self.live_allocs
+    }
+
+    /// Total bytes held from the allocator.
+    pub fn capacity_bytes(&self) -> usize {
+        self.blocks.len() * BLOCK_SIZE
+    }
+
+    /// Bytes of the arena ever touched by allocations (full blocks plus
+    /// the used tail). Unlike [`TreeArena::capacity_bytes`] this
+    /// excludes the untouched remainder of the newest block.
+    pub fn used_span(&self) -> usize {
+        match self.blocks.len() {
+            0 => 0,
+            n => (n - 1) * BLOCK_SIZE + self.tail_used,
+        }
+    }
+
+    /// Fraction of the touched span not occupied by live allocations;
+    /// 0.0 for an empty arena.
+    pub fn fragmentation(&self) -> f64 {
+        let span = self.used_span();
+        if span == 0 {
+            return 0.0;
+        }
+        1.0 - self.live_bytes as f64 / span as f64
+    }
+
+    /// Approximate heap bytes owned by the arena.
+    pub fn heap_bytes(&self) -> usize {
+        self.capacity_bytes()
+            + self.blocks.capacity() * std::mem::size_of::<Box<[u8]>>()
+            + self.free.capacity() * std::mem::size_of::<Loc>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut a = TreeArena::new();
+        let x = a.insert(&[1, 2, 3]);
+        let y = a.insert(&[4]);
+        assert_eq!(a.get(x), &[1, 2, 3]);
+        assert_eq!(a.get(y), &[4]);
+        assert_eq!(a.live_bytes(), 4);
+        assert_eq!(a.live_allocs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tree")]
+    fn empty_insert_panics() {
+        TreeArena::new().insert(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversized_insert_panics() {
+        TreeArena::new().insert(&vec![0u8; BLOCK_SIZE + 1]);
+    }
+
+    #[test]
+    fn freed_block_is_reused_exact_fit() {
+        let mut a = TreeArena::new();
+        let x = a.insert(&[1; 10]);
+        let _y = a.insert(&[2; 10]);
+        a.remove(x);
+        let z = a.insert(&[3; 10]);
+        assert_eq!(z.offset(), 0);
+        assert_eq!(a.get(z), &[3; 10]);
+    }
+
+    #[test]
+    fn freed_block_is_split_on_partial_fit() {
+        let mut a = TreeArena::new();
+        let x = a.insert(&[1; 10]);
+        let _guard = a.insert(&[2; 4]);
+        a.remove(x);
+        let small = a.insert(&[3; 4]);
+        assert_eq!(small.offset(), 0);
+        let rest = a.insert(&[4; 6]);
+        assert_eq!(rest.offset(), 4);
+        assert_eq!(a.live_bytes(), 14);
+    }
+
+    #[test]
+    fn adjacent_free_blocks_coalesce() {
+        let mut a = TreeArena::new();
+        let x = a.insert(&[1; 8]);
+        let y = a.insert(&[2; 8]);
+        let z = a.insert(&[3; 8]);
+        let _tail = a.insert(&[4; 8]);
+        a.remove(x);
+        a.remove(z);
+        a.remove(y);
+        // One coalesced 24-byte run serves a 20-byte allocation.
+        let big = a.insert(&[5; 20]);
+        assert_eq!(big.offset(), 0);
+    }
+
+    #[test]
+    fn allocations_never_span_blocks() {
+        let mut a = TreeArena::new();
+        // Nearly fill the first block.
+        let big = a.insert(&vec![7u8; BLOCK_SIZE - 10]);
+        // This does not fit the 10-byte remainder: a new block opens.
+        let next = a.insert(&[8u8; 64]);
+        assert_eq!(next.offset(), BLOCK_SIZE);
+        assert_eq!(a.capacity_bytes(), 2 * BLOCK_SIZE);
+        // The 10-byte remainder is on the free list and still usable.
+        let small = a.insert(&[9u8; 10]);
+        assert_eq!(small.offset(), BLOCK_SIZE - 10);
+        assert_eq!(a.get(big).len(), BLOCK_SIZE - 10);
+        assert_eq!(a.get(next), &[8u8; 64]);
+        assert_eq!(a.get(small), &[9u8; 10]);
+    }
+
+    #[test]
+    fn no_coalescing_across_block_boundaries() {
+        let mut a = TreeArena::new();
+        let first = a.insert(&vec![1u8; BLOCK_SIZE]); // exactly one block
+        let second = a.insert(&vec![2u8; 100]); // starts block 2
+        a.remove(first);
+        a.remove(second);
+        // A block-sized allocation must land at block 0, not bridge the
+        // two free runs.
+        let again = a.insert(&vec![3u8; BLOCK_SIZE]);
+        assert_eq!(again.offset(), 0);
+    }
+
+    #[test]
+    fn fragmentation_reporting() {
+        let mut a = TreeArena::new();
+        assert_eq!(a.fragmentation(), 0.0);
+        let x = a.insert(&[1; 50]);
+        let _y = a.insert(&[2; 50]);
+        assert!(a.fragmentation().abs() < 1e-9);
+        a.remove(x);
+        assert!((a.fragmentation() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn churn_does_not_grow_unboundedly() {
+        let mut a = TreeArena::new();
+        let mut locs: Vec<Loc> = (0..100).map(|_| a.insert(&[7; 16])).collect();
+        let high_water = a.capacity_bytes();
+        for _ in 0..50 {
+            for loc in locs.drain(..) {
+                a.remove(loc);
+            }
+            locs = (0..100).map(|_| a.insert(&[8; 16])).collect();
+        }
+        assert_eq!(a.capacity_bytes(), high_water);
+        assert_eq!(a.live_allocs(), 100);
+    }
+
+    #[test]
+    fn loc_empty_sentinel() {
+        assert!(Loc::empty().is_empty());
+        let mut a = TreeArena::new();
+        assert!(!a.insert(&[1]).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_is_block_granular() {
+        let mut a = TreeArena::new();
+        a.insert(&[0u8; 100]);
+        assert!(a.heap_bytes() >= BLOCK_SIZE);
+        assert!(a.heap_bytes() < 2 * BLOCK_SIZE);
+    }
+}

@@ -1,0 +1,747 @@
+//! The canonical baselines: the counting algorithm and its
+//! candidate-driven variant.
+//!
+//! Both engines accept the same arbitrary Boolean subscriptions as the
+//! non-canonical engine, but — like every conjunctive-only matcher —
+//! they must first **transform each subscription into DNF** and
+//! register every conjunction as a separate *flat subscription*
+//! (paper §1–2). The tables follow the memory-friendly implementation
+//! the paper compares against (Ashayer et al. [2]): a
+//! *subscription-predicate count vector* and a *hit vector* with
+//! one-byte entries, plus the predicate→conjunction association table.
+//!
+//! The two engines share all tables and differ only in phase 2:
+//!
+//! * [`CountingEngine`] compares hit and count entries for **every**
+//!   registered conjunction — cost linear in the (transformed)
+//!   subscription count, the linear curves of Fig. 3.
+//! * [`CountingVariantEngine`] records **candidate** conjunctions while
+//!   incrementing and compares only those (paper §3.3) — sublinear, but
+//!   still paying the full transformation blow-up in memory and
+//!   redundant increments.
+
+use boolmatch_expr::{transform, Expr};
+use boolmatch_index::PredicateIndex;
+use boolmatch_types::Event;
+
+use crate::assoc::AssocTable;
+use crate::engine::{
+    EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError,
+};
+use crate::{
+    FulfilledSet, MatchStats, MemoryUsage, PredicateId, PredicateInterner, SubscriptionId,
+};
+
+/// Configuration shared by both counting engines.
+#[derive(Debug, Clone)]
+pub struct CountingConfig {
+    /// Maximum conjunctions a single subscription may expand to;
+    /// [`FilterEngine::subscribe`] fails with
+    /// [`SubscribeError::DnfTooLarge`] beyond it. The paper's workloads
+    /// need at most 32.
+    pub dnf_limit: usize,
+    /// Maintain the phase-1 predicate index (see
+    /// [`crate::NonCanonicalConfig::enable_phase1_index`]).
+    pub enable_phase1_index: bool,
+}
+
+impl Default for CountingConfig {
+    fn default() -> Self {
+        CountingConfig {
+            dnf_limit: 65_536,
+            enable_phase1_index: true,
+        }
+    }
+}
+
+/// Maximum predicates per conjunct: hit/count vector entries are one
+/// byte (paper §3.3 assumes at most 256 predicates per subscription).
+const MAX_CONJUNCT_WIDTH: usize = 255;
+
+/// Sentinel for a freed flat slot's original-subscription column.
+const DEAD_ORIG: u32 = u32::MAX;
+
+/// Everything both counting engines share.
+#[derive(Debug)]
+struct CountingTables {
+    config: CountingConfig,
+    interner: PredicateInterner,
+    index: PredicateIndex<PredicateId>,
+    /// Predicate → flat conjunctions containing it.
+    assoc: AssocTable<u32>,
+    /// Flat conjunction → number of predicates (0 = dead slot).
+    cnt: Vec<u8>,
+    /// Flat conjunction → hit counter; all-zero between events.
+    hit: Vec<u8>,
+    /// Flat conjunction → original subscription (dense index).
+    flat_orig: Vec<u32>,
+    free_flats: Vec<u32>,
+    /// Original subscription → unsubscription metadata.
+    origs: Vec<Option<OrigMeta>>,
+    live_origs: usize,
+    live_flats: usize,
+    // Reusable scratch.
+    matched_stamp: Vec<u32>,
+    matched_gen: u32,
+    candidates: Vec<u32>,
+    fulfilled_scratch: FulfilledSet,
+}
+
+/// Per-original-subscription bookkeeping needed only for
+/// unsubscription (the paper's baseline omits this; kept in a separate
+/// [`MemoryUsage`] bucket so the memory-wall model can exclude it).
+#[derive(Debug)]
+struct OrigMeta {
+    flats: Vec<u32>,
+    /// Interner acquisitions (NNF leaf occurrences) to release.
+    acquired: Vec<PredicateId>,
+}
+
+impl CountingTables {
+    fn new(config: CountingConfig) -> Self {
+        CountingTables {
+            config,
+            interner: PredicateInterner::new(),
+            index: PredicateIndex::new(),
+            assoc: AssocTable::new(),
+            cnt: Vec::new(),
+            hit: Vec::new(),
+            flat_orig: Vec::new(),
+            free_flats: Vec::new(),
+            origs: Vec::new(),
+            live_origs: 0,
+            live_flats: 0,
+            matched_stamp: Vec::new(),
+            matched_gen: 0,
+            candidates: Vec::new(),
+            fulfilled_scratch: FulfilledSet::new(),
+        }
+    }
+
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        // Negation is pushed into the leaves first; the DNF then draws
+        // its predicates from this NNF form. Interning the NNF leaves in
+        // syntactic order keeps predicate ids aligned with the
+        // non-canonical engine for NOT-free subscriptions (Fig. 3
+        // workloads), which the cross-engine benches rely on.
+        let nnf = transform::eliminate_not(expr);
+        let dnf = transform::to_dnf(&nnf, self.config.dnf_limit)?;
+        for conjunct in dnf.conjuncts() {
+            if conjunct.len() > MAX_CONJUNCT_WIDTH {
+                return Err(SubscribeError::ConjunctTooWide {
+                    width: conjunct.len(),
+                });
+            }
+        }
+
+        let mut acquired = Vec::with_capacity(nnf.predicate_count());
+        nnf.for_each_predicate(&mut |p| {
+            let (id, fresh) = self.interner.intern(p);
+            if fresh && self.config.enable_phase1_index {
+                self.index.insert(id, p);
+            }
+            acquired.push(id);
+        });
+
+        let orig_index = self.origs.len();
+        let orig_u32 = u32::try_from(orig_index).expect("more than u32::MAX subscriptions");
+        let mut flats = Vec::with_capacity(dnf.len());
+        for conjunct in dnf.conjuncts() {
+            let flat = match self.free_flats.pop() {
+                Some(f) => f,
+                None => {
+                    let f = u32::try_from(self.cnt.len())
+                        .expect("more than u32::MAX conjunctions");
+                    self.cnt.push(0);
+                    self.hit.push(0);
+                    self.flat_orig.push(DEAD_ORIG);
+                    f
+                }
+            };
+            self.cnt[flat as usize] = conjunct.len() as u8;
+            self.flat_orig[flat as usize] = orig_u32;
+            for pred in conjunct {
+                let pid = self
+                    .interner
+                    .get(pred)
+                    .expect("conjunct predicates come from the interned NNF");
+                self.assoc.add(pid, flat);
+            }
+            flats.push(flat);
+            self.live_flats += 1;
+        }
+        self.origs.push(Some(OrigMeta { flats, acquired }));
+        self.live_origs += 1;
+        Ok(SubscriptionId::from_index(orig_index))
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        let slot = self
+            .origs
+            .get_mut(id.index())
+            .ok_or(UnsubscribeError::UnknownSubscription(id))?;
+        let meta = slot.take().ok_or(UnsubscribeError::UnknownSubscription(id))?;
+
+        // Remove this subscription's postings: each unique acquired
+        // predicate's association list is filtered against the flat set.
+        let mut flats_sorted = meta.flats.clone();
+        flats_sorted.sort_unstable();
+        let mut unique = meta.acquired.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for pid in unique {
+            self.assoc
+                .remove_matching(pid, |f| flats_sorted.binary_search(f).is_ok());
+        }
+        for flat in meta.flats {
+            debug_assert_eq!(self.hit[flat as usize], 0, "hit vector dirty at unsubscribe");
+            self.cnt[flat as usize] = 0;
+            self.flat_orig[flat as usize] = DEAD_ORIG;
+            self.free_flats.push(flat);
+            self.live_flats -= 1;
+        }
+        for pid in meta.acquired {
+            if self.interner.release(pid) && self.config.enable_phase1_index {
+                self.index.remove(pid, self.interner.resolve(pid));
+            }
+        }
+        self.live_origs -= 1;
+        Ok(())
+    }
+
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+        out.begin(self.interner.universe());
+        self.index.for_each_match(event, |id| out.insert(id));
+    }
+
+    fn begin_match(&mut self) -> u32 {
+        if self.matched_stamp.len() < self.origs.len() {
+            self.matched_stamp.resize(self.origs.len(), 0);
+        }
+        if self.matched_gen == u32::MAX {
+            self.matched_stamp.fill(0);
+            self.matched_gen = 0;
+        }
+        self.matched_gen += 1;
+        self.matched_gen
+    }
+
+    /// Phase 2 of the classic counting algorithm: increment hit
+    /// counters, then scan **every** flat conjunction.
+    fn phase2_counting(
+        &mut self,
+        fulfilled: &FulfilledSet,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        let mut stats = MatchStats {
+            fulfilled: fulfilled.len(),
+            ..MatchStats::default()
+        };
+        let gen = self.begin_match();
+
+        for &pid in fulfilled.ids() {
+            for &flat in self.assoc.get(pid) {
+                self.hit[flat as usize] += 1;
+                stats.increments += 1;
+            }
+        }
+
+        // "The subscription matching step works on a multiple of the
+        // number of original registered subscriptions" (§2.2): the scan
+        // covers every flat slot, live or not.
+        for flat in 0..self.hit.len() {
+            stats.comparisons += 1;
+            let h = self.hit[flat];
+            if h != 0 {
+                if h == self.cnt[flat] {
+                    let orig = self.flat_orig[flat];
+                    let stamp = &mut self.matched_stamp[orig as usize];
+                    if *stamp != gen {
+                        *stamp = gen;
+                        matched.push(SubscriptionId::from_index(orig as usize));
+                    }
+                }
+                self.hit[flat] = 0;
+            }
+        }
+        stats.matched = matched.len();
+        stats
+    }
+
+    /// Phase 2 of the paper's counting variant: only candidate
+    /// conjunctions (those with at least one hit) are compared.
+    fn phase2_variant(
+        &mut self,
+        fulfilled: &FulfilledSet,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        let mut stats = MatchStats {
+            fulfilled: fulfilled.len(),
+            ..MatchStats::default()
+        };
+        let gen = self.begin_match();
+
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        for &pid in fulfilled.ids() {
+            for &flat in self.assoc.get(pid) {
+                let h = &mut self.hit[flat as usize];
+                if *h == 0 {
+                    candidates.push(flat);
+                }
+                *h += 1;
+                stats.increments += 1;
+            }
+        }
+        stats.candidates = candidates.len();
+
+        for &flat in &candidates {
+            stats.comparisons += 1;
+            if self.hit[flat as usize] == self.cnt[flat as usize] {
+                let orig = self.flat_orig[flat as usize];
+                let stamp = &mut self.matched_stamp[orig as usize];
+                if *stamp != gen {
+                    *stamp = gen;
+                    matched.push(SubscriptionId::from_index(orig as usize));
+                }
+            }
+            self.hit[flat as usize] = 0;
+        }
+        self.candidates = candidates;
+        stats.matched = matched.len();
+        stats
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        let unsub: usize = self
+            .origs
+            .iter()
+            .flatten()
+            .map(|m| m.flats.capacity() * 4 + m.acquired.capacity() * 4)
+            .sum::<usize>()
+            + self.origs.capacity() * std::mem::size_of::<Option<OrigMeta>>();
+        MemoryUsage {
+            predicates: self.interner.heap_bytes(),
+            phase1_index: self.index.heap_bytes(),
+            association: self.assoc.heap_bytes(),
+            locations: self.flat_orig.capacity() * 4 + self.free_flats.capacity() * 4,
+            trees: 0,
+            vectors: self.cnt.capacity() + self.hit.capacity(),
+            unsub_support: unsub,
+            scratch: self.matched_stamp.capacity() * 4
+                + self.candidates.capacity() * 4
+                + self.fulfilled_scratch.heap_bytes(),
+        }
+    }
+
+    /// Number of flat conjunctions currently registered — the "multiple
+    /// of the number of original subscriptions" the paper talks about.
+    fn flat_count(&self) -> usize {
+        self.live_flats
+    }
+}
+
+macro_rules! counting_engine {
+    ($(#[$doc:meta])* $name:ident, $kind:expr, $phase2:ident) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            tables: CountingTables,
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl $name {
+            /// Creates an engine with default configuration.
+            pub fn new() -> Self {
+                Self::with_config(CountingConfig::default())
+            }
+
+            /// Creates an engine with explicit configuration.
+            pub fn with_config(config: CountingConfig) -> Self {
+                $name {
+                    tables: CountingTables::new(config),
+                }
+            }
+
+            /// Number of registered flat (DNF-transformed)
+            /// conjunctions — the engine's true problem size.
+            pub fn flat_count(&self) -> usize {
+                self.tables.flat_count()
+            }
+
+            /// Total entries in the predicate→conjunction association
+            /// table — one per predicate per flat conjunction, the
+            /// post-transformation multiple the paper's §2.2 predicts.
+            pub fn association_postings(&self) -> usize {
+                self.tables.assoc.posting_count()
+            }
+        }
+
+        impl FilterEngine for $name {
+            fn kind(&self) -> EngineKind {
+                $kind
+            }
+
+            fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+                self.tables.subscribe(expr)
+            }
+
+            fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+                self.tables.unsubscribe(id)
+            }
+
+            fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+                self.tables.phase1(event, out);
+            }
+
+            fn phase2(
+                &mut self,
+                fulfilled: &FulfilledSet,
+                matched: &mut Vec<SubscriptionId>,
+            ) -> MatchStats {
+                self.tables.$phase2(fulfilled, matched)
+            }
+
+            fn match_event(&mut self, event: &Event) -> MatchResult {
+                let mut fulfilled = std::mem::take(&mut self.tables.fulfilled_scratch);
+                self.phase1(event, &mut fulfilled);
+                let mut matched = Vec::new();
+                let stats = self.phase2(&fulfilled, &mut matched);
+                self.tables.fulfilled_scratch = fulfilled;
+                MatchResult { matched, stats }
+            }
+
+            fn subscription_count(&self) -> usize {
+                self.tables.live_origs
+            }
+
+            fn registered_units(&self) -> usize {
+                self.tables.flat_count()
+            }
+
+            fn predicate_count(&self) -> usize {
+                self.tables.interner.len()
+            }
+
+            fn predicate_universe(&self) -> usize {
+                self.tables.interner.universe()
+            }
+
+            fn memory_usage(&self) -> MemoryUsage {
+                self.tables.memory_usage()
+            }
+        }
+    };
+}
+
+counting_engine!(
+    /// The classic counting algorithm (Yan & García-Molina 1994;
+    /// Pereira et al. 2000) over DNF-transformed subscriptions: phase 2
+    /// compares the hit counter of **every** registered conjunction
+    /// against its predicate count, so matching time grows linearly
+    /// with the transformed corpus.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use boolmatch_core::{CountingEngine, FilterEngine};
+    /// use boolmatch_expr::Expr;
+    /// use boolmatch_types::Event;
+    ///
+    /// let mut engine = CountingEngine::new();
+    /// let id = engine.subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3")?)?;
+    /// // Two conjunctions were registered for one subscription:
+    /// assert_eq!(engine.flat_count(), 2);
+    /// let ev = Event::builder().attr("b", 2_i64).attr("c", 3_i64).build();
+    /// assert_eq!(engine.match_event(&ev).matched, vec![id]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    CountingEngine,
+    EngineKind::Counting,
+    phase2_counting
+);
+
+counting_engine!(
+    /// The paper's improved counting baseline (§3.3): identical tables
+    /// to [`CountingEngine`], but phase 2 records candidate
+    /// conjunctions while incrementing and compares only those, making
+    /// its cost follow the number of fulfilled predicates instead of
+    /// the total (transformed) subscription count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use boolmatch_core::{CountingVariantEngine, FilterEngine};
+    /// use boolmatch_expr::Expr;
+    /// use boolmatch_types::Event;
+    ///
+    /// let mut engine = CountingVariantEngine::new();
+    /// let id = engine.subscribe(&Expr::parse("x > 3 and x < 9")?)?;
+    /// let ev = Event::builder().attr("x", 5_i64).build();
+    /// let result = engine.match_event(&ev);
+    /// assert_eq!(result.matched, vec![id]);
+    /// // Only the one candidate conjunction was compared:
+    /// assert_eq!(result.stats.comparisons, 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    CountingVariantEngine,
+    EngineKind::CountingVariant,
+    phase2_variant
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engines() -> (CountingEngine, CountingVariantEngine) {
+        (CountingEngine::new(), CountingVariantEngine::new())
+    }
+
+    fn ev(pairs: &[(&str, i64)]) -> Event {
+        Event::from_pairs(pairs.iter().map(|(n, v)| (*n, *v)))
+    }
+
+    #[test]
+    fn fig1_expands_to_nine_conjunctions() {
+        let (mut c, mut v) = engines();
+        let expr =
+            Expr::parse("(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)").unwrap();
+        c.subscribe(&expr).unwrap();
+        v.subscribe(&expr).unwrap();
+        assert_eq!(c.flat_count(), 9);
+        assert_eq!(v.flat_count(), 9);
+        assert_eq!(c.subscription_count(), 1);
+    }
+
+    #[test]
+    fn both_variants_match_like_direct_evaluation() {
+        let exprs = [
+            "(a = 1 or b = 2) and c = 3",
+            "a = 1 and b = 2",
+            "a = 1 or d = 4",
+            "not (a = 1) and c = 3",
+        ];
+        let (mut c, mut v) = engines();
+        let parsed: Vec<Expr> = exprs.iter().map(|s| Expr::parse(s).unwrap()).collect();
+        for e in &parsed {
+            c.subscribe(e).unwrap();
+            v.subscribe(e).unwrap();
+        }
+        let events = [
+            ev(&[("a", 1), ("c", 3)]),
+            ev(&[("b", 2), ("c", 3)]),
+            ev(&[("a", 1), ("b", 2)]),
+            ev(&[("a", 2), ("c", 3)]),
+            ev(&[("d", 4)]),
+            ev(&[]),
+        ];
+        for event in &events {
+            let mut want: Vec<usize> = Vec::new();
+            for (i, e) in parsed.iter().enumerate() {
+                // Canonical engines evaluate the NNF (complement)
+                // semantics; on these events every referenced attribute
+                // of a NOT is present, so it agrees with eval_event
+                // except for the `not` subscription on events missing
+                // `a` — computed explicitly here via NNF.
+                let nnf = transform::eliminate_not(e);
+                if nnf.eval_event(event) {
+                    want.push(i);
+                }
+            }
+            let mut got_c: Vec<usize> =
+                c.match_event(event).matched.iter().map(|s| s.index()).collect();
+            let mut got_v: Vec<usize> =
+                v.match_event(event).matched.iter().map(|s| s.index()).collect();
+            got_c.sort();
+            got_v.sort();
+            assert_eq!(got_c, want, "counting on {event}");
+            assert_eq!(got_v, want, "variant on {event}");
+        }
+    }
+
+    #[test]
+    fn counting_scans_everything_variant_does_not() {
+        let (mut c, mut v) = engines();
+        for i in 0..50 {
+            let s = format!("(x{i} = 1 or y{i} = 2) and z{i} = 3");
+            let e = Expr::parse(&s).unwrap();
+            c.subscribe(&e).unwrap();
+            v.subscribe(&e).unwrap();
+        }
+        let event = ev(&[("x0", 1), ("z0", 3)]);
+        let rc = c.match_event(&event);
+        let rv = v.match_event(&event);
+        assert_eq!(rc.matched, rv.matched);
+        // Classic scans all 100 flat conjunctions; variant only the
+        // candidates (2 conjunctions of subscription 0).
+        assert_eq!(rc.stats.comparisons, 100);
+        assert_eq!(rv.stats.comparisons, 2);
+        assert_eq!(rv.stats.candidates, 2);
+        // Both did identical increment work.
+        assert_eq!(rc.stats.increments, rv.stats.increments);
+    }
+
+    #[test]
+    fn redundant_increments_after_transformation() {
+        // One subscription, and-of-or-pairs with 3 groups -> 8
+        // conjunctions; each fulfilled predicate sits in 4 of them.
+        let (mut c, _) = engines();
+        c.subscribe(
+            &Expr::parse("(a = 1 or a = 2) and (b = 1 or b = 2) and (c = 1 or c = 2)").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.flat_count(), 8);
+        let r = c.match_event(&ev(&[("a", 1), ("b", 1), ("c", 1)]));
+        // 3 fulfilled predicates x 4 conjunctions each = 12 increments —
+        // the paper's "redundant computations" (§2.2). The non-canonical
+        // engine does 3 association lookups for the same event.
+        assert_eq!(r.stats.fulfilled, 3);
+        assert_eq!(r.stats.increments, 12);
+        assert_eq!(r.matched.len(), 1);
+    }
+
+    #[test]
+    fn dnf_limit_is_enforced() {
+        let mut c = CountingEngine::with_config(CountingConfig {
+            dnf_limit: 4,
+            enable_phase1_index: true,
+        });
+        // 2^3 = 8 conjunctions > 4.
+        let expr =
+            Expr::parse("(a = 1 or a = 2) and (b = 1 or b = 2) and (c = 1 or c = 2)").unwrap();
+        assert!(matches!(
+            c.subscribe(&expr),
+            Err(SubscribeError::DnfTooLarge { estimate: 8, limit: 4 })
+        ));
+        // Nothing leaked.
+        assert_eq!(c.subscription_count(), 0);
+        assert_eq!(c.predicate_count(), 0);
+        assert_eq!(c.flat_count(), 0);
+    }
+
+    #[test]
+    fn wide_conjunct_is_rejected() {
+        let mut c = CountingEngine::new();
+        let wide = Expr::and(
+            (0..300)
+                .map(|i| Expr::parse(&format!("a{i} = 1")).unwrap())
+                .collect(),
+        );
+        assert!(matches!(
+            c.subscribe(&wide),
+            Err(SubscribeError::ConjunctTooWide { width: 300 })
+        ));
+        assert_eq!(c.predicate_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_cleans_everything_and_reuses_flats() {
+        let (mut c, _) = engines();
+        let e1 = Expr::parse("(a = 1 or b = 2) and c = 3").unwrap();
+        let e2 = Expr::parse("d = 4 and e = 5").unwrap();
+        let id1 = c.subscribe(&e1).unwrap();
+        let _id2 = c.subscribe(&e2).unwrap();
+        assert_eq!(c.flat_count(), 3);
+
+        c.unsubscribe(id1).unwrap();
+        assert_eq!(c.flat_count(), 1);
+        assert_eq!(c.subscription_count(), 1);
+        assert_eq!(c.predicate_count(), 2);
+        assert!(c.match_event(&ev(&[("a", 1), ("c", 3)])).matched.is_empty());
+
+        // Freed flat slots are recycled by the next subscribe.
+        let vectors_before = c.memory_usage().vectors;
+        c.subscribe(&e1).unwrap();
+        assert_eq!(c.memory_usage().vectors, vectors_before);
+
+        assert!(matches!(
+            c.unsubscribe(id1),
+            Err(UnsubscribeError::UnknownSubscription(_))
+        ));
+    }
+
+    #[test]
+    fn duplicated_conjunct_predicates_not_double_counted() {
+        // (a=1 or a=1) and b=2 -> conjuncts dedup inside to_dnf; a flat
+        // conjunct never counts one predicate twice, so hit == cnt works.
+        let (mut c, mut v) = engines();
+        let e = Expr::parse("(a = 1 or a = 1) and b = 2").unwrap();
+        let ic = c.subscribe(&e).unwrap();
+        let iv = v.subscribe(&e).unwrap();
+        let event = ev(&[("a", 1), ("b", 2)]);
+        assert_eq!(c.match_event(&event).matched, vec![ic]);
+        assert_eq!(v.match_event(&event).matched, vec![iv]);
+    }
+
+    #[test]
+    fn matched_originals_are_deduplicated() {
+        // An event fulfilling both or-branches completes 2 conjunctions
+        // of the same original subscription; it must be reported once.
+        let (mut c, mut v) = engines();
+        let e = Expr::parse("(a = 1 or b = 2) and c = 3").unwrap();
+        c.subscribe(&e).unwrap();
+        v.subscribe(&e).unwrap();
+        let event = ev(&[("a", 1), ("b", 2), ("c", 3)]);
+        assert_eq!(c.match_event(&event).matched.len(), 1);
+        assert_eq!(v.match_event(&event).matched.len(), 1);
+    }
+
+    #[test]
+    fn memory_usage_buckets_are_populated() {
+        let (mut c, _) = engines();
+        for i in 0..50 {
+            let s = format!("(x{i} = 1 or y{i} = 2) and (z{i} = 3 or w{i} = 4)");
+            c.subscribe(&Expr::parse(&s).unwrap()).unwrap();
+        }
+        let m = c.memory_usage();
+        assert!(m.vectors > 0, "hit/cnt vectors");
+        assert!(m.association > 0);
+        assert!(m.locations > 0);
+        assert!(m.unsub_support > 0);
+        assert_eq!(m.trees, 0);
+        assert!(m.phase2_bytes() < m.total());
+    }
+
+    #[test]
+    fn phase2_with_synthetic_fulfilled_set_matches_phase1_path() {
+        let (mut c, _) = engines();
+        let id = c
+            .subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3").unwrap())
+            .unwrap();
+        let event = ev(&[("b", 2), ("c", 3)]);
+        let full = c.match_event(&event);
+        assert_eq!(full.matched, vec![id]);
+
+        let mut fulfilled = FulfilledSet::new();
+        c.phase1(&event, &mut fulfilled);
+        let mut matched = Vec::new();
+        let stats = c.phase2(&fulfilled, &mut matched);
+        assert_eq!(matched, full.matched);
+        assert_eq!(stats, full.stats);
+    }
+
+    #[test]
+    fn hit_vector_is_clean_between_events() {
+        let (mut c, mut v) = engines();
+        let e = Expr::parse("a = 1 and b = 2").unwrap();
+        c.subscribe(&e).unwrap();
+        v.subscribe(&e).unwrap();
+        // Partially-fulfilling event leaves hit = 1 unless cleared.
+        let partial = ev(&[("a", 1)]);
+        assert!(c.match_event(&partial).matched.is_empty());
+        assert!(v.match_event(&partial).matched.is_empty());
+        // A second partial event must not complete the counter.
+        let other = ev(&[("b", 2)]);
+        assert!(c.match_event(&other).matched.is_empty());
+        assert!(v.match_event(&other).matched.is_empty());
+        // Sanity: the full event still matches.
+        assert_eq!(c.match_event(&ev(&[("a", 1), ("b", 2)])).matched.len(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The common engine interface.
+
+use std::error::Error;
+use std::fmt;
+
+use boolmatch_expr::{DnfError, Expr};
+use boolmatch_types::Event;
+
+use crate::{EncodeError, FulfilledSet, MatchStats, MemoryUsage, SubscriptionId};
+
+/// The result of matching one event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Ids of the subscriptions the event matches, in unspecified
+    /// order, without duplicates.
+    pub matched: Vec<SubscriptionId>,
+    /// Work counters for the match.
+    pub stats: MatchStats,
+}
+
+/// A subscription could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The engine requires DNF transformation and the expansion exceeds
+    /// the configured limit (counting engines only — the expressive gap
+    /// the paper is about).
+    DnfTooLarge {
+        /// Conjunctions the expansion would produce.
+        estimate: u128,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A DNF conjunct has more predicates than the counting vectors'
+    /// one-byte entries can count (paper §3.3: max 256 predicates per
+    /// subscription; our entries count to 255).
+    ConjunctTooWide {
+        /// Predicates in the offending conjunct.
+        width: usize,
+    },
+    /// The subscription tree could not be byte-encoded (non-canonical
+    /// engine only).
+    Encode(EncodeError),
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::DnfTooLarge { estimate, limit } => write!(
+                f,
+                "canonical transformation needs {estimate} conjunctions, over the limit of {limit}"
+            ),
+            SubscribeError::ConjunctTooWide { width } => write!(
+                f,
+                "conjunct with {width} predicates exceeds the 255-predicate counting limit"
+            ),
+            SubscribeError::Encode(e) => write!(f, "subscription tree encoding failed: {e}"),
+        }
+    }
+}
+
+impl Error for SubscribeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SubscribeError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for SubscribeError {
+    fn from(e: EncodeError) -> Self {
+        SubscribeError::Encode(e)
+    }
+}
+
+impl From<DnfError> for SubscribeError {
+    fn from(e: DnfError) -> Self {
+        match e {
+            DnfError::TooLarge { estimate, limit } => {
+                SubscribeError::DnfTooLarge { estimate, limit }
+            }
+        }
+    }
+}
+
+/// A subscription could not be removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsubscribeError {
+    /// The id was never issued or is already unsubscribed.
+    UnknownSubscription(SubscriptionId),
+}
+
+impl fmt::Display for UnsubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsubscribeError::UnknownSubscription(id) => {
+                write!(f, "subscription {id} is not registered")
+            }
+        }
+    }
+}
+
+impl Error for UnsubscribeError {}
+
+/// Which engine implementation to instantiate; used by the broker and
+/// the benchmark harness to select engines by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's non-canonical engine.
+    NonCanonical,
+    /// The classic counting algorithm over DNF-transformed
+    /// subscriptions.
+    Counting,
+    /// The candidate-driven counting variant (paper §3.3).
+    CountingVariant,
+}
+
+impl EngineKind {
+    /// All engine kinds, in the order the paper's figures list them.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::NonCanonical,
+        EngineKind::Counting,
+        EngineKind::CountingVariant,
+    ];
+
+    /// Short label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::NonCanonical => "non-canonical",
+            EngineKind::Counting => "counting",
+            EngineKind::CountingVariant => "counting-variant",
+        }
+    }
+
+    /// Instantiates a fresh engine of this kind with default
+    /// configuration.
+    pub fn build(self) -> Box<dyn FilterEngine + Send + Sync> {
+        match self {
+            EngineKind::NonCanonical => Box::new(crate::NonCanonicalEngine::new()),
+            EngineKind::Counting => Box::new(crate::CountingEngine::new()),
+            EngineKind::CountingVariant => Box::new(crate::CountingVariantEngine::new()),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A two-phase event filtering engine (paper §3.2).
+///
+/// Phase 1 (*predicate matching*) maps an event to the set of fulfilled
+/// predicate ids via one-dimensional indexes; phase 2 (*subscription
+/// matching*) maps that set to matching subscriptions. The phases are
+/// exposed separately because the paper's evaluation measures phase 2
+/// in isolation — phase 1 is identical across engines by construction.
+///
+/// Matching takes `&mut self`: engines keep reusable scratch
+/// (generation-stamped candidate sets, hit vectors) that makes matching
+/// allocation-free in steady state. Wrap an engine in a lock for
+/// concurrent use (`boolmatch-broker` does).
+pub trait FilterEngine {
+    /// The engine's kind.
+    fn kind(&self) -> EngineKind;
+
+    /// Registers a subscription and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubscribeError`]; the canonical engines refuse
+    /// subscriptions whose DNF expansion is too large, which is the
+    /// paper's point.
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError>;
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsubscribeError::UnknownSubscription`] for ids that
+    /// are not currently registered.
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError>;
+
+    /// Phase 1: collects the predicates fulfilled by `event` into
+    /// `out` (which is reset first).
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet);
+
+    /// Phase 2: computes the subscriptions matched by a fulfilled set.
+    /// `matched` is cleared first.
+    fn phase2(&mut self, fulfilled: &FulfilledSet, matched: &mut Vec<SubscriptionId>)
+        -> MatchStats;
+
+    /// Convenience: both phases with engine-internal scratch.
+    fn match_event(&mut self, event: &Event) -> MatchResult;
+
+    /// Number of registered (original) subscriptions.
+    fn subscription_count(&self) -> usize;
+
+    /// Number of internally registered matching units: original
+    /// subscriptions for the non-canonical engine, DNF conjunctions for
+    /// the counting engines — the "multiple of the number of original
+    /// registered subscriptions" of paper §2.2.
+    fn registered_units(&self) -> usize {
+        self.subscription_count()
+    }
+
+    /// Number of live distinct predicates.
+    fn predicate_count(&self) -> usize;
+
+    /// Size of the predicate id universe (for sizing external
+    /// [`FulfilledSet`]s).
+    fn predicate_universe(&self) -> usize;
+
+    /// Byte-accurate memory breakdown.
+    fn memory_usage(&self) -> MemoryUsage;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_labels_are_distinct() {
+        let labels: Vec<&str> = EngineKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels, dedup);
+    }
+
+    #[test]
+    fn build_constructs_each_kind() {
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.subscription_count(), 0);
+        }
+    }
+
+    #[test]
+    fn subscribe_error_display() {
+        let e = SubscribeError::DnfTooLarge {
+            estimate: 1 << 40,
+            limit: 1024,
+        };
+        assert!(e.to_string().contains("conjunctions"));
+        let e = SubscribeError::ConjunctTooWide { width: 300 };
+        assert!(e.to_string().contains("255"));
+    }
+
+    #[test]
+    fn unsubscribe_error_display() {
+        let e = UnsubscribeError::UnknownSubscription(SubscriptionId::from_index(3));
+        assert!(e.to_string().contains("s3"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Identifier of an interned predicate — `id(p)` in the paper.
+///
+/// Dense (`0..universe`) within one engine; slots are recycled when a
+/// predicate's reference count drops to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredicateId(u32);
+
+impl PredicateId {
+    /// Builds an id from a raw dense index.
+    pub fn from_index(index: usize) -> PredicateId {
+        PredicateId(u32::try_from(index).expect("more than u32::MAX predicates"))
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw value, as stored in encoded subscription trees (4 bytes,
+    /// paper §3.3).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw value.
+    pub fn from_raw(raw: u32) -> PredicateId {
+        PredicateId(raw)
+    }
+}
+
+impl fmt::Display for PredicateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a registered subscription — `id(s)` in the paper.
+///
+/// Sequentially assigned by an engine and never reused, so a stale id
+/// held after unsubscription can be detected instead of silently
+/// aliasing a new subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(u64);
+
+impl SubscriptionId {
+    /// Builds an id from a raw dense index.
+    pub fn from_index(index: usize) -> SubscriptionId {
+        SubscriptionId(index as u64)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("subscription id exceeds usize")
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_id_round_trips() {
+        let id = PredicateId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(PredicateId::from_raw(42), id);
+        assert_eq!(id.to_string(), "p42");
+    }
+
+    #[test]
+    fn subscription_id_round_trips() {
+        let id = SubscriptionId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "s7");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(PredicateId::from_index(1) < PredicateId::from_index(2));
+        assert!(SubscriptionId::from_index(1) < SubscriptionId::from_index(2));
+    }
+}

@@ -1,0 +1,216 @@
+//! Reference-counted predicate interning.
+
+use std::collections::HashMap;
+
+use boolmatch_expr::Predicate;
+
+use crate::PredicateId;
+
+/// Interns predicates so each distinct `attribute OP constant` filter is
+/// stored — and evaluated in phase 1 — exactly once, no matter how many
+/// subscriptions share it (paper §3.1).
+///
+/// Reference counts track how many subscription tree leaves point at a
+/// predicate; [`PredicateInterner::release`] frees the slot when the
+/// last leaf is unsubscribed, and freed slots are recycled.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::PredicateInterner;
+/// use boolmatch_expr::{CompareOp, Predicate};
+///
+/// let mut interner = PredicateInterner::new();
+/// let p = Predicate::new("a", CompareOp::Gt, 10_i64);
+/// let (id, fresh) = interner.intern(&p);
+/// assert!(fresh);
+/// let (again, fresh) = interner.intern(&p);
+/// assert_eq!(id, again);
+/// assert!(!fresh);
+/// assert_eq!(interner.resolve(id), &p);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PredicateInterner {
+    by_pred: HashMap<Predicate, PredicateId>,
+    preds: Vec<Predicate>,
+    refcounts: Vec<u32>,
+    free: Vec<PredicateId>,
+}
+
+impl PredicateInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `pred`, incrementing its reference count. Returns the id
+    /// and whether the predicate was newly added (callers register new
+    /// predicates with the phase-1 index).
+    pub fn intern(&mut self, pred: &Predicate) -> (PredicateId, bool) {
+        if let Some(&id) = self.by_pred.get(pred) {
+            self.refcounts[id.index()] += 1;
+            return (id, false);
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.preds[id.index()] = pred.clone();
+                self.refcounts[id.index()] = 1;
+                id
+            }
+            None => {
+                let id = PredicateId::from_index(self.preds.len());
+                self.preds.push(pred.clone());
+                self.refcounts.push(1);
+                id
+            }
+        };
+        self.by_pred.insert(pred.clone(), id);
+        (id, true)
+    }
+
+    /// Decrements the reference count of `id`. Returns `true` when the
+    /// count reached zero: the predicate was dropped and the caller must
+    /// remove it from the phase-1 index (its value is still readable via
+    /// [`PredicateInterner::resolve`] until the slot is reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live (double release).
+    pub fn release(&mut self, id: PredicateId) -> bool {
+        let rc = &mut self.refcounts[id.index()];
+        assert!(*rc > 0, "release of dead predicate {id}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.by_pred.remove(&self.preds[id.index()]);
+            self.free.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The predicate stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out.
+    pub fn resolve(&self, id: PredicateId) -> &Predicate {
+        &self.preds[id.index()]
+    }
+
+    /// Looks up a predicate without interning it.
+    pub fn get(&self, pred: &Predicate) -> Option<PredicateId> {
+        self.by_pred.get(pred).copied()
+    }
+
+    /// Current reference count of `id` (0 for freed slots).
+    pub fn refcount(&self, id: PredicateId) -> u32 {
+        self.refcounts[id.index()]
+    }
+
+    /// Number of live (distinct) predicates.
+    pub fn len(&self) -> usize {
+        self.by_pred.len()
+    }
+
+    /// Whether no predicates are live.
+    pub fn is_empty(&self) -> bool {
+        self.by_pred.is_empty()
+    }
+
+    /// Size of the dense id space (live + free slots). Scratch tables
+    /// indexed by [`PredicateId`] must have at least this capacity.
+    pub fn universe(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Approximate heap bytes owned by the interner.
+    pub fn heap_bytes(&self) -> usize {
+        let pred_struct = std::mem::size_of::<Predicate>();
+        let owned: usize = self.preds.iter().map(Predicate::heap_bytes).sum();
+        owned
+            + self.preds.capacity() * pred_struct
+            + self.refcounts.capacity() * 4
+            + self.free.capacity() * 4
+            + self.by_pred.capacity() * (pred_struct + 8 + 8)
+            + self.by_pred.keys().map(Predicate::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolmatch_expr::CompareOp;
+
+    fn p(v: i64) -> Predicate {
+        Predicate::new("a", CompareOp::Eq, v)
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = PredicateInterner::new();
+        let (a, fresh_a) = i.intern(&p(1));
+        let (b, fresh_b) = i.intern(&p(1));
+        assert_eq!(a, b);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.refcount(a), 2);
+    }
+
+    #[test]
+    fn distinct_predicates_get_distinct_ids() {
+        let mut i = PredicateInterner::new();
+        let (a, _) = i.intern(&p(1));
+        let (b, _) = i.intern(&p(2));
+        let (c, _) = i.intern(&Predicate::new("a", CompareOp::Ne, 1_i64));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn release_frees_at_zero_and_recycles() {
+        let mut i = PredicateInterner::new();
+        let (a, _) = i.intern(&p(1));
+        i.intern(&p(1));
+        assert!(!i.release(a));
+        assert!(i.release(a));
+        assert_eq!(i.len(), 0);
+        assert_eq!(i.universe(), 1);
+        // Recycled slot: same dense index for a fresh predicate.
+        let (b, fresh) = i.intern(&p(99));
+        assert!(fresh);
+        assert_eq!(b.index(), a.index());
+        assert_eq!(i.resolve(b), &p(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "release of dead predicate")]
+    fn double_release_panics() {
+        let mut i = PredicateInterner::new();
+        let (a, _) = i.intern(&p(1));
+        i.release(a);
+        i.release(a);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = PredicateInterner::new();
+        assert_eq!(i.get(&p(1)), None);
+        let (a, _) = i.intern(&p(1));
+        assert_eq!(i.get(&p(1)), Some(a));
+        assert_eq!(i.refcount(a), 1);
+    }
+
+    #[test]
+    fn universe_never_shrinks() {
+        let mut i = PredicateInterner::new();
+        let ids: Vec<_> = (0..10).map(|v| i.intern(&p(v)).0).collect();
+        for id in &ids {
+            i.release(*id);
+        }
+        assert_eq!(i.len(), 0);
+        assert_eq!(i.universe(), 10);
+    }
+}

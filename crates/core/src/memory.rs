@@ -1,0 +1,143 @@
+//! Engine memory accounting.
+//!
+//! The paper's scalability argument (§2, §4) is about main-memory
+//! exhaustion: on the authors' 512 MB machine the canonical engines
+//! start page-swapping at ~0.7–1.6 M original subscriptions while the
+//! non-canonical engine keeps going. We cannot (and should not) thrash
+//! the host to reproduce that, so every engine reports a byte-accurate
+//! [`MemoryUsage`] breakdown and the `boolmatch-workload` memory-wall
+//! model derives the swap penalty analytically (DESIGN.md,
+//! substitution 1).
+
+use std::fmt;
+use std::ops::Add;
+
+/// A byte-level breakdown of an engine's resident data structures.
+///
+/// `phase2_bytes` is the quantity the paper's figures are sensitive to:
+/// its experiments synthesize fulfilled-predicate sets directly, so only
+/// the *subscription matching* structures compete for memory. The
+/// breakdown keeps phase-1 structures and unsubscription support
+/// separate so the memory-wall model can be configured either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Interned predicate storage (shared by both phases).
+    pub predicates: usize,
+    /// Phase-1 structures: the per-attribute predicate indexes.
+    pub phase1_index: usize,
+    /// The predicate → subscription association table.
+    pub association: usize,
+    /// The subscription location table (non-canonical) or the flat
+    /// conjunct tables (counting).
+    pub locations: usize,
+    /// Encoded subscription trees (non-canonical only).
+    pub trees: usize,
+    /// Hit and subscription-predicate-count vectors (counting only).
+    pub vectors: usize,
+    /// Structures needed only to support unsubscription (the paper's
+    /// baseline omits these; §3.3).
+    pub unsub_support: usize,
+    /// Reusable per-event scratch (candidate buffers, stamp arrays).
+    pub scratch: usize,
+}
+
+impl MemoryUsage {
+    /// Total bytes across all components.
+    pub fn total(&self) -> usize {
+        self.predicates
+            + self.phase1_index
+            + self.association
+            + self.locations
+            + self.trees
+            + self.vectors
+            + self.unsub_support
+            + self.scratch
+    }
+
+    /// Bytes of the phase-2 (subscription matching) structures — the
+    /// paper-faithful memory figure: association table, location/flat
+    /// tables, encoded trees and counting vectors, excluding phase-1
+    /// indexes, predicate storage, unsubscription support and scratch.
+    pub fn phase2_bytes(&self) -> usize {
+        self.association + self.locations + self.trees + self.vectors
+    }
+}
+
+impl Add for MemoryUsage {
+    type Output = MemoryUsage;
+
+    fn add(self, rhs: MemoryUsage) -> MemoryUsage {
+        MemoryUsage {
+            predicates: self.predicates + rhs.predicates,
+            phase1_index: self.phase1_index + rhs.phase1_index,
+            association: self.association + rhs.association,
+            locations: self.locations + rhs.locations,
+            trees: self.trees + rhs.trees,
+            vectors: self.vectors + rhs.vectors,
+            unsub_support: self.unsub_support + rhs.unsub_support,
+            scratch: self.scratch + rhs.scratch,
+        }
+    }
+}
+
+impl fmt::Display for MemoryUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "predicates     {:>12}", self.predicates)?;
+        writeln!(f, "phase1 index   {:>12}", self.phase1_index)?;
+        writeln!(f, "association    {:>12}", self.association)?;
+        writeln!(f, "locations      {:>12}", self.locations)?;
+        writeln!(f, "trees          {:>12}", self.trees)?;
+        writeln!(f, "vectors        {:>12}", self.vectors)?;
+        writeln!(f, "unsub support  {:>12}", self.unsub_support)?;
+        writeln!(f, "scratch        {:>12}", self.scratch)?;
+        writeln!(f, "phase-2 total  {:>12}", self.phase2_bytes())?;
+        write!(f, "total          {:>12}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let m = MemoryUsage {
+            predicates: 1,
+            phase1_index: 2,
+            association: 4,
+            locations: 8,
+            trees: 16,
+            vectors: 32,
+            unsub_support: 64,
+            scratch: 128,
+        };
+        assert_eq!(m.total(), 255);
+        assert_eq!(m.phase2_bytes(), 4 + 8 + 16 + 32);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = MemoryUsage {
+            predicates: 1,
+            trees: 5,
+            ..Default::default()
+        };
+        let b = MemoryUsage {
+            predicates: 2,
+            vectors: 7,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.predicates, 3);
+        assert_eq!(c.trees, 5);
+        assert_eq!(c.vectors, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_total() {
+        let m = MemoryUsage::default();
+        let s = m.to_string();
+        assert!(s.contains("total"));
+        assert!(s.contains("phase-2"));
+    }
+}

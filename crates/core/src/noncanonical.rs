@@ -1,0 +1,609 @@
+//! The non-canonical filtering engine — the paper's contribution (§3).
+
+use boolmatch_expr::{transform, Expr};
+use boolmatch_index::PredicateIndex;
+use boolmatch_types::Event;
+
+use crate::arena::{Loc, TreeArena};
+use crate::assoc::AssocTable;
+use crate::encode::{self, IdExpr};
+use crate::engine::{
+    EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError,
+};
+use crate::eval::{eval_iterative_with, EvalFrame};
+use crate::{
+    FulfilledSet, MatchStats, MemoryUsage, PredicateId, PredicateInterner, SubscriptionId,
+};
+
+/// Configuration of a [`NonCanonicalEngine`].
+#[derive(Debug, Clone)]
+pub struct NonCanonicalConfig {
+    /// Maintain the phase-1 predicate index. Disable only for phase-2
+    /// isolation experiments that synthesize fulfilled sets directly
+    /// (the paper's Fig. 3 setup); [`FilterEngine::phase1`] then finds
+    /// nothing.
+    pub enable_phase1_index: bool,
+    /// Reorder subscription trees cheapest-child-first before encoding
+    /// ([`boolmatch_expr::transform::reorder`]) so short-circuit
+    /// evaluation refutes/confirms nodes earlier — the optimisation the
+    /// paper proposes but defers (§3.2). Off by default to match the
+    /// paper's measured configuration; the `ablation_reorder` bench
+    /// quantifies it.
+    pub reorder_trees: bool,
+}
+
+impl Default for NonCanonicalConfig {
+    fn default() -> Self {
+        NonCanonicalConfig {
+            enable_phase1_index: true,
+            reorder_trees: false,
+        }
+    }
+}
+
+/// The paper's matching engine: subscriptions are stored **as their
+/// original Boolean expressions** — no canonical transformation — and
+/// matched in two phases over four data structures (paper Fig. 2):
+/// one-dimensional predicate indexes, the predicate→subscription
+/// association table, the subscription location table, and the
+/// byte-encoded subscription trees themselves.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{FilterEngine, NonCanonicalEngine};
+/// use boolmatch_expr::Expr;
+/// use boolmatch_types::Event;
+///
+/// let mut engine = NonCanonicalEngine::new();
+/// // Arbitrary Boolean structure, registered without DNF expansion:
+/// let id = engine.subscribe(&Expr::parse(
+///     "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)",
+/// )?)?;
+/// let hit = Event::builder().attr("a", 12_i64).attr("c", 30_i64).build();
+/// assert_eq!(engine.match_event(&hit).matched, vec![id]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct NonCanonicalEngine {
+    config: NonCanonicalConfig,
+    interner: PredicateInterner,
+    index: PredicateIndex<PredicateId>,
+    /// Predicate → subscriptions containing it (dense u32 sub indexes).
+    assoc: AssocTable<u32>,
+    /// Subscription location table: dense sub index → tree location.
+    /// The [`Loc::empty`] sentinel marks unsubscribed ids (never
+    /// reused); a plain `Loc` per slot is 8 bytes where `Option<Loc>`
+    /// would be 12 — this table exists per live subscription.
+    locations: Vec<Loc>,
+    arena: TreeArena,
+    live_subs: usize,
+    // Reusable per-event scratch.
+    seen: Vec<u32>,
+    seen_gen: u32,
+    candidates: Vec<u32>,
+    eval_stack: Vec<EvalFrame>,
+    fulfilled_scratch: FulfilledSet,
+}
+
+impl Default for NonCanonicalEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NonCanonicalEngine {
+    /// Creates an engine with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(NonCanonicalConfig::default())
+    }
+
+    /// Creates an engine with explicit configuration.
+    pub fn with_config(config: NonCanonicalConfig) -> Self {
+        NonCanonicalEngine {
+            config,
+            interner: PredicateInterner::new(),
+            index: PredicateIndex::new(),
+            assoc: AssocTable::new(),
+            locations: Vec::new(),
+            arena: TreeArena::new(),
+            live_subs: 0,
+            seen: Vec::new(),
+            seen_gen: 0,
+            candidates: Vec::new(),
+            eval_stack: Vec::new(),
+            fulfilled_scratch: FulfilledSet::new(),
+        }
+    }
+
+    /// Compiles a compacted expression into an [`IdExpr`], interning
+    /// every leaf. Records acquisitions so a failed subscribe can roll
+    /// back.
+    fn compile(&mut self, expr: &Expr, acquired: &mut Vec<PredicateId>) -> IdExpr {
+        match expr {
+            Expr::Pred(p) => {
+                let (id, fresh) = self.interner.intern(p);
+                if fresh && self.config.enable_phase1_index {
+                    self.index.insert(id, p);
+                }
+                acquired.push(id);
+                IdExpr::Pred(id)
+            }
+            Expr::And(cs) => {
+                IdExpr::And(cs.iter().map(|c| self.compile(c, acquired)).collect())
+            }
+            Expr::Or(cs) => {
+                IdExpr::Or(cs.iter().map(|c| self.compile(c, acquired)).collect())
+            }
+            Expr::Not(c) => IdExpr::Not(Box::new(self.compile(c, acquired))),
+        }
+    }
+
+    fn release_predicate(&mut self, id: PredicateId) {
+        if self.interner.release(id) {
+            if self.config.enable_phase1_index {
+                // The slot still holds the predicate until reused.
+                self.index.remove(id, self.interner.resolve(id));
+            }
+        }
+    }
+
+    /// Decoded view of a registered subscription — the inverse of
+    /// registration, useful for debugging and covering tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsubscribeError::UnknownSubscription`] for unknown
+    /// ids.
+    pub fn subscription_tree(&self, id: SubscriptionId) -> Result<IdExpr, UnsubscribeError> {
+        let loc = self
+            .locations
+            .get(id.index())
+            .copied()
+            .filter(|l| !l.is_empty())
+            .ok_or(UnsubscribeError::UnknownSubscription(id))?;
+        Ok(encode::decode(self.arena.get(loc)).expect("engine-encoded trees are well-formed"))
+    }
+
+    /// Fragmentation of the tree arena (0.0 = none), exposed for the
+    /// churn tests and operational metrics.
+    pub fn arena_fragmentation(&self) -> f64 {
+        self.arena.fragmentation()
+    }
+
+    /// Total entries in the predicate→subscription association table —
+    /// one per distinct predicate per subscription.
+    pub fn association_postings(&self) -> usize {
+        self.assoc.posting_count()
+    }
+}
+
+impl FilterEngine for NonCanonicalEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::NonCanonical
+    }
+
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        // "Binary operators are treated as n-ary ones due to compacting
+        // subscription trees" (§3.1).
+        let mut compacted = transform::compact(expr);
+        if self.config.reorder_trees {
+            compacted = transform::reorder(&compacted);
+        }
+        let mut acquired = Vec::with_capacity(compacted.predicate_count());
+        let tree = self.compile(&compacted, &mut acquired);
+        let bytes = match encode::encode(&tree) {
+            Ok(b) if b.len() <= crate::arena::BLOCK_SIZE => b,
+            Ok(b) => {
+                for id in acquired {
+                    self.release_predicate(id);
+                }
+                return Err(crate::EncodeError::SubtreeTooWide { width: b.len() }.into());
+            }
+            Err(e) => {
+                for id in acquired {
+                    self.release_predicate(id);
+                }
+                return Err(e.into());
+            }
+        };
+
+        let sub_index = self.locations.len();
+        let sub_u32 = u32::try_from(sub_index).expect("more than u32::MAX subscriptions");
+        let loc = self.arena.insert(&bytes);
+        self.locations.push(loc);
+        self.live_subs += 1;
+
+        // One association entry per *distinct* predicate of the
+        // subscription (a predicate occurring twice in the tree must
+        // not make the subscription a candidate twice).
+        acquired.sort_unstable();
+        acquired.dedup();
+        for pid in acquired {
+            self.assoc.add(pid, sub_u32);
+        }
+        Ok(SubscriptionId::from_index(sub_index))
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        let slot = self
+            .locations
+            .get_mut(id.index())
+            .ok_or(UnsubscribeError::UnknownSubscription(id))?;
+        if slot.is_empty() {
+            return Err(UnsubscribeError::UnknownSubscription(id));
+        }
+        let loc = std::mem::replace(slot, Loc::empty());
+
+        // The tree itself is the record of which predicates to release —
+        // this is why the paper stores subscriptions explicitly (§3.2,
+        // footnote 1).
+        let mut leaves = Vec::new();
+        encode::for_each_encoded_leaf(self.arena.get(loc), &mut |pid| leaves.push(pid));
+        self.arena.remove(loc);
+
+        let sub_u32 = u32::try_from(id.index()).expect("issued ids fit u32");
+        let mut unique = leaves.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for pid in unique {
+            let removed = self.assoc.remove(pid, sub_u32);
+            debug_assert!(removed, "association entry missing for {pid}");
+        }
+        for pid in leaves {
+            self.release_predicate(pid);
+        }
+        self.live_subs -= 1;
+        Ok(())
+    }
+
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+        out.begin(self.interner.universe());
+        self.index.for_each_match(event, |id| out.insert(id));
+    }
+
+    fn phase2(
+        &mut self,
+        fulfilled: &FulfilledSet,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        let mut stats = MatchStats {
+            fulfilled: fulfilled.len(),
+            ..MatchStats::default()
+        };
+
+        // Candidate collection with generation-stamped deduplication.
+        if self.seen.len() < self.locations.len() {
+            self.seen.resize(self.locations.len(), 0);
+        }
+        if self.seen_gen == u32::MAX {
+            self.seen.fill(0);
+            self.seen_gen = 0;
+        }
+        self.seen_gen += 1;
+        let gen = self.seen_gen;
+
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        for &pid in fulfilled.ids() {
+            for &sub in self.assoc.get(pid) {
+                let stamp = &mut self.seen[sub as usize];
+                if *stamp != gen {
+                    *stamp = gen;
+                    candidates.push(sub);
+                }
+            }
+        }
+        stats.candidates = candidates.len();
+
+        // Evaluate each candidate's Boolean expression once; the
+        // variable values are exactly the fulfilled set (paper §3.2).
+        let mut eval_stack = std::mem::take(&mut self.eval_stack);
+        for &sub in &candidates {
+            let loc = self.locations[sub as usize];
+            debug_assert!(
+                !loc.is_empty(),
+                "association lists only reference live subscriptions"
+            );
+            stats.evaluations += 1;
+            if eval_iterative_with(self.arena.get(loc), fulfilled, &mut eval_stack) {
+                matched.push(SubscriptionId::from_index(sub as usize));
+            }
+        }
+        self.eval_stack = eval_stack;
+        self.candidates = candidates;
+        stats.matched = matched.len();
+        stats
+    }
+
+    fn match_event(&mut self, event: &Event) -> MatchResult {
+        let mut fulfilled = std::mem::take(&mut self.fulfilled_scratch);
+        self.phase1(event, &mut fulfilled);
+        let mut matched = Vec::new();
+        let stats = self.phase2(&fulfilled, &mut matched);
+        self.fulfilled_scratch = fulfilled;
+        MatchResult { matched, stats }
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.live_subs
+    }
+
+    fn predicate_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    fn predicate_universe(&self) -> usize {
+        self.interner.universe()
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            predicates: self.interner.heap_bytes(),
+            phase1_index: self.index.heap_bytes(),
+            association: self.assoc.heap_bytes(),
+            locations: self.locations.capacity() * std::mem::size_of::<Loc>(),
+            trees: self.arena.heap_bytes(),
+            vectors: 0,
+            unsub_support: 0,
+            scratch: self.seen.capacity() * 4
+                + self.candidates.capacity() * 4
+                + self.fulfilled_scratch.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(subs: &[&str]) -> (NonCanonicalEngine, Vec<SubscriptionId>) {
+        let mut e = NonCanonicalEngine::new();
+        let ids = subs
+            .iter()
+            .map(|s| e.subscribe(&Expr::parse(s).unwrap()).unwrap())
+            .collect();
+        (e, ids)
+    }
+
+    #[test]
+    fn fig1_subscription_matches() {
+        let (mut e, ids) =
+            engine_with(&["(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)"]);
+        let hit = Event::builder().attr("a", 12_i64).attr("c", 30_i64).build();
+        assert_eq!(e.match_event(&hit).matched, vec![ids[0]]);
+        let miss = Event::builder().attr("a", 7_i64).attr("c", 30_i64).build();
+        assert!(e.match_event(&miss).matched.is_empty());
+    }
+
+    #[test]
+    fn multiple_subscriptions_and_stats() {
+        let (mut e, ids) = engine_with(&[
+            "price > 100 and volume > 10",
+            "price > 100 or volume > 10",
+            "symbol = \"IBM\"",
+        ]);
+        let ev = Event::builder().attr("price", 150_i64).build();
+        let result = e.match_event(&ev);
+        assert_eq!(result.matched, vec![ids[1]]);
+        // price > 100 fulfilled -> subs 0 and 1 are candidates
+        assert_eq!(result.stats.fulfilled, 1);
+        assert_eq!(result.stats.candidates, 2);
+        assert_eq!(result.stats.evaluations, 2);
+        assert_eq!(result.stats.matched, 1);
+    }
+
+    #[test]
+    fn shared_predicates_are_interned_once() {
+        let (e, _) = engine_with(&["a = 1 and b = 2", "a = 1 and c = 3", "a = 1"]);
+        // a=1 shared by three subscriptions: 3 distinct predicates
+        // total (a=1, b=2, c=3).
+        assert_eq!(e.predicate_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_predicate_in_one_subscription() {
+        // a=1 occurs twice; candidate collection must not double-count
+        // and refcounts must balance on unsubscribe.
+        let (mut e, ids) = engine_with(&["a = 1 or (a = 1 and b = 2)"]);
+        let ev = Event::builder().attr("a", 1_i64).build();
+        let r = e.match_event(&ev);
+        assert_eq!(r.matched, vec![ids[0]]);
+        assert_eq!(r.stats.candidates, 1);
+        e.unsubscribe(ids[0]).unwrap();
+        assert_eq!(e.predicate_count(), 0);
+        assert_eq!(e.subscription_count(), 0);
+    }
+
+    #[test]
+    fn not_semantics_full_negation() {
+        let (mut e, ids) = engine_with(&["not (a = 1) and b = 2"]);
+        // b=2 present, a=3 (so a=1 false): matches.
+        let ev = Event::builder().attr("a", 3_i64).attr("b", 2_i64).build();
+        assert_eq!(e.match_event(&ev).matched, vec![ids[0]]);
+        // a missing entirely: NOT is still true (full negation).
+        let ev = Event::builder().attr("b", 2_i64).build();
+        assert_eq!(e.match_event(&ev).matched, vec![ids[0]]);
+        // a=1: no match.
+        let ev = Event::builder().attr("a", 1_i64).attr("b", 2_i64).build();
+        assert!(e.match_event(&ev).matched.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_removes_matches_and_frees() {
+        let (mut e, ids) = engine_with(&["a = 1", "a = 1 or b = 2"]);
+        let ev = Event::builder().attr("a", 1_i64).build();
+        assert_eq!(e.match_event(&ev).matched.len(), 2);
+
+        e.unsubscribe(ids[0]).unwrap();
+        assert_eq!(e.match_event(&ev).matched, vec![ids[1]]);
+        assert_eq!(e.subscription_count(), 1);
+        // a=1 still referenced by sub 1; b=2 still live.
+        assert_eq!(e.predicate_count(), 2);
+
+        e.unsubscribe(ids[1]).unwrap();
+        assert!(e.match_event(&ev).matched.is_empty());
+        assert_eq!(e.predicate_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_unknown_or_twice_errors() {
+        let (mut e, ids) = engine_with(&["a = 1"]);
+        e.unsubscribe(ids[0]).unwrap();
+        assert!(matches!(
+            e.unsubscribe(ids[0]),
+            Err(UnsubscribeError::UnknownSubscription(_))
+        ));
+        assert!(matches!(
+            e.unsubscribe(SubscriptionId::from_index(999)),
+            Err(UnsubscribeError::UnknownSubscription(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_not_reused_after_unsubscribe() {
+        let (mut e, ids) = engine_with(&["a = 1"]);
+        e.unsubscribe(ids[0]).unwrap();
+        let new_id = e.subscribe(&Expr::parse("b = 2").unwrap()).unwrap();
+        assert_ne!(new_id, ids[0]);
+    }
+
+    #[test]
+    fn arena_space_is_reused_after_churn() {
+        let mut e = NonCanonicalEngine::new();
+        let expr = Expr::parse("(a = 1 or b = 2) and (c = 3 or d = 4)").unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            ids.push(e.subscribe(&expr).unwrap());
+        }
+        for id in ids.drain(..) {
+            e.unsubscribe(id).unwrap();
+        }
+        for _ in 0..100 {
+            ids.push(e.subscribe(&expr).unwrap());
+        }
+        assert!(
+            e.arena_fragmentation() < 0.01,
+            "fragmentation {} after same-shape churn",
+            e.arena_fragmentation()
+        );
+    }
+
+    #[test]
+    fn subscription_tree_round_trip() {
+        let (e, ids) = engine_with(&["(a = 1 or b = 2) and c = 3"]);
+        let tree = e.subscription_tree(ids[0]).unwrap();
+        assert_eq!(tree.leaf_count(), 3);
+        assert!(matches!(tree, IdExpr::And(_)));
+    }
+
+    #[test]
+    fn phase_separation_agrees_with_match_event() {
+        let (mut e, _) = engine_with(&[
+            "a > 5 and b < 3",
+            "a > 5 or c = 1",
+            "not (a > 5) and c = 1",
+        ]);
+        let ev = Event::builder().attr("a", 10_i64).attr("c", 1_i64).build();
+        let full = e.match_event(&ev);
+
+        let mut fulfilled = FulfilledSet::new();
+        e.phase1(&ev, &mut fulfilled);
+        let mut matched = Vec::new();
+        let stats = e.phase2(&fulfilled, &mut matched);
+        assert_eq!(matched, full.matched);
+        assert_eq!(stats, full.stats);
+    }
+
+    #[test]
+    fn reordered_engine_matches_identically() {
+        let exprs = [
+            "(a = 1 or b = 2 or c = 3) and d = 4",
+            "x = 9 or (y = 8 and (z = 7 or w = 6))",
+            "not (p = 1 and (q = 2 or r = 3))",
+        ];
+        let mut plain = NonCanonicalEngine::new();
+        let mut reordered = NonCanonicalEngine::with_config(NonCanonicalConfig {
+            reorder_trees: true,
+            ..NonCanonicalConfig::default()
+        });
+        for text in exprs {
+            let e = Expr::parse(text).unwrap();
+            plain.subscribe(&e).unwrap();
+            reordered.subscribe(&e).unwrap();
+        }
+        // Reordering permutes leaves, so interning order (and therefore
+        // predicate ids) may differ — compare via full events.
+        for (a, d, x, p) in [(1i64, 4i64, 9i64, 0i64), (0, 4, 0, 1), (1, 0, 0, 9)] {
+            let ev = Event::builder()
+                .attr("a", a)
+                .attr("d", d)
+                .attr("x", x)
+                .attr("p", p)
+                .attr("q", 2_i64)
+                .build();
+            let mut lhs = plain.match_event(&ev).matched;
+            let mut rhs = reordered.match_event(&ev).matched;
+            lhs.sort();
+            rhs.sort();
+            assert_eq!(lhs, rhs, "on {ev}");
+        }
+        // The reordered tree puts the cheap leaf first.
+        let tree = reordered
+            .subscription_tree(SubscriptionId::from_index(0))
+            .unwrap();
+        match tree {
+            IdExpr::And(cs) => assert!(matches!(cs[0], IdExpr::Pred(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase2_with_synthetic_fulfilled_set() {
+        // The Fig. 3 setup: no phase-1 index, fulfilled ids synthesized.
+        let mut e = NonCanonicalEngine::with_config(NonCanonicalConfig {
+            enable_phase1_index: false,
+            ..NonCanonicalConfig::default()
+        });
+        let id = e
+            .subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3").unwrap())
+            .unwrap();
+        // Predicates were interned in syntactic order: a=1 -> p0,
+        // b=2 -> p1, c=3 -> p2.
+        let set = FulfilledSet::from_ids(
+            [PredicateId::from_index(1), PredicateId::from_index(2)],
+            e.predicate_universe(),
+        );
+        let mut matched = Vec::new();
+        e.phase2(&set, &mut matched);
+        assert_eq!(matched, vec![id]);
+        // And phase 1 finds nothing because indexing is disabled.
+        let ev = Event::builder().attr("a", 1_i64).attr("c", 3_i64).build();
+        assert!(e.match_event(&ev).matched.is_empty());
+    }
+
+    #[test]
+    fn memory_usage_grows_with_subscriptions() {
+        let mut e = NonCanonicalEngine::new();
+        let base = e.memory_usage().total();
+        for i in 0..100 {
+            let s = format!("(a{i} = 1 or b{i} = 2) and c{i} = 3");
+            e.subscribe(&Expr::parse(&s).unwrap()).unwrap();
+        }
+        let grown = e.memory_usage();
+        assert!(grown.total() > base);
+        assert!(grown.trees > 0);
+        assert!(grown.association > 0);
+        assert!(grown.phase2_bytes() < grown.total());
+    }
+
+    #[test]
+    fn empty_engine_matches_nothing() {
+        let mut e = NonCanonicalEngine::new();
+        let ev = Event::builder().attr("a", 1_i64).build();
+        let r = e.match_event(&ev);
+        assert!(r.matched.is_empty());
+        assert_eq!(r.stats.fulfilled, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-event matching statistics.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Counters describing the work one event's match performed.
+///
+/// These are the quantities the paper's analysis (§2.2, §4.1) reasons
+/// about: the counting algorithm's cost is `increments + comparisons`
+/// (with `comparisons` covering *every* registered conjunction), the
+/// variant's cost follows `candidates`, and the non-canonical engine's
+/// cost follows `candidates`/`evaluations` of original subscriptions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Fulfilled predicates (phase-1 output size).
+    pub fulfilled: usize,
+    /// Candidate subscriptions / conjunctions touched in phase 2.
+    pub candidates: usize,
+    /// Boolean tree evaluations (non-canonical engine).
+    pub evaluations: usize,
+    /// Hit-counter increments (counting engines).
+    pub increments: usize,
+    /// Hit/count vector comparisons (counting engines).
+    pub comparisons: usize,
+    /// Subscriptions reported as matching.
+    pub matched: usize,
+}
+
+impl Add for MatchStats {
+    type Output = MatchStats;
+
+    fn add(self, rhs: MatchStats) -> MatchStats {
+        MatchStats {
+            fulfilled: self.fulfilled + rhs.fulfilled,
+            candidates: self.candidates + rhs.candidates,
+            evaluations: self.evaluations + rhs.evaluations,
+            increments: self.increments + rhs.increments,
+            comparisons: self.comparisons + rhs.comparisons,
+            matched: self.matched + rhs.matched,
+        }
+    }
+}
+
+impl fmt::Display for MatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fulfilled={} candidates={} evaluations={} increments={} comparisons={} matched={}",
+            self.fulfilled,
+            self.candidates,
+            self.evaluations,
+            self.increments,
+            self.comparisons,
+            self.matched
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_componentwise() {
+        let a = MatchStats {
+            fulfilled: 1,
+            candidates: 2,
+            evaluations: 3,
+            increments: 4,
+            comparisons: 5,
+            matched: 6,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.fulfilled, 2);
+        assert_eq!(c.matched, 12);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = MatchStats::default().to_string();
+        for field in ["fulfilled", "candidates", "evaluations", "increments", "comparisons", "matched"] {
+            assert!(s.contains(field), "missing {field}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests for the matching engines.
+//!
+//! The headline invariant: for any NOT-free subscription workload and
+//! any event, all three engines — non-canonical, counting, counting
+//! variant — report exactly the same matching subscriptions, and that
+//! answer equals direct evaluation of each expression against the
+//! event. (NOT-free because canonical engines implement negation via
+//! operator complementation, which by design diverges from full
+//! negation on events lacking the attribute; see `counting.rs` docs.)
+
+use proptest::prelude::*;
+
+use boolmatch_core::{
+    decode, encode, eval_iterative, eval_recursive, CountingEngine, CountingVariantEngine,
+    EngineKind, FilterEngine, FulfilledSet, IdExpr, NonCanonicalEngine, PredicateId,
+};
+use boolmatch_expr::{CompareOp, Expr, Predicate};
+use boolmatch_types::Event;
+
+const ATTRS: u32 = 5;
+const VALUES: i64 = 3;
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    (0..ATTRS, prop_oneof![Just(CompareOp::Eq), Just(CompareOp::Ne),
+                           Just(CompareOp::Lt), Just(CompareOp::Ge)], 0..VALUES)
+        .prop_map(|(a, op, v)| Predicate::new(&format!("x{a}"), op, v))
+}
+
+/// NOT-free expressions: And/Or over predicates.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_pred().prop_map(Expr::pred);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            prop::collection::vec(inner, 2..4).prop_map(Expr::Or),
+        ]
+    })
+}
+
+/// Events carrying *every* attribute, so engine semantics coincide even
+/// for complemented operators.
+fn arb_total_event() -> impl Strategy<Value = Event> {
+    prop::collection::vec(-1i64..VALUES + 1, ATTRS as usize).prop_map(|vals| {
+        Event::from_pairs(
+            vals.into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("x{i}"), v)),
+        )
+    })
+}
+
+fn all_engines() -> Vec<Box<dyn FilterEngine + Send + Sync>> {
+    EngineKind::ALL.iter().map(|k| k.build()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_with_each_other_and_direct_eval(
+        exprs in prop::collection::vec(arb_expr(), 1..12),
+        events in prop::collection::vec(arb_total_event(), 1..6),
+    ) {
+        let mut engines = all_engines();
+        for expr in &exprs {
+            for engine in &mut engines {
+                engine.subscribe(expr).unwrap();
+            }
+        }
+        for event in &events {
+            let want: Vec<usize> = exprs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.eval_event(event))
+                .map(|(i, _)| i)
+                .collect();
+            for engine in &mut engines {
+                let mut got: Vec<usize> = engine
+                    .match_event(event)
+                    .matched
+                    .iter()
+                    .map(|s| s.index())
+                    .collect();
+                got.sort();
+                prop_assert_eq!(
+                    &got, &want,
+                    "{} disagrees on {}", engine.kind(), event
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_ids_align_across_engines(
+        exprs in prop::collection::vec(arb_expr(), 1..10),
+    ) {
+        // The Fig. 3 harness synthesizes one fulfilled set and feeds it
+        // to all engines; that requires identical predicate interning
+        // order for NOT-free workloads.
+        let mut nc = NonCanonicalEngine::new();
+        let mut c = CountingEngine::new();
+        let mut v = CountingVariantEngine::new();
+        for expr in &exprs {
+            nc.subscribe(expr).unwrap();
+            c.subscribe(expr).unwrap();
+            v.subscribe(expr).unwrap();
+        }
+        prop_assert_eq!(nc.predicate_count(), c.predicate_count());
+        prop_assert_eq!(nc.predicate_universe(), c.predicate_universe());
+        prop_assert_eq!(nc.predicate_universe(), v.predicate_universe());
+
+        // Same fulfilled ids -> same matches.
+        let universe = nc.predicate_universe();
+        for seed in 0..4usize {
+            let ids: Vec<PredicateId> = (0..universe)
+                .filter(|i| (i + seed) % 3 == 0)
+                .map(PredicateId::from_index)
+                .collect();
+            let set = FulfilledSet::from_ids(ids, universe);
+            let mut m_nc = Vec::new();
+            let mut m_c = Vec::new();
+            let mut m_v = Vec::new();
+            nc.phase2(&set, &mut m_nc);
+            c.phase2(&set, &mut m_c);
+            v.phase2(&set, &mut m_v);
+            m_nc.sort();
+            m_c.sort();
+            m_v.sort();
+            prop_assert_eq!(&m_nc, &m_c);
+            prop_assert_eq!(&m_nc, &m_v);
+        }
+    }
+
+    #[test]
+    fn unsubscribe_equals_never_subscribed(
+        keep in prop::collection::vec(arb_expr(), 1..6),
+        drop_ in prop::collection::vec(arb_expr(), 1..6),
+        events in prop::collection::vec(arb_total_event(), 1..4),
+    ) {
+        for kind in EngineKind::ALL {
+            let mut with_churn = kind.build();
+            let mut clean = kind.build();
+
+            // Interleave: keep[0], drop[0], keep[1], drop[1], ...
+            let mut drop_ids = Vec::new();
+            let max = keep.len().max(drop_.len());
+            let mut kept_exprs = Vec::new();
+            for i in 0..max {
+                if let Some(e) = keep.get(i) {
+                    with_churn.subscribe(e).unwrap();
+                    kept_exprs.push(e.clone());
+                }
+                if let Some(e) = drop_.get(i) {
+                    drop_ids.push(with_churn.subscribe(e).unwrap());
+                }
+            }
+            for id in drop_ids {
+                with_churn.unsubscribe(id).unwrap();
+            }
+            let clean_ids: Vec<_> = kept_exprs
+                .iter()
+                .map(|e| clean.subscribe(e).unwrap())
+                .collect();
+            let _ = clean_ids;
+
+            prop_assert_eq!(with_churn.subscription_count(), clean.subscription_count());
+            prop_assert_eq!(with_churn.predicate_count(), clean.predicate_count());
+
+            for event in &events {
+                let mut got: Vec<Expr> = Vec::new();
+                let churn_matches = with_churn.match_event(event).matched.len();
+                let clean_matches = clean.match_event(event).matched.len();
+                let _ = &mut got;
+                prop_assert_eq!(
+                    churn_matches, clean_matches,
+                    "{} churn mismatch on {}", kind, event
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_evaluators_agree_with_boxed_ast(
+        tree in arb_id_expr(),
+        fulfilled_bits in any::<u32>(),
+    ) {
+        let bytes = encode(&tree).unwrap();
+        prop_assert_eq!(decode(&bytes).unwrap(), tree.clone());
+        let ids = (0..32)
+            .filter(|i| fulfilled_bits & (1 << i) != 0)
+            .map(PredicateId::from_index);
+        let set = FulfilledSet::from_ids(ids, 32);
+        let want = tree.eval(&set);
+        prop_assert_eq!(eval_recursive(&bytes, &set), want);
+        prop_assert_eq!(eval_iterative(&bytes, &set), want);
+    }
+
+    #[test]
+    fn match_stats_are_consistent(
+        exprs in prop::collection::vec(arb_expr(), 1..10),
+        event in arb_total_event(),
+    ) {
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build();
+            for e in &exprs {
+                engine.subscribe(e).unwrap();
+            }
+            let r = engine.match_event(&event);
+            prop_assert_eq!(r.stats.matched, r.matched.len());
+            prop_assert!(r.stats.matched <= exprs.len());
+            match kind {
+                EngineKind::NonCanonical => {
+                    prop_assert!(r.stats.evaluations == r.stats.candidates);
+                    prop_assert!(r.stats.matched <= r.stats.evaluations);
+                }
+                EngineKind::Counting => {
+                    // Scans every flat conjunction.
+                    prop_assert!(r.stats.comparisons >= r.stats.candidates);
+                }
+                EngineKind::CountingVariant => {
+                    prop_assert_eq!(r.stats.comparisons, r.stats.candidates);
+                }
+            }
+        }
+    }
+}
+
+fn arb_id_expr() -> impl Strategy<Value = IdExpr> {
+    let leaf = (0..32usize).prop_map(|i| IdExpr::Pred(PredicateId::from_index(i)));
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(IdExpr::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(IdExpr::Or),
+            inner.prop_map(|e| IdExpr::Not(Box::new(e))),
+        ]
+    })
+}

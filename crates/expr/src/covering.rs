@@ -1,0 +1,355 @@
+//! Subscription covering (subsumption) analysis.
+//!
+//! A subscription *covers* another when every event matching the
+//! second also matches the first. Brokers exploit covering to prune
+//! routing tables and skip redundant registrations — the line of work
+//! the paper cites as Mühl & Fiege, *Supporting Covering and Merging in
+//! Content-Based Publish/Subscribe Systems* (IEEE DSOnline 2001), and
+//! names as the motivation for expressive subscription handling beyond
+//! name/value pairs.
+//!
+//! The checks here are **sound but not complete**: a `true` answer is a
+//! guarantee, a `false` answer means "could not establish covering"
+//! (deciding Boolean implication is co-NP-complete in general).
+//! Covering is defined over *total* evaluation — the predicate-result
+//! semantics all engines share in phase 2.
+
+use crate::{transform, CompareOp, DnfError, Expr, Predicate};
+
+/// Does `general` cover `specific` at the predicate level — is every
+/// value satisfying `specific` guaranteed to satisfy `general`?
+///
+/// Predicates on different attributes, or with constants of different
+/// kinds, never cover each other. The rules implemented are exact for
+/// the relational operators and the string-search operators; anything
+/// else conservatively answers `false`.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{covering, CompareOp, Predicate};
+///
+/// let loose = Predicate::new("price", CompareOp::Gt, 10_i64);
+/// let tight = Predicate::new("price", CompareOp::Gt, 20_i64);
+/// assert!(covering::predicate_covers(&loose, &tight));
+/// assert!(!covering::predicate_covers(&tight, &loose));
+/// ```
+pub fn predicate_covers(general: &Predicate, specific: &Predicate) -> bool {
+    if general.attr() != specific.attr() {
+        return false;
+    }
+    if general == specific {
+        return true;
+    }
+    let (g, s) = (general.value(), specific.value());
+    if g.kind() != s.kind() {
+        return false;
+    }
+    use CompareOp::*;
+    match (general.op(), specific.op()) {
+        // x > g  ⊇  x > s   iff g <= s
+        (Gt, Gt) => g <= s,
+        // x > g  ⊇  x >= s  iff g < s
+        (Gt, Ge) => g < s,
+        // x > g  ⊇  x = s   iff s > g
+        (Gt, Eq) => s > g,
+        // x >= g ⊇  x >= s  and  x >= g ⊇ x > s  iff g <= s
+        (Ge, Ge) | (Ge, Gt) => g <= s,
+        (Ge, Eq) => s >= g,
+        // mirror image for the upper bounds
+        (Lt, Lt) => g >= s,
+        (Lt, Le) => g > s,
+        (Lt, Eq) => s < g,
+        (Le, Le) | (Le, Lt) => g >= s,
+        (Le, Eq) => s <= g,
+        // x != g covers anything whose solutions exclude g
+        (Ne, Eq) => s != g,
+        (Ne, Gt) => g <= s,
+        (Ne, Ge) => g < s,
+        (Ne, Lt) => g >= s,
+        (Ne, Le) => g > s,
+        (Ne, Prefix) | (Ne, Contains) => {
+            // Every string with prefix/substring s differs from g
+            // whenever g itself lacks it.
+            match (g.as_str(), s.as_str()) {
+                (Some(gs), Some(ss)) => {
+                    if specific.op() == Prefix {
+                        !gs.starts_with(ss)
+                    } else {
+                        !gs.contains(ss)
+                    }
+                }
+                _ => false,
+            }
+        }
+        // prefix "ab" covers prefix "abc" and equality with "abc..."
+        (Prefix, Prefix) | (Prefix, Eq) => match (g.as_str(), s.as_str()) {
+            (Some(gs), Some(ss)) => ss.starts_with(gs),
+            _ => false,
+        },
+        // contains "b" covers contains "abc", prefix "ab..", = "abc"
+        (Contains, Contains) | (Contains, Eq) => match (g.as_str(), s.as_str()) {
+            (Some(gs), Some(ss)) => ss.contains(gs),
+            _ => false,
+        },
+        (Contains, Prefix) => match (g.as_str(), s.as_str()) {
+            // every string starting with s contains g if s contains g
+            (Some(gs), Some(ss)) => ss.contains(gs),
+            _ => false,
+        },
+        // !prefix "ab" covers !prefix "a": no — reversed; covers
+        // equality with a string lacking the prefix.
+        (NotPrefix, Eq) => match (g.as_str(), s.as_str()) {
+            (Some(gs), Some(ss)) => !ss.starts_with(gs),
+            _ => false,
+        },
+        (NotContains, Eq) => match (g.as_str(), s.as_str()) {
+            (Some(gs), Some(ss)) => !ss.contains(gs),
+            _ => false,
+        },
+        // !contains "abc" is implied by !contains "b" (if you lack "b"
+        // you certainly lack "abc"), i.e. general="abc" specific="b":
+        // covers iff g contains s.
+        (NotContains, NotContains) => match (g.as_str(), s.as_str()) {
+            (Some(gs), Some(ss)) => gs.contains(ss),
+            _ => false,
+        },
+        (NotPrefix, NotPrefix) => match (g.as_str(), s.as_str()) {
+            // lacking prefix s implies lacking prefix g iff g extends s
+            (Some(gs), Some(ss)) => gs.starts_with(ss),
+            _ => false,
+        },
+        // x = g covers only the identical predicate (handled above) and
+        // nothing else exactly; ranges covering Eq are handled in the
+        // arms above. Everything else: conservative no.
+        _ => false,
+    }
+}
+
+/// Does the conjunction `general` cover the conjunction `specific`?
+///
+/// Sound rule: every predicate of `general` must cover **some**
+/// predicate of `specific` — then any solution of `specific` satisfies
+/// all of `general`'s constraints.
+pub fn conjunction_covers(general: &[Predicate], specific: &[Predicate]) -> bool {
+    general
+        .iter()
+        .all(|g| specific.iter().any(|s| predicate_covers(g, s)))
+}
+
+/// Does subscription `general` cover subscription `specific`?
+///
+/// Both expressions are DNF-transformed (bounded by `dnf_limit`, see
+/// [`transform::to_dnf`]); covering holds when **every** conjunct of
+/// `specific` is covered by **some** conjunct of `general`.
+///
+/// # Errors
+///
+/// Returns [`DnfError::TooLarge`] when either expansion exceeds the
+/// limit — covering analysis on such subscriptions would be
+/// exponential, mirroring the paper's §2 argument.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{covering, Expr};
+///
+/// let general = Expr::parse("price > 10 or symbol = \"IBM\"")?;
+/// let specific = Expr::parse("price > 20 and volume > 5")?;
+/// assert!(covering::covers(&general, &specific, 1024)?);
+/// assert!(!covering::covers(&specific, &general, 1024)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn covers(general: &Expr, specific: &Expr, dnf_limit: usize) -> Result<bool, DnfError> {
+    let g = transform::to_dnf(general, dnf_limit)?;
+    let s = transform::to_dnf(specific, dnf_limit)?;
+    Ok(s.conjuncts().iter().all(|sc| {
+        g.conjuncts()
+            .iter()
+            .any(|gc| conjunction_covers(gc, sc))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolmatch_types::Value;
+
+    fn p(attr: &str, op: CompareOp, v: i64) -> Predicate {
+        Predicate::new(attr, op, v)
+    }
+
+    /// Exhaustive soundness check over a small integer domain: whenever
+    /// covering is claimed, implication must hold for every value.
+    #[test]
+    fn predicate_covering_is_sound_on_integers() {
+        let ops = [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ];
+        let consts = [-2i64, -1, 0, 1, 2];
+        let values: Vec<Value> = (-4..=4).map(Value::from).collect();
+        let mut claimed = 0;
+        for gop in ops {
+            for gc in consts {
+                for sop in ops {
+                    for sc in consts {
+                        let g = p("a", gop, gc);
+                        let s = p("a", sop, sc);
+                        if predicate_covers(&g, &s) {
+                            claimed += 1;
+                            for v in &values {
+                                assert!(
+                                    !s.eval_value(v) || g.eval_value(v),
+                                    "{g} claimed to cover {s} but {v} violates it"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The relation is far from empty.
+        assert!(claimed > 100, "only {claimed} coverings found");
+    }
+
+    /// Completeness spot-checks: the standard relations are recognised.
+    #[test]
+    fn predicate_covering_recognises_standard_relations() {
+        assert!(predicate_covers(
+            &p("a", CompareOp::Gt, 10),
+            &p("a", CompareOp::Gt, 20)
+        ));
+        assert!(predicate_covers(
+            &p("a", CompareOp::Ge, 10),
+            &p("a", CompareOp::Gt, 10)
+        ));
+        assert!(predicate_covers(
+            &p("a", CompareOp::Lt, 10),
+            &p("a", CompareOp::Eq, 5)
+        ));
+        assert!(predicate_covers(
+            &p("a", CompareOp::Ne, 7),
+            &p("a", CompareOp::Gt, 7)
+        ));
+        // Different attributes never cover.
+        assert!(!predicate_covers(
+            &p("a", CompareOp::Gt, 10),
+            &p("b", CompareOp::Gt, 20)
+        ));
+        // Different kinds never cover.
+        assert!(!predicate_covers(
+            &p("a", CompareOp::Gt, 10),
+            &Predicate::new("a", CompareOp::Gt, 20.0)
+        ));
+    }
+
+    #[test]
+    fn string_covering_rules() {
+        let pre = |s: &str| Predicate::new("t", CompareOp::Prefix, s);
+        let has = |s: &str| Predicate::new("t", CompareOp::Contains, s);
+        let eq = |s: &str| Predicate::new("t", CompareOp::Eq, s);
+        assert!(predicate_covers(&pre("ab"), &pre("abc")));
+        assert!(!predicate_covers(&pre("abc"), &pre("ab")));
+        assert!(predicate_covers(&pre("ab"), &eq("abcd")));
+        assert!(predicate_covers(&has("b"), &has("abc")));
+        assert!(predicate_covers(&has("bc"), &pre("abcd")));
+        assert!(predicate_covers(&has("a"), &eq("banana")));
+        assert!(!predicate_covers(&has("z"), &eq("banana")));
+
+        // Sanity: verify each claimed string rule on sample values.
+        let samples = ["", "a", "ab", "abc", "abcd", "xabc", "banana"];
+        let cases = [
+            (pre("ab"), pre("abc")),
+            (has("b"), has("abc")),
+            (has("bc"), pre("abcd")),
+        ];
+        for (g, s) in cases {
+            for text in samples {
+                let v = Value::from(text);
+                assert!(!s.eval_value(&v) || g.eval_value(&v), "{g} / {s} on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_covering() {
+        // "price > 10" covers "price > 20 AND volume > 5".
+        let general = vec![p("price", CompareOp::Gt, 10)];
+        let specific = vec![p("price", CompareOp::Gt, 20), p("volume", CompareOp::Gt, 5)];
+        assert!(conjunction_covers(&general, &specific));
+        // Adding an uncoverable constraint to the general side breaks it.
+        let general2 = vec![
+            p("price", CompareOp::Gt, 10),
+            p("region", CompareOp::Eq, 1),
+        ];
+        assert!(!conjunction_covers(&general2, &specific));
+        // Empty general conjunction covers everything (vacuous truth).
+        assert!(conjunction_covers(&[], &specific));
+    }
+
+    #[test]
+    fn expression_covering_through_dnf() {
+        let general = Expr::parse("price > 10 or symbol = 1").unwrap();
+        let specific = Expr::parse("(price > 20 and volume > 5) or (symbol = 1 and volume > 9)")
+            .unwrap();
+        assert!(covers(&general, &specific, 64).unwrap());
+        assert!(!covers(&specific, &general, 64).unwrap());
+        // Self-covering.
+        assert!(covers(&general, &general, 64).unwrap());
+    }
+
+    #[test]
+    fn covering_respects_dnf_limit() {
+        let bomb = Expr::and(
+            (0..30)
+                .map(|i| {
+                    Expr::or(vec![
+                        Expr::pred(p(&format!("x{i}"), CompareOp::Eq, 0)),
+                        Expr::pred(p(&format!("y{i}"), CompareOp::Eq, 1)),
+                    ])
+                })
+                .collect(),
+        );
+        let simple = Expr::parse("a = 1").unwrap();
+        assert!(matches!(
+            covers(&bomb, &simple, 1024),
+            Err(DnfError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn expression_covering_is_sound_on_a_grid() {
+        use boolmatch_types::Event;
+        let pairs = [
+            ("a > 0", "a > 2 and b = 1"),
+            ("a > 0 or b = 1", "a > 2"),
+            ("a >= 1 and b <= 5", "a = 3 and b = 2"),
+            ("not (a = 1)", "a > 1"),
+            ("a != 1 or b != 1", "a = 0 and b = 0"),
+        ];
+        for (g_text, s_text) in pairs {
+            let g = Expr::parse(g_text).unwrap();
+            let s = Expr::parse(s_text).unwrap();
+            if covers(&g, &s, 1024).unwrap() {
+                for a in -1i64..=4 {
+                    for b in -1i64..=4 {
+                        let event = Event::builder().attr("a", a).attr("b", b).build();
+                        // Covering is defined over total semantics:
+                        // compare NNF evaluation (what engines share).
+                        let ge = transform::eliminate_not(&g).eval_event(&event);
+                        let se = transform::eliminate_not(&s).eval_event(&event);
+                        assert!(
+                            !se || ge,
+                            "`{g_text}` claimed to cover `{s_text}` but a={a}, b={b} violates it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Tokenizer for the subscription language.
+
+use crate::CompareOp;
+
+use super::error::{ErrorKind, ParseError};
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Op(CompareOp),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+impl TokenKind {
+    pub(crate) fn describe(&self) -> &'static str {
+        match self {
+            TokenKind::Ident(_) => "an identifier",
+            TokenKind::Int(_) => "an integer literal",
+            TokenKind::Float(_) => "a float literal",
+            TokenKind::Str(_) => "a string literal",
+            TokenKind::Bool(_) => "a boolean literal",
+            TokenKind::Op(_) => "a comparison operator",
+            TokenKind::And => "`and`",
+            TokenKind::Or => "`or`",
+            TokenKind::Not => "`not`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+pub(crate) struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek_byte(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(None);
+        };
+
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'=' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                }
+                TokenKind::Op(CompareOp::Eq)
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Op(CompareOp::Le)
+                } else {
+                    TokenKind::Op(CompareOp::Lt)
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Op(CompareOp::Ge)
+                } else {
+                    TokenKind::Op(CompareOp::Gt)
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                match self.peek_byte() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Op(CompareOp::Ne)
+                    }
+                    Some(c) if c.is_ascii_alphabetic() => {
+                        // `!prefix` / `!contains`, or `!ident` meaning
+                        // logical not of a sub-expression.
+                        let word_start = self.pos;
+                        let word = self.read_ident_text();
+                        match word {
+                            "prefix" => TokenKind::Op(CompareOp::NotPrefix),
+                            "contains" => TokenKind::Op(CompareOp::NotContains),
+                            _ => {
+                                // Rewind: treat as NOT followed by ident.
+                                self.pos = word_start;
+                                TokenKind::Not
+                            }
+                        }
+                    }
+                    _ => TokenKind::Not,
+                }
+            }
+            b'&' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'&') {
+                    self.pos += 1;
+                    TokenKind::And
+                } else {
+                    return Err(ParseError::new(ErrorKind::UnexpectedChar { ch: '&' }, start));
+                }
+            }
+            b'|' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::Or
+                } else {
+                    return Err(ParseError::new(ErrorKind::UnexpectedChar { ch: '|' }, start));
+                }
+            }
+            b'"' | b'\'' => self.read_string(b)?,
+            b'-' | b'0'..=b'9' => self.read_number()?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let word = self.read_ident_text();
+                match word {
+                    "and" | "AND" => TokenKind::And,
+                    "or" | "OR" => TokenKind::Or,
+                    "not" | "NOT" => TokenKind::Not,
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    "prefix" => TokenKind::Op(CompareOp::Prefix),
+                    "contains" => TokenKind::Op(CompareOp::Contains),
+                    ident => TokenKind::Ident(ident.to_owned()),
+                }
+            }
+            other => {
+                let ch = self.input[self.pos..].chars().next().unwrap_or(other as char);
+                return Err(ParseError::new(ErrorKind::UnexpectedChar { ch }, start));
+            }
+        };
+
+        Ok(Some(Token {
+            kind,
+            offset: start,
+        }))
+    }
+
+    fn read_ident_text(&mut self) -> &'a str {
+        let start = self.pos;
+        while matches!(
+            self.peek_byte(),
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+        ) {
+            // Stop identifiers at a dot followed by a digit (attr names may
+            // be namespaced like `stock.price`, but `1.5` must stay a number).
+            self.pos += 1;
+        }
+        &self.input[start..self.pos]
+    }
+
+    fn read_string(&mut self, quote: u8) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek_byte() {
+                None => return Err(ParseError::new(ErrorKind::UnterminatedString, start)),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    return Ok(TokenKind::Str(out));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek_byte() {
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\'') => {
+                            out.push('\'');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // Unknown escape: keep the character verbatim,
+                            // advancing by its full UTF-8 width.
+                            let ch = self.input[self.pos..].chars().next().unwrap();
+                            out.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        None => {
+                            return Err(ParseError::new(ErrorKind::UnterminatedString, start))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn read_number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        if self.peek_byte() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek_byte() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| ParseError::new(ErrorKind::InvalidNumber { text: text.into() }, start))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| ParseError::new(ErrorKind::InvalidNumber { text: text.into() }, start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            kinds("= == != < <= > >="),
+            vec![
+                TokenKind::Op(CompareOp::Eq),
+                TokenKind::Op(CompareOp::Eq),
+                TokenKind::Op(CompareOp::Ne),
+                TokenKind::Op(CompareOp::Lt),
+                TokenKind::Op(CompareOp::Le),
+                TokenKind::Op(CompareOp::Gt),
+                TokenKind::Op(CompareOp::Ge),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_keywords_and_idents() {
+        assert_eq!(
+            kinds("and or not price AND"),
+            vec![
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Ident("price".into()),
+                TokenKind::And,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        assert_eq!(
+            kinds("1 -2 3.5 -0.25 2e3 1.5E-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(-2),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Float(2000.0),
+                TokenKind::Float(0.015),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b" 'c' "tab\there""#),
+            vec![
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("c".into()),
+                TokenKind::Str("tab\there".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"kākā\""), vec![TokenKind::Str("kākā".into())]);
+    }
+
+    #[test]
+    fn bang_disambiguation() {
+        assert_eq!(
+            kinds("!= !prefix !contains !x"),
+            vec![
+                TokenKind::Op(CompareOp::Ne),
+                TokenKind::Op(CompareOp::NotPrefix),
+                TokenKind::Op(CompareOp::NotContains),
+                TokenKind::Not,
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn stray_ampersand_errors() {
+        let err = Lexer::new("a & b").tokenize().unwrap_err();
+        assert!(err.to_string().contains('&'));
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = Lexer::new("ab  >=").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            kinds("stock.price > 1.5"),
+            vec![
+                TokenKind::Ident("stock.price".into()),
+                TokenKind::Op(CompareOp::Gt),
+                TokenKind::Float(1.5),
+            ]
+        );
+    }
+}

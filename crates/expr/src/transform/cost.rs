@@ -1,0 +1,121 @@
+//! DNF size estimation.
+
+use crate::Expr;
+
+/// Computes the number of conjunctions [`super::to_dnf`] would produce,
+/// without expanding anything.
+///
+/// The recurrence mirrors distribution: a predicate contributes 1, an
+/// `Or` sums its children, an `And` multiplies them, and `Not` is
+/// estimated after negation elimination (which swaps the roles). The
+/// result saturates at `u128::MAX`.
+///
+/// This is the quantitative core of the paper's §2 argument: for the
+/// experimental subscriptions (AND of |p|/2 binary ORs) the estimate is
+/// exactly `2^(|p|/2)` — the "8 to 32 subscriptions per subscription
+/// after transformation" row of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{transform, Expr};
+///
+/// // Fig. 1 of the paper: 3 * 3 = 9 disjunctions.
+/// let s = Expr::parse("(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)")?;
+/// assert_eq!(transform::estimate_dnf_size(&s), 9);
+/// # Ok::<(), boolmatch_expr::ParseError>(())
+/// ```
+pub fn estimate_dnf_size(expr: &Expr) -> u128 {
+    go(expr, false)
+}
+
+fn go(expr: &Expr, negated: bool) -> u128 {
+    match expr {
+        Expr::Pred(_) => 1,
+        Expr::And(cs) if !negated => product(cs, negated),
+        Expr::And(cs) => sum(cs, negated),
+        Expr::Or(cs) if !negated => sum(cs, negated),
+        Expr::Or(cs) => product(cs, negated),
+        Expr::Not(c) => go(c, !negated),
+    }
+}
+
+fn product(children: &[Expr], negated: bool) -> u128 {
+    children
+        .iter()
+        .fold(1u128, |acc, c| acc.saturating_mul(go(c, negated)))
+}
+
+fn sum(children: &[Expr], negated: bool) -> u128 {
+    children
+        .iter()
+        .fold(0u128, |acc, c| acc.saturating_add(go(c, negated)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompareOp, Predicate};
+
+    fn p(n: usize) -> Expr {
+        Expr::pred(Predicate::new(&format!("a{n}"), CompareOp::Eq, n as i64))
+    }
+
+    fn or_pair(n: usize) -> Expr {
+        Expr::or(vec![p(2 * n), p(2 * n + 1)])
+    }
+
+    #[test]
+    fn single_predicate_is_one() {
+        assert_eq!(estimate_dnf_size(&p(0)), 1);
+    }
+
+    #[test]
+    fn paper_workload_blowup_is_2_pow_groups() {
+        // AND of g binary ORs -> 2^g conjunctions (Table 1: |p| in 6..=10
+        // predicates -> 8..=32 transformed subscriptions).
+        for g in [3usize, 4, 5] {
+            let e = Expr::and((0..g).map(or_pair).collect());
+            assert_eq!(estimate_dnf_size(&e), 1u128 << g);
+        }
+    }
+
+    #[test]
+    fn disjunction_sums() {
+        let e = Expr::or(vec![p(0), p(1), p(2)]);
+        assert_eq!(estimate_dnf_size(&e), 3);
+    }
+
+    #[test]
+    fn negation_swaps_sum_and_product() {
+        // not(AND of 3 preds) == OR of 3 complements -> 3 conjunctions
+        let e = Expr::not(Expr::and(vec![p(0), p(1), p(2)]));
+        assert_eq!(estimate_dnf_size(&e), 3);
+        // not(OR of or-pairs): not(or) -> and -> product
+        let e = Expr::not(Expr::or(vec![or_pair(0), or_pair(1)]));
+        // inner or_pairs are negated too: not(p0 or p1) -> conj of 1
+        assert_eq!(estimate_dnf_size(&e), 1);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        // Build AND of 200 binary ORs: 2^200 conjunctions > u128 range
+        // only at 2^128; saturating_mul caps it.
+        let e = Expr::and((0..200).map(or_pair).collect());
+        assert_eq!(estimate_dnf_size(&e), u128::MAX);
+    }
+
+    #[test]
+    fn estimate_matches_actual_dnf_on_small_inputs() {
+        let cases = [
+            Expr::and(vec![or_pair(0), or_pair(1), p(99)]),
+            Expr::or(vec![Expr::and(vec![p(0), p(1)]), or_pair(2)]),
+            Expr::not(Expr::and(vec![or_pair(0), p(5)])),
+        ];
+        for e in cases {
+            let est = estimate_dnf_size(&e);
+            let dnf = super::super::to_dnf(&e, 1 << 20).unwrap();
+            assert_eq!(est, dnf.len() as u128, "for {e}");
+        }
+    }
+}

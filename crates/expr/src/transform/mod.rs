@@ -1,0 +1,34 @@
+//! Expression transformations.
+//!
+//! This module is where the paper's central tension lives:
+//!
+//! * [`to_dnf`] is the **canonical transformation** that classic
+//!   conjunctive-only matchers force on arbitrary Boolean subscriptions.
+//!   It is worst-case exponential — [`estimate_dnf_size`] computes the
+//!   exact number of conjunctions *before* expanding, so callers can
+//!   refuse (the paper's §2.2 argument made executable).
+//! * [`eliminate_not`] rewrites an expression into an equivalent
+//!   NOT-free form by pushing negation into the leaves (De Morgan) and
+//!   complementing the leaf operators.
+//! * [`compact`] flattens nested same-operator nodes into the n-ary form
+//!   the non-canonical engine encodes (paper §3.1: "binary operators are
+//!   treated as n-ary ones due to compacting subscription trees").
+//! * [`simplify`] removes duplicate children, absorbed terms and
+//!   double negation.
+//! * [`reorder`] sorts n-ary children cheapest-first for short-circuit
+//!   evaluation — the optimisation the paper names but defers (§3.2).
+//!
+//! All transformations preserve evaluation semantics; the property tests
+//! in this crate verify equivalence on random truth assignments.
+
+mod cost;
+mod dnf;
+mod nnf;
+mod reorder;
+mod simplify;
+
+pub use cost::estimate_dnf_size;
+pub use dnf::{to_dnf, Dnf, DnfError};
+pub use nnf::eliminate_not;
+pub use reorder::reorder;
+pub use simplify::{compact, simplify};

@@ -1,0 +1,161 @@
+//! Negation elimination.
+
+use crate::Expr;
+
+/// Rewrites `expr` into an equivalent expression without `Not` nodes.
+///
+/// Negation is pushed inward with De Morgan's laws; a negation that
+/// reaches a predicate is absorbed by complementing its operator
+/// ([`crate::CompareOp::complement`]).
+///
+/// Note the open-world caveat documented on
+/// [`crate::Predicate::complement`]: for events that *lack* an
+/// attribute, both `p` and its complement are false, whereas `not p` as
+/// evaluated by [`Expr::eval_event`] would be true. The matching engines
+/// all evaluate over the *fulfilled predicate set* (paper §3.2), for
+/// which complement-based negation is exact; `eliminate_not` is the
+/// transformation they share. Use it consciously when comparing against
+/// raw [`Expr::eval_event`] semantics on partial events.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{transform, Expr};
+///
+/// let e = Expr::parse("not (a = 1 and b < 2)")?;
+/// let nnf = transform::eliminate_not(&e);
+/// assert_eq!(nnf.to_string(), "a != 1 or b >= 2");
+/// assert!(!nnf.contains_not());
+/// # Ok::<(), boolmatch_expr::ParseError>(())
+/// ```
+pub fn eliminate_not(expr: &Expr) -> Expr {
+    go(expr, false)
+}
+
+fn go(expr: &Expr, negate: bool) -> Expr {
+    match expr {
+        Expr::Pred(p) => {
+            if negate {
+                Expr::Pred(p.complement())
+            } else {
+                Expr::Pred(p.clone())
+            }
+        }
+        Expr::And(cs) => {
+            let children: Vec<Expr> = cs.iter().map(|c| go(c, negate)).collect();
+            if negate {
+                Expr::or(children)
+            } else {
+                Expr::and(children)
+            }
+        }
+        Expr::Or(cs) => {
+            let children: Vec<Expr> = cs.iter().map(|c| go(c, negate)).collect();
+            if negate {
+                Expr::and(children)
+            } else {
+                Expr::or(children)
+            }
+        }
+        Expr::Not(c) => go(c, !negate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompareOp, Predicate};
+
+    fn p(attr: &str, op: CompareOp, v: i64) -> Expr {
+        Expr::pred(Predicate::new(attr, op, v))
+    }
+
+    #[test]
+    fn pushes_not_through_and() {
+        let e = Expr::not(Expr::and(vec![
+            p("a", CompareOp::Eq, 1),
+            p("b", CompareOp::Lt, 2),
+        ]));
+        let nnf = eliminate_not(&e);
+        assert_eq!(
+            nnf,
+            Expr::or(vec![p("a", CompareOp::Ne, 1), p("b", CompareOp::Ge, 2)])
+        );
+    }
+
+    #[test]
+    fn pushes_not_through_or() {
+        let e = Expr::not(Expr::or(vec![
+            p("a", CompareOp::Gt, 1),
+            p("b", CompareOp::Le, 2),
+        ]));
+        let nnf = eliminate_not(&e);
+        assert_eq!(
+            nnf,
+            Expr::and(vec![p("a", CompareOp::Le, 1), p("b", CompareOp::Gt, 2)])
+        );
+    }
+
+    #[test]
+    fn nested_negations_cancel() {
+        let inner = p("a", CompareOp::Eq, 1);
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(Expr::Not(Box::new(
+            inner.clone(),
+        ))))));
+        assert_eq!(eliminate_not(&e), p("a", CompareOp::Ne, 1));
+    }
+
+    #[test]
+    fn not_free_input_is_unchanged() {
+        let e = Expr::and(vec![p("a", CompareOp::Eq, 1), p("b", CompareOp::Ne, 2)]);
+        assert_eq!(eliminate_not(&e), e);
+    }
+
+    #[test]
+    fn equivalence_under_total_assignments() {
+        // On total assignments (oracle defined for every predicate and
+        // consistent with complements), NNF must agree with the original.
+        let e = Expr::not(Expr::or(vec![
+            Expr::and(vec![p("a", CompareOp::Eq, 1), p("b", CompareOp::Lt, 2)]),
+            Expr::not(p("c", CompareOp::Ge, 3)),
+        ]));
+        let nnf = eliminate_not(&e);
+        // Enumerate assignments over base predicates by attr name.
+        for bits in 0..8u32 {
+            let assign = move |pred: &Predicate| -> bool {
+                let base = match pred.attr() {
+                    "a" => bits & 1 != 0,
+                    "b" => bits & 2 != 0,
+                    "c" => bits & 4 != 0,
+                    _ => unreachable!(),
+                };
+                // complemented operators flip the base truth
+                match pred.op() {
+                    CompareOp::Eq | CompareOp::Lt | CompareOp::Ge => base,
+                    CompareOp::Ne | CompareOp::Gt => !base,
+                    _ => unreachable!(),
+                }
+            };
+            // Careful: `c >= 3` is a base predicate here; its complement
+            // `c < 3` must read as negation. `Ge` is base for attr c but
+            // complement of `Lt` for attr b; track per-attribute.
+            let oracle = |pred: &Predicate| -> bool {
+                match (pred.attr(), pred.op()) {
+                    ("a", CompareOp::Eq) => bits & 1 != 0,
+                    ("a", CompareOp::Ne) => bits & 1 == 0,
+                    ("b", CompareOp::Lt) => bits & 2 != 0,
+                    ("b", CompareOp::Ge) => bits & 2 == 0,
+                    ("c", CompareOp::Ge) => bits & 4 != 0,
+                    ("c", CompareOp::Lt) => bits & 4 == 0,
+                    other => unreachable!("{other:?}"),
+                }
+            };
+            let _ = assign; // the per-attribute oracle above supersedes it
+            assert_eq!(
+                e.eval_with(&mut { oracle }),
+                nnf.eval_with(&mut { oracle }),
+                "assignment {bits:03b}"
+            );
+        }
+    }
+}

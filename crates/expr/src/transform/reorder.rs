@@ -1,0 +1,130 @@
+//! Subscription tree reordering — one of the paper's proposed
+//! optimisations (§3.2: "several optimisations could be applied to the
+//! process of subscription matching presented here (e.g. reordering
+//! subscription trees …); their impact remains to be investigated").
+//!
+//! The engines evaluate AND/OR nodes left to right with short-circuit,
+//! so child order matters: an `AND` wants its *cheapest-to-refute*
+//! child first, an `OR` its cheapest-to-confirm. Without per-predicate
+//! selectivity statistics the best static proxy is subtree size —
+//! smaller subtrees are cheaper to evaluate, and a single predicate
+//! refutes an `AND` (or confirms an `OR`) after one set lookup.
+//! [`reorder`] therefore sorts children of every n-ary node by
+//! ascending predicate count, stably (equal-cost children keep their
+//! authored order).
+//!
+//! The `ablation_reorder` bench quantifies the effect; the
+//! investigation the paper deferred.
+
+use crate::Expr;
+
+/// Reorders every `And`/`Or` node's children by ascending subtree
+/// size (see the module documentation). Logically equivalent — AND and
+/// OR are commutative — and idempotent.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{transform, Expr};
+///
+/// let e = Expr::parse("(a = 1 or b = 2 or c = 3) and d = 4")?;
+/// let r = transform::reorder(&e);
+/// // The single-predicate child now comes first.
+/// assert_eq!(r.to_string(), "d = 4 and (a = 1 or b = 2 or c = 3)");
+/// # Ok::<(), boolmatch_expr::ParseError>(())
+/// ```
+pub fn reorder(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Pred(p) => Expr::Pred(p.clone()),
+        Expr::And(cs) => Expr::And(sorted(cs)),
+        Expr::Or(cs) => Expr::Or(sorted(cs)),
+        Expr::Not(c) => Expr::Not(Box::new(reorder(c))),
+    }
+}
+
+fn sorted(children: &[Expr]) -> Vec<Expr> {
+    let mut out: Vec<Expr> = children.iter().map(reorder).collect();
+    out.sort_by_key(Expr::predicate_count);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompareOp, Predicate};
+
+    fn p(n: i64) -> Expr {
+        Expr::pred(Predicate::new("a", CompareOp::Eq, n))
+    }
+
+    #[test]
+    fn cheap_children_move_first() {
+        let e = Expr::And(vec![
+            Expr::Or(vec![p(1), p(2), p(3)]),
+            p(4),
+            Expr::Or(vec![p(5), p(6)]),
+        ]);
+        let r = reorder(&e);
+        match r {
+            Expr::And(cs) => {
+                let sizes: Vec<usize> = cs.iter().map(Expr::predicate_count).collect();
+                assert_eq!(sizes, vec![1, 2, 3]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reordering_is_stable_for_equal_costs() {
+        let e = Expr::Or(vec![p(1), p(2), p(3)]);
+        assert_eq!(reorder(&e), e, "equal-cost children keep authored order");
+    }
+
+    #[test]
+    fn reordering_is_recursive() {
+        let inner = Expr::Or(vec![Expr::And(vec![p(1), p(2)]), p(3)]);
+        let e = Expr::And(vec![inner, p(4)]);
+        let r = reorder(&e);
+        match &r {
+            Expr::And(cs) => match &cs[1] {
+                Expr::Or(inner) => {
+                    assert!(matches!(inner[0], Expr::Pred(_)), "inner Or reordered too");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let e = Expr::parse("(a = 1 or b = 2 or c = 3) and d = 4 and (e = 5 or f = 6)")
+            .unwrap();
+        let once = reorder(&e);
+        assert_eq!(reorder(&once), once);
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let e = Expr::parse("(a = 1 or (b = 2 and c = 3)) and not (d = 4 or e = 5)").unwrap();
+        let r = reorder(&e);
+        for bits in 0..32u32 {
+            let oracle = |pred: &Predicate| -> bool {
+                let idx = match pred.attr() {
+                    "a" => 0,
+                    "b" => 1,
+                    "c" => 2,
+                    "d" => 3,
+                    "e" => 4,
+                    _ => unreachable!(),
+                };
+                bits & (1 << idx) != 0
+            };
+            assert_eq!(
+                e.eval_with(&mut { oracle }),
+                r.eval_with(&mut { oracle }),
+                "bits {bits:05b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Flattening and simplification.
+
+use crate::Expr;
+
+/// Flattens nested same-operator nodes into n-ary form and unwraps
+/// single-child nodes — the "compacting subscription trees" step of
+/// paper §3.1, run by the non-canonical engine before encoding.
+///
+/// Unlike [`simplify`], `compact` never drops children, so the tree
+/// shape maps 1:1 onto the byte encoding.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{transform, Expr};
+///
+/// let e = Expr::parse("a = 1 and (b = 2 and (c = 3 and d = 4))")?;
+/// let c = transform::compact(&e);
+/// // One 4-ary AND instead of a chain of binary ANDs.
+/// assert_eq!(c.depth(), 2);
+/// assert_eq!(c.node_count(), 5);
+/// # Ok::<(), boolmatch_expr::ParseError>(())
+/// ```
+pub fn compact(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Pred(p) => Expr::Pred(p.clone()),
+        Expr::And(cs) => {
+            let mut flat = Vec::with_capacity(cs.len());
+            for c in cs {
+                match compact(c) {
+                    Expr::And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            Expr::and(flat)
+        }
+        Expr::Or(cs) => {
+            let mut flat = Vec::with_capacity(cs.len());
+            for c in cs {
+                match compact(c) {
+                    Expr::Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            Expr::or(flat)
+        }
+        Expr::Not(c) => Expr::not(compact(c)),
+    }
+}
+
+/// Simplifies an expression: flattening (as [`compact`]), plus removal
+/// of duplicate children of `And`/`Or` and collapse of double negation.
+///
+/// The result is logically equivalent; property tests verify this on
+/// random assignments.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_expr::{transform, Expr};
+///
+/// let e = Expr::parse("a = 1 or a = 1 or not not a = 1")?;
+/// assert_eq!(transform::simplify(&e).to_string(), "a = 1");
+/// # Ok::<(), boolmatch_expr::ParseError>(())
+/// ```
+pub fn simplify(expr: &Expr) -> Expr {
+    let compacted = compact(expr);
+    dedup(&compacted)
+}
+
+fn dedup(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Pred(p) => Expr::Pred(p.clone()),
+        Expr::And(cs) => rebuild(cs, true),
+        Expr::Or(cs) => rebuild(cs, false),
+        Expr::Not(c) => Expr::not(dedup(c)),
+    }
+}
+
+fn rebuild(children: &[Expr], is_and: bool) -> Expr {
+    let mut out: Vec<Expr> = Vec::with_capacity(children.len());
+    for c in children {
+        let d = dedup(c);
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    // Deduplication may have created a fresh single-child node; and/or
+    // constructors unwrap it. It may also have re-exposed nesting
+    // (e.g. `and(and(a,b))` -> `and(a,b)` unwrap), which stays flat
+    // because inputs were compacted first.
+    if is_and {
+        Expr::and(out)
+    } else {
+        Expr::or(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompareOp, Predicate};
+
+    fn p(n: i64) -> Expr {
+        Expr::pred(Predicate::new("a", CompareOp::Eq, n))
+    }
+
+    #[test]
+    fn compact_flattens_and_chains() {
+        let e = Expr::And(vec![
+            p(1),
+            Expr::And(vec![p(2), Expr::And(vec![p(3), p(4)])]),
+        ]);
+        let c = compact(&e);
+        assert_eq!(c, Expr::And(vec![p(1), p(2), p(3), p(4)]));
+    }
+
+    #[test]
+    fn compact_flattens_or_chains_but_not_across_ops() {
+        let e = Expr::Or(vec![p(1), Expr::And(vec![p(2), p(3)]), Expr::Or(vec![p(4), p(5)])]);
+        let c = compact(&e);
+        match c {
+            Expr::Or(cs) => {
+                assert_eq!(cs.len(), 4);
+                assert!(matches!(cs[1], Expr::And(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compact_preserves_semantics() {
+        let e = Expr::parse("(a = 1 and (a = 2 and a = 3)) or not (a = 4 or (a = 5 or a = 6))")
+            .unwrap();
+        let c = compact(&e);
+        for bits in 0..64u32 {
+            let oracle = |pred: &Predicate| -> bool {
+                let n = pred.value().as_int().unwrap() as u32;
+                bits & (1 << (n - 1)) != 0
+            };
+            assert_eq!(e.eval_with(&mut { oracle }), c.eval_with(&mut { oracle }));
+        }
+    }
+
+    #[test]
+    fn simplify_removes_duplicates() {
+        let e = Expr::Or(vec![p(1), p(1), p(2), p(1)]);
+        assert_eq!(simplify(&e), Expr::Or(vec![p(1), p(2)]));
+    }
+
+    #[test]
+    fn simplify_unwraps_to_single_child() {
+        let e = Expr::And(vec![p(1), p(1)]);
+        assert_eq!(simplify(&e), p(1));
+    }
+
+    #[test]
+    fn simplify_collapses_double_negation() {
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(p(1)))));
+        assert_eq!(simplify(&e), p(1));
+    }
+
+    #[test]
+    fn simplify_idempotent() {
+        let e = Expr::parse("not not (a = 1 or a = 1) and (b = 2 and b = 2)").unwrap();
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compact_keeps_not_boundaries() {
+        let e = Expr::Not(Box::new(Expr::And(vec![p(1), Expr::And(vec![p(2), p(3)])])));
+        let c = compact(&e);
+        match c {
+            Expr::Not(inner) => match *inner {
+                Expr::And(cs) => assert_eq!(cs.len(), 3),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

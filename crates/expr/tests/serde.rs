@@ -1,0 +1,52 @@
+//! Round-trip tests for the `serde` feature
+//! (`cargo test -p boolmatch-expr --features serde`).
+
+use boolmatch_expr::{CompareOp, Expr, Predicate};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn predicate_round_trips() {
+    for p in [
+        Predicate::new("a", CompareOp::Gt, 10_i64),
+        Predicate::new("s", CompareOp::Prefix, "ab"),
+        Predicate::new("x", CompareOp::Ne, 1.5),
+        Predicate::new("b", CompareOp::Eq, true),
+    ] {
+        assert_eq!(round_trip(&p), p);
+    }
+}
+
+#[test]
+fn expr_round_trips_structurally() {
+    let e = Expr::parse(
+        "(a > 10 or a <= 5 or b = 1) and not (c contains \"x\" or d = 5.5)",
+    )
+    .unwrap();
+    assert_eq!(round_trip(&e), e);
+}
+
+#[test]
+fn serialized_subscription_survives_reparse_equivalence() {
+    // A subscription can be shipped as JSON and re-registered: the
+    // deserialized expression evaluates identically.
+    let e = Expr::parse("(a = 1 or b = 2) and c = 3").unwrap();
+    let back = round_trip(&e);
+    for bits in 0..8u32 {
+        let oracle = |p: &Predicate| -> bool {
+            match p.attr() {
+                "a" => bits & 1 != 0,
+                "b" => bits & 2 != 0,
+                "c" => bits & 4 != 0,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(e.eval_with(&mut { oracle }), back.eval_with(&mut { oracle }));
+    }
+}

@@ -1,0 +1,198 @@
+//! Range iteration over the B+ tree.
+
+use std::ops::{Bound, RangeBounds};
+
+use super::node::Node;
+
+/// Iterator over the entries of a [`super::BPlusTree`] within a key
+/// range, in ascending key order. Produced by [`super::BPlusTree::range`]
+/// and [`super::BPlusTree::iter`].
+pub struct Range<'a, K, V> {
+    /// Path from the root to the current position. For internal nodes
+    /// the `usize` is the child index currently descended into; for the
+    /// leaf on top it is the next entry index to yield.
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    end: Bound<K>,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    pub(super) fn new<R: RangeBounds<K>>(root: &'a Node<K, V>, bounds: R) -> Self {
+        let end = match bounds.end_bound() {
+            Bound::Included(k) => Bound::Included(k.clone()),
+            Bound::Excluded(k) => Bound::Excluded(k.clone()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut iter = Range {
+            stack: Vec::new(),
+            end,
+        };
+        match bounds.start_bound() {
+            Bound::Unbounded => iter.descend_first(root),
+            Bound::Included(k) => iter.descend_to(root, k, true),
+            Bound::Excluded(k) => iter.descend_to(root, k, false),
+        }
+        iter
+    }
+
+    /// Pushes the path to the leftmost leaf of `node`.
+    fn descend_first(&mut self, mut node: &'a Node<K, V>) {
+        loop {
+            match node {
+                Node::Leaf { .. } => {
+                    self.stack.push((node, 0));
+                    return;
+                }
+                Node::Internal { children, .. } => {
+                    self.stack.push((node, 0));
+                    node = &children[0];
+                }
+            }
+        }
+    }
+
+    /// Pushes the path to the first entry `>= key` (or `> key` when
+    /// `inclusive` is false).
+    fn descend_to(&mut self, mut node: &'a Node<K, V>, key: &K, inclusive: bool) {
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => {
+                    let idx = if inclusive {
+                        keys.partition_point(|k| k < key)
+                    } else {
+                        keys.partition_point(|k| k <= key)
+                    };
+                    self.stack.push((node, idx));
+                    // If idx == keys.len(), `next` will pop and advance.
+                    return;
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|s| s <= key);
+                    self.stack.push((node, idx));
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    fn within_end(&self, key: &K) -> bool {
+        match &self.end {
+            Bound::Unbounded => true,
+            Bound::Included(e) => key <= e,
+            Bound::Excluded(e) => key < e,
+        }
+    }
+
+    /// Moves to the next leaf after the current one is exhausted.
+    fn advance_to_next_leaf(&mut self) {
+        // Pop the exhausted leaf.
+        self.stack.pop();
+        while let Some((node, idx)) = self.stack.pop() {
+            if let Node::Internal { children, .. } = node {
+                if idx + 1 < children.len() {
+                    self.stack.push((node, idx + 1));
+                    self.descend_first(&children[idx + 1]);
+                    return;
+                }
+                // else: this internal node is exhausted too; keep popping
+            }
+        }
+        // Stack empty: iteration complete.
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Copy the top of the stack so the `'a` borrows of the node
+            // are disentangled from the `&mut self` borrow.
+            let &(node, idx) = self.stack.last()?;
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if idx < keys.len() {
+                        let k = &keys[idx];
+                        if !self.within_end(k) {
+                            self.stack.clear();
+                            return None;
+                        }
+                        self.stack.last_mut().expect("non-empty stack").1 += 1;
+                        return Some((k, &vals[idx]));
+                    }
+                    self.advance_to_next_leaf();
+                }
+                Node::Internal { .. } => {
+                    unreachable!("stack top is always a leaf between next() calls")
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V> std::fmt::Debug for Range<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Range")
+            .field("depth", &self.stack.len())
+            .field("end", &self.end)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BPlusTree;
+    use std::ops::Bound;
+
+    #[test]
+    fn full_iteration_in_order() {
+        let t: BPlusTree<i64, i64> = (0..500).rev().map(|i| (i, -i)).collect();
+        let got: Vec<(i64, i64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(i64, i64)> = (0..500).map(|i| (i, -i)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn start_bound_between_keys() {
+        let t: BPlusTree<i64, ()> = (0..100).step_by(3).map(|i| (i, ())).collect();
+        // 50 is not a key; the first key >= 50 is 51
+        let got: Vec<i64> = t.range(50..60).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![51, 54, 57]);
+    }
+
+    #[test]
+    fn empty_tree_ranges() {
+        let t: BPlusTree<i64, ()> = BPlusTree::new();
+        assert_eq!(t.range(..).count(), 0);
+        assert_eq!(t.range(0..10).count(), 0);
+    }
+
+    #[test]
+    fn bounds_combinations() {
+        let t: BPlusTree<i64, ()> = (0..10).map(|i| (i, ())).collect();
+        let cases: Vec<((Bound<i64>, Bound<i64>), Vec<i64>)> = vec![
+            ((Bound::Included(3), Bound::Included(5)), vec![3, 4, 5]),
+            ((Bound::Excluded(3), Bound::Included(5)), vec![4, 5]),
+            ((Bound::Included(3), Bound::Excluded(5)), vec![3, 4]),
+            ((Bound::Excluded(3), Bound::Excluded(5)), vec![4]),
+            ((Bound::Unbounded, Bound::Excluded(2)), vec![0, 1]),
+            ((Bound::Included(8), Bound::Unbounded), vec![8, 9]),
+            ((Bound::Excluded(9), Bound::Unbounded), vec![]),
+        ];
+        for (bounds, want) in cases {
+            let got: Vec<i64> = t.range(bounds).map(|(k, _)| *k).collect();
+            assert_eq!(got, want, "bounds {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn iterator_stops_cleanly_at_end_bound_mid_leaf() {
+        let t: BPlusTree<i64, ()> = (0..1000).map(|i| (i, ())).collect();
+        let mut it = t.range(0..3);
+        assert!(it.next().is_some());
+        assert!(it.next().is_some());
+        assert!(it.next().is_some());
+        assert!(it.next().is_none());
+        // Fused after end.
+        assert!(it.next().is_none());
+    }
+}

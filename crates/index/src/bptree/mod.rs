@@ -1,0 +1,449 @@
+//! An in-memory B+ tree.
+//!
+//! This is the range-predicate index substrate of the paper (§3.2). It
+//! is a textbook B+ tree: all entries live in the leaves, internal nodes
+//! hold separator keys only, and every leaf is at the same depth.
+//! Deletion rebalances by borrowing from siblings or merging.
+//!
+//! The implementation is entirely safe Rust; leaves are not linked —
+//! range scans walk the tree with an explicit stack instead, which keeps
+//! ownership simple at an O(log n) cost per scan start.
+//!
+//! # Examples
+//!
+//! ```
+//! use boolmatch_index::BPlusTree;
+//!
+//! let mut t = BPlusTree::new();
+//! for i in 0..100 {
+//!     t.insert(i, i * 10);
+//! }
+//! assert_eq!(t.get(&42), Some(&420));
+//! let in_range: Vec<i32> = t.range(10..13).map(|(k, _)| *k).collect();
+//! assert_eq!(in_range, vec![10, 11, 12]);
+//! assert_eq!(t.remove(&42), Some(420));
+//! assert_eq!(t.len(), 99);
+//! ```
+
+mod iter;
+mod node;
+
+pub use iter::Range;
+
+use std::fmt;
+use std::ops::RangeBounds;
+
+use node::Node;
+
+/// Default maximum number of keys per node.
+pub const DEFAULT_ORDER: usize = 32;
+
+/// An ordered map implemented as a B+ tree; see the [module
+/// docs](self).
+#[derive(Clone)]
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+    order: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree whose nodes hold at most `order` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 4` (smaller orders cannot rebalance).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "B+ tree order must be at least 4");
+        BPlusTree {
+            root: Node::empty_leaf(),
+            len: 0,
+            order,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured maximum keys per node.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Height of the tree (1 for a lone leaf root).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Looks up the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.root.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.root.get_mut(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key was
+    /// already present (the tree then keeps its structure unchanged).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.root.insert(key, value, self.order) {
+            node::InsertResult::Replaced(old) => Some(old),
+            node::InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            node::InsertResult::Split(sep, right) => {
+                self.len += 1;
+                let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+                self.root = Node::new_root(sep, old_root, right);
+                None
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.root.remove(key, self.order);
+        if removed.is_some() {
+            self.len -= 1;
+            // Collapse a root that lost all separators.
+            if let Some(only_child) = self.root.take_single_child() {
+                self.root = only_child;
+            }
+        }
+        removed
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.root = Node::empty_leaf();
+        self.len = 0;
+    }
+
+    /// First entry in key order.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        self.iter().next()
+    }
+
+    /// Last entry in key order.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        self.root.last()
+    }
+
+    /// Iterates over all entries in key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// Iterates over the entries whose keys fall in `bounds`, in key
+    /// order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use boolmatch_index::BPlusTree;
+    /// let mut t = BPlusTree::new();
+    /// t.extend((0..10).map(|i| (i, ())));
+    /// let keys: Vec<i32> = t.range(3..=5).map(|(k, _)| *k).collect();
+    /// assert_eq!(keys, vec![3, 4, 5]);
+    /// ```
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Range<'_, K, V> {
+        Range::new(&self.root, bounds)
+    }
+
+    /// Counts `(internal, leaf)` nodes; used by memory accounting and
+    /// the invariant checker.
+    pub fn node_counts(&self) -> (usize, usize) {
+        self.root.node_counts()
+    }
+
+    /// Approximate heap bytes used by the tree, with caller-supplied
+    /// per-key/per-value extras (for heap-owning keys such as strings).
+    pub fn heap_bytes_with(
+        &self,
+        key_extra: impl Fn(&K) -> usize + Copy,
+        val_extra: impl Fn(&V) -> usize + Copy,
+    ) -> usize {
+        self.root.heap_bytes_with(key_extra, val_extra)
+    }
+
+    /// Validates the B+ tree invariants, panicking with a description on
+    /// the first violation. Used by tests; `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants(&self)
+    where
+        K: fmt::Debug,
+    {
+        let min = self.order / 2;
+        self.root.check(None, None, min, self.order, true);
+        let mut counted = 0usize;
+        let mut last: Option<K> = None;
+        for (k, _) in self.iter() {
+            if let Some(prev) = last.as_ref() {
+                assert!(prev < k, "iteration out of order: {prev:?} !< {k:?}");
+            }
+            last = Some(k.clone());
+            counted += 1;
+        }
+        assert_eq!(counted, self.len, "len() disagrees with iteration");
+    }
+}
+
+impl<K: Ord + Clone, V> Extend<(K, V)> for BPlusTree<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> FromIterator<(K, V)> for BPlusTree<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut t = BPlusTree::new();
+        t.extend(iter);
+        t
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for BPlusTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i64, ()> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.first(), None);
+        assert_eq!(t.last(), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_sequential() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..1000i64 {
+            assert_eq!(t.insert(i, i * 2), None);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000i64 {
+            assert_eq!(t.get(&i), Some(&(i * 2)), "key {i}");
+        }
+        assert_eq!(t.get(&1000), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_reverse_order() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..500i64).rev() {
+            t.insert(i, ());
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.first().unwrap().0, &0);
+        assert_eq!(t.last().unwrap().0, &499);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert("k", 1), None);
+        assert_eq!(t.insert("k", 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&"k"), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        t.insert(7, vec![1]);
+        t.get_mut(&7).unwrap().push(2);
+        assert_eq!(t.get(&7), Some(&vec![1, 2]));
+        assert_eq!(t.get_mut(&8), None);
+    }
+
+    #[test]
+    fn remove_everything_both_orders() {
+        for reverse in [false, true] {
+            let mut t = BPlusTree::with_order(4);
+            let n = 500i64;
+            for i in 0..n {
+                t.insert(i, i);
+            }
+            let keys: Vec<i64> = if reverse {
+                (0..n).rev().collect()
+            } else {
+                (0..n).collect()
+            };
+            for (removed, k) in keys.iter().enumerate() {
+                assert_eq!(t.remove(k), Some(*k), "removing {k}");
+                assert_eq!(t.len(), n as usize - removed - 1);
+                if removed % 37 == 0 {
+                    t.check_invariants();
+                }
+            }
+            assert!(t.is_empty());
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = BPlusTree::new();
+        t.insert(1, ());
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn range_queries() {
+        let t: BPlusTree<i64, i64> = (0..100).map(|i| (i, i)).collect();
+        let got: Vec<i64> = t.range(10..20).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        let got: Vec<i64> = t.range(..5).map(|(k, _)| *k).collect();
+        assert_eq!(got, (0..5).collect::<Vec<_>>());
+        let got: Vec<i64> = t.range(95..).map(|(k, _)| *k).collect();
+        assert_eq!(got, (95..100).collect::<Vec<_>>());
+        let got: Vec<i64> = t.range(20..=22).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 21, 22]);
+        assert_eq!(t.range(50..50).count(), 0);
+        assert_eq!(t.range(200..).count(), 0);
+    }
+
+    #[test]
+    fn range_with_excluded_start() {
+        use std::ops::Bound;
+        let t: BPlusTree<i64, ()> = (0..10).map(|i| (i, ())).collect();
+        let got: Vec<i64> = t
+            .range((Bound::Excluded(3), Bound::Unbounded))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, (4..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_on_sparse_keys() {
+        let t: BPlusTree<i64, ()> = (0..1000).step_by(10).map(|i| (i, ())).collect();
+        let got: Vec<i64> = t.range(15..55).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stays_consistent() {
+        let mut t = BPlusTree::with_order(6);
+        // insert evens, remove multiples of 4, insert odds
+        for i in (0..400i64).step_by(2) {
+            t.insert(i, i);
+        }
+        for i in (0..400i64).step_by(4) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        for i in (1..400i64).step_by(2) {
+            t.insert(i, i);
+        }
+        t.check_invariants();
+        // contents: odds + evens not divisible by 4
+        let expect: Vec<i64> = (0..400i64)
+            .filter(|i| i % 2 == 1 || (i % 2 == 0 && i % 4 != 0))
+            .collect();
+        let got: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t: BPlusTree<i64, ()> = (0..100).map(|i| (i, ())).collect();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(1, ());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BPlusTree::with_order(4);
+        assert_eq!(t.height(), 1);
+        for i in 0..1000i64 {
+            t.insert(i, ());
+        }
+        let h = t.height();
+        assert!(h >= 4, "height {h} too small for 1000 keys at order 4");
+        assert!(h <= 12, "height {h} too large for 1000 keys at order 4");
+    }
+
+    #[test]
+    fn node_counts_are_plausible() {
+        let t: BPlusTree<i64, ()> = (0..1000).map(|i| (i, ())).collect();
+        let (internal, leaf) = t.node_counts();
+        assert!(leaf >= 1000 / DEFAULT_ORDER);
+        assert!(internal >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 4")]
+    fn tiny_order_rejected() {
+        let _: BPlusTree<i64, ()> = BPlusTree::with_order(3);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = BPlusTree::new();
+        for w in ["pear", "apple", "plum", "fig", "quince"] {
+            t.insert(w.to_owned(), w.len());
+        }
+        let got: Vec<&str> = t.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(got, vec!["apple", "fig", "pear", "plum", "quince"]);
+        let p_range: Vec<&str> = t
+            .range("p".to_owned().."q".to_owned())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(p_range, vec!["pear", "plum"]);
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_content() {
+        let small: BPlusTree<i64, ()> = (0..10).map(|i| (i, ())).collect();
+        let large: BPlusTree<i64, ()> = (0..10_000).map(|i| (i, ())).collect();
+        let s = small.heap_bytes_with(|_| 0, |_| 0);
+        let l = large.heap_bytes_with(|_| 0, |_| 0);
+        assert!(l > s * 100, "large {l} vs small {s}");
+    }
+}

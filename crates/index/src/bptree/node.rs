@@ -1,0 +1,415 @@
+//! B+ tree nodes: search, insertion with splitting, deletion with
+//! rebalancing.
+//!
+//! Invariants (checked by [`Node::check`]):
+//!
+//! * An internal node with separators `s_0 .. s_{m-1}` has `m + 1`
+//!   children; every key in child `i` satisfies
+//!   `s_{i-1} <= k < s_i` (with the missing bounds unbounded).
+//! * All entries live in leaves; separators may be *stale copies* of
+//!   deleted keys, which keeps deletion simple and does not affect
+//!   search correctness.
+//! * Every node except the root holds at least `order / 2` keys; the
+//!   root holds at least 1 (or 0 for an empty tree).
+//! * All leaves are at the same depth.
+
+use std::fmt;
+
+#[derive(Clone)]
+pub(super) enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+pub(super) enum InsertResult<K, V> {
+    /// Key existed; old value returned, structure unchanged.
+    Replaced(V),
+    /// New key inserted, no overflow.
+    Inserted,
+    /// New key inserted and this node split: (separator, right sibling).
+    Split(K, Node<K, V>),
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    pub(super) fn empty_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    pub(super) fn new_root(sep: K, left: Node<K, V>, right: Node<K, V>) -> Self {
+        Node::Internal {
+            keys: vec![sep],
+            children: vec![left, right],
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } | Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Index of the child a key belongs to: number of separators `<= key`.
+    fn child_index(keys: &[K], key: &K) -> usize {
+        keys.partition_point(|s| s <= key)
+    }
+
+    pub(super) fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].height(),
+        }
+    }
+
+    pub(super) fn get(&self, key: &K) -> Option<&V> {
+        match self {
+            Node::Leaf { keys, vals } => keys
+                .binary_search(key)
+                .ok()
+                .map(|i| &vals[i]),
+            Node::Internal { keys, children } => {
+                children[Self::child_index(keys, key)].get(key)
+            }
+        }
+    }
+
+    pub(super) fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self {
+            Node::Leaf { keys, vals } => keys
+                .binary_search(key)
+                .ok()
+                .map(|i| &mut vals[i]),
+            Node::Internal { keys, children } => {
+                let idx = Self::child_index(keys, key);
+                children[idx].get_mut(key)
+            }
+        }
+    }
+
+    pub(super) fn last(&self) -> Option<(&K, &V)> {
+        match self {
+            Node::Leaf { keys, vals } => keys.last().map(|k| (k, vals.last().unwrap())),
+            Node::Internal { children, .. } => children.last().unwrap().last(),
+        }
+    }
+
+    pub(super) fn insert(&mut self, key: K, value: V, order: usize) -> InsertResult<K, V> {
+        match self {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => InsertResult::Replaced(std::mem::replace(&mut vals[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    if keys.len() > order {
+                        let (sep, right) = Self::split_leaf(keys, vals);
+                        InsertResult::Split(sep, right)
+                    } else {
+                        InsertResult::Inserted
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = Self::child_index(keys, &key);
+                match children[idx].insert(key, value, order) {
+                    InsertResult::Split(sep, right) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > order {
+                            let (sep, right) = Self::split_internal(keys, children);
+                            InsertResult::Split(sep, right)
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(keys: &mut Vec<K>, vals: &mut Vec<V>) -> (K, Node<K, V>) {
+        let mid = keys.len() / 2;
+        let right_keys: Vec<K> = keys.split_off(mid);
+        let right_vals: Vec<V> = vals.split_off(mid);
+        let sep = right_keys[0].clone();
+        (
+            sep,
+            Node::Leaf {
+                keys: right_keys,
+                vals: right_vals,
+            },
+        )
+    }
+
+    fn split_internal(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>) -> (K, Node<K, V>) {
+        let mid = keys.len() / 2;
+        // keys[mid] moves up; right sibling takes keys[mid+1..] and
+        // children[mid+1..].
+        let right_keys: Vec<K> = keys.split_off(mid + 1);
+        let sep = keys.pop().expect("mid key exists");
+        let right_children: Vec<Node<K, V>> = children.split_off(mid + 1);
+        (
+            sep,
+            Node::Internal {
+                keys: right_keys,
+                children: right_children,
+            },
+        )
+    }
+
+    pub(super) fn remove(&mut self, key: &K, order: usize) -> Option<V> {
+        match self {
+            Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = Self::child_index(keys, key);
+                let removed = children[idx].remove(key, order)?;
+                let min = order / 2;
+                if children[idx].key_count() < min {
+                    Self::fix_underflow(keys, children, idx, min);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Restores the minimum-occupancy invariant of `children[idx]` by
+    /// borrowing from a sibling or merging with one.
+    fn fix_underflow(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize, min: usize) {
+        // Try to borrow from the left sibling.
+        if idx > 0 && children[idx - 1].key_count() > min {
+            let (left, rest) = children.split_at_mut(idx);
+            let left = &mut left[idx - 1];
+            let child = &mut rest[0];
+            match (left, child) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: ck, vals: cv },
+                ) => {
+                    let k = lk.pop().unwrap();
+                    let v = lv.pop().unwrap();
+                    keys[idx - 1] = k.clone();
+                    ck.insert(0, k);
+                    cv.insert(0, v);
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    // Rotate through the parent separator.
+                    let sep = std::mem::replace(&mut keys[idx - 1], lk.pop().unwrap());
+                    ck.insert(0, sep);
+                    cc.insert(0, lc.pop().unwrap());
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+
+        // Try to borrow from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].key_count() > min {
+            let (left, rest) = children.split_at_mut(idx + 1);
+            let child = &mut left[idx];
+            let right = &mut rest[0];
+            match (child, right) {
+                (
+                    Node::Leaf { keys: ck, vals: cv },
+                    Node::Leaf { keys: rk, vals: rv },
+                ) => {
+                    let k = rk.remove(0);
+                    let v = rv.remove(0);
+                    ck.push(k);
+                    cv.push(v);
+                    keys[idx] = rk[0].clone();
+                }
+                (
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
+                    ck.push(sep);
+                    cc.push(rc.remove(0));
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+
+        // Merge with a sibling. Prefer merging into the left one.
+        let (merge_left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let sep = keys.remove(sep_idx);
+        let right = children.remove(merge_left_idx + 1);
+        let left = &mut children[merge_left_idx];
+        match (left, right) {
+            (
+                Node::Leaf { keys: lk, vals: lv },
+                Node::Leaf {
+                    keys: mut rk,
+                    vals: mut rv,
+                },
+            ) => {
+                lk.append(&mut rk);
+                lv.append(&mut rv);
+                // Separator between two leaves is dropped: all entries
+                // live in the leaves.
+                drop(sep);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.append(&mut rk);
+                lc.append(&mut rc);
+            }
+            _ => unreachable!("siblings are at the same depth"),
+        }
+    }
+
+    /// When the root is an internal node left with a single child (all
+    /// separators merged away), that child becomes the new root.
+    pub(super) fn take_single_child(&mut self) -> Option<Node<K, V>> {
+        match self {
+            Node::Internal { keys, children } if keys.is_empty() => {
+                debug_assert_eq!(children.len(), 1);
+                Some(children.pop().unwrap())
+            }
+            _ => None,
+        }
+    }
+
+    pub(super) fn node_counts(&self) -> (usize, usize) {
+        match self {
+            Node::Leaf { .. } => (0, 1),
+            Node::Internal { children, .. } => {
+                let mut internal = 1;
+                let mut leaf = 0;
+                for c in children {
+                    let (i, l) = c.node_counts();
+                    internal += i;
+                    leaf += l;
+                }
+                (internal, leaf)
+            }
+        }
+    }
+
+    pub(super) fn heap_bytes_with(
+        &self,
+        key_extra: impl Fn(&K) -> usize + Copy,
+        val_extra: impl Fn(&V) -> usize + Copy,
+    ) -> usize {
+        match self {
+            Node::Leaf { keys, vals } => {
+                keys.capacity() * std::mem::size_of::<K>()
+                    + vals.capacity() * std::mem::size_of::<V>()
+                    + keys.iter().map(key_extra).sum::<usize>()
+                    + vals.iter().map(val_extra).sum::<usize>()
+            }
+            Node::Internal { keys, children } => {
+                keys.capacity() * std::mem::size_of::<K>()
+                    + children.capacity() * std::mem::size_of::<Node<K, V>>()
+                    + keys.iter().map(key_extra).sum::<usize>()
+                    + children
+                        .iter()
+                        .map(|c| c.heap_bytes_with(key_extra, val_extra))
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Recursive invariant check; see the module docs for the invariant
+    /// list. Returns the leaf depth of this subtree.
+    pub(super) fn check(
+        &self,
+        lower: Option<&K>,
+        upper: Option<&K>,
+        min: usize,
+        order: usize,
+        is_root: bool,
+    ) -> usize
+    where
+        K: fmt::Debug,
+    {
+        match self {
+            Node::Leaf { keys, vals } => {
+                assert_eq!(keys.len(), vals.len(), "leaf keys/vals length mismatch");
+                assert!(keys.len() <= order, "leaf overfull: {}", keys.len());
+                if !is_root {
+                    assert!(
+                        keys.len() >= min,
+                        "leaf underfull: {} < {min}",
+                        keys.len()
+                    );
+                }
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "leaf keys unsorted: {:?} {:?}", w[0], w[1]);
+                }
+                if let (Some(lo), Some(first)) = (lower, keys.first()) {
+                    assert!(lo <= first, "leaf key below lower bound");
+                }
+                if let (Some(hi), Some(last)) = (upper, keys.last()) {
+                    assert!(last < hi, "leaf key at/above upper bound");
+                }
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert!(!keys.is_empty() || is_root, "internal node without keys");
+                assert_eq!(
+                    children.len(),
+                    keys.len() + 1,
+                    "internal children/keys mismatch"
+                );
+                assert!(keys.len() <= order, "internal overfull");
+                if !is_root {
+                    assert!(keys.len() >= min, "internal underfull");
+                }
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "separators unsorted");
+                }
+                let mut depth = None;
+                for (i, c) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
+                    let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                    let d = c.check(lo, hi, min, order, false);
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) => assert_eq!(prev, d, "leaves at differing depths"),
+                    }
+                }
+                depth.unwrap() + 1
+            }
+        }
+    }
+}

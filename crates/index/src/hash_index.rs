@@ -1,0 +1,162 @@
+//! Hash multimap from values to postings.
+
+use std::collections::HashMap;
+
+use boolmatch_types::Value;
+
+/// The point-predicate index of the paper (§3.2): a hash multimap from
+/// a predicate constant to the postings registered under it (predicate
+/// ids, in the engines).
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_index::HashIndex;
+/// use boolmatch_types::Value;
+///
+/// let mut idx: HashIndex<u32> = HashIndex::new();
+/// idx.insert(Value::from(10_i64), 1);
+/// idx.insert(Value::from(10_i64), 2);
+/// idx.insert(Value::from(20_i64), 3);
+/// assert_eq!(idx.get(&Value::from(10_i64)), &[1, 2]);
+/// assert!(idx.remove(&Value::from(10_i64), &1));
+/// assert_eq!(idx.get(&Value::from(10_i64)), &[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashIndex<T> {
+    map: HashMap<Value, Vec<T>>,
+    postings: usize,
+}
+
+impl<T> Default for HashIndex<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HashIndex<T> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        HashIndex {
+            map: HashMap::new(),
+            postings: 0,
+        }
+    }
+
+    /// Adds a posting under `key`. Duplicates are allowed; the engines
+    /// never insert the same posting twice for one key.
+    pub fn insert(&mut self, key: Value, posting: T) {
+        self.map.entry(key).or_default().push(posting);
+        self.postings += 1;
+    }
+}
+
+impl<T: PartialEq> HashIndex<T> {
+    /// Removes one occurrence of `posting` under `key`; returns whether
+    /// it was found. Empty posting lists are dropped entirely.
+    pub fn remove(&mut self, key: &Value, posting: &T) -> bool {
+        let Some(list) = self.map.get_mut(key) else {
+            return false;
+        };
+        let Some(pos) = list.iter().position(|p| p == posting) else {
+            return false;
+        };
+        list.swap_remove(pos);
+        self.postings -= 1;
+        if list.is_empty() {
+            self.map.remove(key);
+        }
+        true
+    }
+
+    /// The postings under `key` (empty slice when absent).
+    pub fn get(&self, key: &Value) -> &[T] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+
+    /// Whether the index holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.postings == 0
+    }
+
+    /// Iterates over `(key, postings)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &[T])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Approximate heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        let entries: usize = self
+            .map
+            .iter()
+            .map(|(k, v)| k.heap_bytes() + v.capacity() * std::mem::size_of::<T>())
+            .sum();
+        entries
+            + self.map.capacity()
+                * (std::mem::size_of::<Value>() + std::mem::size_of::<Vec<T>>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx: HashIndex<u32> = HashIndex::new();
+        idx.insert(Value::from("a"), 1);
+        idx.insert(Value::from("a"), 2);
+        assert_eq!(idx.get(&Value::from("a")), &[1, 2]);
+        assert_eq!(idx.get(&Value::from("b")), &[] as &[u32]);
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.posting_count(), 2);
+    }
+
+    #[test]
+    fn strict_typing_of_keys() {
+        let mut idx: HashIndex<u32> = HashIndex::new();
+        idx.insert(Value::from(1_i64), 1);
+        // A float 1.0 is a different key than int 1.
+        assert!(idx.get(&Value::from(1.0)).is_empty());
+        assert_eq!(idx.get(&Value::from(1_i64)), &[1]);
+    }
+
+    #[test]
+    fn remove_prunes_empty_lists() {
+        let mut idx: HashIndex<u32> = HashIndex::new();
+        idx.insert(Value::from(5_i64), 9);
+        assert!(idx.remove(&Value::from(5_i64), &9));
+        assert_eq!(idx.key_count(), 0);
+        assert!(idx.is_empty());
+        assert!(!idx.remove(&Value::from(5_i64), &9));
+    }
+
+    #[test]
+    fn remove_missing_posting() {
+        let mut idx: HashIndex<u32> = HashIndex::new();
+        idx.insert(Value::from(5_i64), 9);
+        assert!(!idx.remove(&Value::from(5_i64), &8));
+        assert_eq!(idx.posting_count(), 1);
+    }
+
+    #[test]
+    fn iter_covers_all_keys() {
+        let mut idx: HashIndex<u32> = HashIndex::new();
+        for i in 0..10i64 {
+            idx.insert(Value::from(i), i as u32);
+        }
+        assert_eq!(idx.iter().count(), 10);
+        let total: usize = idx.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, 10);
+    }
+}

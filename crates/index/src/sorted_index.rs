@@ -1,0 +1,184 @@
+//! Sorted-vector range index, the ablation alternative to the B+ tree.
+
+use std::ops::{Bound, RangeBounds};
+
+use boolmatch_types::Value;
+
+/// A range index over [`Value`] keys backed by a single sorted vector.
+///
+/// Lookup and range scans are `O(log n)` to locate plus `O(k)` to
+/// iterate — the same asymptotics as the B+ tree with better constants
+/// and locality — but insertion and removal are `O(n)`. The
+/// `ablation_index` benchmark quantifies this trade-off; the engines use
+/// the B+ tree because subscription churn makes `O(n)` maintenance
+/// unacceptable at paper scale.
+///
+/// Duplicate keys are allowed (one entry per posting).
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_index::SortedIndex;
+/// use boolmatch_types::Value;
+///
+/// let mut idx: SortedIndex<u32> = SortedIndex::new();
+/// idx.insert(Value::from(10_i64), 1);
+/// idx.insert(Value::from(20_i64), 2);
+/// idx.insert(Value::from(10_i64), 3);
+/// let hits: Vec<u32> = idx
+///     .range(&(Value::from(5_i64)..Value::from(15_i64)))
+///     .map(|(_, p)| *p)
+///     .collect();
+/// assert_eq!(hits, vec![1, 3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SortedIndex<T> {
+    /// Sorted by key; equal keys keep insertion order.
+    entries: Vec<(Value, T)>,
+}
+
+impl<T: PartialEq> SortedIndex<T> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        SortedIndex {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds the index from unsorted pairs in `O(n log n)`.
+    pub fn from_pairs(mut pairs: Vec<(Value, T)>) -> Self {
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        SortedIndex { entries: pairs }
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a posting in `O(n)` (shifting the tail).
+    pub fn insert(&mut self, key: Value, posting: T) {
+        let idx = self.entries.partition_point(|(k, _)| *k <= key);
+        self.entries.insert(idx, (key, posting));
+    }
+
+    /// Removes one `(key, posting)` pair in `O(n)`; returns whether it
+    /// was present.
+    pub fn remove(&mut self, key: &Value, posting: &T) -> bool {
+        let start = self.entries.partition_point(|(k, _)| k < key);
+        let mut i = start;
+        while i < self.entries.len() && self.entries[i].0 == *key {
+            if self.entries[i].1 == *posting {
+                self.entries.remove(i);
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Iterates over postings whose keys fall within `bounds`, in key
+    /// order.
+    pub fn range<'a, R: RangeBounds<Value>>(
+        &'a self,
+        bounds: &R,
+    ) -> impl Iterator<Item = (&'a Value, &'a T)> + 'a {
+        let start = match bounds.start_bound() {
+            Bound::Unbounded => 0,
+            Bound::Included(k) => self.entries.partition_point(|(e, _)| e < k),
+            Bound::Excluded(k) => self.entries.partition_point(|(e, _)| e <= k),
+        };
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => self.entries.len(),
+            Bound::Included(k) => self.entries.partition_point(|(e, _)| e <= k),
+            Bound::Excluded(k) => self.entries.partition_point(|(e, _)| e < k),
+        };
+        self.entries[start..end.max(start)].iter().map(|(k, v)| (k, v))
+    }
+
+    /// Approximate heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(Value, T)>()
+            + self.entries.iter().map(|(k, _)| k.heap_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::from(i)
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut idx: SortedIndex<u32> = SortedIndex::new();
+        for (i, key) in [5i64, 1, 3, 2, 4].into_iter().enumerate() {
+            idx.insert(v(key), i as u32);
+        }
+        let keys: Vec<i64> = idx
+            .range(&(..))
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_pairs_matches_incremental() {
+        let pairs: Vec<(Value, u32)> = (0..50).rev().map(|i| (v(i), i as u32)).collect();
+        let bulk = SortedIndex::from_pairs(pairs.clone());
+        let mut inc = SortedIndex::new();
+        for (k, p) in pairs {
+            inc.insert(k, p);
+        }
+        let a: Vec<u32> = bulk.range(&(..)).map(|(_, p)| *p).collect();
+        let b: Vec<u32> = inc.range(&(..)).map(|(_, p)| *p).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let idx = SortedIndex::from_pairs((0..10).map(|i| (v(i), i as u32)).collect());
+        let got: Vec<u32> = idx.range(&(v(3)..v(6))).map(|(_, p)| *p).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        let got: Vec<u32> = idx.range(&(v(3)..=v(6))).map(|(_, p)| *p).collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+        let got: Vec<u32> = idx.range(&(..v(2))).map(|(_, p)| *p).collect();
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(idx.range(&(v(100)..)).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let mut idx: SortedIndex<u32> = SortedIndex::new();
+        idx.insert(v(1), 10);
+        idx.insert(v(1), 11);
+        idx.insert(v(1), 12);
+        let got: Vec<u32> = idx.range(&(v(1)..=v(1))).map(|(_, p)| *p).collect();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn remove_specific_posting() {
+        let mut idx: SortedIndex<u32> = SortedIndex::new();
+        idx.insert(v(1), 10);
+        idx.insert(v(1), 11);
+        assert!(idx.remove(&v(1), &10));
+        assert!(!idx.remove(&v(1), &10));
+        let got: Vec<u32> = idx.range(&(..)).map(|(_, p)| *p).collect();
+        assert_eq!(got, vec![11]);
+    }
+
+    #[test]
+    fn empty_range_on_empty_index() {
+        let idx: SortedIndex<u32> = SortedIndex::new();
+        assert_eq!(idx.range(&(..)).count(), 0);
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the data model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ValueKind;
+
+/// An attribute was used with a value of the wrong kind.
+///
+/// Produced by [`crate::Schema`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeMismatch {
+    /// The attribute involved.
+    pub attribute: String,
+    /// The kind the schema declares.
+    pub expected: ValueKind,
+    /// The kind that was actually supplied.
+    pub found: ValueKind,
+}
+
+impl fmt::Display for TypeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attribute `{}` expects {} values but {} was supplied",
+            self.attribute, self.expected, self.found
+        )
+    }
+}
+
+impl Error for TypeMismatch {}
+
+/// Errors raised while building or applying a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The same attribute was declared twice with different kinds.
+    ConflictingDeclaration {
+        /// The attribute declared twice.
+        attribute: String,
+        /// Kind of the first declaration.
+        first: ValueKind,
+        /// Kind of the conflicting declaration.
+        second: ValueKind,
+    },
+    /// An event or predicate used an attribute the schema does not know
+    /// (only raised by strict validation).
+    UnknownAttribute {
+        /// The offending attribute.
+        attribute: String,
+    },
+    /// An attribute carried a value of the wrong kind.
+    Mismatch(TypeMismatch),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::ConflictingDeclaration {
+                attribute,
+                first,
+                second,
+            } => write!(
+                f,
+                "attribute `{attribute}` declared as both {first} and {second}"
+            ),
+            SchemaError::UnknownAttribute { attribute } => {
+                write!(f, "attribute `{attribute}` is not declared in the schema")
+            }
+            SchemaError::Mismatch(m) => m.fmt(f),
+        }
+    }
+}
+
+impl Error for SchemaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchemaError::Mismatch(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeMismatch> for SchemaError {
+    fn from(m: TypeMismatch) -> Self {
+        SchemaError::Mismatch(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let m = TypeMismatch {
+            attribute: "price".into(),
+            expected: ValueKind::Float,
+            found: ValueKind::Str,
+        };
+        assert_eq!(
+            m.to_string(),
+            "attribute `price` expects float values but str was supplied"
+        );
+
+        let e = SchemaError::UnknownAttribute {
+            attribute: "x".into(),
+        };
+        assert!(e.to_string().contains("not declared"));
+    }
+
+    #[test]
+    fn schema_error_source_chain() {
+        let m = TypeMismatch {
+            attribute: "a".into(),
+            expected: ValueKind::Int,
+            found: ValueKind::Bool,
+        };
+        let e: SchemaError = m.clone().into();
+        assert!(e.source().is_some());
+        assert_eq!(
+            e.source().unwrap().to_string(),
+            SchemaError::Mismatch(m).to_string()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Typed values, attributes and events for the `boolmatch` toolkit.
+//!
+//! This crate is the bottom layer of the `boolmatch` workspace, the Rust
+//! reproduction of *"On the Benefits of Non-Canonical Filtering in
+//! Publish/Subscribe Systems"* (Bittner & Hinze, ICDCSW 2005). It defines
+//! the data model every other crate builds on:
+//!
+//! * [`Value`] — a dynamically typed, totally ordered, hashable attribute
+//!   value (integer, float, string or boolean),
+//! * [`Event`] — an immutable set of named attribute values, published by
+//!   producers and filtered against subscriptions,
+//! * [`EventBuilder`] — ergonomic construction of events,
+//! * [`AttrId`] / [`AttrInterner`] — compact interned attribute names used
+//!   by the matching engines,
+//! * [`Schema`] — optional attribute typing and validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use boolmatch_types::{Event, Value};
+//!
+//! let event = Event::builder()
+//!     .attr("symbol", "IBM")
+//!     .attr("price", 84.25)
+//!     .attr("volume", 1200_i64)
+//!     .build();
+//!
+//! assert_eq!(event.get("symbol"), Some(&Value::from("IBM")));
+//! assert_eq!(event.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod attr;
+mod error;
+mod event;
+mod schema;
+mod value;
+
+pub use attr::{AttrId, AttrInterner};
+pub use error::{SchemaError, TypeMismatch};
+pub use event::{Event, EventBuilder};
+pub use schema::{Schema, SchemaBuilder};
+pub use value::{Value, ValueKind};

@@ -1,0 +1,219 @@
+//! Optional attribute typing.
+
+use std::collections::HashMap;
+
+use crate::{Event, SchemaError, TypeMismatch, ValueKind};
+
+/// Declares the kind of each attribute and validates events against it.
+///
+/// Schemas are optional: the engines work fine without one because
+/// [`crate::Value`] is strictly typed (a predicate on an `int` attribute
+/// simply never matches a `str` value). A schema catches such mistakes at
+/// the boundary instead of silently never matching.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_types::{Event, Schema, ValueKind};
+///
+/// let schema = Schema::builder()
+///     .attr("price", ValueKind::Float)
+///     .attr("symbol", ValueKind::Str)
+///     .build()?;
+///
+/// let ok = Event::builder().attr("price", 10.0).build();
+/// assert!(schema.validate_event(&ok).is_ok());
+///
+/// let bad = Event::builder().attr("price", "ten").build();
+/// assert!(schema.validate_event(&bad).is_err());
+/// # Ok::<(), boolmatch_types::SchemaError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    kinds: HashMap<String, ValueKind>,
+    strict: bool,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// The declared kind of `attribute`, if any.
+    pub fn kind_of(&self, attribute: &str) -> Option<ValueKind> {
+        self.kinds.get(attribute).copied()
+    }
+
+    /// Number of declared attributes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether no attributes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether undeclared attributes are rejected.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Checks one attribute/kind pair against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Mismatch`] when the kinds disagree, and
+    /// [`SchemaError::UnknownAttribute`] for undeclared attributes when
+    /// the schema is strict.
+    pub fn check(&self, attribute: &str, found: ValueKind) -> Result<(), SchemaError> {
+        match self.kinds.get(attribute) {
+            Some(&expected) if expected != found => Err(TypeMismatch {
+                attribute: attribute.to_owned(),
+                expected,
+                found,
+            }
+            .into()),
+            Some(_) => Ok(()),
+            None if self.strict => Err(SchemaError::UnknownAttribute {
+                attribute: attribute.to_owned(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Validates every attribute of `event`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing attribute's error; see [`Schema::check`].
+    pub fn validate_event(&self, event: &Event) -> Result<(), SchemaError> {
+        for (name, value) in event.iter() {
+            self.check(name, value.kind())?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default, Clone)]
+pub struct SchemaBuilder {
+    decls: Vec<(String, ValueKind)>,
+    strict: bool,
+}
+
+impl SchemaBuilder {
+    /// Declares `attribute` to carry values of `kind`.
+    #[must_use]
+    pub fn attr(mut self, attribute: &str, kind: ValueKind) -> Self {
+        self.decls.push((attribute.to_owned(), kind));
+        self
+    }
+
+    /// Makes the schema reject attributes that were never declared.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Finishes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::ConflictingDeclaration`] when an attribute
+    /// is declared twice with different kinds.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let mut kinds = HashMap::with_capacity(self.decls.len());
+        for (name, kind) in self.decls {
+            if let Some(&prev) = kinds.get(&name) {
+                if prev != kind {
+                    return Err(SchemaError::ConflictingDeclaration {
+                        attribute: name,
+                        first: prev,
+                        second: kind,
+                    });
+                }
+            }
+            kinds.insert(name, kind);
+        }
+        Ok(Schema {
+            kinds,
+            strict: self.strict,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("price", ValueKind::Float)
+            .attr("volume", ValueKind::Int)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_events() {
+        let e = Event::builder().attr("price", 1.0).attr("volume", 2_i64).build();
+        assert!(schema().validate_event(&e).is_ok());
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let e = Event::builder().attr("volume", 2.0).build();
+        let err = schema().validate_event(&e).unwrap_err();
+        assert!(matches!(err, SchemaError::Mismatch(_)));
+    }
+
+    #[test]
+    fn lenient_allows_unknown_attributes() {
+        let e = Event::builder().attr("other", true).build();
+        assert!(schema().validate_event(&e).is_ok());
+    }
+
+    #[test]
+    fn strict_rejects_unknown_attributes() {
+        let s = Schema::builder()
+            .attr("price", ValueKind::Float)
+            .strict()
+            .build()
+            .unwrap();
+        let e = Event::builder().attr("other", true).build();
+        assert!(matches!(
+            s.validate_event(&e),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_declarations_are_fine() {
+        let s = Schema::builder()
+            .attr("a", ValueKind::Int)
+            .attr("a", ValueKind::Int)
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_declarations_error() {
+        let err = Schema::builder()
+            .attr("a", ValueKind::Int)
+            .attr("a", ValueKind::Str)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::ConflictingDeclaration { .. }));
+    }
+
+    #[test]
+    fn kind_of_lookup() {
+        assert_eq!(schema().kind_of("price"), Some(ValueKind::Float));
+        assert_eq!(schema().kind_of("nope"), None);
+    }
+}

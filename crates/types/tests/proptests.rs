@@ -1,0 +1,96 @@
+//! Property-based tests for the value model: the total order and the
+//! `Eq`/`Hash` consistency that the index structures depend on.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use boolmatch_types::{Event, Value, ValueKind};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<f64>().prop_map(Value::from),
+        "[a-z]{0,8}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn reflexive_even_for_nan(x in any::<f64>()) {
+        let v = Value::from(x);
+        prop_assert_eq!(&v, &v.clone());
+        prop_assert_eq!(v.cmp(&v.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn coercion_round_trips_when_it_succeeds(v in arb_value()) {
+        for kind in [ValueKind::Bool, ValueKind::Int, ValueKind::Float, ValueKind::Str] {
+            if let Some(coerced) = v.coerce_to(kind) {
+                prop_assert_eq!(coerced.kind(), kind);
+                // Coercing back must recover the original exactly.
+                let back = coerced.coerce_to(v.kind()).expect("reverse coercion");
+                prop_assert_eq!(back, v.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn event_lookup_agrees_with_iteration(
+        pairs in prop::collection::vec(("[a-c]{1,2}", any::<i64>()), 0..12)
+    ) {
+        let event = Event::from_pairs(pairs.iter().map(|(n, v)| (n.as_str(), *v)));
+        // every iterated pair is gettable
+        for (name, value) in event.iter() {
+            prop_assert_eq!(event.get(name), Some(value));
+        }
+        // names are strictly sorted (unique)
+        let names: Vec<&str> = event.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(names, sorted);
+        // last write wins
+        if let Some((name, _)) = pairs.last() {
+            let expected = pairs.iter().rev().find(|(n, _)| n == name).unwrap().1;
+            prop_assert_eq!(event.get(name), Some(&Value::from(expected)));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Round-trip tests for the `serde` feature
+//! (`cargo test -p boolmatch-types --features serde`).
+
+use boolmatch_types::{Event, Value, ValueKind};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn value_round_trips_all_kinds() {
+    for v in [
+        Value::from(true),
+        Value::from(-42_i64),
+        Value::from(3.25),
+        Value::from("kererū"),
+    ] {
+        assert_eq!(round_trip(&v), v);
+    }
+}
+
+#[test]
+fn value_kind_round_trips() {
+    for k in [ValueKind::Bool, ValueKind::Int, ValueKind::Float, ValueKind::Str] {
+        assert_eq!(round_trip(&k), k);
+    }
+}
+
+#[test]
+fn event_serializes_as_a_sorted_map() {
+    let e = Event::builder()
+        .attr("z", 1_i64)
+        .attr("a", "x")
+        .attr("m", true)
+        .build();
+    let json = serde_json::to_value(&e).unwrap();
+    let obj = json.as_object().unwrap();
+    let keys: Vec<&String> = obj.keys().collect();
+    assert_eq!(keys, vec!["a", "m", "z"]);
+}
+
+#[test]
+fn event_round_trips() {
+    let e = Event::builder()
+        .attr("price", 10.5)
+        .attr("symbol", "IBM")
+        .attr("volume", 300_i64)
+        .attr("open", false)
+        .build();
+    let back = round_trip(&e);
+    assert_eq!(back, e);
+}
+
+#[test]
+fn event_deserializes_from_plain_json() {
+    let e: Event =
+        serde_json::from_str(r#"{"symbol": "NZX", "price": 1.5, "volume": 10}"#).unwrap();
+    assert_eq!(e.get("symbol"), Some(&Value::from("NZX")));
+    assert_eq!(e.get("price"), Some(&Value::from(1.5)));
+    // Plain JSON integers arrive as Int.
+    assert_eq!(e.get("volume"), Some(&Value::from(10_i64)));
+}
+
+#[test]
+fn empty_event_round_trips() {
+    let e = Event::builder().build();
+    assert_eq!(round_trip(&e), e);
+    assert_eq!(serde_json::to_string(&e).unwrap(), "{}");
+}

@@ -1,0 +1,32 @@
+//! Workload generation and experiment harness support for the
+//! `boolmatch` reproduction.
+//!
+//! Everything the paper's §4 experiments need, as a library:
+//!
+//! * [`Table1Config`] — the paper's Table 1 parameters, verbatim, plus
+//!   derived quantities (the 2^(|p|/2) transformation factor),
+//! * [`SubscriptionGenerator`] — subscriptions of the paper's shape
+//!   (AND of |p|/2 binary ORs with unique predicates) and several
+//!   ablation shapes,
+//! * [`synthetic_fulfilled`] / [`EventGenerator`] — phase-1 output
+//!   synthesis (the paper parameterises on "matching predicates per
+//!   event") and full concrete events for end-to-end runs,
+//! * [`MemoryModel`] — the analytic 512 MB memory wall standing in for
+//!   the paper's physical machine (DESIGN.md, substitution 1),
+//! * [`sweep`] — the parameter-sweep runner that regenerates the
+//!   Fig. 3 panels and the memory table.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod eventgen;
+mod memwall;
+pub mod scenarios;
+mod subgen;
+pub mod sweep;
+mod table1;
+
+pub use eventgen::{satisfying_event, synthetic_fulfilled, EventGenerator};
+pub use memwall::MemoryModel;
+pub use subgen::{Shape, SubscriptionGenerator};
+pub use table1::Table1Config;

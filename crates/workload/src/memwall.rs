@@ -1,0 +1,152 @@
+//! The analytic memory wall.
+
+use std::time::Duration;
+
+use boolmatch_core::MemoryUsage;
+
+/// Models the paper's 512 MB machine analytically (DESIGN.md,
+/// substitution 1).
+///
+/// The paper's "sharp bends" (§4.1) appear when an engine's working set
+/// outgrows main memory and the operating system starts page-swapping:
+/// every byte beyond the budget is touched from disk instead of RAM.
+/// Given a *measured* in-RAM duration and the engine's working-set
+/// size, [`MemoryModel::modeled`] returns the duration that run would
+/// have taken on the budgeted machine:
+///
+/// ```text
+/// modeled = measured × (1 + penalty × overflow/working_set)
+/// ```
+///
+/// where `overflow = working_set − budget` (0 when it fits). The
+/// default penalty of 1 000 reflects a circa-2005 ratio of random
+/// disk-page access (~0.1 ms for a 4 KiB page ≈ tens of µs/KB) to RAM
+/// access — large enough that the curve visibly kinks at the wall, as
+/// in Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use boolmatch_workload::MemoryModel;
+///
+/// let wall = MemoryModel::paper();
+/// let fits = wall.modeled(Duration::from_millis(10), 100 << 20);
+/// assert_eq!(fits, Duration::from_millis(10));
+/// let thrashes = wall.modeled(Duration::from_millis(10), 1024 << 20);
+/// assert!(thrashes > Duration::from_millis(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Memory available to the engine, in bytes.
+    pub budget_bytes: u64,
+    /// Slowdown factor applied to the non-resident fraction of the
+    /// working set.
+    pub swap_penalty: f64,
+}
+
+impl MemoryModel {
+    /// The paper's machine: 512 MB total, minus a 64 MB allowance for
+    /// the operating system and the process image.
+    pub fn paper() -> Self {
+        MemoryModel {
+            budget_bytes: (512 - 64) * 1024 * 1024,
+            swap_penalty: 1_000.0,
+        }
+    }
+
+    /// A model with a custom budget and the default penalty.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        MemoryModel {
+            budget_bytes,
+            swap_penalty: MemoryModel::paper().swap_penalty,
+        }
+    }
+
+    /// Whether a working set of `bytes` fits in the budget.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes as u64 <= self.budget_bytes
+    }
+
+    /// The modeled duration for a measured duration and working set;
+    /// see the type docs for the formula.
+    pub fn modeled(&self, measured: Duration, working_set_bytes: usize) -> Duration {
+        let ws = working_set_bytes as f64;
+        let budget = self.budget_bytes as f64;
+        if ws <= budget || ws == 0.0 {
+            return measured;
+        }
+        let overflow_fraction = (ws - budget) / ws;
+        measured.mul_f64(1.0 + self.swap_penalty * overflow_fraction)
+    }
+
+    /// Convenience: the paper-faithful working set of an engine — its
+    /// phase-2 structures only (the paper's experiments never build
+    /// phase-1 indexes; see [`MemoryUsage::phase2_bytes`]).
+    pub fn modeled_for(&self, measured: Duration, memory: &MemoryUsage) -> Duration {
+        self.modeled(measured, memory.phase2_bytes())
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_is_identity() {
+        let m = MemoryModel::paper();
+        let d = Duration::from_millis(5);
+        assert_eq!(m.modeled(d, 0), d);
+        assert_eq!(m.modeled(d, m.budget_bytes as usize), d);
+    }
+
+    #[test]
+    fn over_budget_scales_with_overflow_fraction() {
+        let m = MemoryModel {
+            budget_bytes: 100,
+            swap_penalty: 10.0,
+        };
+        let d = Duration::from_secs(1);
+        // 50% overflow: 1 + 10*0.5 = 6x
+        assert_eq!(m.modeled(d, 200), Duration::from_secs(6));
+        // 75% overflow: 1 + 10*0.75 = 8.5x
+        assert_eq!(m.modeled(d, 400), Duration::from_secs_f64(8.5));
+    }
+
+    #[test]
+    fn monotonic_in_working_set() {
+        let m = MemoryModel::paper();
+        let d = Duration::from_millis(10);
+        let mut last = Duration::ZERO;
+        for mb in [100u64, 400, 448, 600, 1_000, 4_000] {
+            let t = m.modeled(d, (mb << 20) as usize);
+            assert!(t >= last, "non-monotonic at {mb} MB");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fits_matches_budget() {
+        let m = MemoryModel::with_budget(1000);
+        assert!(m.fits(1000));
+        assert!(!m.fits(1001));
+    }
+
+    #[test]
+    fn modeled_for_uses_phase2_bytes() {
+        let m = MemoryModel::with_budget(100);
+        let mem = MemoryUsage {
+            association: 150,
+            predicates: 1_000_000, // excluded from phase-2 working set
+            ..Default::default()
+        };
+        let d = Duration::from_secs(1);
+        assert_eq!(m.modeled_for(d, &mem), m.modeled(d, 150));
+    }
+}

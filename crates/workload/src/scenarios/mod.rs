@@ -1,0 +1,16 @@
+//! Realistic domain scenarios for examples, demos and end-to-end
+//! tests.
+//!
+//! The paper motivates expressive subscriptions with application
+//! domains where interests are *not* naturally conjunctive. These
+//! generators produce such workloads: stock tickers (numeric ranges
+//! with alternatives), news alerting (string search), and auction
+//! monitoring (mixed).
+
+mod auction;
+mod news;
+mod stock;
+
+pub use auction::AuctionScenario;
+pub use news::NewsScenario;
+pub use stock::StockScenario;

@@ -1,0 +1,281 @@
+//! Subscription generation.
+
+use boolmatch_expr::{CompareOp, Expr, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Boolean shape of generated subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// The paper's §4 shape: an AND of `|p|/2` binary ORs, each OR over
+    /// one attribute (`a > hi ∨ a <= lo`). DNF-transforming it yields
+    /// exactly `2^(|p|/2)` conjunctions of `|p|/2` predicates — the
+    /// Table 1 "8 to 32" row.
+    AndOfOrPairs,
+    /// A flat conjunction — what classic matchers support natively;
+    /// the canonical engines register it without blow-up.
+    Conjunction,
+    /// A flat disjunction — DNF size equals the predicate count.
+    Disjunction,
+    /// Random And/Or trees of bounded depth; exercises irregular
+    /// structure (used by robustness tests).
+    RandomTree,
+}
+
+/// Deterministic subscription generator.
+///
+/// Two generators with the same seed and settings produce identical
+/// subscription sequences — the sweep harness relies on this to
+/// register *the same corpus* in every engine without materializing it.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_workload::{Shape, SubscriptionGenerator};
+///
+/// let mut g = SubscriptionGenerator::new(42, Shape::AndOfOrPairs, 6);
+/// let s = g.generate();
+/// assert_eq!(s.predicate_count(), 6);
+/// // Deterministic: same seed, same subscription.
+/// let mut g2 = SubscriptionGenerator::new(42, Shape::AndOfOrPairs, 6);
+/// assert_eq!(g2.generate(), s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriptionGenerator {
+    rng: StdRng,
+    shape: Shape,
+    predicates_per_sub: usize,
+    /// Attribute pool size; `None` = a fresh attribute per OR-group
+    /// (the paper's unique-predicates regime).
+    attr_pool: Option<usize>,
+    /// Integer constant domain (paper: "domains are supposed to have
+    /// relatively large sizes").
+    domain: i64,
+    next_attr: u64,
+}
+
+impl SubscriptionGenerator {
+    /// Creates a generator for `predicates_per_sub`-predicate
+    /// subscriptions of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicates_per_sub` is 0, or odd for
+    /// [`Shape::AndOfOrPairs`].
+    pub fn new(seed: u64, shape: Shape, predicates_per_sub: usize) -> Self {
+        assert!(predicates_per_sub > 0, "need at least one predicate");
+        if shape == Shape::AndOfOrPairs {
+            assert!(
+                predicates_per_sub % 2 == 0,
+                "and-of-or-pairs needs an even predicate count"
+            );
+        }
+        SubscriptionGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            shape,
+            predicates_per_sub,
+            attr_pool: None,
+            domain: 1_000_000,
+            next_attr: 0,
+        }
+    }
+
+    /// Draws attributes from a shared pool of `size` names instead of
+    /// generating a fresh attribute per group. Predicates may then be
+    /// shared between subscriptions (the regime the paper deliberately
+    /// avoids; see the `ablation_sharing` bench).
+    #[must_use]
+    pub fn with_attribute_pool(mut self, size: usize) -> Self {
+        assert!(size > 0, "attribute pool must be non-empty");
+        self.attr_pool = Some(size);
+        self
+    }
+
+    /// Sets the integer constant domain (`0..domain`). Smaller domains
+    /// increase predicate sharing when combined with an attribute pool.
+    #[must_use]
+    pub fn with_domain(mut self, domain: i64) -> Self {
+        assert!(domain > 1, "domain must have at least two values");
+        self.domain = domain;
+        self
+    }
+
+    fn fresh_attr(&mut self) -> String {
+        match self.attr_pool {
+            Some(pool) => format!("a{}", self.rng.random_range(0..pool)),
+            None => {
+                let n = self.next_attr;
+                self.next_attr += 1;
+                format!("a{n}")
+            }
+        }
+    }
+
+    /// One OR-group over a single attribute: `attr > hi ∨ attr <= lo`
+    /// with `lo < hi`, so at most one branch holds for any value.
+    fn or_pair(&mut self) -> Expr {
+        let attr = self.fresh_attr();
+        let a = self.rng.random_range(0..self.domain);
+        let b = self.rng.random_range(0..self.domain);
+        let (lo, hi) = if a <= b { (a, b.max(a + 1)) } else { (b, a) };
+        Expr::or(vec![
+            Expr::pred(Predicate::new(&attr, CompareOp::Gt, hi)),
+            Expr::pred(Predicate::new(&attr, CompareOp::Le, lo)),
+        ])
+    }
+
+    fn flat_pred(&mut self) -> Expr {
+        let attr = self.fresh_attr();
+        let v = self.rng.random_range(0..self.domain);
+        let op = match self.rng.random_range(0..4) {
+            0 => CompareOp::Eq,
+            1 => CompareOp::Gt,
+            2 => CompareOp::Le,
+            _ => CompareOp::Ge,
+        };
+        Expr::pred(Predicate::new(&attr, op, v))
+    }
+
+    fn random_tree(&mut self, budget: usize, depth: usize) -> Expr {
+        if budget <= 1 || depth == 0 {
+            return self.flat_pred();
+        }
+        let parts = self.rng.random_range(2..=budget.min(4));
+        let mut children = Vec::with_capacity(parts);
+        let mut remaining = budget;
+        for i in 0..parts {
+            let share = if i == parts - 1 {
+                remaining
+            } else {
+                let max = remaining - (parts - 1 - i);
+                self.rng.random_range(1..=max)
+            };
+            remaining -= share;
+            children.push(self.random_tree(share, depth - 1));
+        }
+        if self.rng.random_bool(0.5) {
+            Expr::and(children)
+        } else {
+            Expr::or(children)
+        }
+    }
+
+    /// Generates the next subscription.
+    pub fn generate(&mut self) -> Expr {
+        match self.shape {
+            Shape::AndOfOrPairs => {
+                let groups = self.predicates_per_sub / 2;
+                Expr::and((0..groups).map(|_| self.or_pair()).collect())
+            }
+            Shape::Conjunction => {
+                let n = self.predicates_per_sub;
+                Expr::and((0..n).map(|_| self.flat_pred()).collect())
+            }
+            Shape::Disjunction => {
+                let n = self.predicates_per_sub;
+                Expr::or((0..n).map(|_| self.flat_pred()).collect())
+            }
+            Shape::RandomTree => self.random_tree(self.predicates_per_sub, 3),
+        }
+    }
+
+    /// Generates a batch.
+    pub fn generate_batch(&mut self, n: usize) -> Vec<Expr> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolmatch_expr::transform;
+
+    #[test]
+    fn paper_shape_counts_and_blowup() {
+        for preds in [6usize, 8, 10] {
+            let mut g = SubscriptionGenerator::new(1, Shape::AndOfOrPairs, preds);
+            let e = g.generate();
+            assert_eq!(e.predicate_count(), preds);
+            assert_eq!(
+                transform::estimate_dnf_size(&e),
+                1u128 << (preds / 2),
+                "2^(|p|/2) conjunctions"
+            );
+            let dnf = transform::to_dnf(&e, 1 << 10).unwrap();
+            assert!(dnf.conjuncts().iter().all(|c| c.len() == preds / 2));
+        }
+    }
+
+    #[test]
+    fn unique_predicates_without_pool() {
+        let mut g = SubscriptionGenerator::new(7, Shape::AndOfOrPairs, 6);
+        let subs = g.generate_batch(50);
+        let mut all: Vec<String> = Vec::new();
+        for s in &subs {
+            for p in s.predicates() {
+                all.push(p.to_string());
+            }
+        }
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before, "no predicate shared between subscriptions");
+    }
+
+    #[test]
+    fn pool_generates_shared_predicates() {
+        let mut g = SubscriptionGenerator::new(7, Shape::Conjunction, 4)
+            .with_attribute_pool(3)
+            .with_domain(4);
+        let subs = g.generate_batch(100);
+        let mut all: Vec<String> = Vec::new();
+        for s in &subs {
+            for p in s.predicates() {
+                all.push(p.to_string());
+            }
+        }
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert!(all.len() < before, "small pool+domain must repeat predicates");
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let a: Vec<Expr> =
+            SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
+        let b: Vec<Expr> =
+            SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn or_pair_branches_are_disjoint() {
+        let mut g = SubscriptionGenerator::new(3, Shape::AndOfOrPairs, 2);
+        for _ in 0..50 {
+            let e = g.generate();
+            let preds = e.predicates();
+            assert_eq!(preds.len(), 2);
+            let hi = preds[0].value().as_int().unwrap();
+            let lo = preds[1].value().as_int().unwrap();
+            assert!(lo < hi, "a > {hi} and a <= {lo} must be disjoint");
+        }
+    }
+
+    #[test]
+    fn other_shapes_produce_requested_sizes() {
+        let mut g = SubscriptionGenerator::new(5, Shape::Conjunction, 7);
+        assert_eq!(g.generate().predicate_count(), 7);
+        let mut g = SubscriptionGenerator::new(5, Shape::Disjunction, 7);
+        assert_eq!(g.generate().predicate_count(), 7);
+        let mut g = SubscriptionGenerator::new(5, Shape::RandomTree, 7);
+        let e = g.generate();
+        assert!(e.predicate_count() >= 1 && e.predicate_count() <= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "even predicate count")]
+    fn odd_count_for_pairs_panics() {
+        let _ = SubscriptionGenerator::new(1, Shape::AndOfOrPairs, 5);
+    }
+}

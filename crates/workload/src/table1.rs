@@ -1,0 +1,165 @@
+//! The paper's Table 1, as data.
+
+/// The experimental parameters of the paper's Table 1, with helpers
+/// for the quantities derived from them.
+///
+/// | Parameter | Paper value |
+/// |---|---|
+/// | CPU speed | 1.8 GHz |
+/// | Total machine memory | 512 MB |
+/// | Number of subscriptions | 2,000 – 5,000,000 |
+/// | Original (unique) predicates per subscription | 6 to 10 |
+/// | Subscriptions per subscription after transformation | 8 to 32 |
+/// | Used Boolean operators | AND, OR |
+/// | Matching predicates per event | 5,000 – 10,000 |
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_workload::Table1Config;
+///
+/// let t = Table1Config::paper();
+/// assert_eq!(t.transformation_factor(6), 8);
+/// assert_eq!(t.transformation_factor(10), 32);
+/// assert_eq!(t.machine_memory_bytes, 512 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Config {
+    /// CPU speed of the paper's test machine, in GHz.
+    pub cpu_ghz: f64,
+    /// Total memory of the paper's test machine, in bytes.
+    pub machine_memory_bytes: u64,
+    /// Smallest subscription count evaluated.
+    pub min_subscriptions: usize,
+    /// Largest subscription count evaluated.
+    pub max_subscriptions: usize,
+    /// Predicates per subscription, per figure row (Fig. 3 a/d, b/e,
+    /// c/f).
+    pub predicates_per_subscription: [usize; 3],
+    /// Fulfilled predicates per event, per figure column.
+    pub fulfilled_per_event: [usize; 2],
+}
+
+impl Table1Config {
+    /// The paper's values, verbatim.
+    pub fn paper() -> Self {
+        Table1Config {
+            cpu_ghz: 1.8,
+            machine_memory_bytes: 512 * 1024 * 1024,
+            min_subscriptions: 2_000,
+            max_subscriptions: 5_000_000,
+            predicates_per_subscription: [6, 8, 10],
+            fulfilled_per_event: [5_000, 10_000],
+        }
+    }
+
+    /// How many conjunctive subscriptions one original subscription
+    /// becomes after DNF transformation: `2^(|p|/2)` for the paper's
+    /// AND-of-binary-ORs shape ("8 to 32").
+    pub fn transformation_factor(&self, predicates_per_sub: usize) -> usize {
+        1usize << (predicates_per_sub / 2)
+    }
+
+    /// Predicates per transformed conjunction: `|p|/2` (paper §4).
+    pub fn transformed_predicates(&self, predicates_per_sub: usize) -> usize {
+        predicates_per_sub / 2
+    }
+
+    /// The six Fig. 3 panels as `(label, predicates, fulfilled)`.
+    pub fn figure3_panels(&self) -> [(char, usize, usize); 6] {
+        [
+            ('a', self.predicates_per_subscription[0], self.fulfilled_per_event[0]),
+            ('b', self.predicates_per_subscription[1], self.fulfilled_per_event[0]),
+            ('c', self.predicates_per_subscription[2], self.fulfilled_per_event[0]),
+            ('d', self.predicates_per_subscription[0], self.fulfilled_per_event[1]),
+            ('e', self.predicates_per_subscription[1], self.fulfilled_per_event[1]),
+            ('f', self.predicates_per_subscription[2], self.fulfilled_per_event[1]),
+        ]
+    }
+
+    /// The subscription counts the paper plots for a panel, capped at
+    /// `max`: the figures sweep to 5 M for 6 predicates, 4 M for 8 and
+    /// 2.5 M for 10 (abscissae of Fig. 3).
+    pub fn panel_subscription_counts(&self, predicates: usize, cap: usize) -> Vec<usize> {
+        let panel_max: usize = match predicates {
+            6 => 5_000_000,
+            8 => 4_000_000,
+            10 => 2_500_000,
+            _ => self.max_subscriptions,
+        };
+        let top = panel_max.min(cap);
+        // Half-decade-ish ladder from 2k, matching the plot density.
+        let mut counts = vec![];
+        let mut n = self.min_subscriptions;
+        while n < top {
+            counts.push(n);
+            n = if n < 10_000 {
+                n * 5
+            } else if n < 100_000 {
+                n * 5 / 2
+            } else {
+                n * 2
+            };
+        }
+        counts.push(top);
+        counts.dedup();
+        counts
+    }
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let t = Table1Config::paper();
+        assert_eq!(t.cpu_ghz, 1.8);
+        assert_eq!(t.min_subscriptions, 2_000);
+        assert_eq!(t.max_subscriptions, 5_000_000);
+        assert_eq!(t.predicates_per_subscription, [6, 8, 10]);
+        assert_eq!(t.fulfilled_per_event, [5_000, 10_000]);
+    }
+
+    #[test]
+    fn transformation_factors_match_table1_row() {
+        let t = Table1Config::paper();
+        // "Number of subscriptions per subscription after
+        // transformation: 8 to 32"
+        assert_eq!(t.transformation_factor(6), 8);
+        assert_eq!(t.transformation_factor(8), 16);
+        assert_eq!(t.transformation_factor(10), 32);
+        // "... with |p|/2 predicates each"
+        assert_eq!(t.transformed_predicates(6), 3);
+        assert_eq!(t.transformed_predicates(10), 5);
+    }
+
+    #[test]
+    fn six_panels_cover_the_grid() {
+        let t = Table1Config::paper();
+        let panels = t.figure3_panels();
+        assert_eq!(panels.len(), 6);
+        assert_eq!(panels[0], ('a', 6, 5_000));
+        assert_eq!(panels[5], ('f', 10, 10_000));
+    }
+
+    #[test]
+    fn panel_counts_are_monotonic_and_capped() {
+        let t = Table1Config::paper();
+        let counts = t.panel_subscription_counts(10, 400_000);
+        assert_eq!(*counts.first().unwrap(), 2_000);
+        assert_eq!(*counts.last().unwrap(), 400_000);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        // Uncapped sweep reaches the paper's panel maximum.
+        let full = t.panel_subscription_counts(6, usize::MAX);
+        assert_eq!(*full.last().unwrap(), 5_000_000);
+        let full10 = t.panel_subscription_counts(10, usize::MAX);
+        assert_eq!(*full10.last().unwrap(), 2_500_000);
+    }
+}

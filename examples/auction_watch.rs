@@ -1,0 +1,58 @@
+//! Auction sniping: deeply nested Boolean interests with negation,
+//! plus live unsubscription — the operation the paper's data-structure
+//! design (§3.2, footnote 1) exists to support.
+//!
+//! Run with: `cargo run --example auction_watch`
+
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::AuctionScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+    let mut scenario = AuctionScenario::new(42);
+
+    // A fleet of snipers.
+    let mut snipers: Vec<Subscription> = scenario
+        .subscriptions(150)
+        .iter()
+        .map(|e| broker.subscribe_expr(e))
+        .collect::<Result<_, _>>()?;
+    println!("{} snipers registered", broker.subscription_count());
+
+    // First auction round.
+    for _ in 0..2_000 {
+        broker.publish(scenario.bid());
+    }
+    let first_round: usize = snipers.iter().map(|s| s.drain().len()).sum();
+    println!("round 1: {first_round} notifications across all snipers");
+
+    // Half the snipers won their items and leave: drop the handles —
+    // the broker unsubscribes them, the engine releases their
+    // predicates and tree storage.
+    let before = broker.memory_usage().total();
+    snipers.truncate(75);
+    println!(
+        "75 snipers left; engine now holds {} subscriptions",
+        broker.subscription_count()
+    );
+
+    // Second round: only the remaining snipers are matched.
+    for _ in 0..2_000 {
+        broker.publish(scenario.bid());
+    }
+    let second_round: usize = snipers.iter().map(|s| s.drain().len()).sum();
+    let after = broker.memory_usage().total();
+    println!("round 2: {second_round} notifications across remaining snipers");
+    println!(
+        "memory: {:.1} KiB before churn, {:.1} KiB after (freed storage is reused)",
+        before as f64 / 1024.0,
+        after as f64 / 1024.0
+    );
+
+    let stats = broker.stats();
+    println!(
+        "{} subscriptions created, {} removed over the session",
+        stats.subscriptions_created, stats.subscriptions_removed
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! News alerting with string predicates: categories, keyword
+//! containment, region prefixes and negated exclusions.
+//!
+//! Demonstrates the subscription language beyond numeric comparisons
+//! and the `not` semantics of the non-canonical engine (full Boolean
+//! negation, paper §3.1).
+//!
+//! Run with: `cargo run --example news_alerts`
+
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::NewsScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+
+    // Hand-written subscriptions showing the language.
+    let science_quakes = broker.subscribe(
+        "category = \"science\" and (headline contains \"quake\" or headline contains \"storm\")",
+    )?;
+    let not_us_politics = broker.subscribe(
+        "category = \"politics\" and not (region prefix \"us\")",
+    )?;
+    let urgent_anything = broker.subscribe("urgency >= 9")?;
+
+    // Plus a generated batch for volume.
+    let mut scenario = NewsScenario::new(7);
+    let generated: Vec<Subscription> = scenario
+        .subscriptions(100)
+        .iter()
+        .map(|e| broker.subscribe_expr(e))
+        .collect::<Result<_, _>>()?;
+    println!("{} subscriptions registered", broker.subscription_count());
+
+    // A hand-written headline for each hand-written interest:
+    let headlines = [
+        Event::builder()
+            .attr("category", "science")
+            .attr("headline", "major quake recorded off the coast")
+            .attr("region", "nz-3")
+            .attr("urgency", 6_i64)
+            .build(),
+        Event::builder()
+            .attr("category", "politics")
+            .attr("headline", "coalition talks resume")
+            .attr("region", "eu-1")
+            .attr("urgency", 4_i64)
+            .build(),
+        Event::builder()
+            .attr("category", "politics")
+            .attr("headline", "primaries kick off")
+            .attr("region", "us-2") // excluded by the `not` subscription
+            .attr("urgency", 9_i64)
+            .build(),
+    ];
+    for h in &headlines {
+        broker.publish(h.clone());
+    }
+    // And generated traffic:
+    for _ in 0..1_000 {
+        broker.publish(scenario.headline());
+    }
+
+    println!(
+        "science/quake subscriber: {} notification(s)",
+        science_quakes.drain().len()
+    );
+    println!(
+        "non-US politics subscriber: {} notification(s) (the us-2 story was filtered)",
+        not_us_politics.drain().len()
+    );
+    println!(
+        "urgency >= 9 subscriber: {} notification(s)",
+        urgent_anything.drain().len()
+    );
+    let generated_total: usize = generated.iter().map(|s| s.drain().len()).sum();
+    println!("generated subscribers together: {generated_total} notification(s)");
+
+    let stats = broker.stats();
+    println!(
+        "{} events published, {} notifications delivered",
+        stats.events_published, stats.notifications_delivered
+    );
+    Ok(())
+}

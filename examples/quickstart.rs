@@ -1,0 +1,53 @@
+//! Quickstart: register Boolean subscriptions, publish events, receive
+//! notifications.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use boolmatch::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A broker running the paper's non-canonical matching engine.
+    let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+
+    // The example subscription from Fig. 1 of the paper — an arbitrary
+    // Boolean expression, registered without any DNF transformation:
+    let fig1 = broker.subscribe(
+        "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)",
+    )?;
+    println!("registered subscription {}", fig1.id());
+
+    // A second subscriber with a string-heavy interest:
+    let alerts = broker.subscribe(
+        "severity >= 3 and (service prefix \"auth\" or message contains \"timeout\")",
+    )?;
+    println!("registered subscription {}", alerts.id());
+
+    // Publish a few events.
+    let events = [
+        Event::builder().attr("a", 12_i64).attr("c", 30_i64).build(),
+        Event::builder().attr("a", 7_i64).attr("c", 30_i64).build(), // matches nothing
+        Event::builder()
+            .attr("severity", 4_i64)
+            .attr("service", "auth-gateway")
+            .build(),
+    ];
+    for event in events {
+        let delivered = broker.publish(event);
+        println!("published; {delivered} notification(s) delivered");
+    }
+
+    // Drain the notification queues.
+    for note in fig1.drain() {
+        println!("fig1 subscriber got: {note}");
+    }
+    for note in alerts.drain() {
+        println!("alert subscriber got: {note}");
+    }
+
+    let stats = broker.stats();
+    println!(
+        "broker stats: {} events published, {} notifications delivered",
+        stats.events_published, stats.notifications_delivered
+    );
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Small-scale integration check of the paper's §4 claims, asserted on
+//! *work counters and memory* (time is asserted only where the gap is
+//! orders of magnitude, to stay robust on shared CI hosts).
+
+use boolmatch::core::EngineKind;
+use boolmatch::workload::sweep::{run, SweepConfig};
+use boolmatch::workload::{MemoryModel, Table1Config};
+
+fn config(predicates: usize, fulfilled: usize) -> SweepConfig {
+    SweepConfig {
+        label: format!("claims-{predicates}-{fulfilled}"),
+        engines: EngineKind::ALL.to_vec(),
+        subscription_counts: vec![1_000, 4_000, 16_000],
+        predicates_per_sub: predicates,
+        fulfilled_per_event: fulfilled,
+        events_per_point: 3,
+        seed: 7,
+        memory_model: MemoryModel::paper(),
+    }
+}
+
+#[test]
+fn claim_transformation_multiplies_problem_size() {
+    let table1 = Table1Config::paper();
+    for predicates in [6usize, 8, 10] {
+        let rows = run(&SweepConfig {
+            subscription_counts: vec![1_000],
+            ..config(predicates, 500)
+        });
+        let factor = table1.transformation_factor(predicates);
+        for r in &rows {
+            match r.engine {
+                EngineKind::NonCanonical => assert_eq!(r.units, 1_000),
+                _ => assert_eq!(r.units, 1_000 * factor, "{predicates} predicates"),
+            }
+        }
+    }
+}
+
+#[test]
+fn claim_counting_comparisons_grow_linearly_variant_stays_flat() {
+    let rows = run(&config(8, 1_000));
+    let counting: Vec<_> = rows
+        .iter()
+        .filter(|r| r.engine == EngineKind::Counting)
+        .collect();
+    // Comparisons scale exactly with registered units (linear curve).
+    assert_eq!(counting[0].stats.comparisons, 16_000);
+    assert_eq!(counting[2].stats.comparisons, 256_000);
+
+    let variant: Vec<_> = rows
+        .iter()
+        .filter(|r| r.engine == EngineKind::CountingVariant)
+        .collect();
+    // The variant's comparisons are bounded by candidates, which are
+    // bounded by increments (fulfilled * conjunctions-per-predicate),
+    // independent of the corpus size.
+    for r in &variant {
+        assert!(
+            r.stats.comparisons <= r.stats.increments,
+            "variant comparisons bounded by increments"
+        );
+    }
+    let growth = variant[2].stats.comparisons as f64 / variant[0].stats.comparisons as f64;
+    let corpus_growth = 16.0;
+    assert!(
+        growth < corpus_growth / 2.0,
+        "variant comparison growth {growth} must be sublinear in corpus growth"
+    );
+}
+
+#[test]
+fn claim_redundant_computation_after_transformation() {
+    // §2.2: "if one unique predicate is fulfilled we have to increase a
+    // counter for several subscriptions". With 8 predicates -> 16
+    // conjunctions, each fulfilled predicate is counted 8 times.
+    let rows = run(&SweepConfig {
+        subscription_counts: vec![4_000],
+        ..config(8, 1_000)
+    });
+    for r in &rows {
+        match r.engine {
+            EngineKind::NonCanonical => {
+                assert_eq!(r.stats.increments, 0);
+                // Candidate work is bounded by the fulfilled predicates.
+                assert!(r.stats.candidates <= r.stats.fulfilled);
+            }
+            _ => {
+                assert_eq!(
+                    r.stats.increments,
+                    r.stats.fulfilled * 8,
+                    "each fulfilled predicate touches half the 16 conjunctions"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn claim_canonical_engines_hit_the_memory_wall_first() {
+    // Scale the analytic wall to sit between the two working sets —
+    // the paper's situation at ~700k subscriptions and 512 MB, shrunk
+    // to test size: the counting engines' phase-2 working set crosses
+    // the wall while the non-canonical engine's does not.
+    let rows = run(&SweepConfig {
+        subscription_counts: vec![16_000],
+        ..config(10, 500)
+    });
+    let find = |k: EngineKind| rows.iter().find(|r| r.engine == k).unwrap();
+
+    let nc = find(EngineKind::NonCanonical);
+    let counting = find(EngineKind::Counting);
+    let variant = find(EngineKind::CountingVariant);
+
+    assert!(
+        nc.phase2_bytes < counting.phase2_bytes,
+        "non-canonical working set ({}) must be smaller than counting's ({})",
+        nc.phase2_bytes,
+        counting.phase2_bytes
+    );
+    let wall =
+        MemoryModel::with_budget(((nc.phase2_bytes + counting.phase2_bytes) / 2) as u64);
+    // Non-canonical fits: the model leaves its time unchanged.
+    assert_eq!(wall.modeled(nc.measured, nc.phase2_bytes), nc.measured);
+    // Counting engines blow the budget: the model kinks their curves.
+    assert!(wall.modeled(counting.measured, counting.phase2_bytes) > counting.measured * 10);
+    assert!(wall.modeled(variant.measured, variant.phase2_bytes) > variant.measured * 10);
+}
+
+#[test]
+fn claim_matches_are_identical_across_engines_at_scale() {
+    let rows = run(&config(6, 2_000));
+    for n in [1_000usize, 4_000, 16_000] {
+        let matched: Vec<usize> = EngineKind::ALL
+            .iter()
+            .map(|&k| {
+                rows.iter()
+                    .find(|r| r.engine == k && r.subscriptions == n)
+                    .unwrap()
+                    .stats
+                    .matched
+            })
+            .collect();
+        assert_eq!(matched[0], matched[1], "at {n}");
+        assert_eq!(matched[0], matched[2], "at {n}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration test pinning the paper's Fig. 1 example end to end:
+//! the subscription `s = (a>10 ∨ a≤5 ∨ b=1) ∧ (c≤20 ∨ c=30 ∨ d=5)`.
+
+use boolmatch::core::EngineKind;
+use boolmatch::expr::{transform, Expr};
+use boolmatch::types::Event;
+
+const FIG1: &str = "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)";
+
+#[test]
+fn fig1_parses_to_the_paper_tree_shape() {
+    let s = Expr::parse(FIG1).unwrap();
+    // "a simplified example of a subscription tree": AND root with two
+    // 3-ary OR children, 6 predicate leaves.
+    assert_eq!(s.predicate_count(), 6);
+    assert_eq!(s.depth(), 3);
+    match &s {
+        Expr::And(children) => {
+            assert_eq!(children.len(), 2);
+            for c in children {
+                match c {
+                    Expr::Or(grand) => assert_eq!(grand.len(), 3),
+                    other => panic!("expected OR group, got {other}"),
+                }
+            }
+        }
+        other => panic!("expected AND root, got {other}"),
+    }
+}
+
+#[test]
+fn fig1_dnf_has_nine_disjunctions() {
+    // "To register this subscription s in canonical approaches, s has
+    // to be transformed into DNF. Thus, s results in 9 disjunctions."
+    let s = Expr::parse(FIG1).unwrap();
+    assert_eq!(transform::estimate_dnf_size(&s), 9);
+    let dnf = transform::to_dnf(&s, 100).unwrap();
+    assert_eq!(dnf.len(), 9);
+    assert!(dnf.conjuncts().iter().all(|c| c.len() == 2));
+}
+
+#[test]
+fn fig1_counting_engines_register_nine_units() {
+    for kind in [EngineKind::Counting, EngineKind::CountingVariant] {
+        let mut engine = kind.build();
+        engine.subscribe(&Expr::parse(FIG1).unwrap()).unwrap();
+        assert_eq!(engine.subscription_count(), 1);
+        assert_eq!(engine.registered_units(), 9, "{kind}");
+    }
+    // The non-canonical engine registers it as-is.
+    let mut nc = EngineKind::NonCanonical.build();
+    nc.subscribe(&Expr::parse(FIG1).unwrap()).unwrap();
+    assert_eq!(nc.registered_units(), 1);
+}
+
+#[test]
+fn fig1_matching_agrees_across_engines_on_a_value_grid() {
+    let s = Expr::parse(FIG1).unwrap();
+    let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+    for engine in &mut engines {
+        engine.subscribe(&s).unwrap();
+    }
+    // Sweep a grid of events covering each disjunct and the misses.
+    for a in [4i64, 5, 7, 11] {
+        for b in [0i64, 1] {
+            for c in [15i64, 25, 30] {
+                for d in [5i64, 6] {
+                    let event = Event::builder()
+                        .attr("a", a)
+                        .attr("b", b)
+                        .attr("c", c)
+                        .attr("d", d)
+                        .build();
+                    let want = s.eval_event(&event);
+                    for engine in &mut engines {
+                        let got = !engine.match_event(&event).matched.is_empty();
+                        assert_eq!(got, want, "{} on {event}", engine.kind());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig1_partial_events_match_only_when_a_group_holds() {
+    let s = Expr::parse(FIG1).unwrap();
+    let mut nc = EngineKind::NonCanonical.build();
+    nc.subscribe(&s).unwrap();
+
+    // Only the left group satisfiable -> no match.
+    let left_only = Event::builder().attr("a", 12_i64).build();
+    assert!(nc.match_event(&left_only).matched.is_empty());
+    // d=5 alone satisfies the right group; any left predicate completes.
+    let both = Event::builder().attr("b", 1_i64).attr("d", 5_i64).build();
+    assert_eq!(nc.match_event(&both).matched.len(), 1);
+}
