@@ -14,7 +14,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use boolmatch_core::{
-    FilterEngine, FulfilledSet, NonCanonicalConfig, NonCanonicalEngine, PredicateId,
+    FilterEngine, FulfilledSet, MatchScratch, NonCanonicalConfig, NonCanonicalEngine, PredicateId,
 };
 use boolmatch_expr::{CompareOp, Expr, Predicate};
 use rand::rngs::StdRng;
@@ -76,12 +76,13 @@ fn ablation_reorder(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1_500));
 
     for (label, reorder) in [("authored_order", false), ("reordered", true)] {
-        let mut engine = build(reorder);
+        let engine = build(reorder);
         let set = fulfilled(&engine, 3);
+        let mut scratch = MatchScratch::new();
         let mut matched = Vec::new();
         group.bench_with_input(BenchmarkId::new("phase2", label), &(), |b, ()| {
             b.iter(|| {
-                let stats = engine.phase2(&set, &mut matched);
+                let stats = engine.phase2(&set, &mut scratch, &mut matched);
                 std::hint::black_box(stats.matched)
             })
         });

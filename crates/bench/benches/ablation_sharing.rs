@@ -10,7 +10,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use boolmatch_bench::{build_engine, fulfilled_for};
-use boolmatch_core::EngineKind;
+use boolmatch_core::{EngineKind, MatchScratch};
 use boolmatch_workload::{Shape, SubscriptionGenerator};
 
 const SUBS: usize = 20_000;
@@ -49,13 +49,14 @@ fn ablation_sharing(c: &mut Criterion) {
             engine.subscribe(&gen.generate()).unwrap();
         }
         let set = fulfilled_for(engine.as_ref(), FULFILLED, 3);
+        let mut scratch = MatchScratch::new();
         let mut matched = Vec::new();
         group.bench_with_input(
             BenchmarkId::new("noncanonical_phase2", label),
             &(),
             |b, ()| {
                 b.iter(|| {
-                    let stats = engine.phase2(&set, &mut matched);
+                    let stats = engine.phase2(&set, &mut scratch, &mut matched);
                     std::hint::black_box(stats.candidates)
                 })
             },

@@ -1,0 +1,96 @@
+//! Multi-threaded publish throughput: N publisher threads hammering one
+//! broker, per engine kind — the proof artifact for the shared-read
+//! matching API.
+//!
+//! Matching is read-mostly (an event match only *reads* the
+//! subscription index), so with per-thread `MatchScratch` and the
+//! engine behind a read lock, aggregate events/sec must **scale** with
+//! publisher threads instead of collapsing onto a single write lock.
+//! The `elem/s` column is aggregate events published per second across
+//! all threads; compare a `threads=4` row against its `threads=1` row.
+//!
+//! Run with `cargo bench -p boolmatch-bench --bench concurrent_publish`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use boolmatch_broker::{Broker, DeliveryPolicy};
+use boolmatch_core::EngineKind;
+use boolmatch_types::Event;
+use boolmatch_workload::scenarios::StockScenario;
+
+const SUBSCRIPTIONS: usize = 2_000;
+const EVENT_BATCH: usize = 1_024;
+
+fn build_broker(kind: EngineKind) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+    // Bounded queues so slow draining cannot make memory the variable
+    // under test; drops exercise the same delivery path.
+    let broker = Broker::builder()
+        .engine(kind)
+        .delivery(DeliveryPolicy::DropNewest { capacity: 64 })
+        .build();
+    let mut scenario = StockScenario::new(2_005);
+    let receivers: Vec<_> = scenario
+        .subscriptions(SUBSCRIPTIONS)
+        .iter()
+        .map(|expr| {
+            broker
+                .subscribe_expr(expr)
+                .expect("stock subscriptions are accepted by every engine")
+                .detach()
+        })
+        .collect();
+    (broker, receivers)
+}
+
+fn publish_events(broker: &Broker, threads: usize, per_thread: u64) -> Duration {
+    let events: Arc<Vec<Event>> = Arc::new({
+        let mut feed = StockScenario::new(99);
+        (0..EVENT_BATCH).map(|_| feed.tick()).collect()
+    });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let publisher = broker.publisher();
+            let events = Arc::clone(&events);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let event = &events[(t + i as usize) % EVENT_BATCH];
+                    publisher.publish(event.clone());
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn concurrent_publish(c: &mut Criterion) {
+    for kind in EngineKind::ALL {
+        let mut group = c.benchmark_group(format!("concurrent_publish/{kind}"));
+        group
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(1_500))
+            // One element = one published event, so the reported
+            // throughput is aggregate events/sec across all threads.
+            .throughput(Throughput::Elements(1));
+        for threads in [1usize, 2, 4, 8] {
+            let (broker, _receivers) = build_broker(kind);
+            group.bench_with_input(
+                BenchmarkId::new("threads", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let per_thread = iters.div_ceil(threads as u64).max(1);
+                        publish_events(&broker, threads, per_thread)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, concurrent_publish);
+criterion_main!(benches);

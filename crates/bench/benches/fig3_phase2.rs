@@ -13,7 +13,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use boolmatch_bench::{engine_with_corpus, fulfilled_for};
-use boolmatch_core::EngineKind;
+use boolmatch_core::{EngineKind, FilterEngine, MatchScratch};
 use boolmatch_workload::Table1Config;
 
 fn bench_panel(c: &mut Criterion, panel: char, predicates: usize, fulfilled: usize) {
@@ -24,19 +24,16 @@ fn bench_panel(c: &mut Criterion, panel: char, predicates: usize, fulfilled: usi
         .measurement_time(Duration::from_millis(1_200));
     for n in [5_000usize, 20_000] {
         for kind in EngineKind::ALL {
-            let mut engine = engine_with_corpus(kind, predicates, n, 2_005);
+            let engine = engine_with_corpus(kind, predicates, n, 2_005);
             let set = fulfilled_for(engine.as_ref(), fulfilled, 7);
+            let mut scratch = MatchScratch::new();
             let mut matched = Vec::new();
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let stats = engine.phase2(&set, &mut matched);
-                        std::hint::black_box(stats.candidates)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let stats = engine.phase2(&set, &mut scratch, &mut matched);
+                    std::hint::black_box(stats.candidates)
+                })
+            });
         }
     }
     group.finish();

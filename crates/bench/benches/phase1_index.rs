@@ -35,9 +35,7 @@ fn build_index(n: usize, attrs: usize, seed: u64) -> PredicateIndex<u32> {
 
 fn event(width: usize, seed: u64) -> Event {
     let mut rng = StdRng::seed_from_u64(seed);
-    Event::from_pairs((0..width).map(|i| {
-        (format!("a{i}"), rng.random_range(0..1_000_000_i64))
-    }))
+    Event::from_pairs((0..width).map(|i| (format!("a{i}"), rng.random_range(0..1_000_000_i64))))
 }
 
 fn phase1(c: &mut Criterion) {

@@ -63,7 +63,11 @@ fn main() {
             memory_model: MemoryModel::paper(),
         };
         let rows = sweep::run_with_progress(&config, |row| {
-            let bend = if row.modeled > row.measured { "  <- memory wall" } else { "" };
+            let bend = if row.modeled > row.measured {
+                "  <- memory wall"
+            } else {
+                ""
+            };
             println!(
                 "{:<18} {:>9} {:>10} {:>9.3} ms {:>9.3} ms {:>11}{}",
                 row.engine.label(),
@@ -91,7 +95,10 @@ fn main() {
 /// measured point, and where each engine crosses the 512 MB wall.
 fn summarize_panel(panel: char, rows: &[SweepRow]) {
     let top = rows.iter().map(|r| r.subscriptions).max().unwrap_or(0);
-    let at_top = |k: EngineKind| rows.iter().find(|r| r.engine == k && r.subscriptions == top);
+    let at_top = |k: EngineKind| {
+        rows.iter()
+            .find(|r| r.engine == k && r.subscriptions == top)
+    };
     let wall = |k: EngineKind| {
         rows.iter()
             .find(|r| r.engine == k && r.modeled > r.measured)

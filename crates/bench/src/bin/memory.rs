@@ -23,12 +23,10 @@ use boolmatch_workload::{MemoryModel, Shape, SubscriptionGenerator, Table1Config
 
 fn build(kind: EngineKind) -> Box<dyn FilterEngine + Send + Sync> {
     match kind {
-        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(
-            NonCanonicalConfig {
-                enable_phase1_index: false,
-                ..NonCanonicalConfig::default()
-            },
-        )),
+        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(NonCanonicalConfig {
+            enable_phase1_index: false,
+            ..NonCanonicalConfig::default()
+        })),
         EngineKind::Counting => Box::new(CountingEngine::with_config(CountingConfig {
             dnf_limit: 65_536,
             enable_phase1_index: false,

@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 
 use boolmatch_core::{
-    CountingConfig, CountingEngine, CountingVariantEngine, EngineKind, FilterEngine,
-    FulfilledSet, NonCanonicalConfig, NonCanonicalEngine,
+    CountingConfig, CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, FulfilledSet,
+    NonCanonicalConfig, NonCanonicalEngine,
 };
 use boolmatch_workload::{synthetic_fulfilled, Shape, SubscriptionGenerator};
 use rand::rngs::StdRng;
@@ -26,12 +26,10 @@ use rand::SeedableRng;
 /// exactly like the paper's experiments).
 pub fn build_engine(kind: EngineKind) -> Box<dyn FilterEngine + Send + Sync> {
     match kind {
-        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(
-            NonCanonicalConfig {
-                enable_phase1_index: false,
-                ..NonCanonicalConfig::default()
-            },
-        )),
+        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(NonCanonicalConfig {
+            enable_phase1_index: false,
+            ..NonCanonicalConfig::default()
+        })),
         EngineKind::Counting => Box::new(CountingEngine::with_config(CountingConfig {
             dnf_limit: 65_536,
             enable_phase1_index: false,

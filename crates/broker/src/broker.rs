@@ -1,5 +1,6 @@
 //! The broker itself.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -7,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use boolmatch_core::{
-    EngineKind, FilterEngine, MemoryUsage, SubscribeError, SubscriptionId,
+    EngineKind, FilterEngine, MatchScratch, MemoryUsage, SubscribeError, SubscriptionId,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -79,6 +80,26 @@ struct AtomicStats {
     notifications_dropped: AtomicU64,
     subscriptions_created: AtomicU64,
     subscriptions_removed: AtomicU64,
+}
+
+thread_local! {
+    // One scratch per publisher thread, shared by all brokers on that
+    // thread (sound: the scratch is engine-agnostic and self-restoring
+    // between matches). It grows to the largest engine the thread ever
+    // matched against and stays at that high-water mark until
+    // [`trim_publish_scratch`] is called.
+    static PUBLISH_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+}
+
+/// Releases the calling thread's publish scratch buffers.
+///
+/// [`Broker::publish`] keeps one [`MatchScratch`] per thread, sized to
+/// the largest engine that thread has matched against. Long-lived
+/// worker threads that once published to a huge broker and now serve
+/// only small ones can call this to return the high-water allocation;
+/// the next publish re-grows the scratch lazily.
+pub fn trim_publish_scratch() {
+    PUBLISH_SCRATCH.with(|cell| cell.borrow_mut().reset());
 }
 
 pub(crate) struct BrokerInner {
@@ -158,25 +179,42 @@ impl Broker {
     /// queues notifications to the matching subscribers. Returns the
     /// number of notifications delivered.
     ///
+    /// Matching runs under the engine's **read** lock with a
+    /// thread-local [`MatchScratch`], so concurrent publishers match in
+    /// parallel; the lock is released before delivery. The scratch's
+    /// matched buffer is reused across publishes on the same thread —
+    /// the steady-state publish path allocates only the `Arc` around
+    /// the event.
+    ///
     /// Subscribers found disconnected (handle dropped without
     /// unsubscribe — possible when the handle's broker reference was
     /// already gone) are pruned.
     pub fn publish(&self, event: Event) -> usize {
-        let result = self.inner.engine.write().match_event(&event);
-        self.inner
-            .stats
-            .events_published
-            .fetch_add(1, Ordering::Relaxed);
-        if result.matched.is_empty() {
+        PUBLISH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            {
+                let engine = self.inner.engine.read();
+                engine.match_event_into(&event, scratch);
+            }
+            self.inner
+                .stats
+                .events_published
+                .fetch_add(1, Ordering::Relaxed);
+            self.deliver_matched(event, scratch.matched())
+        })
+    }
+
+    /// Queues `event` to the subscribers in `matched`.
+    fn deliver_matched(&self, event: Event, matched: &[SubscriptionId]) -> usize {
+        if matched.is_empty() {
             return 0;
         }
-
         let event = Arc::new(event);
         let mut delivered = 0usize;
         let mut dead: Vec<SubscriptionId> = Vec::new();
         {
             let senders = self.inner.senders.read();
-            for id in &result.matched {
+            for id in matched {
                 let Some(sender) = senders.get(id) else {
                     continue;
                 };
@@ -275,10 +313,21 @@ impl Publisher {
 }
 
 /// Configures and builds a [`Broker`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct BrokerBuilder {
     kind: Option<EngineKind>,
+    custom: Option<Box<dyn FilterEngine + Send + Sync>>,
     policy: DeliveryPolicy,
+}
+
+impl fmt::Debug for BrokerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerBuilder")
+            .field("kind", &self.kind)
+            .field("custom", &self.custom.as_ref().map(|e| e.kind()))
+            .field("policy", &self.policy)
+            .finish()
+    }
 }
 
 impl BrokerBuilder {
@@ -287,6 +336,16 @@ impl BrokerBuilder {
     #[must_use]
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.kind = Some(kind);
+        self
+    }
+
+    /// Supplies a pre-built (possibly custom) engine instead of an
+    /// [`EngineKind`]; takes precedence over [`BrokerBuilder::engine`].
+    /// Useful for non-default engine configurations and for
+    /// instrumented engines in tests.
+    #[must_use]
+    pub fn engine_instance(mut self, engine: Box<dyn FilterEngine + Send + Sync>) -> Self {
+        self.custom = Some(engine);
         self
     }
 
@@ -300,10 +359,12 @@ impl BrokerBuilder {
 
     /// Builds the broker.
     pub fn build(self) -> Broker {
-        let kind = self.kind.unwrap_or(EngineKind::NonCanonical);
+        let engine = self
+            .custom
+            .unwrap_or_else(|| self.kind.unwrap_or(EngineKind::NonCanonical).build());
         Broker {
             inner: Arc::new(BrokerInner {
-                engine: RwLock::new(kind.build()),
+                engine: RwLock::new(engine),
                 senders: RwLock::new(HashMap::new()),
                 policy: self.policy,
                 stats: AtomicStats::default(),
@@ -412,9 +473,7 @@ mod tests {
             let publisher = broker.publisher();
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    publisher.publish(
-                        Event::builder().attr("topic", ((t + i) % 8) as i64).build(),
-                    );
+                    publisher.publish(Event::builder().attr("topic", ((t + i) % 8) as i64).build());
                 }
             }));
         }
@@ -444,5 +503,17 @@ mod tests {
         let broker = Broker::builder().build();
         let _sub = broker.subscribe("(a = 1 or b = 2) and c = 3").unwrap();
         assert!(broker.memory_usage().total() > 0);
+    }
+
+    #[test]
+    fn trim_publish_scratch_keeps_publishing_correct() {
+        let broker = Broker::builder().build();
+        let sub = broker.subscribe("a = 1").unwrap();
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+        // Trimming between publishes releases the thread's buffers; the
+        // next publish re-grows them and still matches correctly.
+        trim_publish_scratch();
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+        assert_eq!(sub.drain().len(), 2);
     }
 }

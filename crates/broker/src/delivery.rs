@@ -6,10 +6,11 @@ use boolmatch_types::Event;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 /// How notifications are queued towards a slow subscriber.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum DeliveryPolicy {
     /// Unbounded queue: the broker never blocks and never drops; a
     /// subscriber that stops draining grows the queue.
+    #[default]
     Unbounded,
     /// Bounded queue of the given capacity; when full, new
     /// notifications for that subscriber are **dropped** and counted in
@@ -20,12 +21,6 @@ pub enum DeliveryPolicy {
         /// Queue capacity per subscriber.
         capacity: usize,
     },
-}
-
-impl Default for DeliveryPolicy {
-    fn default() -> Self {
-        DeliveryPolicy::Unbounded
-    }
 }
 
 impl DeliveryPolicy {

@@ -7,11 +7,27 @@
 //! delivery channels, concurrent publishers, engine selection, delivery
 //! policies and operational counters.
 //!
-//! Threading model: the engine sits behind a [`parking_lot::RwLock`];
-//! matching takes the write lock (engines keep mutable per-event
-//! scratch — see [`boolmatch_core::FilterEngine`]), delivery happens
-//! outside it. Events are reference counted, so fan-out to thousands of
-//! subscribers copies pointers, not payloads.
+//! # Threading model
+//!
+//! The engine sits behind a [`parking_lot::RwLock`], and matching is a
+//! **shared-read** operation: `publish` takes only the *read* lock and
+//! brings a thread-local [`boolmatch_core::MatchScratch`] for all
+//! per-event mutable state, so any number of publisher threads match
+//! concurrently — matching throughput scales with cores (see the
+//! `concurrent_publish` bench). Only `subscribe`/`unsubscribe` take
+//! the write lock. Delivery happens outside the engine lock; events
+//! are reference counted, so fan-out to thousands of subscribers
+//! copies pointers, not payloads.
+//!
+//! Scratch ownership rules: the scratch is per *publisher thread*
+//! (`thread_local!`), never shared concurrently, and self-restoring
+//! between events, so one thread may publish through any number of
+//! brokers and engine kinds. The matched-id buffer inside it is reused
+//! across publishes — the steady-state publish path performs no
+//! allocation beyond the `Arc` around the event. The scratch grows to
+//! the largest engine a thread has matched against and stays there;
+//! long-lived worker threads can release it with
+//! [`trim_publish_scratch`].
 //!
 //! # Examples
 //!
@@ -38,6 +54,8 @@ mod broker;
 mod delivery;
 mod subscriber;
 
-pub use broker::{Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher};
+pub use broker::{
+    trim_publish_scratch, Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher,
+};
 pub use delivery::DeliveryPolicy;
 pub use subscriber::Subscription;

@@ -196,8 +196,7 @@ impl TreeArena {
         // ... and with the one before.
         if pos > 0 {
             let before = self.free[pos - 1];
-            if before.offset + before.len == merged.offset && before.block() == merged.block()
-            {
+            if before.offset + before.len == merged.offset && before.block() == merged.block() {
                 self.free[pos - 1] = Loc {
                     offset: before.offset,
                     len: before.len + merged.len,
@@ -338,7 +337,7 @@ mod tests {
     fn no_coalescing_across_block_boundaries() {
         let mut a = TreeArena::new();
         let first = a.insert(&vec![1u8; BLOCK_SIZE]); // exactly one block
-        let second = a.insert(&vec![2u8; 100]); // starts block 2
+        let second = a.insert(&[2u8; 100]); // starts block 2
         a.remove(first);
         a.remove(second);
         // A block-sized allocation must land at block 0, not bridge the

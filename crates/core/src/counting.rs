@@ -25,11 +25,10 @@ use boolmatch_index::PredicateIndex;
 use boolmatch_types::Event;
 
 use crate::assoc::AssocTable;
-use crate::engine::{
-    EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError,
-};
+use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
 use crate::{
-    FulfilledSet, MatchStats, MemoryUsage, PredicateId, PredicateInterner, SubscriptionId,
+    FulfilledSet, MatchScratch, MatchStats, MemoryUsage, PredicateId, PredicateInterner,
+    SubscriptionId,
 };
 
 /// Configuration shared by both counting engines.
@@ -71,8 +70,6 @@ struct CountingTables {
     assoc: AssocTable<u32>,
     /// Flat conjunction → number of predicates (0 = dead slot).
     cnt: Vec<u8>,
-    /// Flat conjunction → hit counter; all-zero between events.
-    hit: Vec<u8>,
     /// Flat conjunction → original subscription (dense index).
     flat_orig: Vec<u32>,
     free_flats: Vec<u32>,
@@ -80,11 +77,6 @@ struct CountingTables {
     origs: Vec<Option<OrigMeta>>,
     live_origs: usize,
     live_flats: usize,
-    // Reusable scratch.
-    matched_stamp: Vec<u32>,
-    matched_gen: u32,
-    candidates: Vec<u32>,
-    fulfilled_scratch: FulfilledSet,
 }
 
 /// Per-original-subscription bookkeeping needed only for
@@ -105,16 +97,11 @@ impl CountingTables {
             index: PredicateIndex::new(),
             assoc: AssocTable::new(),
             cnt: Vec::new(),
-            hit: Vec::new(),
             flat_orig: Vec::new(),
             free_flats: Vec::new(),
             origs: Vec::new(),
             live_origs: 0,
             live_flats: 0,
-            matched_stamp: Vec::new(),
-            matched_gen: 0,
-            candidates: Vec::new(),
-            fulfilled_scratch: FulfilledSet::new(),
         }
     }
 
@@ -150,10 +137,8 @@ impl CountingTables {
             let flat = match self.free_flats.pop() {
                 Some(f) => f,
                 None => {
-                    let f = u32::try_from(self.cnt.len())
-                        .expect("more than u32::MAX conjunctions");
+                    let f = u32::try_from(self.cnt.len()).expect("more than u32::MAX conjunctions");
                     self.cnt.push(0);
-                    self.hit.push(0);
                     self.flat_orig.push(DEAD_ORIG);
                     f
                 }
@@ -180,7 +165,9 @@ impl CountingTables {
             .origs
             .get_mut(id.index())
             .ok_or(UnsubscribeError::UnknownSubscription(id))?;
-        let meta = slot.take().ok_or(UnsubscribeError::UnknownSubscription(id))?;
+        let meta = slot
+            .take()
+            .ok_or(UnsubscribeError::UnknownSubscription(id))?;
 
         // Remove this subscription's postings: each unique acquired
         // predicate's association list is filtered against the flat set.
@@ -194,7 +181,6 @@ impl CountingTables {
                 .remove_matching(pid, |f| flats_sorted.binary_search(f).is_ok());
         }
         for flat in meta.flats {
-            debug_assert_eq!(self.hit[flat as usize], 0, "hit vector dirty at unsubscribe");
             self.cnt[flat as usize] = 0;
             self.flat_orig[flat as usize] = DEAD_ORIG;
             self.free_flats.push(flat);
@@ -214,23 +200,16 @@ impl CountingTables {
         self.index.for_each_match(event, |id| out.insert(id));
     }
 
-    fn begin_match(&mut self) -> u32 {
-        if self.matched_stamp.len() < self.origs.len() {
-            self.matched_stamp.resize(self.origs.len(), 0);
-        }
-        if self.matched_gen == u32::MAX {
-            self.matched_stamp.fill(0);
-            self.matched_gen = 0;
-        }
-        self.matched_gen += 1;
-        self.matched_gen
-    }
-
     /// Phase 2 of the classic counting algorithm: increment hit
     /// counters, then scan **every** flat conjunction.
+    ///
+    /// The hit counters and the matched-original stamps live in the
+    /// caller's `scratch`; both are restored to their between-events
+    /// state (all hit counters zero) before returning.
     fn phase2_counting(
-        &mut self,
+        &self,
         fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
         matched: &mut Vec<SubscriptionId>,
     ) -> MatchStats {
         matched.clear();
@@ -238,11 +217,12 @@ impl CountingTables {
             fulfilled: fulfilled.len(),
             ..MatchStats::default()
         };
-        let gen = self.begin_match();
+        let gen = scratch.begin_stamps(self.origs.len());
+        scratch.ensure_hit(self.cnt.len());
 
         for &pid in fulfilled.ids() {
             for &flat in self.assoc.get(pid) {
-                self.hit[flat as usize] += 1;
+                scratch.hit[flat as usize] += 1;
                 stats.increments += 1;
             }
         }
@@ -250,19 +230,19 @@ impl CountingTables {
         // "The subscription matching step works on a multiple of the
         // number of original registered subscriptions" (§2.2): the scan
         // covers every flat slot, live or not.
-        for flat in 0..self.hit.len() {
+        for flat in 0..self.cnt.len() {
             stats.comparisons += 1;
-            let h = self.hit[flat];
+            let h = scratch.hit[flat];
             if h != 0 {
                 if h == self.cnt[flat] {
                     let orig = self.flat_orig[flat];
-                    let stamp = &mut self.matched_stamp[orig as usize];
+                    let stamp = &mut scratch.stamps[orig as usize];
                     if *stamp != gen {
                         *stamp = gen;
                         matched.push(SubscriptionId::from_index(orig as usize));
                     }
                 }
-                self.hit[flat] = 0;
+                scratch.hit[flat] = 0;
             }
         }
         stats.matched = matched.len();
@@ -272,8 +252,9 @@ impl CountingTables {
     /// Phase 2 of the paper's counting variant: only candidate
     /// conjunctions (those with at least one hit) are compared.
     fn phase2_variant(
-        &mut self,
+        &self,
         fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
         matched: &mut Vec<SubscriptionId>,
     ) -> MatchStats {
         matched.clear();
@@ -281,13 +262,14 @@ impl CountingTables {
             fulfilled: fulfilled.len(),
             ..MatchStats::default()
         };
-        let gen = self.begin_match();
+        let gen = scratch.begin_stamps(self.origs.len());
+        scratch.ensure_hit(self.cnt.len());
 
-        let mut candidates = std::mem::take(&mut self.candidates);
+        let mut candidates = std::mem::take(&mut scratch.candidates);
         candidates.clear();
         for &pid in fulfilled.ids() {
             for &flat in self.assoc.get(pid) {
-                let h = &mut self.hit[flat as usize];
+                let h = &mut scratch.hit[flat as usize];
                 if *h == 0 {
                     candidates.push(flat);
                 }
@@ -299,17 +281,17 @@ impl CountingTables {
 
         for &flat in &candidates {
             stats.comparisons += 1;
-            if self.hit[flat as usize] == self.cnt[flat as usize] {
+            if scratch.hit[flat as usize] == self.cnt[flat as usize] {
                 let orig = self.flat_orig[flat as usize];
-                let stamp = &mut self.matched_stamp[orig as usize];
+                let stamp = &mut scratch.stamps[orig as usize];
                 if *stamp != gen {
                     *stamp = gen;
                     matched.push(SubscriptionId::from_index(orig as usize));
                 }
             }
-            self.hit[flat as usize] = 0;
+            scratch.hit[flat as usize] = 0;
         }
-        self.candidates = candidates;
+        scratch.candidates = candidates;
         stats.matched = matched.len();
         stats
     }
@@ -328,11 +310,16 @@ impl CountingTables {
             association: self.assoc.heap_bytes(),
             locations: self.flat_orig.capacity() * 4 + self.free_flats.capacity() * 4,
             trees: 0,
-            vectors: self.cnt.capacity() + self.hit.capacity(),
+            // Count vector plus the per-matcher hit vector. The hit
+            // vector lives in `MatchScratch` since the shared-read
+            // redesign, but it is still a per-matcher requirement sized
+            // to the flat-slot space, so the paper-faithful phase-2
+            // accounting keeps charging it here.
+            vectors: self.cnt.capacity() + self.cnt.len(),
             unsub_support: unsub,
-            scratch: self.matched_stamp.capacity() * 4
-                + self.candidates.capacity() * 4
-                + self.fulfilled_scratch.heap_bytes(),
+            // Per-event scratch is caller-owned now
+            // (`MatchScratch::heap_bytes`); the engine holds none.
+            scratch: 0,
         }
     }
 
@@ -402,28 +389,28 @@ macro_rules! counting_engine {
             }
 
             fn phase2(
-                &mut self,
+                &self,
                 fulfilled: &FulfilledSet,
+                scratch: &mut MatchScratch,
                 matched: &mut Vec<SubscriptionId>,
             ) -> MatchStats {
-                self.tables.$phase2(fulfilled, matched)
-            }
-
-            fn match_event(&mut self, event: &Event) -> MatchResult {
-                let mut fulfilled = std::mem::take(&mut self.tables.fulfilled_scratch);
-                self.phase1(event, &mut fulfilled);
-                let mut matched = Vec::new();
-                let stats = self.phase2(&fulfilled, &mut matched);
-                self.tables.fulfilled_scratch = fulfilled;
-                MatchResult { matched, stats }
+                self.tables.$phase2(fulfilled, scratch, matched)
             }
 
             fn subscription_count(&self) -> usize {
                 self.tables.live_origs
             }
 
+            fn subscription_id_bound(&self) -> usize {
+                self.tables.origs.len()
+            }
+
             fn registered_units(&self) -> usize {
                 self.tables.flat_count()
+            }
+
+            fn unit_slot_bound(&self) -> usize {
+                self.tables.cnt.len()
             }
 
             fn predicate_count(&self) -> usize {
@@ -451,11 +438,11 @@ counting_engine!(
     /// # Examples
     ///
     /// ```
-    /// use boolmatch_core::{CountingEngine, FilterEngine};
+    /// use boolmatch_core::{CountingEngine, FilterEngine, Matcher};
     /// use boolmatch_expr::Expr;
     /// use boolmatch_types::Event;
     ///
-    /// let mut engine = CountingEngine::new();
+    /// let mut engine = Matcher::new(CountingEngine::new());
     /// let id = engine.subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3")?)?;
     /// // Two conjunctions were registered for one subscription:
     /// assert_eq!(engine.flat_count(), 2);
@@ -478,11 +465,11 @@ counting_engine!(
     /// # Examples
     ///
     /// ```
-    /// use boolmatch_core::{CountingVariantEngine, FilterEngine};
+    /// use boolmatch_core::{CountingVariantEngine, FilterEngine, Matcher};
     /// use boolmatch_expr::Expr;
     /// use boolmatch_types::Event;
     ///
-    /// let mut engine = CountingVariantEngine::new();
+    /// let mut engine = Matcher::new(CountingVariantEngine::new());
     /// let id = engine.subscribe(&Expr::parse("x > 3 and x < 9")?)?;
     /// let ev = Event::builder().attr("x", 5_i64).build();
     /// let result = engine.match_event(&ev);
@@ -499,9 +486,13 @@ counting_engine!(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Matcher;
 
-    fn engines() -> (CountingEngine, CountingVariantEngine) {
-        (CountingEngine::new(), CountingVariantEngine::new())
+    fn engines() -> (Matcher<CountingEngine>, Matcher<CountingVariantEngine>) {
+        (
+            Matcher::new(CountingEngine::new()),
+            Matcher::new(CountingVariantEngine::new()),
+        )
     }
 
     fn ev(pairs: &[(&str, i64)]) -> Event {
@@ -555,10 +546,18 @@ mod tests {
                     want.push(i);
                 }
             }
-            let mut got_c: Vec<usize> =
-                c.match_event(event).matched.iter().map(|s| s.index()).collect();
-            let mut got_v: Vec<usize> =
-                v.match_event(event).matched.iter().map(|s| s.index()).collect();
+            let mut got_c: Vec<usize> = c
+                .match_event(event)
+                .matched
+                .iter()
+                .map(|s| s.index())
+                .collect();
+            let mut got_v: Vec<usize> = v
+                .match_event(event)
+                .matched
+                .iter()
+                .map(|s| s.index())
+                .collect();
             got_c.sort();
             got_v.sort();
             assert_eq!(got_c, want, "counting on {event}");
@@ -609,16 +608,19 @@ mod tests {
 
     #[test]
     fn dnf_limit_is_enforced() {
-        let mut c = CountingEngine::with_config(CountingConfig {
+        let mut c = Matcher::new(CountingEngine::with_config(CountingConfig {
             dnf_limit: 4,
             enable_phase1_index: true,
-        });
+        }));
         // 2^3 = 8 conjunctions > 4.
         let expr =
             Expr::parse("(a = 1 or a = 2) and (b = 1 or b = 2) and (c = 1 or c = 2)").unwrap();
         assert!(matches!(
             c.subscribe(&expr),
-            Err(SubscribeError::DnfTooLarge { estimate: 8, limit: 4 })
+            Err(SubscribeError::DnfTooLarge {
+                estimate: 8,
+                limit: 4
+            })
         ));
         // Nothing leaked.
         assert_eq!(c.subscription_count(), 0);

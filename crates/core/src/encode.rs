@@ -224,10 +224,8 @@ fn encode_inner(tag: u8, children: &[IdExpr], out: &mut Vec<u8>) -> Result<(), E
         let start = out.len();
         encode_into(child, out)?;
         let width = out.len() - start;
-        let width16 =
-            u16::try_from(width).map_err(|_| EncodeError::SubtreeTooWide { width })?;
-        out[widths_at + 2 * i..widths_at + 2 * i + 2]
-            .copy_from_slice(&width16.to_le_bytes());
+        let width16 = u16::try_from(width).map_err(|_| EncodeError::SubtreeTooWide { width })?;
+        out[widths_at + 2 * i..widths_at + 2 * i + 2].copy_from_slice(&width16.to_le_bytes());
     }
     Ok(())
 }
@@ -285,10 +283,7 @@ fn decode_node(bytes: &[u8], offset: usize) -> Result<(IdExpr, usize), DecodeErr
             };
             Ok((node, child_at - offset))
         }
-        other => Err(DecodeError::BadTag {
-            tag: other,
-            offset,
-        }),
+        other => Err(DecodeError::BadTag { tag: other, offset }),
     }
 }
 
@@ -387,7 +382,10 @@ mod tests {
             decode(&[9, 1, 2]),
             Err(DecodeError::BadTag { tag: 9, offset: 0 })
         ));
-        assert!(matches!(decode(&[TAG_PRED, 1]), Err(DecodeError::UnexpectedEnd)));
+        assert!(matches!(
+            decode(&[TAG_PRED, 1]),
+            Err(DecodeError::UnexpectedEnd)
+        ));
         // Trailing bytes after a valid leaf.
         let mut bytes = encode(&p(1)).unwrap();
         bytes.push(0);

@@ -6,7 +6,9 @@ use std::fmt;
 use boolmatch_expr::{DnfError, Expr};
 use boolmatch_types::Event;
 
-use crate::{EncodeError, FulfilledSet, MatchStats, MemoryUsage, SubscriptionId};
+use crate::{
+    EncodeError, FulfilledSet, MatchScratch, MatchStats, Matcher, MemoryUsage, SubscriptionId,
+};
 
 /// The result of matching one event.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -141,6 +143,12 @@ impl EngineKind {
             EngineKind::CountingVariant => Box::new(crate::CountingVariantEngine::new()),
         }
     }
+
+    /// Instantiates a fresh engine bundled with its own scratch — the
+    /// convenient form for single-threaded callers.
+    pub fn build_matcher(self) -> Matcher<Box<dyn FilterEngine + Send + Sync>> {
+        Matcher::new(self.build())
+    }
 }
 
 impl fmt::Display for EngineKind {
@@ -157,10 +165,18 @@ impl fmt::Display for EngineKind {
 /// exposed separately because the paper's evaluation measures phase 2
 /// in isolation — phase 1 is identical across engines by construction.
 ///
-/// Matching takes `&mut self`: engines keep reusable scratch
-/// (generation-stamped candidate sets, hit vectors) that makes matching
-/// allocation-free in steady state. Wrap an engine in a lock for
-/// concurrent use (`boolmatch-broker` does).
+/// # Threading model
+///
+/// **Matching is `&self`**; only `subscribe`/`unsubscribe` mutate the
+/// engine. All per-event mutable state (candidate buffers, hit
+/// counters, stamp arrays, the evaluator stack) lives in a caller-owned
+/// [`MatchScratch`], so any number of threads may match concurrently
+/// against one engine — e.g. behind the read side of an `RwLock`, as
+/// `boolmatch-broker` does — each with its own scratch. Matching is
+/// allocation-free in steady state: the scratch resizes lazily to the
+/// engine's current size and is reusable across events, engines, and
+/// engine kinds. Single-threaded callers who prefer the bundled
+/// ergonomics can wrap an engine in a [`Matcher`].
 pub trait FilterEngine {
     /// The engine's kind.
     fn kind(&self) -> EngineKind;
@@ -186,16 +202,52 @@ pub trait FilterEngine {
     /// `out` (which is reset first).
     fn phase1(&self, event: &Event, out: &mut FulfilledSet);
 
-    /// Phase 2: computes the subscriptions matched by a fulfilled set.
-    /// `matched` is cleared first.
-    fn phase2(&mut self, fulfilled: &FulfilledSet, matched: &mut Vec<SubscriptionId>)
-        -> MatchStats;
+    /// Phase 2: computes the subscriptions matched by a fulfilled set
+    /// into `matched` (cleared first), using `scratch` for all per-event
+    /// mutable state.
+    fn phase2(
+        &self,
+        fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats;
 
-    /// Convenience: both phases with engine-internal scratch.
-    fn match_event(&mut self, event: &Event) -> MatchResult;
+    /// Both phases, leaving the matched ids in `scratch`
+    /// ([`MatchScratch::matched`]) — the allocation-free form hot paths
+    /// use (the broker's publish path reuses one scratch per thread
+    /// across events).
+    fn match_event_into(&self, event: &Event, scratch: &mut MatchScratch) -> MatchStats {
+        // The fulfilled/matched buffers are moved out while phase2
+        // borrows the rest of the scratch; the moves are pointer swaps.
+        let mut fulfilled = std::mem::take(&mut scratch.fulfilled);
+        self.phase1(event, &mut fulfilled);
+        let mut matched = std::mem::take(&mut scratch.matched);
+        let stats = self.phase2(&fulfilled, scratch, &mut matched);
+        scratch.fulfilled = fulfilled;
+        scratch.matched = matched;
+        stats
+    }
+
+    /// Both phases, returning an owned [`MatchResult`]. Allocates the
+    /// result vector; use [`FilterEngine::match_event_into`] on hot
+    /// paths.
+    fn match_event(&self, event: &Event, scratch: &mut MatchScratch) -> MatchResult {
+        let stats = self.match_event_into(event, scratch);
+        MatchResult {
+            matched: scratch.matched.clone(),
+            stats,
+        }
+    }
 
     /// Number of registered (original) subscriptions.
     fn subscription_count(&self) -> usize;
+
+    /// Upper bound (exclusive) of the dense subscription-id space —
+    /// including ids of unsubscribed slots. Scratch stamp arrays are
+    /// sized against this.
+    fn subscription_id_bound(&self) -> usize {
+        self.subscription_count()
+    }
 
     /// Number of internally registered matching units: original
     /// subscriptions for the non-canonical engine, DNF conjunctions for
@@ -203,6 +255,14 @@ pub trait FilterEngine {
     /// registered subscriptions" of paper §2.2.
     fn registered_units(&self) -> usize {
         self.subscription_count()
+    }
+
+    /// Upper bound (exclusive) of the dense matching-unit slot space —
+    /// including freed slots awaiting reuse, unlike
+    /// [`FilterEngine::registered_units`]. Scratch hit vectors are
+    /// sized against this.
+    fn unit_slot_bound(&self) -> usize {
+        self.registered_units()
     }
 
     /// Number of live distinct predicates.
@@ -214,6 +274,69 @@ pub trait FilterEngine {
 
     /// Byte-accurate memory breakdown.
     fn memory_usage(&self) -> MemoryUsage;
+}
+
+impl<T: FilterEngine + ?Sized> FilterEngine for Box<T> {
+    fn kind(&self) -> EngineKind {
+        (**self).kind()
+    }
+
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        (**self).subscribe(expr)
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        (**self).unsubscribe(id)
+    }
+
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+        (**self).phase1(event, out);
+    }
+
+    fn phase2(
+        &self,
+        fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        (**self).phase2(fulfilled, scratch, matched)
+    }
+
+    fn match_event_into(&self, event: &Event, scratch: &mut MatchScratch) -> MatchStats {
+        (**self).match_event_into(event, scratch)
+    }
+
+    fn match_event(&self, event: &Event, scratch: &mut MatchScratch) -> MatchResult {
+        (**self).match_event(event, scratch)
+    }
+
+    fn subscription_count(&self) -> usize {
+        (**self).subscription_count()
+    }
+
+    fn subscription_id_bound(&self) -> usize {
+        (**self).subscription_id_bound()
+    }
+
+    fn registered_units(&self) -> usize {
+        (**self).registered_units()
+    }
+
+    fn unit_slot_bound(&self) -> usize {
+        (**self).unit_slot_bound()
+    }
+
+    fn predicate_count(&self) -> usize {
+        (**self).predicate_count()
+    }
+
+    fn predicate_universe(&self) -> usize {
+        (**self).predicate_universe()
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        (**self).memory_usage()
+    }
 }
 
 #[cfg(test)]

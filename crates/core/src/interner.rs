@@ -133,7 +133,11 @@ impl PredicateInterner {
             + self.refcounts.capacity() * 4
             + self.free.capacity() * 4
             + self.by_pred.capacity() * (pred_struct + 8 + 8)
-            + self.by_pred.keys().map(Predicate::heap_bytes).sum::<usize>()
+            + self
+                .by_pred
+                .keys()
+                .map(Predicate::heap_bytes)
+                .sum::<usize>()
     }
 }
 

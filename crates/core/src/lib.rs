@@ -24,14 +24,21 @@
 //! same order, the engines assign identical [`PredicateId`]s and agree
 //! exactly on which subscriptions match (property-tested).
 //!
+//! Matching is a **shared-read** operation: engines take `&self`, and
+//! every per-event mutable buffer lives in a caller-owned
+//! [`MatchScratch`] (one per thread), so publishers match concurrently
+//! against one engine. Single-threaded callers can use the bundled
+//! [`Matcher`] handle instead. See [`FilterEngine`] for the threading
+//! model.
+//!
 //! # Examples
 //!
 //! ```
-//! use boolmatch_core::{FilterEngine, NonCanonicalEngine};
+//! use boolmatch_core::{FilterEngine, Matcher, NonCanonicalEngine};
 //! use boolmatch_expr::Expr;
 //! use boolmatch_types::Event;
 //!
-//! let mut engine = NonCanonicalEngine::new();
+//! let mut engine = Matcher::new(NonCanonicalEngine::new());
 //! let sub = engine.subscribe(&Expr::parse(
 //!     "(price > 10 or price <= 5) and symbol = \"IBM\"",
 //! )?)?;
@@ -56,17 +63,17 @@ mod ids;
 mod interner;
 mod memory;
 mod noncanonical;
+mod scratch;
 mod stats;
 
 pub use counting::{CountingConfig, CountingEngine, CountingVariantEngine};
 pub use encode::{decode, encode, DecodeError, EncodeError, IdExpr};
-pub use engine::{
-    EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError,
-};
+pub use engine::{EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError};
 pub use eval::{eval_iterative, eval_recursive};
 pub use fulfilled::FulfilledSet;
 pub use ids::{PredicateId, SubscriptionId};
 pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
+pub use scratch::{MatchScratch, Matcher};
 pub use stats::MatchStats;

@@ -7,12 +7,11 @@ use boolmatch_types::Event;
 use crate::arena::{Loc, TreeArena};
 use crate::assoc::AssocTable;
 use crate::encode::{self, IdExpr};
-use crate::engine::{
-    EngineKind, FilterEngine, MatchResult, SubscribeError, UnsubscribeError,
-};
-use crate::eval::{eval_iterative_with, EvalFrame};
+use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
+use crate::eval::eval_iterative_with;
 use crate::{
-    FulfilledSet, MatchStats, MemoryUsage, PredicateId, PredicateInterner, SubscriptionId,
+    FulfilledSet, MatchScratch, MatchStats, MemoryUsage, PredicateId, PredicateInterner,
+    SubscriptionId,
 };
 
 /// Configuration of a [`NonCanonicalEngine`].
@@ -51,11 +50,11 @@ impl Default for NonCanonicalConfig {
 /// # Examples
 ///
 /// ```
-/// use boolmatch_core::{FilterEngine, NonCanonicalEngine};
+/// use boolmatch_core::{FilterEngine, Matcher, NonCanonicalEngine};
 /// use boolmatch_expr::Expr;
 /// use boolmatch_types::Event;
 ///
-/// let mut engine = NonCanonicalEngine::new();
+/// let mut engine = Matcher::new(NonCanonicalEngine::new());
 /// // Arbitrary Boolean structure, registered without DNF expansion:
 /// let id = engine.subscribe(&Expr::parse(
 ///     "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)",
@@ -78,12 +77,6 @@ pub struct NonCanonicalEngine {
     locations: Vec<Loc>,
     arena: TreeArena,
     live_subs: usize,
-    // Reusable per-event scratch.
-    seen: Vec<u32>,
-    seen_gen: u32,
-    candidates: Vec<u32>,
-    eval_stack: Vec<EvalFrame>,
-    fulfilled_scratch: FulfilledSet,
 }
 
 impl Default for NonCanonicalEngine {
@@ -108,11 +101,6 @@ impl NonCanonicalEngine {
             locations: Vec::new(),
             arena: TreeArena::new(),
             live_subs: 0,
-            seen: Vec::new(),
-            seen_gen: 0,
-            candidates: Vec::new(),
-            eval_stack: Vec::new(),
-            fulfilled_scratch: FulfilledSet::new(),
         }
     }
 
@@ -129,22 +117,16 @@ impl NonCanonicalEngine {
                 acquired.push(id);
                 IdExpr::Pred(id)
             }
-            Expr::And(cs) => {
-                IdExpr::And(cs.iter().map(|c| self.compile(c, acquired)).collect())
-            }
-            Expr::Or(cs) => {
-                IdExpr::Or(cs.iter().map(|c| self.compile(c, acquired)).collect())
-            }
+            Expr::And(cs) => IdExpr::And(cs.iter().map(|c| self.compile(c, acquired)).collect()),
+            Expr::Or(cs) => IdExpr::Or(cs.iter().map(|c| self.compile(c, acquired)).collect()),
             Expr::Not(c) => IdExpr::Not(Box::new(self.compile(c, acquired))),
         }
     }
 
     fn release_predicate(&mut self, id: PredicateId) {
-        if self.interner.release(id) {
-            if self.config.enable_phase1_index {
-                // The slot still holds the predicate until reused.
-                self.index.remove(id, self.interner.resolve(id));
-            }
+        if self.interner.release(id) && self.config.enable_phase1_index {
+            // The slot still holds the predicate until reused.
+            self.index.remove(id, self.interner.resolve(id));
         }
     }
 
@@ -263,8 +245,9 @@ impl FilterEngine for NonCanonicalEngine {
     }
 
     fn phase2(
-        &mut self,
+        &self,
         fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
         matched: &mut Vec<SubscriptionId>,
     ) -> MatchStats {
         matched.clear();
@@ -273,22 +256,15 @@ impl FilterEngine for NonCanonicalEngine {
             ..MatchStats::default()
         };
 
-        // Candidate collection with generation-stamped deduplication.
-        if self.seen.len() < self.locations.len() {
-            self.seen.resize(self.locations.len(), 0);
-        }
-        if self.seen_gen == u32::MAX {
-            self.seen.fill(0);
-            self.seen_gen = 0;
-        }
-        self.seen_gen += 1;
-        let gen = self.seen_gen;
+        // Candidate collection with generation-stamped deduplication,
+        // in the caller's scratch.
+        let gen = scratch.begin_stamps(self.locations.len());
 
-        let mut candidates = std::mem::take(&mut self.candidates);
+        let mut candidates = std::mem::take(&mut scratch.candidates);
         candidates.clear();
         for &pid in fulfilled.ids() {
             for &sub in self.assoc.get(pid) {
-                let stamp = &mut self.seen[sub as usize];
+                let stamp = &mut scratch.stamps[sub as usize];
                 if *stamp != gen {
                     *stamp = gen;
                     candidates.push(sub);
@@ -299,7 +275,7 @@ impl FilterEngine for NonCanonicalEngine {
 
         // Evaluate each candidate's Boolean expression once; the
         // variable values are exactly the fulfilled set (paper §3.2).
-        let mut eval_stack = std::mem::take(&mut self.eval_stack);
+        let mut eval_stack = std::mem::take(&mut scratch.eval_stack);
         for &sub in &candidates {
             let loc = self.locations[sub as usize];
             debug_assert!(
@@ -311,23 +287,18 @@ impl FilterEngine for NonCanonicalEngine {
                 matched.push(SubscriptionId::from_index(sub as usize));
             }
         }
-        self.eval_stack = eval_stack;
-        self.candidates = candidates;
+        scratch.eval_stack = eval_stack;
+        scratch.candidates = candidates;
         stats.matched = matched.len();
         stats
     }
 
-    fn match_event(&mut self, event: &Event) -> MatchResult {
-        let mut fulfilled = std::mem::take(&mut self.fulfilled_scratch);
-        self.phase1(event, &mut fulfilled);
-        let mut matched = Vec::new();
-        let stats = self.phase2(&fulfilled, &mut matched);
-        self.fulfilled_scratch = fulfilled;
-        MatchResult { matched, stats }
-    }
-
     fn subscription_count(&self) -> usize {
         self.live_subs
+    }
+
+    fn subscription_id_bound(&self) -> usize {
+        self.locations.len()
     }
 
     fn predicate_count(&self) -> usize {
@@ -347,9 +318,9 @@ impl FilterEngine for NonCanonicalEngine {
             trees: self.arena.heap_bytes(),
             vectors: 0,
             unsub_support: 0,
-            scratch: self.seen.capacity() * 4
-                + self.candidates.capacity() * 4
-                + self.fulfilled_scratch.heap_bytes(),
+            // Per-event scratch is caller-owned now
+            // (`MatchScratch::heap_bytes`); the engine holds none.
+            scratch: 0,
         }
     }
 }
@@ -357,9 +328,10 @@ impl FilterEngine for NonCanonicalEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Matcher;
 
-    fn engine_with(subs: &[&str]) -> (NonCanonicalEngine, Vec<SubscriptionId>) {
-        let mut e = NonCanonicalEngine::new();
+    fn engine_with(subs: &[&str]) -> (Matcher<NonCanonicalEngine>, Vec<SubscriptionId>) {
+        let mut e = Matcher::new(NonCanonicalEngine::new());
         let ids = subs
             .iter()
             .map(|s| e.subscribe(&Expr::parse(s).unwrap()).unwrap())
@@ -471,7 +443,7 @@ mod tests {
 
     #[test]
     fn arena_space_is_reused_after_churn() {
-        let mut e = NonCanonicalEngine::new();
+        let mut e = Matcher::new(NonCanonicalEngine::new());
         let expr = Expr::parse("(a = 1 or b = 2) and (c = 3 or d = 4)").unwrap();
         let mut ids = Vec::new();
         for _ in 0..100 {
@@ -500,11 +472,8 @@ mod tests {
 
     #[test]
     fn phase_separation_agrees_with_match_event() {
-        let (mut e, _) = engine_with(&[
-            "a > 5 and b < 3",
-            "a > 5 or c = 1",
-            "not (a > 5) and c = 1",
-        ]);
+        let (mut e, _) =
+            engine_with(&["a > 5 and b < 3", "a > 5 or c = 1", "not (a > 5) and c = 1"]);
         let ev = Event::builder().attr("a", 10_i64).attr("c", 1_i64).build();
         let full = e.match_event(&ev);
 
@@ -523,11 +492,11 @@ mod tests {
             "x = 9 or (y = 8 and (z = 7 or w = 6))",
             "not (p = 1 and (q = 2 or r = 3))",
         ];
-        let mut plain = NonCanonicalEngine::new();
-        let mut reordered = NonCanonicalEngine::with_config(NonCanonicalConfig {
+        let mut plain = Matcher::new(NonCanonicalEngine::new());
+        let mut reordered = Matcher::new(NonCanonicalEngine::with_config(NonCanonicalConfig {
             reorder_trees: true,
             ..NonCanonicalConfig::default()
-        });
+        }));
         for text in exprs {
             let e = Expr::parse(text).unwrap();
             plain.subscribe(&e).unwrap();
@@ -562,10 +531,10 @@ mod tests {
     #[test]
     fn phase2_with_synthetic_fulfilled_set() {
         // The Fig. 3 setup: no phase-1 index, fulfilled ids synthesized.
-        let mut e = NonCanonicalEngine::with_config(NonCanonicalConfig {
+        let mut e = Matcher::new(NonCanonicalEngine::with_config(NonCanonicalConfig {
             enable_phase1_index: false,
             ..NonCanonicalConfig::default()
-        });
+        }));
         let id = e
             .subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3").unwrap())
             .unwrap();
@@ -600,7 +569,7 @@ mod tests {
 
     #[test]
     fn empty_engine_matches_nothing() {
-        let mut e = NonCanonicalEngine::new();
+        let mut e = Matcher::new(NonCanonicalEngine::new());
         let ev = Event::builder().attr("a", 1_i64).build();
         let r = e.match_event(&ev);
         assert!(r.matched.is_empty());

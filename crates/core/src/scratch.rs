@@ -1,0 +1,298 @@
+//! Per-caller scratch state for matching, and the owning [`Matcher`]
+//! convenience handle.
+//!
+//! The engines are **read-only during matching**: an event match only
+//! consults the subscription index structures. Everything mutable per
+//! event — generation-stamped candidate deduplication, hit counters,
+//! the evaluator stack, the fulfilled set, the matched-id buffer —
+//! lives in a [`MatchScratch`] owned by the *caller*. One engine can
+//! therefore serve any number of concurrent matchers, each bringing
+//! its own scratch (the broker keeps one per publisher thread).
+//!
+//! A single scratch may be reused across engines and engine kinds: all
+//! buffers resize lazily to the engine at hand, and the stamp/hit
+//! disciplines stay sound under sharing (stamps are compared against a
+//! generation that is bumped on every match; hit counters are restored
+//! to zero before a match returns).
+
+use crate::eval::EvalFrame;
+use crate::{FulfilledSet, SubscriptionId};
+
+/// Reusable per-event mutable state for [`FilterEngine`] matching.
+///
+/// Create one per thread (or per call site) and pass it to
+/// [`FilterEngine::phase2`] / [`FilterEngine::match_event`]; in steady
+/// state matching is then allocation-free. See the
+/// [module docs](self) for the sharing rules.
+///
+/// [`FilterEngine`]: crate::FilterEngine
+/// [`FilterEngine::phase2`]: crate::FilterEngine::phase2
+/// [`FilterEngine::match_event`]: crate::FilterEngine::match_event
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Generation-stamped marks, indexed by subscription (non-canonical
+    /// candidate dedup) or by original subscription (counting match
+    /// dedup). Entries are valid only when equal to `generation`.
+    pub(crate) stamps: Vec<u32>,
+    pub(crate) generation: u32,
+    /// Candidate buffer: subscription indexes (non-canonical) or flat
+    /// conjunction indexes (counting variant).
+    pub(crate) candidates: Vec<u32>,
+    /// Hit counters for the counting engines; all-zero between events.
+    pub(crate) hit: Vec<u8>,
+    /// Explicit evaluator stack for encoded-tree evaluation.
+    pub(crate) eval_stack: Vec<EvalFrame>,
+    /// Phase-1 output buffer used by `match_event`.
+    pub(crate) fulfilled: FulfilledSet,
+    /// Matched subscription ids of the most recent `match_event_into`,
+    /// reused across events.
+    pub(crate) matched: Vec<SubscriptionId>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; buffers grow lazily to the engines it
+    /// is used with.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// Matched subscription ids of the most recent
+    /// [`match_event_into`](crate::FilterEngine::match_event_into), in
+    /// unspecified order, without duplicates.
+    pub fn matched(&self) -> &[SubscriptionId] {
+        &self.matched
+    }
+
+    /// Releases all buffers (capacity included). Matching against a
+    /// much smaller engine afterwards will not pin the old high-water
+    /// memory.
+    pub fn reset(&mut self) {
+        *self = MatchScratch::default();
+    }
+
+    /// Pre-sizes the buffers for `engine` so the first match does not
+    /// pay the growth cost. Purely an optimisation: every buffer also
+    /// resizes lazily inside `phase2`.
+    pub fn ensure_capacity(&mut self, engine: &(impl crate::FilterEngine + ?Sized)) {
+        let bound = engine.subscription_id_bound();
+        if self.stamps.len() < bound {
+            self.stamps.resize(bound, 0);
+        }
+        let units = engine.unit_slot_bound();
+        if self.hit.len() < units {
+            self.hit.resize(units, 0);
+        }
+        self.fulfilled.begin(engine.predicate_universe());
+    }
+
+    /// Approximate heap bytes held by the scratch buffers.
+    pub fn heap_bytes(&self) -> usize {
+        self.stamps.capacity() * 4
+            + self.candidates.capacity() * 4
+            + self.hit.capacity()
+            + self.eval_stack.capacity() * std::mem::size_of::<EvalFrame>()
+            + self.fulfilled.heap_bytes()
+            + self.matched.capacity() * std::mem::size_of::<SubscriptionId>()
+    }
+
+    /// Starts a stamped pass over `slots` positions: ensures the stamp
+    /// array covers them, bumps the generation (with wrap-around reset)
+    /// and returns the fresh generation value.
+    pub(crate) fn begin_stamps(&mut self, slots: usize) -> u32 {
+        if self.stamps.len() < slots {
+            self.stamps.resize(slots, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamps.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Ensures the hit vector covers `slots` counters (zero-filled).
+    pub(crate) fn ensure_hit(&mut self, slots: usize) {
+        if self.hit.len() < slots {
+            self.hit.resize(slots, 0);
+        }
+    }
+}
+
+/// An engine bundled with its own [`MatchScratch`] — the convenience
+/// handle for single-threaded owners (tests, benches, CLI tools) that
+/// want the pre-redesign `&mut self` ergonomics back.
+///
+/// Derefs to the engine, so `subscribe`/`unsubscribe`/`phase1` and the
+/// inspection methods are called directly on the matcher.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{EngineKind, Matcher};
+/// use boolmatch_expr::Expr;
+/// use boolmatch_types::Event;
+///
+/// let mut matcher = EngineKind::NonCanonical.build_matcher();
+/// let id = matcher.subscribe(&Expr::parse("a = 1 and b = 2")?)?;
+/// let event = Event::builder().attr("a", 1_i64).attr("b", 2_i64).build();
+/// assert_eq!(matcher.match_event(&event).matched, vec![id]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Matcher<E> {
+    engine: E,
+    scratch: MatchScratch,
+}
+
+impl<E: crate::FilterEngine> Matcher<E> {
+    /// Wraps `engine` with a fresh scratch.
+    pub fn new(engine: E) -> Self {
+        Matcher {
+            engine,
+            scratch: MatchScratch::new(),
+        }
+    }
+
+    /// Both phases against the owned scratch; returns an owned result.
+    pub fn match_event(&mut self, event: &boolmatch_types::Event) -> crate::MatchResult {
+        self.engine.match_event(event, &mut self.scratch)
+    }
+
+    /// Both phases, leaving the ids in [`Matcher::matched`] — the
+    /// allocation-free variant.
+    pub fn match_event_into(&mut self, event: &boolmatch_types::Event) -> crate::MatchStats {
+        self.engine.match_event_into(event, &mut self.scratch)
+    }
+
+    /// Phase 2 only, with the owned scratch.
+    pub fn phase2(
+        &mut self,
+        fulfilled: &FulfilledSet,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> crate::MatchStats {
+        self.engine.phase2(fulfilled, &mut self.scratch, matched)
+    }
+
+    /// Matched ids of the most recent [`Matcher::match_event_into`].
+    pub fn matched(&self) -> &[SubscriptionId] {
+        self.scratch.matched()
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The wrapped engine, mutably.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// The owned scratch.
+    pub fn scratch_mut(&mut self) -> &mut MatchScratch {
+        &mut self.scratch
+    }
+
+    /// Unbundles the engine and scratch.
+    pub fn into_parts(self) -> (E, MatchScratch) {
+        (self.engine, self.scratch)
+    }
+}
+
+impl<E> std::ops::Deref for Matcher<E> {
+    type Target = E;
+
+    fn deref(&self) -> &E {
+        &self.engine
+    }
+}
+
+impl<E> std::ops::DerefMut for Matcher<E> {
+    fn deref_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineKind, FilterEngine};
+    use boolmatch_expr::Expr;
+    use boolmatch_types::Event;
+
+    #[test]
+    fn scratch_is_shareable_across_engine_kinds() {
+        // One scratch serving three engines of different kinds, in an
+        // interleaved order: the stamp/hit disciplines must not leak
+        // state between them.
+        let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+        let expr = Expr::parse("(a = 1 or b = 2) and c = 3").unwrap();
+        for e in &mut engines {
+            e.subscribe(&expr).unwrap();
+        }
+        let mut scratch = MatchScratch::new();
+        let hit = Event::builder().attr("b", 2_i64).attr("c", 3_i64).build();
+        let partial = Event::builder().attr("c", 3_i64).build();
+        for _ in 0..3 {
+            for e in &engines {
+                assert_eq!(e.match_event(&hit, &mut scratch).matched.len(), 1);
+                assert!(e.match_event(&partial, &mut scratch).matched.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_capacity_presizes() {
+        let mut matcher = EngineKind::Counting.build_matcher();
+        for i in 0..10 {
+            let e = Expr::parse(&format!("(x{i} = 1 or y{i} = 2) and z{i} = 3")).unwrap();
+            matcher.subscribe(&e).unwrap();
+        }
+        let mut scratch = MatchScratch::new();
+        scratch.ensure_capacity(matcher.engine());
+        assert!(scratch.stamps.len() >= 10);
+        assert!(scratch.hit.len() >= 20, "flat slots: 2 per subscription");
+        assert!(scratch.heap_bytes() > 0);
+
+        // After unsubscribe churn the live unit count shrinks but the
+        // slot space does not; pre-sizing must cover freed slots too,
+        // because phase2 indexes the hit vector by slot.
+        for i in 0..9 {
+            matcher
+                .unsubscribe(crate::SubscriptionId::from_index(i))
+                .unwrap();
+        }
+        let mut churned = MatchScratch::new();
+        churned.ensure_capacity(matcher.engine());
+        assert!(
+            churned.hit.len() >= 20,
+            "hit sized to the slot bound ({}), not the live units",
+            matcher.engine().unit_slot_bound()
+        );
+
+        scratch.reset();
+        assert_eq!(scratch.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn matched_accessor_reflects_last_match() {
+        let mut matcher = EngineKind::NonCanonical.build_matcher();
+        let id = matcher.subscribe(&Expr::parse("a = 1").unwrap()).unwrap();
+        let stats = matcher.match_event_into(&Event::builder().attr("a", 1_i64).build());
+        assert_eq!(stats.matched, 1);
+        assert_eq!(matcher.matched(), &[id]);
+        matcher.match_event_into(&Event::builder().attr("a", 2_i64).build());
+        assert!(matcher.matched().is_empty());
+    }
+
+    #[test]
+    fn generation_wraparound_resets_stamps() {
+        let mut scratch = MatchScratch::new();
+        scratch.begin_stamps(4);
+        scratch.stamps[2] = scratch.generation;
+        scratch.generation = u32::MAX;
+        let gen = scratch.begin_stamps(4);
+        assert_eq!(gen, 1, "wrapped around");
+        assert!(scratch.stamps.iter().all(|&s| s == 0), "stamps cleared");
+    }
+}

@@ -79,7 +79,14 @@ mod tests {
     #[test]
     fn display_mentions_all_counters() {
         let s = MatchStats::default().to_string();
-        for field in ["fulfilled", "candidates", "evaluations", "increments", "comparisons", "matched"] {
+        for field in [
+            "fulfilled",
+            "candidates",
+            "evaluations",
+            "increments",
+            "comparisons",
+            "matched",
+        ] {
             assert!(s.contains(field), "missing {field}");
         }
     }

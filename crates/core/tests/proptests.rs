@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 use boolmatch_core::{
     decode, encode, eval_iterative, eval_recursive, CountingEngine, CountingVariantEngine,
-    EngineKind, FilterEngine, FulfilledSet, IdExpr, NonCanonicalEngine, PredicateId,
+    EngineKind, FilterEngine, FulfilledSet, IdExpr, Matcher, NonCanonicalEngine, PredicateId,
 };
 use boolmatch_expr::{CompareOp, Expr, Predicate};
 use boolmatch_types::Event;
@@ -21,8 +21,16 @@ const ATTRS: u32 = 5;
 const VALUES: i64 = 3;
 
 fn arb_pred() -> impl Strategy<Value = Predicate> {
-    (0..ATTRS, prop_oneof![Just(CompareOp::Eq), Just(CompareOp::Ne),
-                           Just(CompareOp::Lt), Just(CompareOp::Ge)], 0..VALUES)
+    (
+        0..ATTRS,
+        prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Ne),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Ge)
+        ],
+        0..VALUES,
+    )
         .prop_map(|(a, op, v)| Predicate::new(&format!("x{a}"), op, v))
 }
 
@@ -49,8 +57,8 @@ fn arb_total_event() -> impl Strategy<Value = Event> {
     })
 }
 
-fn all_engines() -> Vec<Box<dyn FilterEngine + Send + Sync>> {
-    EngineKind::ALL.iter().map(|k| k.build()).collect()
+fn all_engines() -> Vec<Matcher<Box<dyn FilterEngine + Send + Sync>>> {
+    EngineKind::ALL.iter().map(|k| k.build_matcher()).collect()
 }
 
 proptest! {
@@ -97,9 +105,9 @@ proptest! {
         // The Fig. 3 harness synthesizes one fulfilled set and feeds it
         // to all engines; that requires identical predicate interning
         // order for NOT-free workloads.
-        let mut nc = NonCanonicalEngine::new();
-        let mut c = CountingEngine::new();
-        let mut v = CountingVariantEngine::new();
+        let mut nc = Matcher::new(NonCanonicalEngine::new());
+        let mut c = Matcher::new(CountingEngine::new());
+        let mut v = Matcher::new(CountingVariantEngine::new());
         for expr in &exprs {
             nc.subscribe(expr).unwrap();
             c.subscribe(expr).unwrap();
@@ -138,8 +146,8 @@ proptest! {
         events in prop::collection::vec(arb_total_event(), 1..4),
     ) {
         for kind in EngineKind::ALL {
-            let mut with_churn = kind.build();
-            let mut clean = kind.build();
+            let mut with_churn = kind.build_matcher();
+            let mut clean = kind.build_matcher();
 
             // Interleave: keep[0], drop[0], keep[1], drop[1], ...
             let mut drop_ids = Vec::new();
@@ -201,7 +209,7 @@ proptest! {
         event in arb_total_event(),
     ) {
         for kind in EngineKind::ALL {
-            let mut engine = kind.build();
+            let mut engine = kind.build_matcher();
             for e in &exprs {
                 engine.subscribe(e).unwrap();
             }

@@ -83,6 +83,7 @@ impl Expr {
     }
 
     /// Builds a negation. Double negation is collapsed.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(child: Expr) -> Expr {
         match child {
             Expr::Not(inner) => *inner,
@@ -187,9 +188,7 @@ impl Expr {
     pub fn depth(&self) -> usize {
         match self {
             Expr::Pred(_) => 1,
-            Expr::And(cs) | Expr::Or(cs) => {
-                1 + cs.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::And(cs) | Expr::Or(cs) => 1 + cs.iter().map(Expr::depth).max().unwrap_or(0),
             Expr::Not(c) => 1 + c.depth(),
         }
     }
@@ -198,9 +197,7 @@ impl Expr {
     pub fn node_count(&self) -> usize {
         match self {
             Expr::Pred(_) => 1,
-            Expr::And(cs) | Expr::Or(cs) => {
-                1 + cs.iter().map(Expr::node_count).sum::<usize>()
-            }
+            Expr::And(cs) | Expr::Or(cs) => 1 + cs.iter().map(Expr::node_count).sum::<usize>(),
             Expr::Not(c) => 1 + c.node_count(),
         }
     }

@@ -163,11 +163,9 @@ pub fn conjunction_covers(general: &[Predicate], specific: &[Predicate]) -> bool
 pub fn covers(general: &Expr, specific: &Expr, dnf_limit: usize) -> Result<bool, DnfError> {
     let g = transform::to_dnf(general, dnf_limit)?;
     let s = transform::to_dnf(specific, dnf_limit)?;
-    Ok(s.conjuncts().iter().all(|sc| {
-        g.conjuncts()
-            .iter()
-            .any(|gc| conjunction_covers(gc, sc))
-    }))
+    Ok(s.conjuncts()
+        .iter()
+        .all(|sc| g.conjuncts().iter().any(|gc| conjunction_covers(gc, sc))))
 }
 
 #[cfg(test)]
@@ -283,10 +281,7 @@ mod tests {
         let specific = vec![p("price", CompareOp::Gt, 20), p("volume", CompareOp::Gt, 5)];
         assert!(conjunction_covers(&general, &specific));
         // Adding an uncoverable constraint to the general side breaks it.
-        let general2 = vec![
-            p("price", CompareOp::Gt, 10),
-            p("region", CompareOp::Eq, 1),
-        ];
+        let general2 = vec![p("price", CompareOp::Gt, 10), p("region", CompareOp::Eq, 1)];
         assert!(!conjunction_covers(&general2, &specific));
         // Empty general conjunction covers everything (vacuous truth).
         assert!(conjunction_covers(&[], &specific));
@@ -295,8 +290,8 @@ mod tests {
     #[test]
     fn expression_covering_through_dnf() {
         let general = Expr::parse("price > 10 or symbol = 1").unwrap();
-        let specific = Expr::parse("(price > 20 and volume > 5) or (symbol = 1 and volume > 9)")
-            .unwrap();
+        let specific =
+            Expr::parse("(price > 20 and volume > 5) or (symbol = 1 and volume > 9)").unwrap();
         assert!(covers(&general, &specific, 64).unwrap());
         assert!(!covers(&specific, &general, 64).unwrap());
         // Self-covering.

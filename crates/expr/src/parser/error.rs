@@ -16,13 +16,26 @@ pub struct ParseError {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ErrorKind {
-    UnexpectedChar { ch: char },
+    UnexpectedChar {
+        ch: char,
+    },
     UnterminatedString,
-    InvalidNumber { text: String },
-    UnexpectedEof { expected: &'static str },
-    Expected { expected: &'static str, found: &'static str },
-    TrailingInput { token: &'static str },
-    StringOperatorNeedsString { op: &'static str },
+    InvalidNumber {
+        text: String,
+    },
+    UnexpectedEof {
+        expected: &'static str,
+    },
+    Expected {
+        expected: &'static str,
+        found: &'static str,
+    },
+    TrailingInput {
+        token: &'static str,
+    },
+    StringOperatorNeedsString {
+        op: &'static str,
+    },
 }
 
 impl ParseError {

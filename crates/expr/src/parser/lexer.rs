@@ -149,7 +149,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::And
                 } else {
-                    return Err(ParseError::new(ErrorKind::UnexpectedChar { ch: '&' }, start));
+                    return Err(ParseError::new(
+                        ErrorKind::UnexpectedChar { ch: '&' },
+                        start,
+                    ));
                 }
             }
             b'|' => {
@@ -158,7 +161,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::Or
                 } else {
-                    return Err(ParseError::new(ErrorKind::UnexpectedChar { ch: '|' }, start));
+                    return Err(ParseError::new(
+                        ErrorKind::UnexpectedChar { ch: '|' },
+                        start,
+                    ));
                 }
             }
             b'"' | b'\'' => self.read_string(b)?,
@@ -177,7 +183,10 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                let ch = self.input[self.pos..].chars().next().unwrap_or(other as char);
+                let ch = self.input[self.pos..]
+                    .chars()
+                    .next()
+                    .unwrap_or(other as char);
                 return Err(ParseError::new(ErrorKind::UnexpectedChar { ch }, start));
             }
         };
@@ -242,9 +251,7 @@ impl<'a> Lexer<'a> {
                             out.push(ch);
                             self.pos += ch.len_utf8();
                         }
-                        None => {
-                            return Err(ParseError::new(ErrorKind::UnterminatedString, start))
-                        }
+                        None => return Err(ParseError::new(ErrorKind::UnterminatedString, start)),
                     }
                 }
                 Some(_) => {

@@ -113,9 +113,7 @@ impl CompareOp {
     pub fn eval(self, event_value: &Value, constant: &Value) -> bool {
         match self {
             CompareOp::Eq => event_value == constant,
-            CompareOp::Ne => {
-                event_value.kind() == constant.kind() && event_value != constant
-            }
+            CompareOp::Ne => event_value.kind() == constant.kind() && event_value != constant,
             CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
                 if event_value.kind() != constant.kind() {
                     return false;
@@ -232,9 +230,7 @@ impl Predicate {
     /// Evaluates the predicate against an event. Events that do not
     /// carry the attribute never match.
     pub fn eval_event(&self, event: &boolmatch_types::Event) -> bool {
-        event
-            .get(&self.attr)
-            .is_some_and(|v| self.eval_value(v))
+        event.get(&self.attr).is_some_and(|v| self.eval_value(v))
     }
 
     /// Approximate heap bytes owned by this predicate, for memory

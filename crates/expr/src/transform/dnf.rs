@@ -66,9 +66,7 @@ impl Dnf {
     /// Evaluates the DNF with a predicate oracle; used by tests to check
     /// equivalence with the source expression.
     pub fn eval_with(&self, oracle: &mut impl FnMut(&Predicate) -> bool) -> bool {
-        self.conjuncts
-            .iter()
-            .any(|c| c.iter().all(|p| oracle(p)))
+        self.conjuncts.iter().any(|c| c.iter().all(&mut *oracle))
     }
 
     /// Removes duplicate conjuncts and conjuncts that contain both a
@@ -76,10 +74,8 @@ impl Dnf {
     /// were dropped. The result is equivalent over total assignments.
     pub fn prune(&mut self) -> usize {
         let before = self.conjuncts.len();
-        self.conjuncts.retain(|c| {
-            !c.iter()
-                .any(|p| c.iter().any(|q| *q == p.complement()))
-        });
+        self.conjuncts
+            .retain(|c| !c.iter().any(|p| c.iter().any(|q| *q == p.complement())));
         self.conjuncts.sort();
         self.conjuncts.dedup();
         before - self.conjuncts.len()
@@ -222,8 +218,8 @@ mod tests {
 
     #[test]
     fn fig1_has_nine_conjunctions_of_two() {
-        let e = Expr::parse("(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)")
-            .unwrap();
+        let e =
+            Expr::parse("(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)").unwrap();
         let dnf = to_dnf(&e, 100).unwrap();
         assert_eq!(dnf.len(), 9);
         assert!(dnf.conjuncts().iter().all(|c| c.len() == 2));
@@ -272,10 +268,8 @@ mod tests {
 
     #[test]
     fn equivalence_with_source_on_truth_assignments() {
-        let e = Expr::parse(
-            "(a = 1 or (b = 2 and c = 3)) and (d = 4 or not (a = 1 and d = 4))",
-        )
-        .unwrap();
+        let e = Expr::parse("(a = 1 or (b = 2 and c = 3)) and (d = 4 or not (a = 1 and d = 4))")
+            .unwrap();
         let dnf = to_dnf(&e, 1000).unwrap();
         // collect unique base predicates (by attr) for assignment bits
         let nnf = eliminate_not(&e);
@@ -331,7 +325,10 @@ mod tests {
                     _ => unreachable!(),
                 }
             };
-            assert_eq!(e.eval_with(&mut { oracle }), back.eval_with(&mut { oracle }));
+            assert_eq!(
+                e.eval_with(&mut { oracle }),
+                back.eval_with(&mut { oracle })
+            );
         }
     }
 

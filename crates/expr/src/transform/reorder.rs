@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        let e = Expr::parse("(a = 1 or b = 2 or c = 3) and d = 4 and (e = 5 or f = 6)")
-            .unwrap();
+        let e = Expr::parse("(a = 1 or b = 2 or c = 3) and d = 4 and (e = 5 or f = 6)").unwrap();
         let once = reorder(&e);
         assert_eq!(reorder(&once), once);
     }

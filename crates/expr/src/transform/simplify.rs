@@ -117,7 +117,11 @@ mod tests {
 
     #[test]
     fn compact_flattens_or_chains_but_not_across_ops() {
-        let e = Expr::Or(vec![p(1), Expr::And(vec![p(2), p(3)]), Expr::Or(vec![p(4), p(5)])]);
+        let e = Expr::Or(vec![
+            p(1),
+            Expr::And(vec![p(2), p(3)]),
+            Expr::Or(vec![p(4), p(5)]),
+        ]);
         let c = compact(&e);
         match c {
             Expr::Or(cs) => {

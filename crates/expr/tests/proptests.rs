@@ -13,8 +13,7 @@ const ATTRS: u32 = 6;
 const VALUES: i64 = 4;
 
 fn arb_pred() -> impl Strategy<Value = Predicate> {
-    (0..ATTRS, 0..VALUES)
-        .prop_map(|(a, v)| Predicate::new(&format!("x{a}"), CompareOp::Eq, v))
+    (0..ATTRS, 0..VALUES).prop_map(|(a, v)| Predicate::new(&format!("x{a}"), CompareOp::Eq, v))
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {

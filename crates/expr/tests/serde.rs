@@ -25,10 +25,8 @@ fn predicate_round_trips() {
 
 #[test]
 fn expr_round_trips_structurally() {
-    let e = Expr::parse(
-        "(a > 10 or a <= 5 or b = 1) and not (c contains \"x\" or d = 5.5)",
-    )
-    .unwrap();
+    let e =
+        Expr::parse("(a > 10 or a <= 5 or b = 1) and not (c contains \"x\" or d = 5.5)").unwrap();
     assert_eq!(round_trip(&e), e);
 }
 
@@ -47,6 +45,9 @@ fn serialized_subscription_survives_reparse_equivalence() {
                 _ => unreachable!(),
             }
         };
-        assert_eq!(e.eval_with(&mut { oracle }), back.eval_with(&mut { oracle }));
+        assert_eq!(
+            e.eval_with(&mut { oracle }),
+            back.eval_with(&mut { oracle })
+        );
     }
 }

@@ -167,6 +167,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn bounds_combinations() {
         let t: BPlusTree<i64, ()> = (0..10).map(|i| (i, ())).collect();
         let cases: Vec<((Bound<i64>, Bound<i64>), Vec<i64>)> = vec![

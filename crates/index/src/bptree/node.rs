@@ -71,22 +71,14 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     pub(super) fn get(&self, key: &K) -> Option<&V> {
         match self {
-            Node::Leaf { keys, vals } => keys
-                .binary_search(key)
-                .ok()
-                .map(|i| &vals[i]),
-            Node::Internal { keys, children } => {
-                children[Self::child_index(keys, key)].get(key)
-            }
+            Node::Leaf { keys, vals } => keys.binary_search(key).ok().map(|i| &vals[i]),
+            Node::Internal { keys, children } => children[Self::child_index(keys, key)].get(key),
         }
     }
 
     pub(super) fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         match self {
-            Node::Leaf { keys, vals } => keys
-                .binary_search(key)
-                .ok()
-                .map(|i| &mut vals[i]),
+            Node::Leaf { keys, vals } => keys.binary_search(key).ok().map(|i| &mut vals[i]),
             Node::Internal { keys, children } => {
                 let idx = Self::child_index(keys, key);
                 children[idx].get_mut(key)
@@ -195,10 +187,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
             let left = &mut left[idx - 1];
             let child = &mut rest[0];
             match (left, child) {
-                (
-                    Node::Leaf { keys: lk, vals: lv },
-                    Node::Leaf { keys: ck, vals: cv },
-                ) => {
+                (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: ck, vals: cv }) => {
                     let k = lk.pop().unwrap();
                     let v = lv.pop().unwrap();
                     keys[idx - 1] = k.clone();
@@ -231,10 +220,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
             let child = &mut left[idx];
             let right = &mut rest[0];
             match (child, right) {
-                (
-                    Node::Leaf { keys: ck, vals: cv },
-                    Node::Leaf { keys: rk, vals: rv },
-                ) => {
+                (Node::Leaf { keys: ck, vals: cv }, Node::Leaf { keys: rk, vals: rv }) => {
                     let k = rk.remove(0);
                     let v = rv.remove(0);
                     ck.push(k);
@@ -261,7 +247,11 @@ impl<K: Ord + Clone, V> Node<K, V> {
         }
 
         // Merge with a sibling. Prefer merging into the left one.
-        let (merge_left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let (merge_left_idx, sep_idx) = if idx > 0 {
+            (idx - 1, idx - 1)
+        } else {
+            (idx, idx)
+        };
         let sep = keys.remove(sep_idx);
         let right = children.remove(merge_left_idx + 1);
         let left = &mut children[merge_left_idx];
@@ -367,11 +357,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
                 assert_eq!(keys.len(), vals.len(), "leaf keys/vals length mismatch");
                 assert!(keys.len() <= order, "leaf overfull: {}", keys.len());
                 if !is_root {
-                    assert!(
-                        keys.len() >= min,
-                        "leaf underfull: {} < {min}",
-                        keys.len()
-                    );
+                    assert!(keys.len() >= min, "leaf underfull: {} < {min}", keys.len());
                 }
                 for w in keys.windows(2) {
                     assert!(w[0] < w[1], "leaf keys unsorted: {:?} {:?}", w[0], w[1]);
@@ -401,7 +387,11 @@ impl<K: Ord + Clone, V> Node<K, V> {
                 let mut depth = None;
                 for (i, c) in children.iter().enumerate() {
                     let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
-                    let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(&keys[i])
+                    };
                     let d = c.check(lo, hi, min, order, false);
                     match depth {
                         None => depth = Some(d),

@@ -142,7 +142,8 @@ impl<T: Copy + PartialEq> PredicateIndex<T> {
     pub fn insert(&mut self, id: T, pred: &Predicate) {
         let attr = self.interner.intern(pred.attr());
         if attr.index() >= self.buckets.len() {
-            self.buckets.resize_with(attr.index() + 1, AttrBucket::default);
+            self.buckets
+                .resize_with(attr.index() + 1, AttrBucket::default);
             self.stats.attributes = self.buckets.len();
         }
         let bucket = &mut self.buckets[attr.index()];
@@ -211,7 +212,7 @@ impl<T: Copy + PartialEq> PredicateIndex<T> {
             return false;
         };
         let constant = pred.value();
-        let removed = match pred.op() {
+        match pred.op() {
             CompareOp::Eq => {
                 let r = bucket.eq.remove(constant, &id);
                 if r {
@@ -258,8 +259,7 @@ impl<T: Copy + PartialEq> PredicateIndex<T> {
                 }
                 r
             }
-        };
-        removed
+        }
     }
 
     fn range_remove(
@@ -446,10 +446,7 @@ fn kind_max_bound(value: &Value) -> Bound<Value> {
 }
 
 fn remove_pair<T: PartialEq>(list: &mut Vec<(Value, T)>, constant: &Value, id: T) -> bool {
-    if let Some(pos) = list
-        .iter()
-        .position(|(c, p)| c == constant && *p == id)
-    {
+    if let Some(pos) = list.iter().position(|(c, p)| c == constant && *p == id) {
         list.swap_remove(pos);
         true
     } else {

@@ -98,13 +98,19 @@ impl<T: PartialEq> SortedIndex<T> {
             Bound::Included(k) => self.entries.partition_point(|(e, _)| e <= k),
             Bound::Excluded(k) => self.entries.partition_point(|(e, _)| e < k),
         };
-        self.entries[start..end.max(start)].iter().map(|(k, v)| (k, v))
+        self.entries[start..end.max(start)]
+            .iter()
+            .map(|(k, v)| (k, v))
     }
 
     /// Approximate heap bytes used.
     pub fn heap_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<(Value, T)>()
-            + self.entries.iter().map(|(k, _)| k.heap_bytes()).sum::<usize>()
+            + self
+                .entries
+                .iter()
+                .map(|(k, _)| k.heap_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -122,10 +128,7 @@ mod tests {
         for (i, key) in [5i64, 1, 3, 2, 4].into_iter().enumerate() {
             idx.insert(v(key), i as u32);
         }
-        let keys: Vec<i64> = idx
-            .range(&(..))
-            .map(|(k, _)| k.as_int().unwrap())
-            .collect();
+        let keys: Vec<i64> = idx.range(&(..)).map(|(k, _)| k.as_int().unwrap()).collect();
         assert_eq!(keys, vec![1, 2, 3, 4, 5]);
     }
 

@@ -1,0 +1,365 @@
+//! Offline shim for `criterion`: the macro/group/bencher surface the
+//! workspace's benches use, backed by a plain warm-up + timed-batch
+//! harness. It reports mean wall time per iteration (and throughput
+//! when configured) without criterion's statistics, plots or saved
+//! baselines. See `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and configuration root.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, criterion
+        // style; option-like arguments cargo/libtest forward (e.g.
+        // `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Returns `self`, for drop-in compatibility with criterion's
+    /// command-line configuration hook.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: BenchConfig::default(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, &BenchConfig::default(), f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+#[derive(Clone)]
+struct BenchConfig {
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1_000),
+            throughput: None,
+        }
+    }
+}
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's display convention.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (used inside groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// A group of benchmarks sharing configuration; created by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: BenchConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes batches by time, not
+    /// by a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration work for events/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full);
+        run_one(self.criterion, &full, &self.config, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra on this shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher<'a> {
+    config: &'a BenchConfig,
+    /// (total duration, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in batches until the measurement window
+    /// is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration in one: run until the
+        // warm-up window elapses, counting iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter = warm_elapsed / u32::try_from(warm_iters.max(1)).unwrap_or(u32::MAX);
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.config.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Hands full timing control to the routine: `routine(n)` must
+    /// execute `n` iterations and return the elapsed wall time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut calibration_iters = 1u64;
+        let mut per_iter;
+        // Calibrate (doubles as warm-up): grow until one call fills a
+        // noticeable fraction of the warm-up window.
+        loop {
+            let d = routine(calibration_iters).max(Duration::from_nanos(1));
+            per_iter = d / u32::try_from(calibration_iters).unwrap_or(u32::MAX);
+            if d >= self.config.warm_up / 4 || calibration_iters >= 1 << 20 {
+                break;
+            }
+            calibration_iters *= 2;
+        }
+        let target = (self.config.measurement.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 24) as u64;
+        let total = routine(target);
+        self.result = Some((total, target));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    config: &BenchConfig,
+    mut f: F,
+) {
+    if !criterion.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, iters)) => {
+            let ns = total.as_secs_f64() * 1e9 / iters as f64;
+            let time = if ns >= 1e9 {
+                format!("{:.3} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.3} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.3} µs", ns / 1e3)
+            } else {
+                format!("{ns:.1} ns")
+            };
+            let rate = match config.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 * iters as f64 / total.as_secs_f64();
+                    format!("  thrpt: {:>12.0} elem/s", per_sec)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 * iters as f64 / total.as_secs_f64();
+                    format!("  thrpt: {:>12.0} B/s", per_sec)
+                }
+                None => String::new(),
+            };
+            println!("{name:<60} time: {time:>12}/iter  ({iters} iters){rate}");
+        }
+        None => println!("{name:<60} (no measurement recorded)"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_a_result() {
+        let config = BenchConfig {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            throughput: None,
+        };
+        let mut b = Bencher {
+            config: &config,
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let (total, iters) = b.result.expect("result recorded");
+        assert!(iters > 0);
+        assert!(count >= iters);
+        assert!(total >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn iter_custom_records_requested_iters() {
+        let config = BenchConfig {
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(5),
+            throughput: None,
+        };
+        let mut b = Bencher {
+            config: &config,
+            result: None,
+        };
+        b.iter_custom(|n| {
+            let start = Instant::now();
+            for i in 0..n {
+                black_box(i);
+            }
+            start.elapsed().max(Duration::from_micros(50))
+        });
+        let (_, iters) = b.result.expect("result recorded");
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("alg", 32).full, "alg/32");
+        assert_eq!(BenchmarkId::from_parameter(7).full, "7");
+    }
+
+    #[test]
+    fn filter_matching() {
+        let c = Criterion {
+            filter: Some("fig3".into()),
+        };
+        assert!(c.matches("fig3a/counting/5000"));
+        assert!(!c.matches("bptree/insert"));
+        let open = Criterion { filter: None };
+        assert!(open.matches("anything"));
+    }
+}

@@ -160,7 +160,10 @@ mod tests {
 
     #[test]
     fn accepts_conforming_events() {
-        let e = Event::builder().attr("price", 1.0).attr("volume", 2_i64).build();
+        let e = Event::builder()
+            .attr("price", 1.0)
+            .attr("volume", 2_i64)
+            .build();
         assert!(schema().validate_event(&e).is_ok());
     }
 

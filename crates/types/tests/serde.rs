@@ -25,7 +25,12 @@ fn value_round_trips_all_kinds() {
 
 #[test]
 fn value_kind_round_trips() {
-    for k in [ValueKind::Bool, ValueKind::Int, ValueKind::Float, ValueKind::Str] {
+    for k in [
+        ValueKind::Bool,
+        ValueKind::Int,
+        ValueKind::Float,
+        ValueKind::Str,
+    ] {
         assert_eq!(round_trip(&k), k);
     }
 }

@@ -223,8 +223,7 @@ mod tests {
         ];
         for text in cases {
             let e = Expr::parse(text).unwrap();
-            let event = satisfying_event(&e)
-                .unwrap_or_else(|| panic!("no witness for {text}"));
+            let event = satisfying_event(&e).unwrap_or_else(|| panic!("no witness for {text}"));
             assert!(e.eval_event(&event), "witness fails for {text}: {event}");
         }
     }
@@ -253,12 +252,8 @@ mod tests {
     struct SubGen;
     impl SubGen {
         fn default_corpus() -> EventGenerator {
-            let corpus = crate::SubscriptionGenerator::new(
-                5,
-                crate::Shape::AndOfOrPairs,
-                6,
-            )
-            .generate_batch(20);
+            let corpus = crate::SubscriptionGenerator::new(5, crate::Shape::AndOfOrPairs, 6)
+                .generate_batch(20);
             EventGenerator::new(6, corpus)
         }
     }

@@ -5,7 +5,9 @@ use boolmatch_types::Event;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const CATEGORIES: [&str; 6] = ["politics", "business", "science", "sport", "weather", "arts"];
+const CATEGORIES: [&str; 6] = [
+    "politics", "business", "science", "sport", "weather", "arts",
+];
 const KEYWORDS: [&str; 10] = [
     "election", "merger", "quake", "kiwi", "champion", "storm", "budget", "launch", "strike",
     "record",
@@ -76,7 +78,10 @@ impl NewsScenario {
         Event::builder()
             .attr("category", self.pick(CATEGORIES))
             .attr("headline", format!("breaking: {kw1} follows {kw2}"))
-            .attr("region", format!("{}-{}", self.pick(REGIONS), self.rng.random_range(1..9)))
+            .attr(
+                "region",
+                format!("{}-{}", self.pick(REGIONS), self.rng.random_range(1..9)),
+            )
             .attr("urgency", self.rng.random_range(1..10_i64))
             .build()
     }

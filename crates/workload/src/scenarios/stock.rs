@@ -73,9 +73,19 @@ impl StockScenario {
         let symbol = self.symbol();
         Event::builder()
             .attr("symbol", symbol)
-            .attr("price", (self.rng.random_range(10.0..250.0_f64) * 100.0).round() / 100.0)
+            .attr(
+                "price",
+                (self.rng.random_range(10.0..250.0_f64) * 100.0).round() / 100.0,
+            )
             .attr("volume", self.rng.random_range(1..20_000_i64))
-            .attr("exchange", if self.rng.random_bool(0.5) { "NYSE" } else { "NZX" })
+            .attr(
+                "exchange",
+                if self.rng.random_bool(0.5) {
+                    "NYSE"
+                } else {
+                    "NZX"
+                },
+            )
             .build()
     }
 }
@@ -90,7 +100,10 @@ mod tests {
         for _ in 0..20 {
             let e = s.subscription();
             assert!(e.predicate_count() >= 3);
-            assert!(!e.is_conjunctive(), "scenario is deliberately non-canonical");
+            assert!(
+                !e.is_conjunctive(),
+                "scenario is deliberately non-canonical"
+            );
         }
     }
 

@@ -219,7 +219,11 @@ mod tests {
         let before = all.len();
         all.sort();
         all.dedup();
-        assert_eq!(all.len(), before, "no predicate shared between subscriptions");
+        assert_eq!(
+            all.len(),
+            before,
+            "no predicate shared between subscriptions"
+        );
     }
 
     #[test]
@@ -237,15 +241,16 @@ mod tests {
         let before = all.len();
         all.sort();
         all.dedup();
-        assert!(all.len() < before, "small pool+domain must repeat predicates");
+        assert!(
+            all.len() < before,
+            "small pool+domain must repeat predicates"
+        );
     }
 
     #[test]
     fn determinism_across_instances() {
-        let a: Vec<Expr> =
-            SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
-        let b: Vec<Expr> =
-            SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
+        let a: Vec<Expr> = SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
+        let b: Vec<Expr> = SubscriptionGenerator::new(99, Shape::RandomTree, 8).generate_batch(20);
         assert_eq!(a, b);
     }
 

@@ -12,8 +12,8 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 use boolmatch_core::{
-    CountingConfig, CountingEngine, CountingVariantEngine, EngineKind, FilterEngine,
-    FulfilledSet, MatchStats, NonCanonicalConfig, NonCanonicalEngine, SubscriptionId,
+    CountingConfig, CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, FulfilledSet,
+    MatchScratch, MatchStats, NonCanonicalConfig, NonCanonicalEngine, SubscriptionId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,12 +84,10 @@ fn build_engine(kind: EngineKind) -> Box<dyn FilterEngine + Send + Sync> {
     // sets, as the paper's experiments do, and phase-1 structures would
     // only distort the memory accounting.
     match kind {
-        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(
-            NonCanonicalConfig {
-                enable_phase1_index: false,
-                ..NonCanonicalConfig::default()
-            },
-        )),
+        EngineKind::NonCanonical => Box::new(NonCanonicalEngine::with_config(NonCanonicalConfig {
+            enable_phase1_index: false,
+            ..NonCanonicalConfig::default()
+        })),
         EngineKind::Counting => Box::new(CountingEngine::with_config(CountingConfig {
             dnf_limit: 65_536,
             enable_phase1_index: false,
@@ -113,14 +111,12 @@ pub fn run_with_progress(
     for &kind in &config.engines {
         let mut engine = build_engine(kind);
         // Identical corpus across engines: same seed, same generator.
-        let mut gen = SubscriptionGenerator::new(
-            config.seed,
-            Shape::AndOfOrPairs,
-            config.predicates_per_sub,
-        );
+        let mut gen =
+            SubscriptionGenerator::new(config.seed, Shape::AndOfOrPairs, config.predicates_per_sub);
         let mut registered = 0usize;
         let mut matched: Vec<SubscriptionId> = Vec::new();
         let mut fulfilled = FulfilledSet::new();
+        let mut scratch = MatchScratch::new();
 
         for &target in &config.subscription_counts {
             while registered < target {
@@ -147,7 +143,7 @@ pub fn run_with_progress(
             for id in ids {
                 fulfilled.insert(id);
             }
-            engine.phase2(&fulfilled, &mut matched);
+            engine.phase2(&fulfilled, &mut scratch, &mut matched);
 
             let mut total = Duration::ZERO;
             let mut stats_sum = MatchStats::default();
@@ -158,7 +154,7 @@ pub fn run_with_progress(
                     fulfilled.insert(id);
                 }
                 let start = Instant::now();
-                let stats = engine.phase2(&fulfilled, &mut matched);
+                let stats = engine.phase2(&fulfilled, &mut scratch, &mut matched);
                 total += start.elapsed();
                 stats_sum = stats_sum + stats;
             }
@@ -298,7 +294,10 @@ mod tests {
         for r in rows.iter().filter(|r| r.engine == EngineKind::Counting) {
             assert_eq!(r.stats.comparisons, r.units, "classic scans every unit");
         }
-        for r in rows.iter().filter(|r| r.engine == EngineKind::CountingVariant) {
+        for r in rows
+            .iter()
+            .filter(|r| r.engine == EngineKind::CountingVariant)
+        {
             assert!(r.stats.comparisons <= r.units);
             assert_eq!(r.stats.comparisons, r.stats.candidates);
         }

@@ -68,12 +68,36 @@ impl Table1Config {
     /// The six Fig. 3 panels as `(label, predicates, fulfilled)`.
     pub fn figure3_panels(&self) -> [(char, usize, usize); 6] {
         [
-            ('a', self.predicates_per_subscription[0], self.fulfilled_per_event[0]),
-            ('b', self.predicates_per_subscription[1], self.fulfilled_per_event[0]),
-            ('c', self.predicates_per_subscription[2], self.fulfilled_per_event[0]),
-            ('d', self.predicates_per_subscription[0], self.fulfilled_per_event[1]),
-            ('e', self.predicates_per_subscription[1], self.fulfilled_per_event[1]),
-            ('f', self.predicates_per_subscription[2], self.fulfilled_per_event[1]),
+            (
+                'a',
+                self.predicates_per_subscription[0],
+                self.fulfilled_per_event[0],
+            ),
+            (
+                'b',
+                self.predicates_per_subscription[1],
+                self.fulfilled_per_event[0],
+            ),
+            (
+                'c',
+                self.predicates_per_subscription[2],
+                self.fulfilled_per_event[0],
+            ),
+            (
+                'd',
+                self.predicates_per_subscription[0],
+                self.fulfilled_per_event[1],
+            ),
+            (
+                'e',
+                self.predicates_per_subscription[1],
+                self.fulfilled_per_event[1],
+            ),
+            (
+                'f',
+                self.predicates_per_subscription[2],
+                self.fulfilled_per_event[1],
+            ),
         ]
     }
 

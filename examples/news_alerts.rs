@@ -17,9 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let science_quakes = broker.subscribe(
         "category = \"science\" and (headline contains \"quake\" or headline contains \"storm\")",
     )?;
-    let not_us_politics = broker.subscribe(
-        "category = \"politics\" and not (region prefix \"us\")",
-    )?;
+    let not_us_politics =
+        broker.subscribe("category = \"politics\" and not (region prefix \"us\")")?;
     let urgent_anything = broker.subscribe("urgency >= 9")?;
 
     // Plus a generated batch for volume.

@@ -11,15 +11,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The example subscription from Fig. 1 of the paper — an arbitrary
     // Boolean expression, registered without any DNF transformation:
-    let fig1 = broker.subscribe(
-        "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)",
-    )?;
+    let fig1 = broker.subscribe("(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)")?;
     println!("registered subscription {}", fig1.id());
 
     // A second subscriber with a string-heavy interest:
-    let alerts = broker.subscribe(
-        "severity >= 3 and (service prefix \"auth\" or message contains \"timeout\")",
-    )?;
+    let alerts = broker
+        .subscribe("severity >= 3 and (service prefix \"auth\" or message contains \"timeout\")")?;
     println!("registered subscription {}", alerts.id());
 
     // Publish a few events.

@@ -61,8 +61,8 @@ pub use boolmatch_workload as workload;
 pub mod prelude {
     pub use boolmatch_broker::{Broker, BrokerError, DeliveryPolicy, Subscription};
     pub use boolmatch_core::{
-        CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, MatchResult,
-        NonCanonicalEngine, SubscriptionId,
+        CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, MatchResult, MatchScratch,
+        Matcher, NonCanonicalEngine, SubscriptionId,
     };
     pub use boolmatch_expr::{CompareOp, Expr, Predicate};
     pub use boolmatch_types::{Event, Schema, Value, ValueKind};

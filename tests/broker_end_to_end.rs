@@ -100,9 +100,7 @@ fn bounded_delivery_backpressure() {
 fn canonical_engine_rejections_surface_through_broker() {
     // A counting broker must refuse a subscription whose DNF explodes.
     let broker = Broker::builder().engine(EngineKind::Counting).build();
-    let wide: Vec<String> = (0..40)
-        .map(|i| format!("(a{i} = 1 or b{i} = 2)"))
-        .collect();
+    let wide: Vec<String> = (0..40).map(|i| format!("(a{i} = 1 or b{i} = 2)")).collect();
     let monster = wide.join(" and ");
     match broker.subscribe(&monster) {
         Err(BrokerError::Subscribe(e)) => {

@@ -27,7 +27,7 @@ fn claimed_covers_hold_through_the_engines() {
             "expected `{g_text}` to cover `{s_text}`"
         );
         for kind in EngineKind::ALL {
-            let mut engine = kind.build();
+            let mut engine = kind.build_matcher();
             let gid = engine.subscribe(&g).unwrap();
             let sid = engine.subscribe(&s).unwrap();
             let mut feed = StockScenario::new(17);
@@ -63,7 +63,7 @@ fn covering_driven_deduplication_preserves_matches() {
         }
     }
 
-    let mut engine = EngineKind::NonCanonical.build();
+    let mut engine = EngineKind::NonCanonical.build_matcher();
     let ids: Vec<SubscriptionId> = subs.iter().map(|s| engine.subscribe(s).unwrap()).collect();
     let events: Vec<Event> = (0..400).map(|_| scenario.tick()).collect();
     for event in &events {

@@ -19,7 +19,7 @@ fn check_engine_against(
     events: &[Event],
     reference: impl Fn(&Expr, &Event) -> bool,
 ) {
-    let mut engine = kind.build();
+    let mut engine = kind.build_matcher();
     for s in subs {
         engine.subscribe(s).unwrap();
     }
@@ -93,13 +93,13 @@ fn negation_semantics_diverge_exactly_on_missing_attributes() {
     let expr = Expr::parse("not (a = 1) and b = 2").unwrap();
     let event = Event::builder().attr("b", 2_i64).build();
 
-    let mut nc = EngineKind::NonCanonical.build();
+    let mut nc = EngineKind::NonCanonical.build_matcher();
     nc.subscribe(&expr).unwrap();
     // Full negation: a=1 is unfulfilled, so `not` holds.
     assert_eq!(nc.match_event(&event).matched.len(), 1);
 
     for kind in [EngineKind::Counting, EngineKind::CountingVariant] {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         engine.subscribe(&expr).unwrap();
         // Complemented: `a != 1` needs the attribute to be present.
         assert!(engine.match_event(&event).matched.is_empty(), "{kind}");
@@ -109,7 +109,7 @@ fn negation_semantics_diverge_exactly_on_missing_attributes() {
     let full = Event::builder().attr("a", 3_i64).attr("b", 2_i64).build();
     assert_eq!(nc.match_event(&full).matched.len(), 1);
     for kind in [EngineKind::Counting, EngineKind::CountingVariant] {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         engine.subscribe(&expr).unwrap();
         assert_eq!(engine.match_event(&full).matched.len(), 1, "{kind}");
     }
@@ -121,7 +121,7 @@ fn full_pipeline_events_from_satisfying_generator() {
     // must match it through the real (phase-1 + phase-2) pipeline.
     let mut scenario = StockScenario::new(21);
     let subs = scenario.subscriptions(60);
-    let mut nc = EngineKind::NonCanonical.build();
+    let mut nc = EngineKind::NonCanonical.build_matcher();
     let ids: Vec<_> = subs.iter().map(|s| nc.subscribe(s).unwrap()).collect();
     for (i, s) in subs.iter().enumerate() {
         let event = boolmatch::workload::satisfying_event(s)

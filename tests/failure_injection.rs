@@ -1,8 +1,6 @@
 //! Failure injection and boundary conditions across the stack.
 
-use boolmatch::core::{
-    EngineKind, FulfilledSet, PredicateId, SubscriptionId,
-};
+use boolmatch::core::{EngineKind, FulfilledSet, PredicateId, SubscriptionId};
 use boolmatch::expr::Expr;
 use boolmatch::types::{Event, Schema, ValueKind};
 
@@ -29,12 +27,14 @@ fn malformed_subscriptions_are_rejected_not_panicked() {
 #[test]
 fn stale_subscription_ids_error_on_every_engine() {
     for kind in EngineKind::ALL {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         let id = engine.subscribe(&Expr::parse("a = 1").unwrap()).unwrap();
         engine.unsubscribe(id).unwrap();
         assert!(engine.unsubscribe(id).is_err(), "{kind} double unsubscribe");
         assert!(
-            engine.unsubscribe(SubscriptionId::from_index(10_000)).is_err(),
+            engine
+                .unsubscribe(SubscriptionId::from_index(10_000))
+                .is_err(),
             "{kind} unknown id"
         );
         // The engine still works after the failed calls.
@@ -49,7 +49,7 @@ fn failed_subscribe_leaks_nothing() {
     // DNF bomb: rejected by counting engines *before* any table is
     // touched; the engine must remain byte-identical in accounting.
     for kind in [EngineKind::Counting, EngineKind::CountingVariant] {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         engine.subscribe(&Expr::parse("keep = 1").unwrap()).unwrap();
         let before = engine.memory_usage();
         let preds_before = engine.predicate_count();
@@ -71,7 +71,7 @@ fn failed_subscribe_leaks_nothing() {
 fn fulfilled_sets_with_out_of_universe_ids_are_safe_for_matching() {
     // phase2 with a set whose universe is larger than the engine's:
     // engines must ignore unknown ids gracefully.
-    let mut engine = EngineKind::NonCanonical.build();
+    let mut engine = EngineKind::NonCanonical.build_matcher();
     let id = engine
         .subscribe(&Expr::parse("a = 1 and b = 2").unwrap())
         .unwrap();
@@ -87,11 +87,14 @@ fn fulfilled_sets_with_out_of_universe_ids_are_safe_for_matching() {
 #[test]
 fn empty_and_alien_events_match_nothing() {
     for kind in EngineKind::ALL {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         engine
             .subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3").unwrap())
             .unwrap();
-        assert!(engine.match_event(&Event::builder().build()).matched.is_empty());
+        assert!(engine
+            .match_event(&Event::builder().build())
+            .matched
+            .is_empty());
         let alien = Event::builder().attr("zzz", "nothing").build();
         assert!(engine.match_event(&alien).matched.is_empty(), "{kind}");
     }
@@ -100,8 +103,10 @@ fn empty_and_alien_events_match_nothing() {
 #[test]
 fn type_confusion_never_matches_and_schema_catches_it() {
     // Subscription on int price; publisher sends float price.
-    let mut engine = EngineKind::NonCanonical.build();
-    engine.subscribe(&Expr::parse("price > 10").unwrap()).unwrap();
+    let mut engine = EngineKind::NonCanonical.build_matcher();
+    engine
+        .subscribe(&Expr::parse("price > 10").unwrap())
+        .unwrap();
     let confused = Event::builder().attr("price", 15.0).build();
     assert!(
         engine.match_event(&confused).matched.is_empty(),
@@ -122,7 +127,7 @@ fn type_confusion_never_matches_and_schema_catches_it() {
 #[test]
 fn heavy_churn_keeps_engines_consistent() {
     for kind in EngineKind::ALL {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         let expr_a = Expr::parse("(a = 1 or b = 2) and (c = 3 or d = 4)").unwrap();
         let expr_b = Expr::parse("(a = 1 or e = 5) and f = 6").unwrap();
         let hit_a = Event::builder().attr("a", 1_i64).attr("c", 3_i64).build();

@@ -118,8 +118,7 @@ fn claim_canonical_engines_hit_the_memory_wall_first() {
         nc.phase2_bytes,
         counting.phase2_bytes
     );
-    let wall =
-        MemoryModel::with_budget(((nc.phase2_bytes + counting.phase2_bytes) / 2) as u64);
+    let wall = MemoryModel::with_budget(((nc.phase2_bytes + counting.phase2_bytes) / 2) as u64);
     // Non-canonical fits: the model leaves its time unchanged.
     assert_eq!(wall.modeled(nc.measured, nc.phase2_bytes), nc.measured);
     // Counting engines blow the budget: the model kinks their curves.

@@ -42,13 +42,13 @@ fn fig1_dnf_has_nine_disjunctions() {
 #[test]
 fn fig1_counting_engines_register_nine_units() {
     for kind in [EngineKind::Counting, EngineKind::CountingVariant] {
-        let mut engine = kind.build();
+        let mut engine = kind.build_matcher();
         engine.subscribe(&Expr::parse(FIG1).unwrap()).unwrap();
         assert_eq!(engine.subscription_count(), 1);
         assert_eq!(engine.registered_units(), 9, "{kind}");
     }
     // The non-canonical engine registers it as-is.
-    let mut nc = EngineKind::NonCanonical.build();
+    let mut nc = EngineKind::NonCanonical.build_matcher();
     nc.subscribe(&Expr::parse(FIG1).unwrap()).unwrap();
     assert_eq!(nc.registered_units(), 1);
 }
@@ -56,7 +56,7 @@ fn fig1_counting_engines_register_nine_units() {
 #[test]
 fn fig1_matching_agrees_across_engines_on_a_value_grid() {
     let s = Expr::parse(FIG1).unwrap();
-    let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+    let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build_matcher()).collect();
     for engine in &mut engines {
         engine.subscribe(&s).unwrap();
     }
@@ -85,7 +85,7 @@ fn fig1_matching_agrees_across_engines_on_a_value_grid() {
 #[test]
 fn fig1_partial_events_match_only_when_a_group_holds() {
     let s = Expr::parse(FIG1).unwrap();
-    let mut nc = EngineKind::NonCanonical.build();
+    let mut nc = EngineKind::NonCanonical.build_matcher();
     nc.subscribe(&s).unwrap();
 
     // Only the left group satisfiable -> no match.
