@@ -1,0 +1,139 @@
+//! Shard scaling under subscription churn: S ∈ {1, 2, 4, 8} engine
+//! shards, publisher threads hammering `publish_batch` while a churn
+//! thread keeps subscribing/unsubscribing — the proof artifact for the
+//! sharded matching core.
+//!
+//! With one shard, every subscribe/unsubscribe write-locks the only
+//! engine and stalls all matching; with S shards the same churn
+//! write-locks `1/S` of the engines, so aggregate publish throughput
+//! under churn must improve with S. The `elem/s` column is aggregate
+//! events published per second across all publisher threads; compare
+//! rows within one engine group.
+//!
+//! NOTE: like `concurrent_publish`, wall-clock *scaling* needs a
+//! multi-core host — on a single core the rows mainly show reduced
+//! lock-convoy overhead. The lock-level concurrency claim itself is
+//! proven deterministically in `tests/shard_concurrency.rs`.
+//!
+//! Run with `cargo bench -p boolmatch-bench --bench shard_scaling`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use boolmatch_broker::{Broker, DeliveryPolicy, Subscription};
+use boolmatch_core::EngineKind;
+use boolmatch_types::Event;
+use boolmatch_workload::scenarios::{ChurnOp, ChurnScenario, StockScenario};
+
+const BASE_SUBSCRIPTIONS: usize = 1_000;
+const EVENT_BATCH: usize = 1_024;
+const PUBLISH_CHUNK: usize = 64;
+const PUBLISHERS: usize = 4;
+
+fn build_broker(
+    kind: EngineKind,
+    shards: usize,
+) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+    let broker = Broker::builder()
+        .engine(kind)
+        .shards(shards)
+        // Bounded queues so nobody draining the detached receivers
+        // cannot make memory the variable under test.
+        .delivery(DeliveryPolicy::DropNewest { capacity: 64 })
+        .build();
+    let mut scenario = StockScenario::new(2_005);
+    // The receivers must stay alive for the bench's duration: a dropped
+    // receiver disconnects its subscription and delivery would prune it.
+    let receivers: Vec<_> = scenario
+        .subscriptions(BASE_SUBSCRIPTIONS)
+        .iter()
+        .map(|expr| {
+            broker
+                .subscribe_expr(expr)
+                .expect("stock subscriptions are accepted by every engine")
+                .detach()
+        })
+        .collect();
+    (broker, receivers)
+}
+
+/// Publishes `per_thread` events per publisher thread (in
+/// `publish_batch` chunks) while one churn thread subscribes and
+/// unsubscribes continuously; returns the publishing wall-clock time.
+fn publish_under_churn(broker: &Broker, per_thread: u64) -> Duration {
+    let events: Vec<Event> = {
+        let mut feed = StockScenario::new(99);
+        (0..EVENT_BATCH).map(|_| feed.tick()).collect()
+    };
+    let stop = AtomicBool::new(false);
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Churn-only op stream (no publishes): sustained
+            // subscription writes racing the publishers' reads.
+            let mut churn = ChurnScenario::new(7, 200).with_publish_ratio(0.0);
+            let mut live: Vec<Subscription> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                match churn.next_op() {
+                    ChurnOp::Subscribe(expr) => {
+                        live.push(broker.subscribe_expr(&expr).expect("accepted"));
+                    }
+                    ChurnOp::Unsubscribe(i) => {
+                        live.remove(i);
+                    }
+                    ChurnOp::Publish(_) => unreachable!("publish ratio is 0"),
+                }
+            }
+        });
+
+        let start = Instant::now();
+        std::thread::scope(|publishers| {
+            for t in 0..PUBLISHERS {
+                let publisher = broker.publisher();
+                let events = &events;
+                publishers.spawn(move || {
+                    let mut sent = 0u64;
+                    let mut at = t * PUBLISH_CHUNK; // stagger thread phases
+                    while sent < per_thread {
+                        let chunk = (per_thread - sent).min(PUBLISH_CHUNK as u64) as usize;
+                        let from = at % (EVENT_BATCH - PUBLISH_CHUNK);
+                        publisher.publish_batch(&events[from..from + chunk]);
+                        sent += chunk as u64;
+                        at += chunk;
+                    }
+                });
+            }
+        });
+        elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+    });
+    elapsed
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    for kind in EngineKind::ALL {
+        let mut group = c.benchmark_group(format!("shard_scaling/{kind}"));
+        group
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(1_500))
+            .sample_size(10)
+            // One element = one published event: aggregate events/sec.
+            .throughput(Throughput::Elements(1));
+        for shards in [1usize, 2, 4, 8] {
+            let (broker, _receivers) = build_broker(kind, shards);
+            group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+                b.iter_custom(|iters| {
+                    let per_thread = iters.div_ceil(PUBLISHERS as u64).max(1);
+                    publish_under_churn(&broker, per_thread)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -4,11 +4,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use boolmatch_core::{
-    EngineKind, FilterEngine, MatchScratch, MemoryUsage, SubscribeError, SubscriptionId,
+    BoxedEngine, EngineKind, FilterEngine, MatchScratch, MemoryUsage, ShardRouter, SubscribeError,
+    SubscriptionId,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -82,28 +83,47 @@ struct AtomicStats {
     subscriptions_removed: AtomicU64,
 }
 
+/// Per-publisher-thread reusable buffers: the match scratch plus the
+/// global matched-id accumulator (publish) and the per-event matched
+/// buckets (publish_batch).
+#[derive(Default)]
+struct PublishState {
+    scratch: MatchScratch,
+    matched: Vec<SubscriptionId>,
+    buckets: Vec<Vec<SubscriptionId>>,
+}
+
 thread_local! {
-    // One scratch per publisher thread, shared by all brokers on that
+    // One state per publisher thread, shared by all brokers on that
     // thread (sound: the scratch is engine-agnostic and self-restoring
     // between matches). It grows to the largest engine the thread ever
     // matched against and stays at that high-water mark until
     // [`trim_publish_scratch`] is called.
-    static PUBLISH_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+    static PUBLISH_STATE: RefCell<PublishState> = RefCell::new(PublishState::default());
 }
 
 /// Releases the calling thread's publish scratch buffers.
 ///
-/// [`Broker::publish`] keeps one [`MatchScratch`] per thread, sized to
-/// the largest engine that thread has matched against. Long-lived
-/// worker threads that once published to a huge broker and now serve
-/// only small ones can call this to return the high-water allocation;
-/// the next publish re-grows the scratch lazily.
+/// [`Broker::publish`] keeps one [`MatchScratch`] (plus a matched-id
+/// accumulator) per thread, sized to the largest engine that thread has
+/// matched against. Long-lived worker threads that once published to a
+/// huge broker and now serve only small ones can call this to return
+/// the high-water allocation; the next publish re-grows the buffers
+/// lazily.
 pub fn trim_publish_scratch() {
-    PUBLISH_SCRATCH.with(|cell| cell.borrow_mut().reset());
+    PUBLISH_STATE.with(|cell| *cell.borrow_mut() = PublishState::default());
 }
 
 pub(crate) struct BrokerInner {
-    engine: RwLock<Box<dyn FilterEngine + Send + Sync>>,
+    /// One engine per shard, each behind its own lock: subscription
+    /// churn write-locks exactly one shard, so publishers keep matching
+    /// on every other shard. Global ↔ (shard, local) id translation is
+    /// the same stride arithmetic [`boolmatch_core::ShardedEngine`]
+    /// uses (`router`).
+    shards: Vec<RwLock<BoxedEngine>>,
+    router: ShardRouter,
+    /// Round-robin placement cursor for [`Broker::subscribe_expr`].
+    next_shard: AtomicUsize,
     senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
     policy: DeliveryPolicy,
     stats: AtomicStats,
@@ -114,15 +134,26 @@ impl BrokerInner {
         let existed = self.senders.write().remove(&id).is_some();
         if existed {
             // The sender map is the source of truth; engine state follows.
-            self.engine
+            let (shard, local) = self.router.split(id);
+            self.shards[shard]
                 .write()
-                .unsubscribe(id)
+                .unsubscribe(local)
                 .expect("engine and sender map are kept in sync");
             self.stats
                 .subscriptions_removed
                 .fetch_add(1, Ordering::Relaxed);
         }
         existed
+    }
+
+    /// Matches `event` against every shard (read lock each, one at a
+    /// time) and appends the matched **global** ids to `out`.
+    fn match_into(&self, event: &Event, scratch: &mut MatchScratch, out: &mut Vec<SubscriptionId>) {
+        for (s, lock) in self.shards.iter().enumerate() {
+            let engine = lock.read();
+            engine.match_event_into(event, scratch);
+            out.extend(scratch.matched().iter().map(|&l| self.router.global(s, l)));
+        }
     }
 }
 
@@ -159,7 +190,17 @@ impl Broker {
     ///
     /// Returns [`BrokerError::Subscribe`] when the engine refuses it.
     pub fn subscribe_expr(&self, expr: &Expr) -> Result<Subscription, BrokerError> {
-        let id = self.inner.engine.write().subscribe(expr)?;
+        // Round-robin placement; only the chosen shard is write-locked,
+        // so registration never stalls matching on the other shards.
+        // The cursor advances only on success — like
+        // `ShardedEngine::subscribe` — so rejected expressions neither
+        // skew placement nor break the arrival-order ↔ global-id
+        // alignment (concurrent racing subscribers may target the same
+        // shard; ids stay unique because locals are engine-assigned).
+        let shard = self.inner.next_shard.load(Ordering::Relaxed) % self.shard_count();
+        let local = self.inner.shards[shard].write().subscribe(expr)?;
+        self.inner.next_shard.fetch_add(1, Ordering::Relaxed);
+        let id = self.inner.router.global(shard, local);
         let (tx, rx) = self.inner.policy.channel();
         self.inner.senders.write().insert(id, tx);
         self.inner
@@ -179,29 +220,111 @@ impl Broker {
     /// queues notifications to the matching subscribers. Returns the
     /// number of notifications delivered.
     ///
-    /// Matching runs under the engine's **read** lock with a
-    /// thread-local [`MatchScratch`], so concurrent publishers match in
-    /// parallel; the lock is released before delivery. The scratch's
-    /// matched buffer is reused across publishes on the same thread —
-    /// the steady-state publish path allocates only the `Arc` around
-    /// the event.
+    /// Matching visits each shard under that shard's **read** lock with
+    /// a thread-local [`MatchScratch`], so concurrent publishers match
+    /// in parallel and a write-locked shard (a subscription in
+    /// progress) delays only its own shard's portion of the match. All
+    /// locks are released before delivery; the thread-local borrow
+    /// covers only matching. The matched buffer is reused across
+    /// publishes on the same thread — the steady-state publish path
+    /// allocates only the `Arc` around the event.
     ///
     /// Subscribers found disconnected (handle dropped without
     /// unsubscribe — possible when the handle's broker reference was
     /// already gone) are pruned.
     pub fn publish(&self, event: Event) -> usize {
-        PUBLISH_SCRATCH.with(|cell| {
-            let scratch = &mut *cell.borrow_mut();
-            {
-                let engine = self.inner.engine.read();
-                engine.match_event_into(&event, scratch);
-            }
+        // The matched ids are swapped out of the thread-local state so
+        // the RefCell borrow ends before delivery (which takes the
+        // sender-map lock and may re-enter the broker to prune dead
+        // subscribers).
+        let matched = PUBLISH_STATE.with(|cell| {
+            let state = &mut *cell.borrow_mut();
+            let mut matched = std::mem::take(&mut state.matched);
+            matched.clear();
             self.inner
-                .stats
-                .events_published
-                .fetch_add(1, Ordering::Relaxed);
-            self.deliver_matched(event, scratch.matched())
-        })
+                .match_into(&event, &mut state.scratch, &mut matched);
+            matched
+        });
+        self.inner
+            .stats
+            .events_published
+            .fetch_add(1, Ordering::Relaxed);
+        let delivered = self.deliver_matched(event, &matched);
+        // Return the buffer's capacity to the thread for the next publish.
+        PUBLISH_STATE.with(|cell| cell.borrow_mut().matched = matched);
+        delivered
+    }
+
+    /// Publishes a batch of events — the amortised hot path. Returns
+    /// the total number of notifications delivered, and delivers
+    /// exactly the same notifications, in the same per-subscriber
+    /// order, as the equivalent sequence of [`Broker::publish`] calls.
+    ///
+    /// Compared to that sequence, the batch acquires each shard's read
+    /// lock **once** (matching all events against a shard while it is
+    /// hot in cache), reuses the thread-local scratch across the whole
+    /// batch, and takes the sender-map read lock once for all
+    /// deliveries.
+    pub fn publish_batch(&self, events: &[Event]) -> usize {
+        if events.is_empty() {
+            return 0;
+        }
+        // Phase A: match every event against every shard, bucketing
+        // matched global ids per event. Shard-major order amortises
+        // lock acquisitions; buckets keep delivery event-major so
+        // per-subscriber notification order equals the sequential one.
+        let buckets = PUBLISH_STATE.with(|cell| {
+            let state = &mut *cell.borrow_mut();
+            let mut buckets = std::mem::take(&mut state.buckets);
+            buckets.iter_mut().for_each(Vec::clear);
+            if buckets.len() < events.len() {
+                // Grow to the high-water batch length, never shrink:
+                // a short batch must not free the longer tail's
+                // capacity (everything zips against `events`, so
+                // extra cleared buckets are simply ignored).
+                buckets.resize_with(events.len(), Vec::new);
+            }
+            for (s, lock) in self.inner.shards.iter().enumerate() {
+                let engine = lock.read();
+                for (event, bucket) in events.iter().zip(&mut buckets) {
+                    engine.match_event_into(event, &mut state.scratch);
+                    bucket.extend(
+                        state
+                            .scratch
+                            .matched()
+                            .iter()
+                            .map(|&l| self.inner.router.global(s, l)),
+                    );
+                }
+            }
+            buckets
+        });
+        self.inner
+            .stats
+            .events_published
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+
+        // Phase B: delivery, outside the scratch borrow and all engine
+        // locks, under one sender-map read lock for the whole batch.
+        let mut delivered = 0usize;
+        let mut dead: Vec<SubscriptionId> = Vec::new();
+        {
+            let senders = self.inner.senders.read();
+            for (event, matched) in events.iter().zip(&buckets) {
+                if matched.is_empty() {
+                    continue;
+                }
+                let event = Arc::new(event.clone());
+                delivered += self.deliver_locked(&senders, &event, matched, &mut dead);
+            }
+        }
+        self.prune_dead(dead);
+        self.inner
+            .stats
+            .notifications_delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        PUBLISH_STATE.with(|cell| cell.borrow_mut().buckets = buckets);
+        delivered
     }
 
     /// Queues `event` to the subscribers in `matched`.
@@ -210,34 +333,55 @@ impl Broker {
             return 0;
         }
         let event = Arc::new(event);
-        let mut delivered = 0usize;
         let mut dead: Vec<SubscriptionId> = Vec::new();
-        {
+        let delivered = {
             let senders = self.inner.senders.read();
-            for id in matched {
-                let Some(sender) = senders.get(id) else {
-                    continue;
-                };
-                match self.inner.policy.deliver(sender, Arc::clone(&event)) {
-                    Ok(true) => delivered += 1,
-                    Ok(false) => {
-                        self.inner
-                            .stats
-                            .notifications_dropped
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(()) => dead.push(*id),
-                }
-            }
-        }
-        for id in dead {
-            self.inner.unsubscribe(id);
-        }
+            self.deliver_locked(&senders, &event, matched, &mut dead)
+        };
+        self.prune_dead(dead);
         self.inner
             .stats
             .notifications_delivered
             .fetch_add(delivered as u64, Ordering::Relaxed);
         delivered
+    }
+
+    /// Delivery core: queues `event` to `matched` under an
+    /// already-held sender-map lock, collecting disconnected
+    /// subscribers into `dead` for pruning after the lock is released.
+    fn deliver_locked(
+        &self,
+        senders: &HashMap<SubscriptionId, Sender<Arc<Event>>>,
+        event: &Arc<Event>,
+        matched: &[SubscriptionId],
+        dead: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let mut delivered = 0usize;
+        for id in matched {
+            let Some(sender) = senders.get(id) else {
+                continue;
+            };
+            match self.inner.policy.deliver(sender, Arc::clone(event)) {
+                Ok(true) => delivered += 1,
+                Ok(false) => {
+                    self.inner
+                        .stats
+                        .notifications_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(()) => dead.push(*id),
+            }
+        }
+        delivered
+    }
+
+    /// Unsubscribes disconnected subscribers found during delivery
+    /// (idempotent: batch delivery may report one subscriber several
+    /// times).
+    fn prune_dead(&self, dead: Vec<SubscriptionId>) {
+        for id in dead {
+            self.inner.unsubscribe(id);
+        }
     }
 
     /// A cloneable publishing handle for producer threads.
@@ -252,14 +396,24 @@ impl Broker {
         self.inner.senders.read().len()
     }
 
-    /// The engine's memory breakdown.
-    pub fn memory_usage(&self) -> MemoryUsage {
-        self.inner.engine.read().memory_usage()
+    /// Number of engine shards subscriptions are partitioned across.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
-    /// Which engine kind the broker runs.
+    /// The engines' memory breakdown, summed across shards.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.inner
+            .shards
+            .iter()
+            .map(|lock| lock.read().memory_usage())
+            .fold(MemoryUsage::default(), |a, b| a + b)
+    }
+
+    /// Which engine kind the broker runs (of the first shard, when
+    /// heterogeneous engines were supplied).
     pub fn engine_kind(&self) -> EngineKind {
-        self.inner.engine.read().kind()
+        self.inner.shards[0].read().kind()
     }
 
     /// Counter snapshot.
@@ -310,13 +464,20 @@ impl Publisher {
     pub fn publish(&self, event: Event) -> usize {
         self.broker.publish(event)
     }
+
+    /// Publishes a batch; see [`Broker::publish_batch`].
+    pub fn publish_batch(&self, events: &[Event]) -> usize {
+        self.broker.publish_batch(events)
+    }
 }
 
 /// Configures and builds a [`Broker`].
 #[derive(Default)]
 pub struct BrokerBuilder {
     kind: Option<EngineKind>,
-    custom: Option<Box<dyn FilterEngine + Send + Sync>>,
+    custom: Option<Vec<BoxedEngine>>,
+    /// 0 means "not set" and resolves to 1.
+    shards: usize,
     policy: DeliveryPolicy,
 }
 
@@ -324,7 +485,8 @@ impl fmt::Debug for BrokerBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BrokerBuilder")
             .field("kind", &self.kind)
-            .field("custom", &self.custom.as_ref().map(|e| e.kind()))
+            .field("custom", &self.custom.as_ref().map(|e| e.len()))
+            .field("shards", &self.shards.max(1))
             .field("policy", &self.policy)
             .finish()
     }
@@ -339,13 +501,49 @@ impl BrokerBuilder {
         self
     }
 
-    /// Supplies a pre-built (possibly custom) engine instead of an
-    /// [`EngineKind`]; takes precedence over [`BrokerBuilder::engine`].
-    /// Useful for non-default engine configurations and for
-    /// instrumented engines in tests.
+    /// Partitions subscriptions across `n` engine shards, each behind
+    /// its own lock (default: 1, which is behaviourally identical to an
+    /// unsharded broker). More shards mean subscription churn blocks a
+    /// smaller slice of concurrent matching and smaller per-shard
+    /// phase-2 state; see the `shard_scaling` bench.
+    ///
+    /// Ignored when [`BrokerBuilder::engine_instances`] supplies
+    /// pre-built engines (the instance count is the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
     #[must_use]
-    pub fn engine_instance(mut self, engine: Box<dyn FilterEngine + Send + Sync>) -> Self {
-        self.custom = Some(engine);
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a broker needs at least one engine shard");
+        self.shards = n;
+        self
+    }
+
+    /// Supplies a single pre-built (possibly custom) engine instead of
+    /// an [`EngineKind`]; takes precedence over
+    /// [`BrokerBuilder::engine`] and [`BrokerBuilder::shards`]. Useful
+    /// for non-default engine configurations and for instrumented
+    /// engines in tests.
+    #[must_use]
+    pub fn engine_instance(self, engine: BoxedEngine) -> Self {
+        self.engine_instances(vec![engine])
+    }
+
+    /// Supplies one pre-built engine per shard (shard `i` runs
+    /// `engines[i]`); takes precedence over [`BrokerBuilder::engine`]
+    /// and [`BrokerBuilder::shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    #[must_use]
+    pub fn engine_instances(mut self, engines: Vec<BoxedEngine>) -> Self {
+        assert!(
+            !engines.is_empty(),
+            "a broker needs at least one engine shard"
+        );
+        self.custom = Some(engines);
         self
     }
 
@@ -359,12 +557,16 @@ impl BrokerBuilder {
 
     /// Builds the broker.
     pub fn build(self) -> Broker {
-        let engine = self
-            .custom
-            .unwrap_or_else(|| self.kind.unwrap_or(EngineKind::NonCanonical).build());
+        let engines = self.custom.unwrap_or_else(|| {
+            let kind = self.kind.unwrap_or(EngineKind::NonCanonical);
+            (0..self.shards.max(1)).map(|_| kind.build()).collect()
+        });
+        let router = ShardRouter::new(engines.len());
         Broker {
             inner: Arc::new(BrokerInner {
-                engine: RwLock::new(engine),
+                shards: engines.into_iter().map(RwLock::new).collect(),
+                router,
+                next_shard: AtomicUsize::new(0),
                 senders: RwLock::new(HashMap::new()),
                 policy: self.policy,
                 stats: AtomicStats::default(),
@@ -502,6 +704,154 @@ mod tests {
     fn memory_usage_is_exposed() {
         let broker = Broker::builder().build();
         let _sub = broker.subscribe("(a = 1 or b = 2) and c = 3").unwrap();
+        assert!(broker.memory_usage().total() > 0);
+    }
+
+    #[test]
+    fn default_broker_has_one_shard() {
+        let broker = Broker::builder().build();
+        assert_eq!(broker.shard_count(), 1);
+        assert_eq!(Broker::builder().shards(1).build().shard_count(), 1);
+        assert_eq!(Broker::builder().shards(4).build().shard_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine shard")]
+    fn zero_shards_panics() {
+        let _ = Broker::builder().shards(0);
+    }
+
+    #[test]
+    fn sharded_broker_delivers_like_unsharded() {
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 3, 8] {
+                let flat = Broker::builder().engine(kind).build();
+                let sharded = Broker::builder().engine(kind).shards(shards).build();
+                let exprs: Vec<String> = (0..20)
+                    .map(|i| format!("(group = {} or boost = 1) and tick >= {}", i % 5, i))
+                    .collect();
+                let flat_subs: Vec<_> = exprs.iter().map(|e| flat.subscribe(e).unwrap()).collect();
+                let sharded_subs: Vec<_> = exprs
+                    .iter()
+                    .map(|e| sharded.subscribe(e).unwrap())
+                    .collect();
+                // Round-robin + stride routing preserves arrival-order ids.
+                for (a, b) in flat_subs.iter().zip(&sharded_subs) {
+                    assert_eq!(a.id(), b.id());
+                }
+                for t in 0..30 {
+                    let event = ev(&[("group", t % 5), ("tick", t * 2)]);
+                    assert_eq!(
+                        flat.publish(event.clone()),
+                        sharded.publish(event),
+                        "kind={kind} shards={shards} t={t}"
+                    );
+                }
+                for (i, (a, b)) in flat_subs.iter().zip(&sharded_subs).enumerate() {
+                    assert_eq!(a.drain().len(), b.drain().len(), "sub {i} on {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_unsubscribe_routes_to_owning_shard() {
+        let broker = Broker::builder().shards(3).build();
+        let subs: Vec<_> = (0..9)
+            .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+            .collect();
+        let id = subs[4].id();
+        assert!(broker.unsubscribe(id));
+        assert!(!broker.unsubscribe(id));
+        assert_eq!(broker.subscription_count(), 8);
+        assert_eq!(broker.publish(ev(&[("a", 4)])), 0);
+        assert_eq!(broker.publish(ev(&[("a", 5)])), 1);
+    }
+
+    #[test]
+    fn rejected_subscription_does_not_skew_placement() {
+        // 2^17 DNF conjunctions: over the counting engine's default
+        // 65,536 limit, so registration is rejected.
+        let huge: String = (0..17)
+            .map(|i| format!("(a{i} = 1 or b{i} = 1)"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let flat = Broker::builder().engine(EngineKind::Counting).build();
+        let sharded = Broker::builder()
+            .engine(EngineKind::Counting)
+            .shards(2)
+            .build();
+        for broker in [&flat, &sharded] {
+            let a = broker.subscribe("x = 1").unwrap();
+            assert!(matches!(
+                broker.subscribe(&huge),
+                Err(BrokerError::Subscribe(_))
+            ));
+            let c = broker.subscribe("x = 2").unwrap();
+            // The cursor must not advance on rejection: arrival-order
+            // ids stay aligned with an unsharded broker's.
+            assert_eq!(a.id().index(), 0);
+            assert_eq!(c.id().index(), 1);
+        }
+    }
+
+    #[test]
+    fn publish_batch_equals_publish_sequence() {
+        for shards in [1usize, 4] {
+            let seq = Broker::builder().shards(shards).build();
+            let batch = Broker::builder().shards(shards).build();
+            let exprs = ["a >= 3", "a = 5 or b = 1", "a < 0"];
+            let seq_subs: Vec<_> = exprs.iter().map(|e| seq.subscribe(e).unwrap()).collect();
+            let batch_subs: Vec<_> = exprs.iter().map(|e| batch.subscribe(e).unwrap()).collect();
+            let events: Vec<Event> = (0..10).map(|i| ev(&[("a", i), ("b", i % 2)])).collect();
+
+            let seq_delivered: usize = events.iter().map(|e| seq.publish(e.clone())).sum();
+            let batch_delivered = batch.publish_batch(&events);
+            assert_eq!(seq_delivered, batch_delivered, "shards={shards}");
+            assert_eq!(seq.stats().events_published, batch.stats().events_published);
+
+            // Same notifications, in the same per-subscriber order.
+            for (s, b) in seq_subs.iter().zip(&batch_subs) {
+                let sn: Vec<_> = s.drain().iter().map(|e| e.get("a").cloned()).collect();
+                let bn: Vec<_> = b.drain().iter().map(|e| e.get("a").cloned()).collect();
+                assert_eq!(sn, bn, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn publish_batch_empty_and_repeated() {
+        let broker = Broker::builder().shards(2).build();
+        assert_eq!(broker.publish_batch(&[]), 0);
+        let sub = broker.subscribe("a = 1").unwrap();
+        // Repeated batches reuse the thread-local buckets (shrinking
+        // and growing the batch length between calls).
+        assert_eq!(broker.publish_batch(&[ev(&[("a", 1)]), ev(&[("a", 2)])]), 1);
+        assert_eq!(broker.publish_batch(&[ev(&[("a", 1)])]), 1);
+        assert_eq!(
+            broker.publish_batch(&[ev(&[("a", 1)]), ev(&[("a", 1)]), ev(&[("a", 3)])]),
+            2
+        );
+        assert_eq!(sub.drain().len(), 4);
+        assert_eq!(broker.stats().events_published, 6);
+    }
+
+    #[test]
+    fn heterogeneous_engine_instances() {
+        let broker = Broker::builder()
+            .engine_instances(vec![
+                EngineKind::NonCanonical.build(),
+                EngineKind::Counting.build(),
+            ])
+            .build();
+        assert_eq!(broker.shard_count(), 2);
+        assert_eq!(broker.engine_kind(), EngineKind::NonCanonical);
+        let a = broker.subscribe("a = 1").unwrap(); // shard 0
+        let b = broker.subscribe("a = 2").unwrap(); // shard 1
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+        assert_eq!(broker.publish(ev(&[("a", 2)])), 1);
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
         assert!(broker.memory_usage().total() > 0);
     }
 

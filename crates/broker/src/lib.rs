@@ -9,15 +9,24 @@
 //!
 //! # Threading model
 //!
-//! The engine sits behind a [`parking_lot::RwLock`], and matching is a
-//! **shared-read** operation: `publish` takes only the *read* lock and
-//! brings a thread-local [`boolmatch_core::MatchScratch`] for all
+//! Subscriptions are partitioned round-robin across **engine shards**
+//! ([`Broker::builder`]`.shards(n)`, default 1), each behind its own
+//! [`parking_lot::RwLock`]; the global ↔ per-shard id translation is
+//! the [`boolmatch_core::ShardRouter`] stride arithmetic shared with
+//! [`boolmatch_core::ShardedEngine`]. Matching is a **shared-read**
+//! operation: `publish` visits each shard under that shard's *read*
+//! lock with a thread-local [`boolmatch_core::MatchScratch`] for all
 //! per-event mutable state, so any number of publisher threads match
 //! concurrently — matching throughput scales with cores (see the
-//! `concurrent_publish` bench). Only `subscribe`/`unsubscribe` take
-//! the write lock. Delivery happens outside the engine lock; events
-//! are reference counted, so fan-out to thousands of subscribers
-//! copies pointers, not payloads.
+//! `concurrent_publish` and `shard_scaling` benches). Only
+//! `subscribe`/`unsubscribe` take a write lock, and only on the one
+//! shard that owns the subscription: registration churn stalls `1/n`
+//! of matching instead of all of it (proven deterministically in
+//! `tests/shard_concurrency.rs`). Delivery happens outside all engine
+//! locks; events are reference counted, so fan-out to thousands of
+//! subscribers copies pointers, not payloads. [`Broker::publish_batch`]
+//! amortises lock acquisition, scratch reuse and the sender-map lookup
+//! across a whole batch of events.
 //!
 //! Scratch ownership rules: the scratch is per *publisher thread*
 //! (`thread_local!`), never shared concurrently, and self-restoring

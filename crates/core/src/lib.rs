@@ -31,6 +31,13 @@
 //! [`Matcher`] handle instead. See [`FilterEngine`] for the threading
 //! model.
 //!
+//! For write scalability, any of the engines can be **sharded**: a
+//! [`ShardedEngine`] partitions subscriptions round-robin across `S`
+//! inner engines (global ↔ per-shard id translation via
+//! [`ShardRouter`]) and is itself a [`FilterEngine`], so everything
+//! downstream works against it transparently. The broker builds its
+//! per-shard locking on the same routing arithmetic.
+//!
 //! # Examples
 //!
 //! ```
@@ -63,7 +70,9 @@ mod ids;
 mod interner;
 mod memory;
 mod noncanonical;
+mod routing;
 mod scratch;
+mod shard;
 mod stats;
 
 pub use counting::{CountingConfig, CountingEngine, CountingVariantEngine};
@@ -75,5 +84,7 @@ pub use ids::{PredicateId, SubscriptionId};
 pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
+pub use routing::ShardRouter;
 pub use scratch::{MatchScratch, Matcher};
+pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;

@@ -1,0 +1,198 @@
+//! Global ↔ per-shard id routing for the sharded matching core.
+//!
+//! A [`crate::ShardedEngine`] (and the broker's per-shard lock layout
+//! built on the same mapping) partitions subscriptions across `S`
+//! independent inner engines. Each inner engine hands out its own dense
+//! sequential [`SubscriptionId`]s and [`PredicateId`]s, so a routing
+//! layer must translate between those *local* id spaces and the single
+//! *global* id space the outside world sees.
+//!
+//! The mapping is pure arithmetic — **stride interleaving**:
+//!
+//! ```text
+//! global = local * S + shard        shard = global % S
+//!                                   local = global / S
+//! ```
+//!
+//! This needs no table, no lock and no allocation, and it composes with
+//! round-robin placement to a useful invariant: because inner engines
+//! assign local ids sequentially, the *n*-th accepted subscription of a
+//! round-robin sharded engine lands on shard `n % S` with local index
+//! `n / S`, i.e. global id exactly `n` — the same id an unsharded
+//! engine would have assigned. Sharded and unsharded matched-id sets
+//! are therefore directly comparable (the shard-equivalence property
+//! tests rely on this), and `S = 1` is the identity mapping.
+
+use crate::{PredicateId, SubscriptionId};
+
+/// Stateless arithmetic mapping between the global id space and the
+/// per-shard `(shard, local id)` spaces of an `S`-way sharded engine.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{ShardRouter, SubscriptionId};
+///
+/// let router = ShardRouter::new(4);
+/// let global = router.global(3, SubscriptionId::from_index(10));
+/// assert_eq!(global.index(), 43);
+/// assert_eq!(router.split(global), (3, SubscriptionId::from_index(10)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router for `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The global subscription id of `local` on `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `shard` is out of range.
+    pub fn global(&self, shard: usize, local: SubscriptionId) -> SubscriptionId {
+        debug_assert!(shard < self.shards);
+        SubscriptionId::from_index(local.index() * self.shards + shard)
+    }
+
+    /// The shard a global subscription id lives on.
+    pub fn shard_of(&self, global: SubscriptionId) -> usize {
+        global.index() % self.shards
+    }
+
+    /// The shard-local subscription id behind a global id.
+    pub fn local_of(&self, global: SubscriptionId) -> SubscriptionId {
+        SubscriptionId::from_index(global.index() / self.shards)
+    }
+
+    /// Both routing halves of a global subscription id at once.
+    pub fn split(&self, global: SubscriptionId) -> (usize, SubscriptionId) {
+        (self.shard_of(global), self.local_of(global))
+    }
+
+    /// The global predicate id of `local` on `shard` (same stride
+    /// interleaving as subscriptions; predicate spaces of different
+    /// shards are disjoint even when they intern the same predicate).
+    pub fn global_pred(&self, shard: usize, local: PredicateId) -> PredicateId {
+        debug_assert!(shard < self.shards);
+        PredicateId::from_index(local.index() * self.shards + shard)
+    }
+
+    /// Both routing halves of a global predicate id.
+    pub fn split_pred(&self, global: PredicateId) -> (usize, PredicateId) {
+        (
+            global.index() % self.shards,
+            PredicateId::from_index(global.index() / self.shards),
+        )
+    }
+
+    /// The exclusive upper bound of the global id space, given each
+    /// shard's exclusive local bound: the largest interleaved id any
+    /// shard can have issued, plus one. Zero when every shard is empty.
+    pub fn global_bound(&self, local_bounds: impl IntoIterator<Item = usize>) -> usize {
+        local_bounds
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, bound)| bound > 0)
+            .map(|(shard, bound)| (bound - 1) * self.shards + shard + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscription_round_trip() {
+        let router = ShardRouter::new(3);
+        for shard in 0..3 {
+            for local in 0..10 {
+                let g = router.global(shard, SubscriptionId::from_index(local));
+                assert_eq!(router.shard_of(g), shard);
+                assert_eq!(router.local_of(g), SubscriptionId::from_index(local));
+                assert_eq!(router.split(g), (shard, SubscriptionId::from_index(local)));
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_round_trip() {
+        let router = ShardRouter::new(5);
+        for shard in 0..5 {
+            for local in [0usize, 1, 7, 100] {
+                let g = router.global_pred(shard, PredicateId::from_index(local));
+                assert_eq!(
+                    router.split_pred(g),
+                    (shard, PredicateId::from_index(local))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let router = ShardRouter::new(1);
+        let id = SubscriptionId::from_index(42);
+        assert_eq!(router.global(0, id), id);
+        assert_eq!(router.split(id), (0, id));
+    }
+
+    #[test]
+    fn global_ids_are_unique_across_shards() {
+        let router = ShardRouter::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..4 {
+            for local in 0..16 {
+                assert!(seen.insert(router.global(shard, SubscriptionId::from_index(local))));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_arrival_order() {
+        // The invariant the shard-equivalence tests rely on: n-th
+        // round-robin placement gets global id n.
+        let router = ShardRouter::new(3);
+        for n in 0..30usize {
+            let (shard, local) = (n % 3, SubscriptionId::from_index(n / 3));
+            assert_eq!(router.global(shard, local).index(), n);
+        }
+    }
+
+    #[test]
+    fn global_bound_covers_issued_ids() {
+        let router = ShardRouter::new(3);
+        // Shard 0 issued locals 0..4, shard 1 none, shard 2 locals 0..2.
+        assert_eq!(router.global_bound([4, 0, 2]), (4 - 1) * 3 + 1);
+        assert_eq!(router.global_bound([0, 0, 0]), 0);
+        // Every issued global id is below the bound.
+        let bound = router.global_bound([4, 0, 2]);
+        for (shard, locals) in [(0usize, 4usize), (2, 2)] {
+            for l in 0..locals {
+                assert!(router.global(shard, SubscriptionId::from_index(l)).index() < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardRouter::new(0);
+    }
+}

@@ -47,6 +47,12 @@ pub struct MatchScratch {
     /// Matched subscription ids of the most recent `match_event_into`,
     /// reused across events.
     pub(crate) matched: Vec<SubscriptionId>,
+    /// Per-shard output buffer used by [`crate::ShardedEngine`] while
+    /// `matched` accumulates the translated global ids.
+    pub(crate) shard_matched: Vec<SubscriptionId>,
+    /// Per-shard fulfilled-set buffer used by [`crate::ShardedEngine`]
+    /// phase-2 to project a global fulfilled set onto one shard.
+    pub(crate) shard_fulfilled: FulfilledSet,
 }
 
 impl MatchScratch {
@@ -93,6 +99,8 @@ impl MatchScratch {
             + self.eval_stack.capacity() * std::mem::size_of::<EvalFrame>()
             + self.fulfilled.heap_bytes()
             + self.matched.capacity() * std::mem::size_of::<SubscriptionId>()
+            + self.shard_matched.capacity() * std::mem::size_of::<SubscriptionId>()
+            + self.shard_fulfilled.heap_bytes()
     }
 
     /// Starts a stamped pass over `slots` positions: ensures the stamp

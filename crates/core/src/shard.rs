@@ -1,0 +1,425 @@
+//! A sharded composite engine: `S` inner engines behind one
+//! [`FilterEngine`] face.
+//!
+//! Partitioning subscriptions across independent engine shards is the
+//! standard route to write-scalable content-based matching: each
+//! subscribe/unsubscribe touches exactly one shard, and each shard is
+//! just a smaller engine, so per-event phase-2 cost per shard shrinks
+//! with `S`. The composite engine here keeps the partitioning invisible
+//! — it implements [`FilterEngine`] itself, so the sweep harness,
+//! tests, and any single-threaded caller can use it transparently.
+//!
+//! Routing is the stride interleaving of [`ShardRouter`]: subscriptions
+//! are placed round-robin, which makes the *n*-th accepted subscription
+//! get global id *n*, exactly as an unsharded engine would assign (the
+//! shard-equivalence property tests rely on this).
+//!
+//! **Locking is deliberately not here.** `ShardedEngine` is a plain
+//! value with `&mut self` registration, like every other engine. The
+//! broker achieves *concurrent* shard writes by holding its shards in
+//! separate `RwLock`s and reusing the same [`ShardRouter`] arithmetic;
+//! see `boolmatch-broker`.
+//!
+//! # Examples
+//!
+//! ```
+//! use boolmatch_core::{EngineKind, FilterEngine, Matcher, ShardedEngine};
+//! use boolmatch_expr::Expr;
+//! use boolmatch_types::Event;
+//!
+//! let mut engine = Matcher::new(ShardedEngine::new(EngineKind::NonCanonical, 4));
+//! let id = engine.subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3")?)?;
+//! let event = Event::builder().attr("b", 2_i64).attr("c", 3_i64).build();
+//! assert_eq!(engine.match_event(&event).matched, vec![id]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use boolmatch_expr::Expr;
+use boolmatch_types::Event;
+
+use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
+use crate::routing::ShardRouter;
+use crate::{FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
+
+/// A boxed engine usable as a shard.
+pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
+
+/// `S` inner engines composed into one [`FilterEngine`].
+///
+/// * `subscribe` places round-robin onto one shard; `unsubscribe`
+///   routes by id arithmetic to the owning shard.
+/// * Matching runs every shard against the event and merges the
+///   results: matched ids are translated to the global id space,
+///   [`MatchStats`] and [`MemoryUsage`] are summed component-wise
+///   (per-shard work adds up — e.g. `fulfilled` counts each shard's own
+///   phase-1 output, since shards intern predicates independently).
+/// * With `S = 1` the routing is the identity and behaviour is
+///   indistinguishable from the inner engine.
+pub struct ShardedEngine {
+    router: ShardRouter,
+    shards: Vec<BoxedEngine>,
+    /// Next round-robin placement target; advanced only on a successful
+    /// subscribe so rejected expressions do not skew placement (and the
+    /// global-id ↔ arrival-order alignment survives rejections).
+    next_shard: usize,
+}
+
+impl ShardedEngine {
+    /// `shards` fresh engines of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(kind: EngineKind, shards: usize) -> Self {
+        Self::from_engines((0..shards).map(|_| kind.build()).collect())
+    }
+
+    /// Composes pre-built (possibly custom or heterogeneous) engines;
+    /// shard `i` is `engines[i]`. [`ShardedEngine::kind`] reports the
+    /// first engine's kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    pub fn from_engines(engines: Vec<BoxedEngine>) -> Self {
+        ShardedEngine {
+            router: ShardRouter::new(engines.len()),
+            shards: engines,
+            next_shard: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The id router (stride arithmetic; cheap to copy).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Shard `i`'s engine, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard(&self, i: usize) -> &(dyn FilterEngine + Send + Sync) {
+        &*self.shards[i]
+    }
+
+    /// Live subscriptions per shard — round-robin keeps these within
+    /// one of each other.
+    pub fn shard_subscription_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|e| e.subscription_count()).collect()
+    }
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("kind", &self.kind())
+            .field("shards", &self.shards.len())
+            .field("subscriptions", &self.subscription_count())
+            .finish()
+    }
+}
+
+impl FilterEngine for ShardedEngine {
+    fn kind(&self) -> EngineKind {
+        self.shards[0].kind()
+    }
+
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        let shard = self.next_shard;
+        let local = self.shards[shard].subscribe(expr)?;
+        self.next_shard = (shard + 1) % self.shards.len();
+        Ok(self.router.global(shard, local))
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        let (shard, local) = self.router.split(id);
+        self.shards[shard].unsubscribe(local).map_err(|e| match e {
+            // Errors surface in the caller's (global) id space.
+            UnsubscribeError::UnknownSubscription(_) => UnsubscribeError::UnknownSubscription(id),
+        })
+    }
+
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+        out.begin(self.predicate_universe());
+        // The standalone split needs a temporary per-shard set (there
+        // is no scratch in phase 1's signature); the hot path —
+        // `match_event_into` — never materialises global predicate ids.
+        let mut local = FulfilledSet::new();
+        for (s, engine) in self.shards.iter().enumerate() {
+            engine.phase1(event, &mut local);
+            for &id in local.ids() {
+                out.insert(self.router.global_pred(s, id));
+            }
+        }
+    }
+
+    fn phase2(
+        &self,
+        fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        let mut local = std::mem::take(&mut scratch.shard_fulfilled);
+        let mut shard_out = std::mem::take(&mut scratch.shard_matched);
+        let mut stats = MatchStats::default();
+        for (s, engine) in self.shards.iter().enumerate() {
+            // Project the global fulfilled set onto this shard's
+            // predicate space.
+            let universe = engine.predicate_universe();
+            local.begin(universe);
+            for &g in fulfilled.ids() {
+                let (shard, pred) = self.router.split_pred(g);
+                if shard == s && pred.index() < universe {
+                    local.insert(pred);
+                }
+            }
+            stats = stats + engine.phase2(&local, scratch, &mut shard_out);
+            matched.extend(shard_out.iter().map(|&l| self.router.global(s, l)));
+        }
+        scratch.shard_fulfilled = local;
+        scratch.shard_matched = shard_out;
+        stats
+    }
+
+    fn match_event_into(&self, event: &Event, scratch: &mut MatchScratch) -> MatchStats {
+        // Per shard: phase 1 straight into phase 2, all in the shard's
+        // own (local) id spaces — no translation of predicate ids, no
+        // allocation in steady state. Only matched ids are mapped to
+        // the global space, into the accumulating `matched` buffer.
+        let mut fulfilled = std::mem::take(&mut scratch.fulfilled);
+        let mut matched = std::mem::take(&mut scratch.matched);
+        let mut shard_out = std::mem::take(&mut scratch.shard_matched);
+        matched.clear();
+        let mut stats = MatchStats::default();
+        for (s, engine) in self.shards.iter().enumerate() {
+            engine.phase1(event, &mut fulfilled);
+            stats = stats + engine.phase2(&fulfilled, scratch, &mut shard_out);
+            matched.extend(shard_out.iter().map(|&l| self.router.global(s, l)));
+        }
+        scratch.fulfilled = fulfilled;
+        scratch.matched = matched;
+        scratch.shard_matched = shard_out;
+        stats
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.shards.iter().map(|e| e.subscription_count()).sum()
+    }
+
+    fn subscription_id_bound(&self) -> usize {
+        self.router
+            .global_bound(self.shards.iter().map(|e| e.subscription_id_bound()))
+    }
+
+    fn registered_units(&self) -> usize {
+        self.shards.iter().map(|e| e.registered_units()).sum()
+    }
+
+    fn unit_slot_bound(&self) -> usize {
+        // Shards are matched sequentially against one scratch, and each
+        // shard indexes the hit vector in its *own* slot space — the
+        // per-shard maximum is exactly what pre-sizing needs.
+        self.shards
+            .iter()
+            .map(|e| e.unit_slot_bound())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn predicate_count(&self) -> usize {
+        // Shards intern independently: a predicate shared by
+        // subscriptions on different shards is counted once per shard.
+        self.shards.iter().map(|e| e.predicate_count()).sum()
+    }
+
+    fn predicate_universe(&self) -> usize {
+        self.router
+            .global_bound(self.shards.iter().map(|e| e.predicate_universe()))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        self.shards
+            .iter()
+            .map(|e| e.memory_usage())
+            .fold(MemoryUsage::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matcher;
+
+    fn ev(pairs: &[(&str, i64)]) -> Event {
+        Event::from_pairs(pairs.iter().map(|(n, v)| (*n, *v)))
+    }
+
+    fn exprs(n: usize) -> Vec<Expr> {
+        (0..n)
+            .map(|i| {
+                Expr::parse(&format!(
+                    "(group = {} or boost = 1) and tick >= {}",
+                    i % 5,
+                    i
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn global_ids_follow_arrival_order() {
+        for shards in [1usize, 3, 8] {
+            let mut engine = ShardedEngine::new(EngineKind::NonCanonical, shards);
+            for n in 0..20 {
+                let id = engine.subscribe(&exprs(20)[n]).unwrap();
+                assert_eq!(id.index(), n, "shards={shards}");
+            }
+            assert_eq!(engine.subscription_count(), 20);
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_shards() {
+        let mut engine = ShardedEngine::new(EngineKind::Counting, 4);
+        for e in exprs(10) {
+            engine.subscribe(&e).unwrap();
+        }
+        assert_eq!(engine.shard_subscription_counts(), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn matches_agree_with_unsharded_engine() {
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 3] {
+                let mut flat = Matcher::new(kind.build());
+                let mut sharded = Matcher::new(ShardedEngine::new(kind, shards));
+                for e in exprs(16) {
+                    let a = flat.subscribe(&e).unwrap();
+                    let b = sharded.subscribe(&e).unwrap();
+                    assert_eq!(a, b);
+                }
+                for t in 0..40 {
+                    let event = ev(&[("group", t % 5), ("tick", t * 2)]);
+                    let mut a = flat.match_event(&event).matched;
+                    let mut b = sharded.match_event(&event).matched;
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "kind={kind} shards={shards} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsubscribe_routes_to_owning_shard() {
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, 3);
+        let ids: Vec<_> = exprs(9)
+            .iter()
+            .map(|e| engine.subscribe(e).unwrap())
+            .collect();
+        engine.unsubscribe(ids[4]).unwrap();
+        assert_eq!(engine.subscription_count(), 8);
+        assert_eq!(engine.shard_subscription_counts(), vec![3, 2, 3]);
+        // Stale and never-issued global ids fail in the global space.
+        assert_eq!(
+            engine.unsubscribe(ids[4]),
+            Err(UnsubscribeError::UnknownSubscription(ids[4]))
+        );
+        let bogus = SubscriptionId::from_index(1000);
+        assert_eq!(
+            engine.unsubscribe(bogus),
+            Err(UnsubscribeError::UnknownSubscription(bogus))
+        );
+        // The event for a removed subscription no longer matches it.
+        let mut m = Matcher::new(engine);
+        let matched = m.match_event(&ev(&[("group", 4), ("tick", 100)])).matched;
+        assert!(!matched.contains(&ids[4]));
+    }
+
+    #[test]
+    fn standalone_phases_agree_with_match_event() {
+        for kind in EngineKind::ALL {
+            let mut engine = ShardedEngine::new(kind, 3);
+            for e in exprs(12) {
+                engine.subscribe(&e).unwrap();
+            }
+            let mut scratch = MatchScratch::new();
+            for t in 0..20 {
+                let event = ev(&[("group", t % 5), ("tick", t * 3)]);
+                let mut expect = engine.match_event(&event, &mut scratch).matched;
+
+                // Global-id phase 1 output fed through global-id phase 2
+                // must reach the same answer.
+                let mut fulfilled = FulfilledSet::new();
+                engine.phase1(&event, &mut fulfilled);
+                let mut got = Vec::new();
+                let stats = engine.phase2(&fulfilled, &mut scratch, &mut got);
+
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(expect, got, "kind={kind} t={t}");
+                assert_eq!(stats.matched, got.len());
+                assert_eq!(stats.fulfilled, fulfilled.len());
+            }
+        }
+    }
+
+    #[test]
+    fn merged_accounting_sums_over_shards() {
+        let mut engine = ShardedEngine::new(EngineKind::Counting, 4);
+        for e in exprs(12) {
+            engine.subscribe(&e).unwrap();
+        }
+        let per_shard: Vec<_> = (0..4).map(|i| engine.shard(i)).collect();
+        assert_eq!(
+            engine.registered_units(),
+            per_shard
+                .iter()
+                .map(|s| s.registered_units())
+                .sum::<usize>()
+        );
+        assert_eq!(
+            engine.predicate_count(),
+            per_shard.iter().map(|s| s.predicate_count()).sum::<usize>()
+        );
+        assert_eq!(
+            engine.memory_usage().total(),
+            per_shard
+                .iter()
+                .map(|s| s.memory_usage().total())
+                .sum::<usize>()
+        );
+        assert!(engine.subscription_id_bound() >= 12);
+        assert!(engine.predicate_universe() > 0);
+        assert!(engine.unit_slot_bound() > 0);
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("shards: 4"));
+    }
+
+    #[test]
+    fn usable_as_a_trait_object() {
+        let mut engine: BoxedEngine = Box::new(ShardedEngine::new(EngineKind::CountingVariant, 2));
+        let id = engine
+            .subscribe(&Expr::parse("a = 1 or b = 2").unwrap())
+            .unwrap();
+        let mut scratch = MatchScratch::new();
+        let result = engine.match_event(&ev(&[("b", 2)]), &mut scratch);
+        assert_eq!(result.matched, vec![id]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedEngine::new(EngineKind::NonCanonical, 0);
+    }
+}

@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use boolmatch_core::{
     decode, encode, eval_iterative, eval_recursive, CountingEngine, CountingVariantEngine,
     EngineKind, FilterEngine, FulfilledSet, IdExpr, Matcher, NonCanonicalEngine, PredicateId,
+    ShardedEngine,
 };
 use boolmatch_expr::{CompareOp, Expr, Predicate};
 use boolmatch_types::Event;
@@ -183,6 +184,55 @@ proptest! {
                     churn_matches, clean_matches,
                     "{} churn mismatch on {}", kind, event
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engines_match_exactly_like_unsharded(
+        exprs in prop::collection::vec(arb_expr(), 1..16),
+        unsub_mask in any::<u16>(),
+        events in prop::collection::vec(arb_total_event(), 1..5),
+    ) {
+        // The shard refactor's headline invariant: a ShardedEngine over
+        // any inner kind delivers exactly the unsharded matched-id sets
+        // — including under unsubscribe churn, relying on round-robin +
+        // stride routing assigning global id n to the n-th
+        // subscription.
+        for kind in EngineKind::ALL {
+            let mut flat = kind.build_matcher();
+            let mut sharded: Vec<Matcher<ShardedEngine>> = [1usize, 3, 8]
+                .iter()
+                .map(|&s| Matcher::new(ShardedEngine::new(kind, s)))
+                .collect();
+            let mut ids = Vec::new();
+            for expr in &exprs {
+                let id = flat.subscribe(expr).unwrap();
+                for m in &mut sharded {
+                    prop_assert_eq!(m.subscribe(expr).unwrap(), id);
+                }
+                ids.push(id);
+            }
+            for (i, id) in ids.iter().enumerate() {
+                if unsub_mask & (1 << (i % 16)) != 0 {
+                    flat.unsubscribe(*id).unwrap();
+                    for m in &mut sharded {
+                        m.unsubscribe(*id).unwrap();
+                    }
+                }
+            }
+            for event in &events {
+                let mut want = flat.match_event(event).matched;
+                want.sort();
+                for m in &mut sharded {
+                    let shards = m.engine().shard_count();
+                    let mut got = m.match_event(event).matched;
+                    got.sort();
+                    prop_assert_eq!(
+                        &got, &want,
+                        "{} over {} shards disagrees on {}", kind, shards, event
+                    );
+                }
             }
         }
     }

@@ -4,13 +4,17 @@
 //! The paper motivates expressive subscriptions with application
 //! domains where interests are *not* naturally conjunctive. These
 //! generators produce such workloads: stock tickers (numeric ranges
-//! with alternatives), news alerting (string search), and auction
-//! monitoring (mixed).
+//! with alternatives), news alerting (string search), auction
+//! monitoring (mixed), and subscription churn (sustained
+//! subscribe/unsubscribe interleaved with publishing, for the sharded
+//! broker's write path).
 
 mod auction;
+mod churn;
 mod news;
 mod stock;
 
 pub use auction::AuctionScenario;
+pub use churn::{ChurnOp, ChurnScenario};
 pub use news::NewsScenario;
 pub use stock::StockScenario;

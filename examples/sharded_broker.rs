@@ -1,0 +1,71 @@
+//! Sharded broker: partition subscriptions across engine shards so
+//! registration churn stops stalling publishers, and publish in
+//! batches to amortise per-event overhead.
+//!
+//! Run with: `cargo run --example sharded_broker`
+
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::{ChurnOp, ChurnScenario, StockScenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four engine shards, each behind its own lock: a subscribe or
+    // unsubscribe write-locks one shard while matching keeps running
+    // on the other three. `shards(1)` (the default) is the classic
+    // single-engine broker.
+    let broker = Broker::builder()
+        .engine(EngineKind::NonCanonical)
+        .shards(4)
+        .build();
+    println!("broker with {} shards", broker.shard_count());
+
+    // A stable audience of stock watchers...
+    let mut stock = StockScenario::new(42);
+    let watchers: Vec<Subscription> = stock
+        .subscriptions(100)
+        .iter()
+        .map(|expr| broker.subscribe_expr(expr))
+        .collect::<Result<_, _>>()?;
+
+    // ...plus sustained churn: subscribers joining and leaving while
+    // the market feed keeps publishing. With one shard every one of
+    // these registrations would briefly stall all matching.
+    let mut churn = ChurnScenario::new(7, 50);
+    let mut churners: Vec<Subscription> = Vec::new();
+    let mut ticks: Vec<Event> = Vec::new();
+    let mut delivered = 0usize;
+    for op in churn.ops(2_000) {
+        match op {
+            ChurnOp::Subscribe(expr) => churners.push(broker.subscribe_expr(&expr)?),
+            ChurnOp::Unsubscribe(i) => drop(churners.remove(i)),
+            // Batch the feed: one lock acquisition per shard and one
+            // sender-map lookup pass per flush, instead of per event.
+            ChurnOp::Publish(event) => {
+                ticks.push(event);
+                if ticks.len() == 64 {
+                    delivered += broker.publish_batch(&ticks);
+                    ticks.clear();
+                }
+            }
+        }
+    }
+    delivered += broker.publish_batch(&ticks);
+
+    let stats = broker.stats();
+    println!(
+        "published {} events in batches; {} notifications delivered",
+        stats.events_published, delivered
+    );
+    println!(
+        "churn: {} subscriptions created, {} removed, {} still live",
+        stats.subscriptions_created,
+        stats.subscriptions_removed,
+        broker.subscription_count()
+    );
+    let received: usize = watchers.iter().map(|w| w.drain().len()).sum();
+    println!("stable watchers received {received} notifications");
+    println!(
+        "engine memory (all shards): {} bytes",
+        broker.memory_usage().total()
+    );
+    Ok(())
+}

@@ -1,0 +1,354 @@
+//! The sharded broker's concurrency claim, proven deterministically:
+//! a write-locked shard (a subscription in progress) must **not**
+//! block matching on other shards.
+//!
+//! Like the gate-engine test in `concurrent_matching.rs`, this is a
+//! lock-level proof that works on a single-core host: instrumented
+//! engines block inside the broker's locks at controlled points, and
+//! latches observe which operations can still proceed. Under the old
+//! single-engine-lock broker the publisher could not enter matching at
+//! all while a subscribe held the write lock, and the observation
+//! latch would time out.
+//!
+//! The file also replays deterministic churn streams to show a sharded
+//! broker (and its `publish_batch` path) delivers exactly like an
+//! unsharded one.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use boolmatch::core::{
+    FilterEngine, FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscribeError,
+    UnsubscribeError,
+};
+use boolmatch::expr::Expr;
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::{ChurnOp, ChurnScenario};
+
+/// A one-shot latch: `open` releases every current and future `wait`.
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Returns whether the latch opened within `timeout`.
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.open.lock().unwrap();
+        let (guard, result) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |open| !*open)
+            .unwrap();
+        drop(guard);
+        !result.timed_out()
+    }
+}
+
+/// Minimal no-op engine base: accepts subscriptions, matches nothing.
+#[derive(Default)]
+struct NullEngine {
+    subs: usize,
+}
+
+impl NullEngine {
+    fn subscribe(&mut self) -> SubscriptionId {
+        self.subs += 1;
+        SubscriptionId::from_index(self.subs - 1)
+    }
+}
+
+/// Shard-0 engine: announces through a latch that matching entered it.
+struct SignalOnMatchEngine {
+    base: NullEngine,
+    matching_entered: Arc<Latch>,
+}
+
+impl FilterEngine for SignalOnMatchEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::NonCanonical
+    }
+
+    fn subscribe(&mut self, _expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        Ok(self.base.subscribe())
+    }
+
+    fn unsubscribe(&mut self, _id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        Ok(())
+    }
+
+    fn phase1(&self, _event: &Event, out: &mut FulfilledSet) {
+        self.matching_entered.open();
+        out.begin(0);
+    }
+
+    fn phase2(
+        &self,
+        _fulfilled: &FulfilledSet,
+        _scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        MatchStats::default()
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.base.subs
+    }
+
+    fn predicate_count(&self) -> usize {
+        0
+    }
+
+    fn predicate_universe(&self) -> usize {
+        0
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage::default()
+    }
+}
+
+/// Shard-1 engine: `subscribe` parks — announcing it is inside (and
+/// therefore holding that shard's write lock) — until released.
+struct BlockingSubscribeEngine {
+    base: NullEngine,
+    in_subscribe: Arc<Latch>,
+    release: Arc<Latch>,
+}
+
+impl FilterEngine for BlockingSubscribeEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::NonCanonical
+    }
+
+    fn subscribe(&mut self, _expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        self.in_subscribe.open();
+        assert!(
+            self.release.wait(Duration::from_secs(10)),
+            "test driver never released the blocked subscribe"
+        );
+        Ok(self.base.subscribe())
+    }
+
+    fn unsubscribe(&mut self, _id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        Ok(())
+    }
+
+    fn phase1(&self, _event: &Event, out: &mut FulfilledSet) {
+        out.begin(0);
+    }
+
+    fn phase2(
+        &self,
+        _fulfilled: &FulfilledSet,
+        _scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        MatchStats::default()
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.base.subs
+    }
+
+    fn predicate_count(&self) -> usize {
+        0
+    }
+
+    fn predicate_universe(&self) -> usize {
+        0
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage::default()
+    }
+}
+
+/// The deterministic gate: while shard 1's write lock is held by an
+/// in-flight subscribe, a publisher must still enter matching on
+/// shard 0. Under a single engine lock this times out.
+#[test]
+fn write_locked_shard_does_not_block_matching_on_other_shards() {
+    let matching_entered = Latch::new();
+    let in_subscribe = Latch::new();
+    let release = Latch::new();
+
+    let broker = Broker::builder()
+        .engine_instances(vec![
+            Box::new(SignalOnMatchEngine {
+                base: NullEngine::default(),
+                matching_entered: matching_entered.clone(),
+            }),
+            Box::new(BlockingSubscribeEngine {
+                base: NullEngine::default(),
+                in_subscribe: in_subscribe.clone(),
+                release: release.clone(),
+            }),
+        ])
+        .build();
+
+    // Round-robin placement: subscription 0 lands on shard 0 (returns
+    // immediately), subscription 1 lands on shard 1 and parks inside
+    // `subscribe`, holding shard 1's write lock.
+    let _warm = broker.subscribe("warmup = 0").unwrap();
+
+    let _blocked = thread::scope(|scope| {
+        let subscriber = {
+            let broker = broker.clone();
+            scope.spawn(move || broker.subscribe("blocked = 1").unwrap())
+        };
+        assert!(
+            in_subscribe.wait(Duration::from_secs(10)),
+            "blocked subscribe never started"
+        );
+
+        // Shard 1 is now write-locked. A publish must still match on
+        // shard 0 (it will then queue on shard 1 until the release).
+        let publisher = {
+            let broker = broker.clone();
+            scope.spawn(move || broker.publish(Event::builder().attr("n", 1_i64).build()))
+        };
+
+        assert!(
+            matching_entered.wait(Duration::from_secs(10)),
+            "publisher never entered matching on shard 0 while shard 1 \
+             was write-locked: shard locks are not independent"
+        );
+
+        release.open();
+        let sub = subscriber.join().unwrap();
+        assert_eq!(publisher.join().unwrap(), 0, "gate engines match nothing");
+        assert_eq!(sub.id().index() % 2, 1, "second subscription is shard 1's");
+        sub // keep the handle alive so drop doesn't unsubscribe it yet
+    });
+
+    assert_eq!(broker.subscription_count(), 2);
+    assert_eq!(broker.stats().events_published, 1);
+}
+
+/// Replays one deterministic churn stream against an unsharded and a
+/// sharded broker: every publish must deliver to the same number of
+/// subscribers, and the final counters must agree.
+#[test]
+fn sharded_broker_agrees_with_unsharded_under_churn() {
+    for kind in EngineKind::ALL {
+        for shards in [3usize, 8] {
+            let flat = Broker::builder().engine(kind).build();
+            let sharded = Broker::builder().engine(kind).shards(shards).build();
+            let mut flat_live: Vec<Subscription> = Vec::new();
+            let mut sharded_live: Vec<Subscription> = Vec::new();
+
+            let mut churn = ChurnScenario::new(11, 60);
+            for (step, op) in churn.ops(2_000).into_iter().enumerate() {
+                match op {
+                    ChurnOp::Subscribe(expr) => {
+                        let a = flat.subscribe_expr(&expr).unwrap();
+                        let b = sharded.subscribe_expr(&expr).unwrap();
+                        assert_eq!(a.id(), b.id(), "arrival-order ids diverge at {step}");
+                        flat_live.push(a);
+                        sharded_live.push(b);
+                    }
+                    ChurnOp::Unsubscribe(i) => {
+                        drop(flat_live.remove(i));
+                        drop(sharded_live.remove(i));
+                    }
+                    ChurnOp::Publish(event) => {
+                        let a = flat.publish(event.clone());
+                        let b = sharded.publish(event);
+                        assert_eq!(a, b, "kind={kind} shards={shards} step={step}");
+                    }
+                }
+            }
+
+            // Per-subscriber queues agree exactly for the survivors.
+            for (i, (a, b)) in flat_live.iter().zip(&sharded_live).enumerate() {
+                assert_eq!(a.drain().len(), b.drain().len(), "survivor {i} on {kind}");
+            }
+            let fs = flat.stats();
+            let ss = sharded.stats();
+            assert_eq!(fs.notifications_delivered, ss.notifications_delivered);
+            assert_eq!(fs.subscriptions_created, ss.subscriptions_created);
+            assert_eq!(fs.subscriptions_removed, ss.subscriptions_removed);
+            assert_eq!(flat.subscription_count(), sharded.subscription_count());
+        }
+    }
+}
+
+/// Replays churn with the publishes buffered into `publish_batch`
+/// calls (flushed before every registration change, so both brokers
+/// see identical subscription state per event): batch delivery must
+/// equal one-by-one delivery, notification for notification.
+#[test]
+fn publish_batch_under_churn_equals_publish_sequence() {
+    let one_by_one = Broker::builder().shards(4).build();
+    let batched = Broker::builder().shards(4).build();
+    let mut seq_live: Vec<Subscription> = Vec::new();
+    let mut batch_live: Vec<Subscription> = Vec::new();
+    let mut buffer: Vec<Event> = Vec::new();
+    let mut seq_delivered = 0usize;
+    let mut batch_delivered = 0usize;
+
+    let flush = |buffer: &mut Vec<Event>, seq_d: &mut usize, batch_d: &mut usize| {
+        if buffer.is_empty() {
+            return;
+        }
+        *seq_d += buffer
+            .iter()
+            .map(|e| one_by_one.publish(e.clone()))
+            .sum::<usize>();
+        *batch_d += batched.publish_batch(buffer);
+        buffer.clear();
+    };
+
+    let mut churn = ChurnScenario::new(23, 40).with_publish_ratio(0.7);
+    for op in churn.ops(3_000) {
+        match op {
+            ChurnOp::Subscribe(expr) => {
+                flush(&mut buffer, &mut seq_delivered, &mut batch_delivered);
+                seq_live.push(one_by_one.subscribe_expr(&expr).unwrap());
+                batch_live.push(batched.subscribe_expr(&expr).unwrap());
+            }
+            ChurnOp::Unsubscribe(i) => {
+                flush(&mut buffer, &mut seq_delivered, &mut batch_delivered);
+                drop(seq_live.remove(i));
+                drop(batch_live.remove(i));
+            }
+            ChurnOp::Publish(event) => buffer.push(event),
+        }
+    }
+    flush(&mut buffer, &mut seq_delivered, &mut batch_delivered);
+
+    assert_eq!(seq_delivered, batch_delivered);
+    assert_eq!(
+        one_by_one.stats().events_published,
+        batched.stats().events_published
+    );
+    assert_eq!(
+        one_by_one.stats().notifications_delivered,
+        batched.stats().notifications_delivered
+    );
+    for (i, (a, b)) in seq_live.iter().zip(&batch_live).enumerate() {
+        let sn = a.drain();
+        let bn = b.drain();
+        assert_eq!(sn.len(), bn.len(), "survivor {i} queue depth");
+        // Identical notifications in identical order.
+        for (x, y) in sn.iter().zip(&bn) {
+            assert_eq!(x.get("price"), y.get("price"));
+            assert_eq!(x.get("symbol"), y.get("symbol"));
+        }
+    }
+}
