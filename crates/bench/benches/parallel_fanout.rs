@@ -1,0 +1,91 @@
+//! Sequential shard walk vs parallel shard fan-out for a single
+//! publish: S ∈ {1, 2, 4, 8} shards × {1k, 10k, 100k} subscriptions —
+//! the proof artifact for the worker-pool publish pipeline.
+//!
+//! The "sequential" rows pin `parallel_threshold` to `usize::MAX`
+//! (always walk the shards one by one); the "parallel" rows pin it to
+//! `0` (always fan out on the broker's persistent worker pool). Both
+//! run the identical subscription corpus and event feed, so any gap is
+//! purely the pipeline.
+//!
+//! NOTE: like `concurrent_publish` and `shard_scaling`, wall-clock
+//! *speedup* needs a multi-core host — on the single-core build
+//! container the parallel rows can only show the fan-out's coordination
+//! overhead (rendezvous + handoff), not its win; the answer-identity
+//! claim itself is proven deterministically in
+//! `tests/parallel_fanout.rs`. With S = 1 both rows are the same code
+//! path and should read identically (fan-out sanity baseline).
+//!
+//! Run with `cargo bench -p boolmatch-bench --bench parallel_fanout`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use boolmatch_broker::{Broker, DeliveryPolicy};
+use boolmatch_core::EngineKind;
+use boolmatch_types::Event;
+use boolmatch_workload::scenarios::StockScenario;
+
+const EVENTS: usize = 256;
+
+fn build_broker(
+    shards: usize,
+    subscriptions: usize,
+    parallel: bool,
+) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+    let broker = Broker::builder()
+        .engine(EngineKind::NonCanonical)
+        .shards(shards)
+        .parallel_threshold(if parallel { 0 } else { usize::MAX })
+        // Bounded queues: nobody drains the detached receivers, and
+        // delivery cost must not become the variable under test.
+        .delivery(DeliveryPolicy::DropNewest { capacity: 4 })
+        .build();
+    let mut scenario = StockScenario::new(2_005);
+    // The receivers must stay alive for the bench's duration: a dropped
+    // receiver disconnects its subscription and delivery would prune it.
+    let receivers = scenario
+        .subscriptions(subscriptions)
+        .iter()
+        .map(|expr| {
+            broker
+                .subscribe_expr(expr)
+                .expect("stock subscriptions are accepted by every engine")
+                .detach()
+        })
+        .collect();
+    (broker, receivers)
+}
+
+fn parallel_fanout(c: &mut Criterion) {
+    let events: Vec<Arc<Event>> = {
+        let mut feed = StockScenario::new(99);
+        (0..EVENTS).map(|_| Arc::new(feed.tick())).collect()
+    };
+    for subscriptions in [1_000usize, 10_000, 100_000] {
+        let mut group = c.benchmark_group(format!("parallel_fanout/subs{subscriptions}"));
+        group
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800))
+            .sample_size(10)
+            .throughput(Throughput::Elements(1));
+        for shards in [1usize, 2, 4, 8] {
+            for (mode, parallel) in [("sequential", false), ("parallel", true)] {
+                let (broker, _receivers) = build_broker(shards, subscriptions, parallel);
+                let mut at = 0usize;
+                group.bench_function(format!("s{shards}/{mode}"), |b| {
+                    b.iter(|| {
+                        at = (at + 1) % EVENTS;
+                        black_box(broker.publish_arc(Arc::clone(&events[at])))
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, parallel_fanout);
+criterion_main!(benches);

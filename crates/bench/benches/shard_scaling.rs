@@ -64,9 +64,11 @@ fn build_broker(
 /// `publish_batch` chunks) while one churn thread subscribes and
 /// unsubscribes continuously; returns the publishing wall-clock time.
 fn publish_under_churn(broker: &Broker, per_thread: u64) -> Duration {
-    let events: Vec<Event> = {
+    // Events are Arc-wrapped once, outside the timed region: the batch
+    // path shares one allocation per event across shards and delivery.
+    let events: Vec<Arc<Event>> = {
         let mut feed = StockScenario::new(99);
-        (0..EVENT_BATCH).map(|_| feed.tick()).collect()
+        (0..EVENT_BATCH).map(|_| Arc::new(feed.tick())).collect()
     };
     let stop = AtomicBool::new(false);
     let mut elapsed = Duration::ZERO;

@@ -1,0 +1,245 @@
+//! `bench_snapshot` — a self-contained, scriptable timing pass over the
+//! repo's key hot paths, written as machine-readable JSON so the perf
+//! trajectory across PRs has data instead of anecdotes.
+//!
+//! Unlike the Criterion benches (which exist for careful interactive
+//! measurement), this binary is built to run unattended: it times each
+//! named workload with a fixed warm-up + N-sample loop, records the
+//! **median ns/op**, and writes everything to one JSON file
+//! (`BENCH_PR3.json` by default). CI smoke-runs it in `--quick` mode on
+//! every push.
+//!
+//! ```text
+//! cargo run --release -p boolmatch-bench --bin bench_snapshot -- [--quick] [--out PATH]
+//! ```
+//!
+//! * `--quick` — smaller corpora and fewer samples (CI / smoke mode).
+//! * `--out PATH` — output path (default `BENCH_PR3.json`).
+//!
+//! The recorded numbers carry the same caveat as the concurrency
+//! benches: on a single-core host the `parallel` rows measure the
+//! fan-out's coordination overhead, not its speedup — the JSON embeds
+//! the host's core count so readers can tell.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use boolmatch_bench::Args;
+use boolmatch_broker::{Broker, DeliveryPolicy, Subscription};
+use boolmatch_core::{EngineKind, FilterEngine, MatchScratch, ScratchPool, ShardedEngine};
+use boolmatch_types::Event;
+use boolmatch_workload::scenarios::StockScenario;
+
+/// One recorded measurement.
+struct Sample {
+    name: String,
+    median_ns_per_op: f64,
+    samples: usize,
+    ops_per_sample: usize,
+}
+
+/// Times `op` as `samples` batches of `ops` calls (after one warm-up
+/// batch) and returns the median ns per call.
+fn measure(samples: usize, ops: usize, mut op: impl FnMut()) -> f64 {
+    for _ in 0..ops {
+        op();
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ops {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op[per_op.len() / 2]
+}
+
+fn record(
+    out: &mut Vec<Sample>,
+    name: impl Into<String>,
+    samples: usize,
+    ops: usize,
+    op: impl FnMut(),
+) {
+    let name = name.into();
+    let median = measure(samples, ops, op);
+    println!("{name:<48} median: {median:>12.1} ns/op");
+    out.push(Sample {
+        name,
+        median_ns_per_op: median,
+        samples,
+        ops_per_sample: ops,
+    });
+}
+
+fn stock_events(n: usize) -> Vec<Arc<Event>> {
+    let mut feed = StockScenario::new(99);
+    (0..n).map(|_| Arc::new(feed.tick())).collect()
+}
+
+fn stock_broker(
+    shards: usize,
+    subscriptions: usize,
+    parallel: bool,
+) -> (Broker, Vec<Subscription>) {
+    let broker = Broker::builder()
+        .engine(EngineKind::NonCanonical)
+        .shards(shards)
+        .parallel_threshold(if parallel { 0 } else { usize::MAX })
+        .delivery(DeliveryPolicy::DropNewest { capacity: 4 })
+        .build();
+    let mut scenario = StockScenario::new(2_005);
+    // The handles must stay alive for the measurement: dropping one
+    // unsubscribes it.
+    let subs = scenario
+        .subscriptions(subscriptions)
+        .iter()
+        .map(|e| broker.subscribe_expr(e).expect("accepted"))
+        .collect();
+    (broker, subs)
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has("quick");
+    let out_path = args.get("out").unwrap_or("BENCH_PR3.json").to_owned();
+    let (samples, ops) = if quick { (5, 200) } else { (15, 1_000) };
+    let subscription_counts: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut results: Vec<Sample> = Vec::new();
+
+    // --- End-to-end match cost per engine kind ---
+    let corpus = if quick { 2_000 } else { 5_000 };
+    let events = stock_events(64);
+    for kind in EngineKind::ALL {
+        // Default configuration (phase-1 index on) over the stock
+        // corpus — the same subscription/event universe the broker rows
+        // use, so phase 1 fulfils real predicates and phase 2 walks
+        // real candidates: the end-to-end match cost, not the paper's
+        // phase-2 isolation.
+        let mut engine = kind.build();
+        let mut scenario = StockScenario::new(2_005);
+        for expr in scenario.subscriptions(corpus) {
+            engine.subscribe(&expr).expect("within limits");
+        }
+        let mut scratch = MatchScratch::new();
+        let mut at = 0usize;
+        record(
+            &mut results,
+            format!("match_event/{kind}/{corpus}"),
+            samples,
+            ops,
+            || {
+                at = (at + 1) % events.len();
+                engine.match_event_into(&events[at], &mut scratch);
+            },
+        );
+    }
+
+    // --- Sharded engine: sequential walk vs scoped parallel fan-out ---
+    {
+        let shards = 4;
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, shards);
+        let mut scenario = StockScenario::new(2_005);
+        for expr in scenario.subscriptions(corpus) {
+            engine.subscribe(&expr).expect("accepted");
+        }
+        let scratches = ScratchPool::new(shards);
+        let mut scratch = MatchScratch::new();
+        let mut at = 0usize;
+        record(
+            &mut results,
+            format!("sharded_engine/s{shards}/sequential/{corpus}"),
+            samples,
+            ops,
+            || {
+                at = (at + 1) % events.len();
+                engine.match_event_into(&events[at], &mut scratch);
+            },
+        );
+        record(
+            &mut results,
+            format!("sharded_engine/s{shards}/parallel_scoped/{corpus}"),
+            samples,
+            ops.min(200), // scoped spawn per op: keep the sample cheap
+            || {
+                at = (at + 1) % events.len();
+                engine.match_event_parallel(&events[at], &scratches, &mut scratch);
+            },
+        );
+    }
+
+    // --- Broker publish: the parallel_fanout bench's key rows ---
+    for &subscriptions in subscription_counts {
+        for shards in [1usize, 4] {
+            for (mode, parallel) in [("sequential", false), ("parallel", true)] {
+                if shards == 1 && parallel {
+                    continue; // no pipeline on one shard: same code path
+                }
+                let (broker, _receivers) = stock_broker(shards, subscriptions, parallel);
+                let mut at = 0usize;
+                record(
+                    &mut results,
+                    format!("parallel_fanout/subs{subscriptions}/s{shards}/{mode}"),
+                    samples,
+                    // Publishes over big corpora are slow; bound the batch.
+                    ops.min(if subscriptions >= 100_000 { 50 } else { 200 }),
+                    || {
+                        at = (at + 1) % events.len();
+                        broker.publish_arc(Arc::clone(&events[at]));
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Batch publish (Arc<Event> zero-copy path) ---
+    {
+        let (broker, _receivers) = stock_broker(4, if quick { 1_000 } else { 10_000 }, false);
+        let batch: Vec<Arc<Event>> = events.iter().take(64).cloned().collect();
+        record(
+            &mut results,
+            "publish_batch/s4/batch64",
+            samples,
+            ops.min(50),
+            || {
+                broker.publish_batch(&batch);
+            },
+        );
+    }
+
+    // --- JSON output (hand-rolled: no serde in the offline workspace) ---
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"snapshot\": \"PR3 parallel shard fan-out\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(
+        "  \"note\": \"median ns/op per bench; on a single-core host the parallel rows show \
+         fan-out coordination overhead, not speedup — compare on multi-core\",\n",
+    );
+    json.push_str("  \"benches\": {\n");
+    for (i, s) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"median_ns_per_op\": {:.1}, \"samples\": {}, \"ops_per_sample\": {}}}{}\n",
+            s.name,
+            s.median_ns_per_op,
+            s.samples,
+            s.ops_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("writing the snapshot JSON");
+    println!("\nwrote {} benches to {out_path}", results.len());
+}

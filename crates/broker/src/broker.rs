@@ -8,8 +8,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use boolmatch_core::{
-    BoxedEngine, EngineKind, FilterEngine, MatchScratch, MemoryUsage, ShardRouter, SubscribeError,
-    SubscriptionId,
+    BoxedEngine, EngineKind, FanOut, FilterEngine, MatchScratch, MemoryUsage, ScratchLease,
+    ScratchPool, ShardRouter, SubscribeError, SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -72,6 +72,12 @@ pub struct BrokerStats {
     pub subscriptions_created: u64,
     /// Subscriptions removed (explicitly or by handle drop).
     pub subscriptions_removed: u64,
+    /// Parallel fan-out worker jobs that died (panicked) before
+    /// contributing their shard's matches. Any nonzero value means some
+    /// publishes delivered **without** that shard's subscribers — the
+    /// parallel ≡ sequential contract was broken and the engine that
+    /// panicked needs investigating.
+    pub fanout_worker_failures: u64,
 }
 
 #[derive(Default)]
@@ -81,6 +87,7 @@ struct AtomicStats {
     notifications_dropped: AtomicU64,
     subscriptions_created: AtomicU64,
     subscriptions_removed: AtomicU64,
+    fanout_worker_failures: AtomicU64,
 }
 
 /// Per-publisher-thread reusable buffers: the match scratch plus the
@@ -114,6 +121,21 @@ pub fn trim_publish_scratch() {
     PUBLISH_STATE.with(|cell| *cell.borrow_mut() = PublishState::default());
 }
 
+/// Default [`BrokerBuilder::parallel_threshold`]: a publish fans out
+/// across the shards in parallel once this many subscriptions are live
+/// (and the broker has at least two shards). Below it, the per-shard
+/// match is too cheap to amortise the fan-out rendezvous and the
+/// sequential shard walk wins.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4_096;
+
+/// The parallel publish machinery, present only on multi-shard brokers:
+/// a persistent worker pool (threads park between publishes — no spawn
+/// on the hot path) plus the pool of warm per-worker scratches.
+struct Fanout {
+    pool: WorkerPool,
+    scratches: Arc<ScratchPool>,
+}
+
 pub(crate) struct BrokerInner {
     /// One engine per shard, each behind its own lock: subscription
     /// churn write-locks exactly one shard, so publishers keep matching
@@ -127,6 +149,12 @@ pub(crate) struct BrokerInner {
     senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
     policy: DeliveryPolicy,
     stats: AtomicStats,
+    /// `None` on single-shard brokers: their publish path is exactly
+    /// the pre-fan-out sequential walk.
+    fanout: Option<Fanout>,
+    /// Live-subscription count at which publishes switch from the
+    /// sequential shard walk to the parallel fan-out.
+    parallel_threshold: usize,
 }
 
 impl BrokerInner {
@@ -229,30 +257,177 @@ impl Broker {
     /// publishes on the same thread — the steady-state publish path
     /// allocates only the `Arc` around the event.
     ///
+    /// On a multi-shard broker at or above the builder's
+    /// [`parallel threshold`](BrokerBuilder::parallel_threshold), the
+    /// shards are matched **concurrently** on the broker's persistent
+    /// worker pool instead of walked one after another — intra-event
+    /// parallelism for large engines — with a merge in shard order that
+    /// makes the matched-id set identical to the sequential walk.
+    /// Below the threshold (and always with one shard) the sequential
+    /// walk runs unchanged.
+    ///
     /// Subscribers found disconnected (handle dropped without
     /// unsubscribe — possible when the handle's broker reference was
     /// already gone) are pruned.
     pub fn publish(&self, event: Event) -> usize {
-        // The matched ids are swapped out of the thread-local state so
-        // the RefCell borrow ends before delivery (which takes the
-        // sender-map lock and may re-enter the broker to prune dead
-        // subscribers).
+        if self.parallel_eligible() {
+            return self.publish_parallel(&Arc::new(event));
+        }
+        let matched = self.matched_via(|scratch, out| self.inner.match_into(&event, scratch, out));
+        // The Arc wrap stays lazy (inside deliver_matched) so an
+        // unmatched event costs no allocation at all.
+        let delivered = self.deliver_matched(event, &matched);
+        Self::return_matched(matched);
+        delivered
+    }
+
+    /// [`Broker::publish`] for an event the caller already holds by
+    /// `Arc` — the zero-copy entry: the same allocation is shared by
+    /// the fan-out workers and every delivered notification, and the
+    /// event is never cloned.
+    pub fn publish_arc(&self, event: Arc<Event>) -> usize {
+        if self.parallel_eligible() {
+            return self.publish_parallel(&event);
+        }
+        let matched = self.matched_via(|scratch, out| self.inner.match_into(&event, scratch, out));
+        let delivered = self.deliver_matched_arc(&event, &matched);
+        Self::return_matched(matched);
+        delivered
+    }
+
+    /// The parallel publish pipeline: one job per remote shard on the
+    /// persistent worker pool, shard 0 matched inline by the caller,
+    /// results merged in shard order.
+    fn publish_parallel(&self, event: &Arc<Event>) -> usize {
+        let matched =
+            self.matched_via(|scratch, out| self.match_parallel_into(event, scratch, out));
+        let delivered = self.deliver_matched_arc(event, &matched);
+        Self::return_matched(matched);
+        delivered
+    }
+
+    /// The single-publish matching dance shared by every publish
+    /// flavour: swap the matched buffer out of the thread-local state
+    /// (so the RefCell borrow ends before delivery, which takes the
+    /// sender-map lock and may re-enter the broker to prune dead
+    /// subscribers), run `matcher` against the thread-local scratch,
+    /// and count the event. Pair with [`Broker::return_matched`] after
+    /// delivery.
+    fn matched_via(
+        &self,
+        matcher: impl FnOnce(&mut MatchScratch, &mut Vec<SubscriptionId>),
+    ) -> Vec<SubscriptionId> {
         let matched = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
             let mut matched = std::mem::take(&mut state.matched);
             matched.clear();
-            self.inner
-                .match_into(&event, &mut state.scratch, &mut matched);
+            matcher(&mut state.scratch, &mut matched);
             matched
         });
         self.inner
             .stats
             .events_published
             .fetch_add(1, Ordering::Relaxed);
-        let delivered = self.deliver_matched(event, &matched);
-        // Return the buffer's capacity to the thread for the next publish.
+        matched
+    }
+
+    /// Returns the matched buffer's capacity to the thread for the next
+    /// publish.
+    fn return_matched(matched: Vec<SubscriptionId>) {
         PUBLISH_STATE.with(|cell| cell.borrow_mut().matched = matched);
-        delivered
+    }
+
+    /// Whether the next publish should fan out across shards: requires
+    /// the worker pool (multi-shard brokers only) and at least
+    /// `parallel_threshold` live subscriptions.
+    fn parallel_eligible(&self) -> bool {
+        if self.inner.fanout.is_none() {
+            return false;
+        }
+        let stats = &self.inner.stats;
+        let created = stats.subscriptions_created.load(Ordering::Relaxed);
+        let removed = stats.subscriptions_removed.load(Ordering::Relaxed);
+        created.saturating_sub(removed) as usize >= self.inner.parallel_threshold
+    }
+
+    /// Matches `event` against every shard concurrently and appends the
+    /// matched **global** ids to `out`, in shard order — the same
+    /// sequence [`BrokerInner::match_into`]'s sequential walk produces.
+    ///
+    /// Each worker takes its shard's read lock, matches into a warm
+    /// [`MatchScratch`] leased from the scratch pool (checkout hygiene
+    /// — reset + capacity — happens once per lease), translates the
+    /// shard-local ids to global ids in place, releases the lock, and
+    /// parks the lease in its [`FanOut`] slot. The caller matches
+    /// shard 0 itself with the thread-local scratch, then merges the
+    /// slots in shard index order. The rendezvous is panic-safe: a
+    /// worker that dies completes its slot empty instead of wedging the
+    /// publish.
+    fn match_parallel_into(
+        &self,
+        event: &Arc<Event>,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        let shards = self.inner.shards.len();
+        let fan = self.inner.fanout.as_ref().expect("parallel needs a pool");
+        let run: Arc<FanOut<ScratchLease>> = FanOut::new(shards - 1);
+        for s in 1..shards {
+            let slot = run.slot(s - 1);
+            let inner = Arc::clone(&self.inner);
+            let event = Arc::clone(event);
+            fan.pool.submit(move || {
+                let lease = {
+                    let fan = inner.fanout.as_ref().expect("fanout lives with the broker");
+                    let engine = inner.shards[s].read();
+                    let mut lease = fan.scratches.lease(&**engine);
+                    engine.match_event_into(&event, &mut lease);
+                    for id in lease.matched_mut().iter_mut() {
+                        *id = inner.router.global(s, *id);
+                    }
+                    lease
+                }; // shard lock released before the rendezvous
+                   // The broker references go first: once the slot
+                   // completes, the publisher may return and drop the last
+                   // external broker handle — this job must not be the one
+                   // holding the final `Arc<BrokerInner>` (its drop would
+                   // tear the worker pool down from inside a worker).
+                drop(event);
+                drop(inner);
+                slot.fill(lease);
+            });
+        }
+        {
+            let engine = self.inner.shards[0].read();
+            engine.match_event_into(event, scratch);
+            out.extend(
+                scratch
+                    .matched()
+                    .iter()
+                    .map(|&l| self.inner.router.global(0, l)),
+            );
+        }
+        let mut lost = 0u64;
+        for slot in run.wait() {
+            match slot {
+                Some(lease) => out.extend_from_slice(lease.matched()),
+                None => lost += 1,
+            }
+        }
+        self.note_lost_workers(lost);
+    }
+
+    /// Records fan-out slots whose worker died before filling them
+    /// ([`BrokerStats::fanout_worker_failures`]): the publish delivered
+    /// without those shards' matches, and operators must be able to see
+    /// that the parallel ≡ sequential contract was broken.
+    fn note_lost_workers(&self, lost: u64) {
+        if lost > 0 {
+            self.inner
+                .stats
+                .fanout_worker_failures
+                .fetch_add(lost, Ordering::Relaxed);
+        }
     }
 
     /// Publishes a batch of events — the amortised hot path. Returns
@@ -260,12 +435,22 @@ impl Broker {
     /// exactly the same notifications, in the same per-subscriber
     /// order, as the equivalent sequence of [`Broker::publish`] calls.
     ///
-    /// Compared to that sequence, the batch acquires each shard's read
-    /// lock **once** (matching all events against a shard while it is
-    /// hot in cache), reuses the thread-local scratch across the whole
-    /// batch, and takes the sender-map read lock once for all
-    /// deliveries.
-    pub fn publish_batch(&self, events: &[Event]) -> usize {
+    /// The batch is taken as `Arc<Event>`s: one allocation per event,
+    /// made by the caller, shared untouched across every shard's
+    /// matching and every delivered notification — the batch path never
+    /// clones an event. Callers holding plain events can use the
+    /// [`Broker::publish_batch_events`] convenience wrapper.
+    ///
+    /// Compared to the one-by-one sequence, the batch acquires each
+    /// shard's read lock **once** (matching all events against a shard
+    /// while it is hot in cache), reuses the thread-local scratch
+    /// across the whole batch, and takes the sender-map read lock once
+    /// for all deliveries. On a multi-shard broker past the
+    /// [`parallel threshold`](BrokerBuilder::parallel_threshold) the
+    /// shards additionally match the batch **concurrently** (one worker
+    /// per remote shard, merged in shard order), which cuts the batch's
+    /// wall-clock latency on multi-core hosts.
+    pub fn publish_batch(&self, events: &[Arc<Event>]) -> usize {
         if events.is_empty() {
             return 0;
         }
@@ -273,6 +458,7 @@ impl Broker {
         // matched global ids per event. Shard-major order amortises
         // lock acquisitions; buckets keep delivery event-major so
         // per-subscriber notification order equals the sequential one.
+        let parallel = self.parallel_eligible();
         let buckets = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
             let mut buckets = std::mem::take(&mut state.buckets);
@@ -284,17 +470,21 @@ impl Broker {
                 // extra cleared buckets are simply ignored).
                 buckets.resize_with(events.len(), Vec::new);
             }
-            for (s, lock) in self.inner.shards.iter().enumerate() {
-                let engine = lock.read();
-                for (event, bucket) in events.iter().zip(&mut buckets) {
-                    engine.match_event_into(event, &mut state.scratch);
-                    bucket.extend(
-                        state
-                            .scratch
-                            .matched()
-                            .iter()
-                            .map(|&l| self.inner.router.global(s, l)),
-                    );
+            if parallel {
+                self.match_batch_parallel(events, &mut state.scratch, &mut buckets);
+            } else {
+                for (s, lock) in self.inner.shards.iter().enumerate() {
+                    let engine = lock.read();
+                    for (event, bucket) in events.iter().zip(&mut buckets) {
+                        engine.match_event_into(event, &mut state.scratch);
+                        bucket.extend(
+                            state
+                                .scratch
+                                .matched()
+                                .iter()
+                                .map(|&l| self.inner.router.global(s, l)),
+                        );
+                    }
                 }
             }
             buckets
@@ -306,6 +496,7 @@ impl Broker {
 
         // Phase B: delivery, outside the scratch borrow and all engine
         // locks, under one sender-map read lock for the whole batch.
+        // The caller's Arcs are delivered as-is: no event is cloned.
         let mut delivered = 0usize;
         let mut dead: Vec<SubscriptionId> = Vec::new();
         {
@@ -314,8 +505,7 @@ impl Broker {
                 if matched.is_empty() {
                     continue;
                 }
-                let event = Arc::new(event.clone());
-                delivered += self.deliver_locked(&senders, &event, matched, &mut dead);
+                delivered += self.deliver_locked(&senders, event, matched, &mut dead);
             }
         }
         self.prune_dead(dead);
@@ -327,16 +517,109 @@ impl Broker {
         delivered
     }
 
+    /// [`Broker::publish_batch`] for callers holding plain events: each
+    /// is cloned into an `Arc` once (the only copies made — matching
+    /// and delivery then share them).
+    pub fn publish_batch_events(&self, events: &[Event]) -> usize {
+        let shared: Vec<Arc<Event>> = events.iter().map(|e| Arc::new(e.clone())).collect();
+        self.publish_batch(&shared)
+    }
+
+    /// Batch counterpart of [`Broker::match_parallel_into`]: each
+    /// remote shard's worker matches the whole batch against its shard
+    /// (shard lock taken once, one leased scratch reused across the
+    /// batch) into per-event buckets; the caller does shard 0 inline
+    /// and merges the worker buckets in shard order.
+    fn match_batch_parallel(
+        &self,
+        events: &[Arc<Event>],
+        scratch: &mut MatchScratch,
+        buckets: &mut [Vec<SubscriptionId>],
+    ) {
+        let shards = self.inner.shards.len();
+        let fan = self.inner.fanout.as_ref().expect("parallel needs a pool");
+        // The worker jobs are `'static`; the one per-batch allocation
+        // for sharing the event list is this Vec of Arc clones.
+        let shared: Arc<Vec<Arc<Event>>> = Arc::new(events.to_vec());
+        // Each worker hands back its shard's matches as one flat id
+        // vector plus per-event end offsets (event `e`'s ids are
+        // `flat[ends[e-1]..ends[e]]`) — two allocations per shard per
+        // batch instead of one Vec per event.
+        type ShardMatches = (Vec<SubscriptionId>, Vec<usize>);
+        let run: Arc<FanOut<ShardMatches>> = FanOut::new(shards - 1);
+        for s in 1..shards {
+            let slot = run.slot(s - 1);
+            let inner = Arc::clone(&self.inner);
+            let shared = Arc::clone(&shared);
+            fan.pool.submit(move || {
+                let out = {
+                    let fan = inner.fanout.as_ref().expect("fanout lives with the broker");
+                    let engine = inner.shards[s].read();
+                    let mut lease = fan.scratches.lease(&**engine);
+                    let mut flat: Vec<SubscriptionId> = Vec::new();
+                    let mut ends: Vec<usize> = Vec::with_capacity(shared.len());
+                    for event in shared.iter() {
+                        engine.match_event_into(event, &mut lease);
+                        flat.extend(lease.matched().iter().map(|&l| inner.router.global(s, l)));
+                        ends.push(flat.len());
+                    }
+                    (flat, ends)
+                };
+                // Broker references released before the slot completes
+                // (see `match_parallel_into`): this job must never hold
+                // the final `Arc<BrokerInner>`.
+                drop(shared);
+                drop(inner);
+                slot.fill(out);
+            });
+        }
+        {
+            let engine = self.inner.shards[0].read();
+            for (event, bucket) in events.iter().zip(buckets.iter_mut()) {
+                engine.match_event_into(event, scratch);
+                bucket.extend(
+                    scratch
+                        .matched()
+                        .iter()
+                        .map(|&l| self.inner.router.global(0, l)),
+                );
+            }
+        }
+        // Slot order is shard order, so per-event ids concatenate
+        // exactly like the sequential shard-major walk.
+        let mut lost = 0u64;
+        for slot in run.wait() {
+            let Some((flat, ends)) = slot else {
+                lost += 1;
+                continue;
+            };
+            let mut start = 0usize;
+            for (bucket, &end) in buckets.iter_mut().zip(&ends) {
+                bucket.extend_from_slice(&flat[start..end]);
+                start = end;
+            }
+        }
+        self.note_lost_workers(lost);
+    }
+
     /// Queues `event` to the subscribers in `matched`.
     fn deliver_matched(&self, event: Event, matched: &[SubscriptionId]) -> usize {
         if matched.is_empty() {
             return 0;
         }
-        let event = Arc::new(event);
+        self.deliver_matched_arc(&Arc::new(event), matched)
+    }
+
+    /// [`Broker::deliver_matched`] for an already-shared event: the
+    /// caller's `Arc` is what every subscriber receives (zero copies).
+    fn deliver_matched_arc(&self, event: &Arc<Event>, matched: &[SubscriptionId]) -> usize {
+        if matched.is_empty() {
+            return 0;
+        }
         let mut dead: Vec<SubscriptionId> = Vec::new();
         let delivered = {
             let senders = self.inner.senders.read();
-            self.deliver_locked(&senders, &event, matched, &mut dead)
+            self.deliver_locked(&senders, event, matched, &mut dead)
         };
         self.prune_dead(dead);
         self.inner
@@ -401,6 +684,18 @@ impl Broker {
         self.inner.shards.len()
     }
 
+    /// Number of persistent fan-out worker threads (0 on single-shard
+    /// brokers, which have no parallel pipeline).
+    pub fn parallel_workers(&self) -> usize {
+        self.inner.fanout.as_ref().map_or(0, |f| f.pool.threads())
+    }
+
+    /// The fan-out scratch pool, for observability (steady-state memory
+    /// probes); `None` on single-shard brokers.
+    pub fn scratch_pool(&self) -> Option<&ScratchPool> {
+        self.inner.fanout.as_ref().map(|f| &*f.scratches)
+    }
+
     /// The engines' memory breakdown, summed across shards.
     pub fn memory_usage(&self) -> MemoryUsage {
         self.inner
@@ -425,6 +720,7 @@ impl Broker {
             notifications_dropped: s.notifications_dropped.load(Ordering::Relaxed),
             subscriptions_created: s.subscriptions_created.load(Ordering::Relaxed),
             subscriptions_removed: s.subscriptions_removed.load(Ordering::Relaxed),
+            fanout_worker_failures: s.fanout_worker_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -465,9 +761,21 @@ impl Publisher {
         self.broker.publish(event)
     }
 
-    /// Publishes a batch; see [`Broker::publish_batch`].
-    pub fn publish_batch(&self, events: &[Event]) -> usize {
+    /// Publishes an already-shared event; see [`Broker::publish_arc`].
+    pub fn publish_arc(&self, event: Arc<Event>) -> usize {
+        self.broker.publish_arc(event)
+    }
+
+    /// Publishes a batch of shared events; see
+    /// [`Broker::publish_batch`].
+    pub fn publish_batch(&self, events: &[Arc<Event>]) -> usize {
         self.broker.publish_batch(events)
+    }
+
+    /// Publishes a batch of plain events; see
+    /// [`Broker::publish_batch_events`].
+    pub fn publish_batch_events(&self, events: &[Event]) -> usize {
+        self.broker.publish_batch_events(events)
     }
 }
 
@@ -479,6 +787,8 @@ pub struct BrokerBuilder {
     /// 0 means "not set" and resolves to 1.
     shards: usize,
     policy: DeliveryPolicy,
+    parallel_threshold: Option<usize>,
+    worker_threads: Option<usize>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -488,6 +798,8 @@ impl fmt::Debug for BrokerBuilder {
             .field("custom", &self.custom.as_ref().map(|e| e.len()))
             .field("shards", &self.shards.max(1))
             .field("policy", &self.policy)
+            .field("parallel_threshold", &self.parallel_threshold)
+            .field("worker_threads", &self.worker_threads)
             .finish()
     }
 }
@@ -555,6 +867,32 @@ impl BrokerBuilder {
         self
     }
 
+    /// Sets the live-subscription count at which publishes switch from
+    /// the sequential shard walk to the parallel fan-out (default:
+    /// [`DEFAULT_PARALLEL_THRESHOLD`]). `0` forces the fan-out for
+    /// every publish on a multi-shard broker; `usize::MAX` disables it.
+    /// Single-shard brokers always walk sequentially — their behaviour
+    /// is unchanged by this knob.
+    #[must_use]
+    pub fn parallel_threshold(mut self, subscriptions: usize) -> Self {
+        self.parallel_threshold = Some(subscriptions);
+        self
+    }
+
+    /// Sets the number of persistent fan-out worker threads (default:
+    /// one per remote shard, capped at the host's available
+    /// parallelism). Only multi-shard brokers spawn workers at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "a worker pool needs at least one thread");
+        self.worker_threads = Some(n);
+        self
+    }
+
     /// Builds the broker.
     pub fn build(self) -> Broker {
         let engines = self.custom.unwrap_or_else(|| {
@@ -562,6 +900,21 @@ impl BrokerBuilder {
             (0..self.shards.max(1)).map(|_| kind.build()).collect()
         });
         let router = ShardRouter::new(engines.len());
+        let shard_count = engines.len();
+        // The parallel pipeline exists only when there is more than one
+        // shard to fan out over; a single-shard broker is byte-for-byte
+        // the pre-fan-out broker.
+        let fanout = (shard_count >= 2).then(|| {
+            let threads = self.worker_threads.unwrap_or_else(|| {
+                (shard_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            });
+            Fanout {
+                pool: WorkerPool::new(threads),
+                // One warm scratch per worker, plus headroom for a slot
+                // probed while a return is in flight.
+                scratches: Arc::new(ScratchPool::new(threads + 1)),
+            }
+        });
         Broker {
             inner: Arc::new(BrokerInner {
                 shards: engines.into_iter().map(RwLock::new).collect(),
@@ -570,6 +923,10 @@ impl BrokerBuilder {
                 senders: RwLock::new(HashMap::new()),
                 policy: self.policy,
                 stats: AtomicStats::default(),
+                fanout,
+                parallel_threshold: self
+                    .parallel_threshold
+                    .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
             }),
         }
     }
@@ -803,9 +1160,11 @@ mod tests {
             let exprs = ["a >= 3", "a = 5 or b = 1", "a < 0"];
             let seq_subs: Vec<_> = exprs.iter().map(|e| seq.subscribe(e).unwrap()).collect();
             let batch_subs: Vec<_> = exprs.iter().map(|e| batch.subscribe(e).unwrap()).collect();
-            let events: Vec<Event> = (0..10).map(|i| ev(&[("a", i), ("b", i % 2)])).collect();
+            let events: Vec<Arc<Event>> = (0..10)
+                .map(|i| Arc::new(ev(&[("a", i), ("b", i % 2)])))
+                .collect();
 
-            let seq_delivered: usize = events.iter().map(|e| seq.publish(e.clone())).sum();
+            let seq_delivered: usize = events.iter().map(|e| seq.publish_arc(e.clone())).sum();
             let batch_delivered = batch.publish_batch(&events);
             assert_eq!(seq_delivered, batch_delivered, "shards={shards}");
             assert_eq!(seq.stats().events_published, batch.stats().events_published);
@@ -825,15 +1184,81 @@ mod tests {
         assert_eq!(broker.publish_batch(&[]), 0);
         let sub = broker.subscribe("a = 1").unwrap();
         // Repeated batches reuse the thread-local buckets (shrinking
-        // and growing the batch length between calls).
-        assert_eq!(broker.publish_batch(&[ev(&[("a", 1)]), ev(&[("a", 2)])]), 1);
-        assert_eq!(broker.publish_batch(&[ev(&[("a", 1)])]), 1);
+        // and growing the batch length between calls); the plain-event
+        // wrapper and the Arc form interleave freely.
         assert_eq!(
-            broker.publish_batch(&[ev(&[("a", 1)]), ev(&[("a", 1)]), ev(&[("a", 3)])]),
+            broker.publish_batch_events(&[ev(&[("a", 1)]), ev(&[("a", 2)])]),
+            1
+        );
+        assert_eq!(broker.publish_batch(&[Arc::new(ev(&[("a", 1)]))]), 1);
+        assert_eq!(
+            broker.publish_batch_events(&[ev(&[("a", 1)]), ev(&[("a", 1)]), ev(&[("a", 3)])]),
             2
         );
         assert_eq!(sub.drain().len(), 4);
         assert_eq!(broker.stats().events_published, 6);
+    }
+
+    #[test]
+    fn parallel_pipeline_exists_only_on_multi_shard_brokers() {
+        let single = Broker::builder().build();
+        assert_eq!(single.parallel_workers(), 0);
+        assert!(single.scratch_pool().is_none());
+
+        let sharded = Broker::builder().shards(4).worker_threads(2).build();
+        assert_eq!(sharded.parallel_workers(), 2);
+        assert!(sharded.scratch_pool().is_some());
+    }
+
+    #[test]
+    fn parallel_publish_delivers_like_sequential() {
+        for shards in [2usize, 4] {
+            // Threshold 0 forces the fan-out; usize::MAX forbids it.
+            let par = Broker::builder()
+                .shards(shards)
+                .parallel_threshold(0)
+                .build();
+            let seq = Broker::builder()
+                .shards(shards)
+                .parallel_threshold(usize::MAX)
+                .build();
+            let exprs: Vec<String> = (0..40)
+                .map(|i| format!("(group = {} or boost = 1) and tick >= {}", i % 5, i))
+                .collect();
+            let par_subs: Vec<_> = exprs.iter().map(|e| par.subscribe(e).unwrap()).collect();
+            let seq_subs: Vec<_> = exprs.iter().map(|e| seq.subscribe(e).unwrap()).collect();
+            for t in 0..30 {
+                let event = ev(&[("group", t % 5), ("tick", t * 2)]);
+                assert_eq!(
+                    par.publish(event.clone()),
+                    seq.publish(event),
+                    "shards={shards} t={t}"
+                );
+            }
+            for (i, (a, b)) in par_subs.iter().zip(&seq_subs).enumerate() {
+                assert_eq!(a.drain().len(), b.drain().len(), "sub {i} shards={shards}");
+            }
+            assert_eq!(
+                par.stats().notifications_delivered,
+                seq.stats().notifications_delivered
+            );
+        }
+    }
+
+    #[test]
+    fn publish_arc_shares_the_allocation_with_delivery() {
+        for threshold in [0usize, usize::MAX] {
+            let broker = Broker::builder()
+                .shards(2)
+                .parallel_threshold(threshold)
+                .build();
+            let sub = broker.subscribe("a = 1").unwrap();
+            let event = Arc::new(ev(&[("a", 1)]));
+            assert_eq!(broker.publish_arc(Arc::clone(&event)), 1);
+            let got = sub.try_recv().unwrap();
+            // Delivery queued the caller's Arc itself, not a copy.
+            assert!(Arc::ptr_eq(&got, &event), "threshold={threshold}");
+        }
     }
 
     #[test]

@@ -25,8 +25,21 @@
 //! `tests/shard_concurrency.rs`). Delivery happens outside all engine
 //! locks; events are reference counted, so fan-out to thousands of
 //! subscribers copies pointers, not payloads. [`Broker::publish_batch`]
-//! amortises lock acquisition, scratch reuse and the sender-map lookup
-//! across a whole batch of events.
+//! takes `Arc<Event>`s — one allocation per event, shared across
+//! matching and delivery — and amortises lock acquisition, scratch
+//! reuse and the sender-map lookup across a whole batch of events.
+//!
+//! Multi-shard brokers additionally carry a **parallel publish
+//! pipeline**: past [`BrokerBuilder::parallel_threshold`] live
+//! subscriptions, one publish fans its per-shard matching out over a
+//! persistent [`boolmatch_core::WorkerPool`] (threads park between
+//! publishes — nothing is spawned on the hot path), each worker
+//! drawing a warm scratch from a [`boolmatch_core::ScratchPool`] and
+//! parking its result in a [`boolmatch_core::FanOut`] slot. The merge
+//! runs in shard-index order, so the matched-id set is identical to
+//! the sequential walk no matter how workers interleave; with
+//! [`BrokerBuilder::shards`]`(1)` the pipeline does not exist and
+//! publishing is byte-for-byte the sequential path.
 //!
 //! Scratch ownership rules: the scratch is per *publisher thread*
 //! (`thread_local!`), never shared concurrently, and self-restoring
@@ -65,6 +78,7 @@ mod subscriber;
 
 pub use broker::{
     trim_publish_scratch, Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher,
+    DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use delivery::DeliveryPolicy;
 pub use subscriber::Subscription;

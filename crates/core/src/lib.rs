@@ -38,6 +38,14 @@
 //! downstream works against it transparently. The broker builds its
 //! per-shard locking on the same routing arithmetic.
 //!
+//! For **intra-event** parallelism, one publish can fan out across the
+//! shards: [`ShardedEngine::match_event_parallel`] matches every shard
+//! concurrently (each worker drawing a warm [`MatchScratch`] from a
+//! [`ScratchPool`]) and merges in shard order, so the answer is
+//! bit-identical to the sequential walk. The broker runs the same
+//! fan-out on a persistent [`WorkerPool`] with a [`FanOut`] rendezvous;
+//! see the `pool` module docs.
+//!
 //! # Examples
 //!
 //! ```
@@ -70,6 +78,7 @@ mod ids;
 mod interner;
 mod memory;
 mod noncanonical;
+mod pool;
 mod routing;
 mod scratch;
 mod shard;
@@ -84,6 +93,7 @@ pub use ids::{PredicateId, SubscriptionId};
 pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
+pub use pool::{FanOut, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool};
 pub use routing::ShardRouter;
 pub use scratch::{MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};

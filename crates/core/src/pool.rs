@@ -1,0 +1,598 @@
+//! Worker and scratch pooling for parallel shard fan-out.
+//!
+//! Sharding (PR 2) made subscription churn cheap, but a single publish
+//! still visited every shard *sequentially* — per-event latency grew
+//! with the shard count instead of shrinking. This module supplies the
+//! three pieces that turn shard partitioning into intra-event
+//! parallelism:
+//!
+//! * [`WorkerPool`] — a persistent pool of worker threads executing
+//!   submitted jobs. The broker owns one per sharded instance, so a
+//!   publish fans its per-shard matching out **without spawning a
+//!   thread per publish**.
+//! * [`ScratchPool`] — a non-blocking pool of warm [`MatchScratch`]es.
+//!   Checkout applies the hygiene pair exactly once —
+//!   [`MatchScratch::reset`] (clear state, keep capacity) and
+//!   [`MatchScratch::ensure_capacity`] (grow to the engine at hand) —
+//!   so in steady state a checked-out scratch allocates nothing.
+//!   Checkout never blocks: slots are probed with `try_lock`, and when
+//!   every slot is busy a fresh scratch is built instead of waiting.
+//! * [`FanOut`] — a one-shot scatter/gather rendezvous: `N` indexed
+//!   slots filled by workers, one caller waiting for all of them. Slot
+//!   completion is panic-safe (a guard completes its slot on drop even
+//!   if the job unwinds), so a crashed worker can never wedge or
+//!   reorder the merge.
+//!
+//! [`crate::ShardedEngine::match_event_parallel`] composes these for
+//! plain-value engines (using scoped threads, since the engine is
+//! borrowed); `boolmatch-broker` composes them around its per-shard
+//! locks for the publish hot path, where jobs capture `Arc`s and run on
+//! the persistent pool.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::FilterEngine;
+use crate::MatchScratch;
+
+// ---------------------------------------------------------------------------
+// ScratchPool
+
+/// A non-blocking pool of reusable [`MatchScratch`]es shared by fan-out
+/// workers.
+///
+/// Each checkout probes the fixed slot array with `try_lock`: a free
+/// warm scratch is taken if one is available, otherwise a fresh one is
+/// built — a worker never blocks on another worker's checkout. Returned
+/// scratches re-fill empty slots (beyond-capacity returns are simply
+/// dropped), so the pool holds at most `slots` scratches and, once
+/// every worker has warmed one up, stops allocating entirely — see
+/// [`ScratchPool::heap_bytes`] for the steady-state probe the tests
+/// use.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{EngineKind, ScratchPool};
+///
+/// let engine = EngineKind::NonCanonical.build();
+/// let pool = ScratchPool::new(2);
+/// {
+///     let _scratch = pool.checkout(&engine); // hygiene applied once here
+/// } // returned to the pool on drop
+/// assert_eq!(pool.pooled(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScratchPool {
+    slots: Vec<Mutex<Option<MatchScratch>>>,
+}
+
+impl ScratchPool {
+    /// A pool holding at most `slots` warm scratches (at least one).
+    pub fn new(slots: usize) -> Self {
+        ScratchPool {
+            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Maximum number of scratches the pool retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of scratches currently parked in the pool (skipping slots
+    /// another thread holds locked at probe time).
+    pub fn pooled(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.try_lock().ok())
+            .filter(|slot| slot.is_some())
+            .count()
+    }
+
+    /// Total heap bytes held by the parked scratches — the steady-state
+    /// probe: once the pool is warm, repeated checkouts against the
+    /// same engines must leave this value unchanged.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.try_lock().ok())
+            .filter_map(|slot| slot.as_ref().map(MatchScratch::heap_bytes))
+            .sum()
+    }
+
+    /// Checks a scratch out for matching against `engine`, borrowing
+    /// the pool. The hygiene pair — [`MatchScratch::reset`] +
+    /// [`MatchScratch::ensure_capacity`] — runs exactly once, here.
+    pub fn checkout(&self, engine: &(impl FilterEngine + ?Sized)) -> PooledScratch<'_> {
+        PooledScratch {
+            pool: self,
+            scratch: Some(self.take(engine)),
+        }
+    }
+
+    /// [`ScratchPool::checkout`] for `'static` contexts (jobs on a
+    /// [`WorkerPool`]): the lease holds an `Arc` to the pool instead of
+    /// a borrow.
+    pub fn lease(self: &Arc<Self>, engine: &(impl FilterEngine + ?Sized)) -> ScratchLease {
+        ScratchLease {
+            pool: Arc::clone(self),
+            scratch: Some(self.take(engine)),
+        }
+    }
+
+    /// Checkout core: pop a warm scratch from the first free occupied
+    /// slot (or build a fresh one), then apply the hygiene pair.
+    fn take(&self, engine: &(impl FilterEngine + ?Sized)) -> MatchScratch {
+        let mut scratch = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.try_lock().ok())
+            .find_map(|mut slot| slot.take())
+            .unwrap_or_default();
+        scratch.reset();
+        scratch.ensure_capacity(engine);
+        scratch
+    }
+
+    /// Parks `scratch` in the first free empty slot; drops it when the
+    /// pool is full or every slot is contended (never blocks).
+    fn put(&self, scratch: MatchScratch) {
+        for slot in &self.slots {
+            if let Ok(mut slot) = slot.try_lock() {
+                if slot.is_none() {
+                    *slot = Some(scratch);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A checked-out scratch borrowing its [`ScratchPool`]; derefs to
+/// [`MatchScratch`] and returns the scratch on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<MatchScratch>,
+}
+
+/// A checked-out scratch holding its [`ScratchPool`] by `Arc` — the
+/// `'static` form worker-pool jobs use; derefs to [`MatchScratch`] and
+/// returns the scratch on drop.
+#[derive(Debug)]
+pub struct ScratchLease {
+    pool: Arc<ScratchPool>,
+    scratch: Option<MatchScratch>,
+}
+
+macro_rules! impl_scratch_guard {
+    ($guard:ty) => {
+        impl std::ops::Deref for $guard {
+            type Target = MatchScratch;
+
+            fn deref(&self) -> &MatchScratch {
+                self.scratch.as_ref().expect("present until drop")
+            }
+        }
+
+        impl std::ops::DerefMut for $guard {
+            fn deref_mut(&mut self) -> &mut MatchScratch {
+                self.scratch.as_mut().expect("present until drop")
+            }
+        }
+
+        impl Drop for $guard {
+            fn drop(&mut self) {
+                // A guard dropped during a panic may hold a scratch
+                // abandoned mid-match (e.g. hit counters half-updated —
+                // state the checkout hygiene deliberately does not
+                // re-clear). Pooling it would poison every later match
+                // through it; drop it instead.
+                if std::thread::panicking() {
+                    return;
+                }
+                if let Some(scratch) = self.scratch.take() {
+                    self.pool.put(scratch);
+                }
+            }
+        }
+    };
+}
+
+impl_scratch_guard!(PooledScratch<'_>);
+impl_scratch_guard!(ScratchLease);
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads draining a shared job queue.
+///
+/// Built for the broker's parallel publish pipeline: the pool is
+/// created once (threads park between publishes) and each publish
+/// submits one job per remote shard — no thread spawn on the hot path.
+/// Jobs must be `'static` (capture `Arc`s, not borrows); for borrowed
+/// data use [`crate::ShardedEngine::match_event_parallel`]'s scoped
+/// fan-out instead.
+///
+/// A panicking job is caught on the worker (matching `parking_lot`'s
+/// no-poisoning spirit) so the thread survives to serve later jobs;
+/// pair jobs with [`FanOut`] slots to keep waiters safe from lost
+/// completions.
+#[derive(Debug)]
+pub struct WorkerPool {
+    jobs: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` parked worker threads (at least one).
+    pub fn new(threads: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("boolmatch-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only while dequeuing.
+                        let job = match rx.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job` for execution on some worker.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.jobs
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers live until the pool is dropped");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain the queue and exit.
+        drop(self.jobs.take());
+        let me = std::thread::current().id();
+        for worker in self.workers.drain(..) {
+            if worker.thread().id() == me {
+                // The pool is being dropped from inside one of its own
+                // jobs (a job held the last reference to the pool's
+                // owner). Joining ourselves would deadlock; detach
+                // instead — this thread exits on its own once the
+                // closed queue drains.
+                continue;
+            }
+            let _ = worker.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FanOut
+
+struct FanState<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+}
+
+/// A one-shot scatter/gather rendezvous: `n` indexed slots, each
+/// completed exactly once by a worker, and one caller waiting for all
+/// of them.
+///
+/// The slot index — not completion order — decides where a result
+/// lands, so the caller's merge is deterministic no matter how the
+/// workers interleave (a stalled shard cannot reorder another shard's
+/// result). [`SlotGuard`] completes its slot on drop even when the job
+/// panics before filling it, so [`FanOut::wait`] can never hang on a
+/// crashed worker; an unfilled slot surfaces as `None`.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::FanOut;
+///
+/// let run = FanOut::new(2);
+/// run.slot(1).fill("right");
+/// run.slot(0).fill("left");
+/// assert_eq!(run.wait(), vec![Some("left"), Some("right")]);
+/// ```
+pub struct FanOut<T> {
+    state: Mutex<FanState<T>>,
+    done: Condvar,
+}
+
+impl<T> FanOut<T> {
+    /// A rendezvous over `n` slots, shared between caller and workers.
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(FanOut {
+            state: Mutex::new(FanState {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// The completion guard for slot `index`; hand it to the worker
+    /// responsible for that slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn slot(self: &Arc<Self>, index: usize) -> SlotGuard<T> {
+        assert!(index < self.lock().slots.len(), "slot index out of range");
+        SlotGuard {
+            run: Arc::clone(self),
+            index,
+            completed: false,
+        }
+    }
+
+    /// Blocks until every slot has completed, then takes the results in
+    /// slot order. `None` marks a slot whose worker dropped its guard
+    /// without filling it (e.g. after a panic).
+    pub fn wait(&self) -> Vec<Option<T>> {
+        let mut state = self.lock();
+        while state.remaining > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        std::mem::take(&mut state.slots)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FanState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn complete(&self, index: usize, value: Option<T>) {
+        let mut state = self.lock();
+        state.slots[index] = value;
+        state.remaining -= 1;
+        let all_done = state.remaining == 0;
+        drop(state);
+        if all_done {
+            self.done.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FanOut<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanOut")
+            .field("remaining", &self.lock().remaining)
+            .finish()
+    }
+}
+
+/// Completion guard for one [`FanOut`] slot: [`SlotGuard::fill`] stores
+/// the worker's result; dropping unfilled (panic path) completes the
+/// slot as `None` so the waiter is released either way.
+pub struct SlotGuard<T> {
+    run: Arc<FanOut<T>>,
+    index: usize,
+    completed: bool,
+}
+
+impl<T> SlotGuard<T> {
+    /// Completes the slot with `value`.
+    pub fn fill(mut self, value: T) {
+        self.completed = true;
+        self.run.complete(self.index, Some(value));
+    }
+}
+
+impl<T> Drop for SlotGuard<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.run.complete(self.index, None);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SlotGuard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotGuard")
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineKind;
+    use boolmatch_expr::Expr;
+    use boolmatch_types::Event;
+
+    #[test]
+    fn checkout_reuses_and_stops_allocating() {
+        let mut engine = EngineKind::NonCanonical.build();
+        for i in 0..50 {
+            engine
+                .subscribe(&Expr::parse(&format!("(a = {i} or b = 1) and c <= {i}")).unwrap())
+                .unwrap();
+        }
+        let pool = ScratchPool::new(2);
+        let event = Event::builder().attr("b", 1_i64).attr("c", 0_i64).build();
+
+        // Warm-up: one checkout grows the scratch to the engine.
+        {
+            let mut scratch = pool.checkout(&engine);
+            engine.match_event_into(&event, &mut scratch);
+        }
+        assert_eq!(pool.pooled(), 1);
+        let warm = pool.heap_bytes();
+        assert!(warm > 0);
+
+        // Steady state: repeated checkouts re-use the warm scratch and
+        // the pool's footprint stays bit-identical.
+        for _ in 0..100 {
+            let mut scratch = pool.checkout(&engine);
+            let stats = engine.match_event_into(&event, &mut scratch);
+            assert_eq!(stats.matched, 50);
+        }
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.heap_bytes(), warm, "steady state allocates nothing");
+    }
+
+    #[test]
+    fn concurrent_checkouts_never_block_and_pool_caps_retention() {
+        let engine = EngineKind::Counting.build();
+        let pool = ScratchPool::new(2);
+        // Three concurrent checkouts from a 2-slot pool: the third gets
+        // a fresh scratch instead of blocking.
+        let a = pool.checkout(&engine);
+        let b = pool.checkout(&engine);
+        let c = pool.checkout(&engine);
+        drop(a);
+        drop(b);
+        drop(c); // pool full: this one is dropped, not parked
+        assert_eq!(pool.pooled(), 2);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn lease_is_static_and_returns_on_drop() {
+        let engine = EngineKind::NonCanonical.build();
+        let pool = Arc::new(ScratchPool::new(1));
+        let lease = pool.lease(&engine);
+        let handle = std::thread::spawn(move || drop(lease));
+        handle.join().unwrap();
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_survives_panics() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let run = FanOut::new(3);
+        for i in 0..3 {
+            let slot = run.slot(i);
+            pool.submit(move || {
+                if i == 1 {
+                    panic!("job 1 crashes");
+                }
+                slot.fill(i * 10);
+            });
+        }
+        assert_eq!(run.wait(), vec![Some(0), None, Some(20)]);
+
+        // The pool still serves jobs after a panic.
+        let again = FanOut::new(1);
+        let slot = again.slot(0);
+        pool.submit(move || slot.fill(7usize));
+        assert_eq!(again.wait(), vec![Some(7)]);
+    }
+
+    #[test]
+    fn fan_out_orders_by_slot_not_completion() {
+        let run = FanOut::new(4);
+        // Fill in scrambled order from scrambled threads.
+        let mut handles = Vec::new();
+        for (i, v) in [(3usize, 'd'), (0, 'a'), (2, 'c'), (1, 'b')] {
+            let slot = run.slot(i);
+            handles.push(std::thread::spawn(move || slot.fill(v)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(run.wait(), vec![Some('a'), Some('b'), Some('c'), Some('d')]);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_poison_the_pool() {
+        let pool = Arc::new(ScratchPool::new(1));
+        let job_pool = Arc::clone(&pool);
+        let result = std::thread::spawn(move || {
+            let engine = EngineKind::Counting.build();
+            let mut lease = job_pool.lease(&engine);
+            // Stand-in for counters left half-updated by a panic inside
+            // phase 2 (which normally restores them before returning).
+            lease.hit.push(7);
+            panic!("mid-match");
+        })
+        .join();
+        assert!(result.is_err(), "the holder panicked");
+        assert_eq!(
+            pool.pooled(),
+            0,
+            "the abandoned scratch was dropped, not re-pooled"
+        );
+        // The pool itself still works.
+        let engine = EngineKind::Counting.build();
+        drop(pool.checkout(&engine));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_dropped_from_its_own_worker_detaches_instead_of_deadlocking() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // A job holds the last Arc to the pool (standing in for a job
+        // holding the last reference to a pool-owning broker). The main
+        // thread provably drops its handle first, so the pool's Drop
+        // runs on the worker — which must skip joining itself.
+        let pool = Arc::new(WorkerPool::new(1));
+        let run = FanOut::new(1);
+        let slot = run.slot(0);
+        let job_pool = Arc::clone(&pool);
+        let main_dropped = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&main_dropped);
+        pool.submit(move || {
+            slot.fill(());
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            drop(job_pool); // the last handle: WorkerPool::drop runs here
+        });
+        assert_eq!(run.wait(), vec![Some(())]);
+        drop(pool);
+        main_dropped.store(true, Ordering::Release);
+        // Nothing to assert beyond termination: the old self-join
+        // deadlocked (panicking with EDEADLK) right here.
+    }
+
+    #[test]
+    fn zero_sized_pools_clamp_to_one() {
+        assert_eq!(ScratchPool::new(0).capacity(), 1);
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index out of range")]
+    fn out_of_range_slot_panics() {
+        let run = FanOut::<()>::new(1);
+        let _ = run.slot(1);
+    }
+}

@@ -69,10 +69,37 @@ impl MatchScratch {
         &self.matched
     }
 
+    /// Matched subscription ids of the most recent
+    /// [`match_event_into`](crate::FilterEngine::match_event_into),
+    /// mutably — for callers that translate the ids in place (the
+    /// sharded fan-out maps shard-local ids to global ids this way
+    /// without copying into a side buffer).
+    pub fn matched_mut(&mut self) -> &mut Vec<SubscriptionId> {
+        &mut self.matched
+    }
+
+    /// Clears all per-event state while **keeping** every buffer's
+    /// capacity — the hygiene step a scratch pool applies once per
+    /// checkout. A reset scratch behaves exactly like a fresh one, but
+    /// reusing it allocates nothing in steady state (see
+    /// [`crate::ScratchPool`]).
+    ///
+    /// Most of the state is already self-restoring between matches
+    /// (stamps are generation-guarded, hit counters return to zero
+    /// before a match finishes), so this only clears the buffers whose
+    /// logical length carries over.
+    pub fn reset(&mut self) {
+        self.candidates.clear();
+        self.eval_stack.clear();
+        self.matched.clear();
+        self.shard_matched.clear();
+    }
+
     /// Releases all buffers (capacity included). Matching against a
     /// much smaller engine afterwards will not pin the old high-water
-    /// memory.
-    pub fn reset(&mut self) {
+    /// memory. Contrast with [`MatchScratch::reset`], which keeps
+    /// capacity for reuse.
+    pub fn trim(&mut self) {
         *self = MatchScratch::default();
     }
 
@@ -278,7 +305,11 @@ mod tests {
             matcher.engine().unit_slot_bound()
         );
 
+        // `reset` keeps capacity (pool hygiene); `trim` releases it.
+        let before = scratch.heap_bytes();
         scratch.reset();
+        assert_eq!(scratch.heap_bytes(), before, "reset keeps capacity");
+        scratch.trim();
         assert_eq!(scratch.heap_bytes(), 0);
     }
 

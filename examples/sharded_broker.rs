@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // these registrations would briefly stall all matching.
     let mut churn = ChurnScenario::new(7, 50);
     let mut churners: Vec<Subscription> = Vec::new();
-    let mut ticks: Vec<Event> = Vec::new();
+    let mut ticks: Vec<std::sync::Arc<Event>> = Vec::new();
     let mut delivered = 0usize;
     for op in churn.ops(2_000) {
         match op {
@@ -39,8 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ChurnOp::Unsubscribe(i) => drop(churners.remove(i)),
             // Batch the feed: one lock acquisition per shard and one
             // sender-map lookup pass per flush, instead of per event.
+            // Each event is `Arc`-wrapped once, here — matching and
+            // every delivered notification share that allocation.
             ChurnOp::Publish(event) => {
-                ticks.push(event);
+                ticks.push(std::sync::Arc::new(event));
                 if ticks.len() == 64 {
                     delivered += broker.publish_batch(&ticks);
                     ticks.clear();

@@ -1,0 +1,393 @@
+//! The parallel publish pipeline's correctness claims, proven without
+//! relying on timing:
+//!
+//! * **Answer identity** — fanning one event out across shards must be
+//!   *bit-identical* to the sequential shard walk: same matched ids in
+//!   the same order, same reconciled [`MatchStats`]. Property-tested
+//!   over deterministic churn streams for every engine kind and
+//!   S ∈ {1, 3, 8} at the core level, and for forced-parallel vs
+//!   forced-sequential brokers (single publishes and batches).
+//! * **Merge isolation** — a stalled worker on one shard can neither
+//!   corrupt nor reorder another shard's contribution to the merge:
+//!   results land by shard index, not completion order, and the other
+//!   shards keep matching while one is stuck (latch-observed, like the
+//!   gate tests in `shard_concurrency.rs`).
+//! * **Scratch-pool hygiene** — checkout applies reset +
+//!   `ensure_capacity` once, and after warm-up the pool stops
+//!   allocating: its retained-scratch count and heap footprint are
+//!   probed before and after 10k publishes and must not move.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use boolmatch::core::{
+    FilterEngine, FulfilledSet, MatchScratch, MatchStats, MemoryUsage, ScratchPool, SubscribeError,
+    UnsubscribeError,
+};
+use boolmatch::expr::Expr;
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::{ChurnOp, ChurnScenario, StockScenario};
+
+/// Parallel fan-out must equal the sequential walk under subscription
+/// churn, for every engine kind and shard count — ids, order, stats.
+#[test]
+fn parallel_matches_sequential_under_churn() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 3, 8] {
+            let mut engine = ShardedEngine::new(kind, shards);
+            let scratches = ScratchPool::new(shards);
+            let mut seq = MatchScratch::new();
+            let mut par = MatchScratch::new();
+            let mut live: Vec<SubscriptionId> = Vec::new();
+
+            let mut churn = ChurnScenario::new(31, 80);
+            for (step, op) in churn.ops(1_500).into_iter().enumerate() {
+                match op {
+                    ChurnOp::Subscribe(expr) => {
+                        live.push(engine.subscribe(&expr).expect("accepted"));
+                    }
+                    ChurnOp::Unsubscribe(i) => {
+                        engine.unsubscribe(live.remove(i)).expect("live id");
+                    }
+                    ChurnOp::Publish(event) => {
+                        let seq_stats = engine.match_event_into(&event, &mut seq);
+                        let par_stats = engine.match_event_parallel(&event, &scratches, &mut par);
+                        assert_eq!(
+                            seq.matched(),
+                            par.matched(),
+                            "kind={kind} shards={shards} step={step}"
+                        );
+                        assert_eq!(
+                            seq_stats, par_stats,
+                            "stats reconcile: kind={kind} shards={shards} step={step}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forced-parallel vs forced-sequential brokers replay one churn
+/// stream: every publish (and every flushed batch) must deliver
+/// identically, notification for notification.
+#[test]
+fn parallel_broker_delivers_like_sequential_under_churn() {
+    for kind in EngineKind::ALL {
+        let par = Broker::builder()
+            .engine(kind)
+            .shards(4)
+            .parallel_threshold(0)
+            .build();
+        let seq = Broker::builder()
+            .engine(kind)
+            .shards(4)
+            .parallel_threshold(usize::MAX)
+            .build();
+        let mut par_live: Vec<Subscription> = Vec::new();
+        let mut seq_live: Vec<Subscription> = Vec::new();
+        let mut batch: Vec<Arc<Event>> = Vec::new();
+
+        let flush = |batch: &mut Vec<Arc<Event>>| {
+            if !batch.is_empty() {
+                assert_eq!(par.publish_batch(batch), seq.publish_batch(batch));
+                batch.clear();
+            }
+        };
+
+        let mut churn = ChurnScenario::new(47, 60).with_publish_ratio(0.7);
+        for (step, op) in churn.ops(2_000).into_iter().enumerate() {
+            match op {
+                ChurnOp::Subscribe(expr) => {
+                    flush(&mut batch);
+                    let a = par.subscribe_expr(&expr).unwrap();
+                    let b = seq.subscribe_expr(&expr).unwrap();
+                    assert_eq!(a.id(), b.id(), "kind={kind} step={step}");
+                    par_live.push(a);
+                    seq_live.push(b);
+                }
+                ChurnOp::Unsubscribe(i) => {
+                    flush(&mut batch);
+                    drop(par_live.remove(i));
+                    drop(seq_live.remove(i));
+                }
+                ChurnOp::Publish(event) => {
+                    // Alternate single publishes and batches so both
+                    // parallel paths are exercised.
+                    if step % 3 == 0 {
+                        batch.push(Arc::new(event));
+                    } else {
+                        flush(&mut batch);
+                        assert_eq!(
+                            par.publish(event.clone()),
+                            seq.publish(event),
+                            "kind={kind} step={step}"
+                        );
+                    }
+                }
+            }
+        }
+        flush(&mut batch);
+
+        for (i, (a, b)) in par_live.iter().zip(&seq_live).enumerate() {
+            let an = a.drain();
+            let bn = b.drain();
+            assert_eq!(an.len(), bn.len(), "survivor {i} on {kind}");
+            for (x, y) in an.iter().zip(&bn) {
+                assert_eq!(x.get("price"), y.get("price"), "survivor {i} on {kind}");
+            }
+        }
+        assert_eq!(
+            par.stats().notifications_delivered,
+            seq.stats().notifications_delivered,
+            "kind={kind}"
+        );
+    }
+}
+
+/// A one-shot latch (same pattern as `shard_concurrency.rs`).
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.open.lock().unwrap();
+        let (guard, result) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |open| !*open)
+            .unwrap();
+        drop(guard);
+        !result.timed_out()
+    }
+}
+
+/// A real engine wrapped with latches: phase 1 can announce it was
+/// entered and/or park until released.
+struct GatedEngine {
+    inner: Box<dyn FilterEngine + Send + Sync>,
+    entered: Option<Arc<Latch>>,
+    release: Option<Arc<Latch>>,
+    panic_in_phase1: bool,
+}
+
+impl GatedEngine {
+    fn new(entered: Option<Arc<Latch>>, release: Option<Arc<Latch>>) -> Box<Self> {
+        Box::new(GatedEngine {
+            inner: EngineKind::NonCanonical.build(),
+            entered,
+            release,
+            panic_in_phase1: false,
+        })
+    }
+
+    fn panicking() -> Box<Self> {
+        Box::new(GatedEngine {
+            inner: EngineKind::NonCanonical.build(),
+            entered: None,
+            release: None,
+            panic_in_phase1: true,
+        })
+    }
+}
+
+impl FilterEngine for GatedEngine {
+    fn kind(&self) -> EngineKind {
+        self.inner.kind()
+    }
+    fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        self.inner.subscribe(expr)
+    }
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        self.inner.unsubscribe(id)
+    }
+    fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
+        if self.panic_in_phase1 {
+            panic!("engine dies mid-match (test)");
+        }
+        if let Some(entered) = &self.entered {
+            entered.open();
+        }
+        if let Some(release) = &self.release {
+            assert!(
+                release.wait(Duration::from_secs(10)),
+                "test driver never released the stalled shard"
+            );
+        }
+        self.inner.phase1(event, out);
+    }
+    fn phase2(
+        &self,
+        fulfilled: &FulfilledSet,
+        scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        self.inner.phase2(fulfilled, scratch, matched)
+    }
+    fn subscription_count(&self) -> usize {
+        self.inner.subscription_count()
+    }
+    fn subscription_id_bound(&self) -> usize {
+        self.inner.subscription_id_bound()
+    }
+    fn registered_units(&self) -> usize {
+        self.inner.registered_units()
+    }
+    fn unit_slot_bound(&self) -> usize {
+        self.inner.unit_slot_bound()
+    }
+    fn predicate_count(&self) -> usize {
+        self.inner.predicate_count()
+    }
+    fn predicate_universe(&self) -> usize {
+        self.inner.predicate_universe()
+    }
+    fn memory_usage(&self) -> MemoryUsage {
+        self.inner.memory_usage()
+    }
+}
+
+/// The deterministic merge gate: while shard 1's worker is stalled
+/// mid-match, shard 0's portion of the *same* publish proceeds
+/// (latch-observed); after release, the merged delivery is exact —
+/// the stall neither lost, duplicated, nor cross-contaminated either
+/// shard's matches.
+#[test]
+fn stalled_worker_cannot_corrupt_or_reorder_the_merge() {
+    let shard0_entered = Latch::new();
+    let shard1_stalled = Latch::new();
+    let release = Latch::new();
+
+    let broker = Broker::builder()
+        .engine_instances(vec![
+            GatedEngine::new(Some(shard0_entered.clone()), None),
+            GatedEngine::new(Some(shard1_stalled.clone()), Some(release.clone())),
+        ])
+        .parallel_threshold(0)
+        .worker_threads(1)
+        .build();
+
+    // Round-robin: `a` lands on shard 0, `b` on shard 1; the event
+    // matches both, so the merge must produce exactly one notification
+    // for each.
+    let a = broker.subscribe("hit = 1").unwrap();
+    let b = broker.subscribe("hit = 1 or hit = 2").unwrap();
+
+    thread::scope(|scope| {
+        let publisher = {
+            let broker = broker.clone();
+            scope.spawn(move || broker.publish(Event::builder().attr("hit", 1_i64).build()))
+        };
+
+        // The worker is stalled inside shard 1's phase 1...
+        assert!(
+            shard1_stalled.wait(Duration::from_secs(10)),
+            "shard 1's worker never started matching"
+        );
+        // ...yet the publisher still matches shard 0 inline.
+        assert!(
+            shard0_entered.wait(Duration::from_secs(10)),
+            "a stalled worker on shard 1 blocked shard 0's matching"
+        );
+
+        release.open();
+        assert_eq!(publisher.join().unwrap(), 2, "both shards delivered");
+    });
+
+    assert_eq!(a.drain().len(), 1, "shard 0's match survived the stall");
+    assert_eq!(b.drain().len(), 1, "shard 1's match arrived after release");
+    assert_eq!(broker.stats().notifications_delivered, 2);
+}
+
+/// A worker that panics mid-match must neither wedge the publish nor
+/// pass silently: the publish completes with the healthy shards'
+/// deliveries and `BrokerStats::fanout_worker_failures` records every
+/// lost shard, and the pool keeps serving later publishes.
+#[test]
+fn panicking_worker_is_counted_and_does_not_wedge_publishing() {
+    let broker = Broker::builder()
+        .engine_instances(vec![
+            GatedEngine::new(None, None), // healthy shard 0
+            GatedEngine::panicking(),     // shard 1 dies in phase 1
+        ])
+        .parallel_threshold(0)
+        .worker_threads(1)
+        .build();
+    let a = broker.subscribe("hit = 1").unwrap(); // shard 0
+    let b = broker.subscribe("hit = 1").unwrap(); // shard 1 (never matched)
+
+    for round in 1..=2u64 {
+        let delivered = broker.publish(Event::builder().attr("hit", 1_i64).build());
+        assert_eq!(delivered, 1, "round {round}: only shard 0 delivered");
+        assert_eq!(
+            broker.stats().fanout_worker_failures,
+            round,
+            "round {round}: the lost shard is visible in the stats"
+        );
+    }
+    assert_eq!(a.drain().len(), 2);
+    assert_eq!(
+        b.drain().len(),
+        0,
+        "the dead shard's subscriber got nothing"
+    );
+}
+
+/// Scratch-pool steady state: warm the pool, then hammer 10k parallel
+/// publishes — the pool must neither grow its retained-scratch count
+/// nor its heap footprint (checkout hygiene reuses, never reallocates).
+#[test]
+fn scratch_pool_stops_allocating_after_warmup() {
+    let broker = Broker::builder()
+        .engine(EngineKind::NonCanonical)
+        .shards(2)
+        .worker_threads(1)
+        .parallel_threshold(0)
+        .build();
+    let mut stock = StockScenario::new(2_026);
+    let _subs: Vec<Subscription> = stock
+        .subscriptions(100)
+        .iter()
+        .map(|e| broker.subscribe_expr(e).unwrap())
+        .collect();
+    // A fixed event set, so repeated publishes cannot raise any
+    // per-event high-water mark after the warm-up pass has seen them
+    // all.
+    let events: Vec<Event> = (0..100).map(|_| stock.tick()).collect();
+
+    for event in &events {
+        broker.publish(event.clone());
+    }
+    let pool = broker
+        .scratch_pool()
+        .expect("multi-shard broker pools scratches");
+    let warm_pooled = pool.pooled();
+    let warm_bytes = pool.heap_bytes();
+    assert!(warm_pooled >= 1, "warm-up parked a scratch");
+    assert!(warm_bytes > 0, "warm scratch holds buffers");
+
+    for i in 0..10_000 {
+        broker.publish(events[i % events.len()].clone());
+    }
+    assert_eq!(pool.pooled(), warm_pooled, "pool retention is steady");
+    assert_eq!(
+        pool.heap_bytes(),
+        warm_bytes,
+        "10k publishes allocated no new scratch memory"
+    );
+    assert_eq!(broker.stats().events_published, 10_100);
+}

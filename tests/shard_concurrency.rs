@@ -298,17 +298,17 @@ fn publish_batch_under_churn_equals_publish_sequence() {
     let batched = Broker::builder().shards(4).build();
     let mut seq_live: Vec<Subscription> = Vec::new();
     let mut batch_live: Vec<Subscription> = Vec::new();
-    let mut buffer: Vec<Event> = Vec::new();
+    let mut buffer: Vec<Arc<Event>> = Vec::new();
     let mut seq_delivered = 0usize;
     let mut batch_delivered = 0usize;
 
-    let flush = |buffer: &mut Vec<Event>, seq_d: &mut usize, batch_d: &mut usize| {
+    let flush = |buffer: &mut Vec<Arc<Event>>, seq_d: &mut usize, batch_d: &mut usize| {
         if buffer.is_empty() {
             return;
         }
         *seq_d += buffer
             .iter()
-            .map(|e| one_by_one.publish(e.clone()))
+            .map(|e| one_by_one.publish_arc(e.clone()))
             .sum::<usize>();
         *batch_d += batched.publish_batch(buffer);
         buffer.clear();
@@ -327,7 +327,7 @@ fn publish_batch_under_churn_equals_publish_sequence() {
                 drop(seq_live.remove(i));
                 drop(batch_live.remove(i));
             }
-            ChurnOp::Publish(event) => buffer.push(event),
+            ChurnOp::Publish(event) => buffer.push(Arc::new(event)),
         }
     }
     flush(&mut buffer, &mut seq_delivered, &mut batch_delivered);
