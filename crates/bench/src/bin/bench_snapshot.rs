@@ -6,7 +6,7 @@
 //! measurement), this binary is built to run unattended: it times each
 //! named workload with a fixed warm-up + N-sample loop, records the
 //! **median ns/op**, and writes everything to one JSON file
-//! (`BENCH_PR3.json` by default). CI smoke-runs it in `--quick` mode on
+//! (`BENCH_PR4.json` by default). CI smoke-runs it in `--quick` mode on
 //! every push.
 //!
 //! ```text
@@ -14,7 +14,7 @@
 //! ```
 //!
 //! * `--quick` — smaller corpora and fewer samples (CI / smoke mode).
-//! * `--out PATH` — output path (default `BENCH_PR3.json`).
+//! * `--out PATH` — output path (default `BENCH_PR4.json`).
 //!
 //! The recorded numbers carry the same caveat as the concurrency
 //! benches: on a single-core host the `parallel` rows measure the
@@ -105,7 +105,7 @@ fn stock_broker(
 fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
-    let out_path = args.get("out").unwrap_or("BENCH_PR3.json").to_owned();
+    let out_path = args.get("out").unwrap_or("BENCH_PR4.json").to_owned();
     let (samples, ops) = if quick { (5, 200) } else { (15, 1_000) };
     let subscription_counts: &[usize] = if quick {
         &[1_000, 10_000]
@@ -214,11 +214,52 @@ fn main() {
         );
     }
 
+    // --- Rebalancing: migration cost and the publish paths around it ---
+    {
+        // A resize cycle (grow to 2S, spread, drain back to S) on a
+        // loaded engine; the recorded figure is ns per *migrated
+        // subscription*, the unit price of live migration.
+        let shards = 4;
+        let corpus = if quick { 2_000 } else { 10_000 };
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, shards);
+        let mut scenario = StockScenario::new(2_005);
+        for expr in scenario.subscriptions(corpus) {
+            engine.subscribe(&expr).expect("accepted");
+        }
+        // Warm-up cycle, which also calibrates how many subscriptions
+        // one cycle migrates (deterministic thereafter).
+        let per_cycle = {
+            let mut moved = engine.resize(shards * 2);
+            moved += engine.rebalance();
+            moved + engine.resize(shards)
+        };
+        let cycles = if quick { 3 } else { 7 };
+        let mut per_move: Vec<f64> = (0..cycles)
+            .map(|_| {
+                let start = Instant::now();
+                let mut moved = engine.resize(shards * 2);
+                moved += engine.rebalance();
+                moved += engine.resize(shards);
+                start.elapsed().as_nanos() as f64 / moved.max(1) as f64
+            })
+            .collect();
+        per_move.sort_by(|a, b| a.total_cmp(b));
+        let median = per_move[per_move.len() / 2];
+        let name = format!("rebalance/per_migrated_sub/s{shards}/{corpus}");
+        println!("{name:<48} median: {median:>12.1} ns/op");
+        results.push(Sample {
+            name,
+            median_ns_per_op: median,
+            samples: cycles,
+            ops_per_sample: per_cycle,
+        });
+    }
+
     // --- JSON output (hand-rolled: no serde in the offline workspace) ---
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"snapshot\": \"PR3 parallel shard fan-out\",\n");
+    json.push_str("  \"snapshot\": \"PR4 load-aware shard rebalancing\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }

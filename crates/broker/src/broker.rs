@@ -4,12 +4,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use boolmatch_core::{
     BoxedEngine, EngineKind, FanOut, FilterEngine, MatchScratch, MemoryUsage, ScratchLease,
-    ScratchPool, ShardRouter, SubscribeError, SubscriptionId, WorkerPool,
+    ScratchPool, SubscribeError, SubscriptionDirectory, SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -72,6 +72,11 @@ pub struct BrokerStats {
     pub subscriptions_created: u64,
     /// Subscriptions removed (explicitly or by handle drop).
     pub subscriptions_removed: u64,
+    /// Subscriptions live-migrated between shards by
+    /// [`Broker::migrate`] / [`Broker::rebalance`]. Migration never
+    /// changes a subscription's id or its delivery stream — this
+    /// counter only measures rebalancing work.
+    pub subscriptions_migrated: u64,
     /// Parallel fan-out worker jobs that died (panicked) before
     /// contributing their shard's matches. Any nonzero value means some
     /// publishes delivered **without** that shard's subscribers — the
@@ -87,6 +92,7 @@ struct AtomicStats {
     notifications_dropped: AtomicU64,
     subscriptions_created: AtomicU64,
     subscriptions_removed: AtomicU64,
+    subscriptions_migrated: AtomicU64,
     fanout_worker_failures: AtomicU64,
 }
 
@@ -128,6 +134,14 @@ pub fn trim_publish_scratch() {
 /// sequential shard walk wins.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4_096;
 
+/// Default [`BrokerBuilder::scratch_trim_cap`]: a fan-out scratch
+/// returning to the pool with more heap than this is trimmed instead of
+/// parked at its high-water capacity, so one pathological event (a
+/// huge candidate spike) cannot pin its peak allocation in every pooled
+/// scratch forever. Generous on purpose — steady-state workloads far
+/// below it never trim and so never re-allocate.
+pub const DEFAULT_SCRATCH_TRIM_CAP: usize = 8 << 20;
+
 /// The parallel publish machinery, present only on multi-shard brokers:
 /// a persistent worker pool (threads park between publishes — no spawn
 /// on the hot path) plus the pool of warm per-worker scratches.
@@ -138,20 +152,40 @@ struct Fanout {
 
 pub(crate) struct BrokerInner {
     /// One engine per shard, each behind its own lock: subscription
-    /// churn write-locks exactly one shard, so publishers keep matching
-    /// on every other shard. Global ↔ (shard, local) id translation is
-    /// the same stride arithmetic [`boolmatch_core::ShardedEngine`]
-    /// uses (`router`).
+    /// churn write-locks exactly one shard (and live migration exactly
+    /// two), so publishers keep matching on every other shard.
     shards: Vec<RwLock<BoxedEngine>>,
-    router: ShardRouter,
-    /// Round-robin placement cursor for [`Broker::subscribe_expr`].
-    next_shard: AtomicUsize,
+    /// Global ↔ (shard, local) id translation, placement loads and the
+    /// stored expressions migration re-subscribes — the same directory
+    /// [`boolmatch_core::ShardedEngine`] uses, shared here behind its
+    /// own lock.
+    ///
+    /// **Lock order:** the directory lock is *innermost* — it is only
+    /// ever acquired while holding at most shard locks, and nothing
+    /// acquires a shard lock while holding it. Shard locks themselves
+    /// are only ever multiply-acquired in ascending index order
+    /// (migration), so the broker's lock graph is acyclic.
+    directory: RwLock<SubscriptionDirectory>,
     senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
     policy: DeliveryPolicy,
     stats: AtomicStats,
     /// `None` on single-shard brokers: their publish path is exactly
     /// the pre-fan-out sequential walk.
     fanout: Option<Fanout>,
+    /// Heap-byte cap above which a publish scratch is trimmed after
+    /// use instead of keeping its high-water capacity — applied to the
+    /// fan-out [`ScratchPool`] on return *and* to the sequential
+    /// path's thread-local scratch after each publish/batch.
+    scratch_trim_cap: usize,
+    /// Stored in the directory instead of a per-subscription `Expr`
+    /// clone on single-shard brokers, where migration is unreachable
+    /// and the expression would never be read.
+    placeholder_expr: Arc<Expr>,
+    /// Bumped once per committed relocation (under the directory write
+    /// lock). A publish snapshots it before matching and after its last
+    /// translation: only when the two differ can the matched set hold
+    /// a migration duplicate, so only then does it pay the dedup sort.
+    migration_epoch: AtomicU64,
     /// Live-subscription count at which publishes switch from the
     /// sequential shard walk to the parallel fan-out.
     parallel_threshold: usize,
@@ -161,12 +195,22 @@ impl BrokerInner {
     pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> bool {
         let existed = self.senders.write().remove(&id).is_some();
         if existed {
-            // The sender map is the source of truth; engine state follows.
-            let (shard, local) = self.router.split(id);
+            // The sender map is the source of truth; the directory and
+            // engine state follow. Retiring the directory entry first
+            // means a concurrent migration of this subscription aborts
+            // cleanly (its `relocate` finds the entry gone and undoes
+            // the target-side copy) and a concurrent match drops the id
+            // at translation — whose delivery the removed sender would
+            // have skipped anyway.
+            let (shard, local, _expr) = self
+                .directory
+                .write()
+                .retire(id)
+                .expect("sender map and directory are kept in sync");
             self.shards[shard]
                 .write()
                 .unsubscribe(local)
-                .expect("engine and sender map are kept in sync");
+                .expect("directory and shard engines are kept in sync");
             self.stats
                 .subscriptions_removed
                 .fetch_add(1, Ordering::Relaxed);
@@ -176,11 +220,28 @@ impl BrokerInner {
 
     /// Matches `event` against every shard (read lock each, one at a
     /// time) and appends the matched **global** ids to `out`.
+    ///
+    /// Translation happens *under the shard's read lock*: migration
+    /// commits a relocation only while holding that shard's write lock,
+    /// so the reverse mapping of a just-matched local id cannot be
+    /// repointed before it is read here. A `None` translation means a
+    /// racing unsubscribe retired the id — it is dropped, exactly as
+    /// delivery would drop its removed sender. A shard that matched
+    /// nothing skips the directory lock entirely.
     fn match_into(&self, event: &Event, scratch: &mut MatchScratch, out: &mut Vec<SubscriptionId>) {
         for (s, lock) in self.shards.iter().enumerate() {
             let engine = lock.read();
             engine.match_event_into(event, scratch);
-            out.extend(scratch.matched().iter().map(|&l| self.router.global(s, l)));
+            if scratch.matched().is_empty() {
+                continue;
+            }
+            let directory = self.directory.read();
+            out.extend(
+                scratch
+                    .matched()
+                    .iter()
+                    .filter_map(|&l| directory.global_of(s, l)),
+            );
         }
     }
 }
@@ -218,17 +279,39 @@ impl Broker {
     ///
     /// Returns [`BrokerError::Subscribe`] when the engine refuses it.
     pub fn subscribe_expr(&self, expr: &Expr) -> Result<Subscription, BrokerError> {
-        // Round-robin placement; only the chosen shard is write-locked,
-        // so registration never stalls matching on the other shards.
-        // The cursor advances only on success — like
-        // `ShardedEngine::subscribe` — so rejected expressions neither
-        // skew placement nor break the arrival-order ↔ global-id
-        // alignment (concurrent racing subscribers may target the same
-        // shard; ids stay unique because locals are engine-assigned).
-        let shard = self.inner.next_shard.load(Ordering::Relaxed) % self.shard_count();
-        let local = self.inner.shards[shard].write().subscribe(expr)?;
-        self.inner.next_shard.fetch_add(1, Ordering::Relaxed);
-        let id = self.inner.router.global(shard, local);
+        // Load-aware placement: the directory reserves a unit of load
+        // on the least-loaded shard (round-robin tie-break, so a
+        // churn-free stream places like classic round-robin while a
+        // drained shard is refilled first; concurrent subscribers
+        // spread out because each reservation is visible to the next
+        // placement). Only the chosen shard is then write-locked, so
+        // registration never stalls matching on the other shards; the
+        // reservation is cancelled if the engine refuses the
+        // expression, and committed — issuing the arrival-order global
+        // id — once the engine has assigned the local id.
+        let shard = self.inner.directory.write().place();
+        let local = match self.inner.shards[shard].write().subscribe(expr) {
+            Ok(local) => local,
+            Err(e) => {
+                self.inner.directory.write().cancel(shard);
+                return Err(e.into());
+            }
+        };
+        // Single-shard brokers can never migrate (and have no resize),
+        // so the directory's stored expression would be dead weight on
+        // the most common configuration: share one placeholder instead
+        // of deep-cloning every subscription, via the uncharged
+        // `commit_shared` so memory accounting stays truthful.
+        let id = if self.shard_count() == 1 {
+            let stored = Arc::clone(&self.inner.placeholder_expr);
+            self.inner
+                .directory
+                .write()
+                .commit_shared(shard, local, stored)
+        } else {
+            let stored = Arc::new(expr.clone());
+            self.inner.directory.write().commit(shard, local, stored)
+        };
         let (tx, rx) = self.inner.policy.channel();
         self.inner.senders.write().insert(id, tx);
         self.inner
@@ -242,6 +325,141 @@ impl Broker {
     /// Returns whether it was registered.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
         self.inner.unsubscribe(id)
+    }
+
+    /// Live-migrates up to `max_moves` subscriptions from the currently
+    /// most-loaded to the currently least-loaded shard, one batch of
+    /// shard-lock acquisitions per skewed pair. Each move re-subscribes
+    /// the stored expression on the target shard, retires the source
+    /// entry and repoints the directory — the subscription's id, handle
+    /// and delivery stream are untouched, and matching continues on
+    /// every shard not in the migrating pair (see `tests/rebalance.rs`
+    /// for the deterministic lock-level proof). Returns the number of
+    /// subscriptions moved.
+    ///
+    /// Stops early when the loads are balanced (spread ≤ 1) or a target
+    /// engine refuses an expression (possible only with heterogeneous
+    /// [`BrokerBuilder::engine_instances`]; the subscription stays
+    /// put).
+    ///
+    /// **Visibility window:** an event whose publish races a migration
+    /// may observe the moving subscription as momentarily absent — the
+    /// same anomaly as an event racing an unsubscribe+resubscribe —
+    /// and is delivered to it at most once (never twice; publish
+    /// deduplicates matched ids). Events published after `migrate`
+    /// returns always see the subscription at its new placement.
+    pub fn migrate(&self, max_moves: usize) -> usize {
+        // Bound how long one lock acquisition of the shard pair is
+        // held: a large drain (rebalance() on a heavily skewed broker)
+        // is chunked, releasing and re-acquiring the pair's write
+        // locks between chunks so publishers reaching those shards are
+        // stalled for at most one chunk, not the whole drain.
+        const MIGRATE_CHUNK: usize = 64;
+        let mut moved = 0;
+        while moved < max_moves {
+            let Some((from, to)) = self.inner.directory.read().skew_pair() else {
+                break;
+            };
+            let step = self.migrate_between(from, to, (max_moves - moved).min(MIGRATE_CHUNK));
+            if step == 0 {
+                break;
+            }
+            moved += step;
+        }
+        if moved > 0 {
+            self.inner
+                .stats
+                .subscriptions_migrated
+                .fetch_add(moved as u64, Ordering::Relaxed);
+        }
+        moved
+    }
+
+    /// [`Broker::migrate`] until the per-shard loads are as even as
+    /// they can be: afterwards `max(load) − min(load) ≤ 1` (unless a
+    /// heterogeneous target shard refused a move). Returns the number
+    /// of subscriptions moved.
+    pub fn rebalance(&self) -> usize {
+        self.migrate(usize::MAX)
+    }
+
+    /// One migration batch between a fixed shard pair, bounded by
+    /// `cap` moves: both shard locks are taken once (in ascending index
+    /// order — the broker-wide discipline that keeps concurrent
+    /// migrations deadlock-free) and held while subscriptions move
+    /// until the pair is balanced.
+    fn migrate_between(&self, from: usize, to: usize, cap: usize) -> usize {
+        debug_assert_ne!(from, to);
+        let (lo, hi) = (from.min(to), from.max(to));
+        let lo_guard = self.inner.shards[lo].write();
+        let hi_guard = self.inner.shards[hi].write();
+        let (mut from_engine, mut to_engine) = if from < to {
+            (lo_guard, hi_guard)
+        } else {
+            (hi_guard, lo_guard)
+        };
+        let mut moved = 0;
+        while moved < cap {
+            // Re-plan every step against the live directory: concurrent
+            // unsubscribes (which never need these shard locks to
+            // retire an entry) may have rebalanced the pair or removed
+            // the intended victim already.
+            let (global, local, expr) = {
+                let directory = self.inner.directory.read();
+                if directory.load(from) <= directory.load(to) + 1 {
+                    break;
+                }
+                let Some((global, local)) = directory.last_resident(from) else {
+                    break;
+                };
+                let expr = Arc::clone(
+                    directory
+                        .expr_of(global)
+                        .expect("residents hold live directory entries"),
+                );
+                (global, local, expr)
+            };
+            let Ok(new_local) = to_engine.subscribe(&expr) else {
+                break; // heterogeneous target refused; nothing moved
+            };
+            let relocated = {
+                let mut directory = self.inner.directory.write();
+                let relocated = directory.relocate(global, from, local, to, new_local);
+                if relocated {
+                    // Bumped inside the directory critical section: a
+                    // publisher that observes the new mapping (it takes
+                    // the directory read lock to translate) is then
+                    // guaranteed to also observe the bumped epoch on
+                    // its post-match check and dedup. Bumping after
+                    // the lock is released would leave a window where
+                    // a racing publish translates the moved
+                    // subscription twice yet still sees the old epoch;
+                    // a failed relocate changed no mapping, so it
+                    // bumps nothing and forces no spurious sorts.
+                    self.inner.migration_epoch.fetch_add(1, Ordering::Release);
+                }
+                relocated
+            };
+            if relocated {
+                from_engine
+                    .unsubscribe(local)
+                    .expect("directory and shard engines are kept in sync");
+                moved += 1;
+            } else {
+                // The victim was retired between planning and commit;
+                // undo the target-side copy and re-plan.
+                to_engine
+                    .unsubscribe(new_local)
+                    .expect("the fresh target copy is removable");
+            }
+        }
+        moved
+    }
+
+    /// Live subscriptions per shard (placement reservations included) —
+    /// the load vector rebalancing planning works from.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.inner.directory.read().loads().to_vec()
     }
 
     /// Publishes an event: matches it against every subscription and
@@ -277,7 +495,7 @@ impl Broker {
         // The Arc wrap stays lazy (inside deliver_matched) so an
         // unmatched event costs no allocation at all.
         let delivered = self.deliver_matched(event, &matched);
-        Self::return_matched(matched);
+        self.return_matched(matched);
         delivered
     }
 
@@ -291,7 +509,7 @@ impl Broker {
         }
         let matched = self.matched_via(|scratch, out| self.inner.match_into(&event, scratch, out));
         let delivered = self.deliver_matched_arc(&event, &matched);
-        Self::return_matched(matched);
+        self.return_matched(matched);
         delivered
     }
 
@@ -302,7 +520,7 @@ impl Broker {
         let matched =
             self.matched_via(|scratch, out| self.match_parallel_into(event, scratch, out));
         let delivered = self.deliver_matched_arc(event, &matched);
-        Self::return_matched(matched);
+        self.return_matched(matched);
         delivered
     }
 
@@ -317,13 +535,16 @@ impl Broker {
         &self,
         matcher: impl FnOnce(&mut MatchScratch, &mut Vec<SubscriptionId>),
     ) -> Vec<SubscriptionId> {
-        let matched = PUBLISH_STATE.with(|cell| {
+        let epoch = self.migration_epoch();
+        let mut matched = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
             let mut matched = std::mem::take(&mut state.matched);
             matched.clear();
             matcher(&mut state.scratch, &mut matched);
+            self.trim_oversized(&mut state.scratch);
             matched
         });
+        self.dedup_matched(epoch, &mut matched);
         self.inner
             .stats
             .events_published
@@ -331,10 +552,64 @@ impl Broker {
         matched
     }
 
+    /// Snapshot of the migration epoch, taken before matching starts;
+    /// pair with [`Broker::dedup_matched`] after the last translation.
+    fn migration_epoch(&self) -> u64 {
+        self.inner.migration_epoch.load(Ordering::Acquire)
+    }
+
+    /// Shards are visited one lock at a time, so a publish racing a
+    /// live migration can see the migrating subscription on both its
+    /// source and its target shard; deduplicating keeps delivery
+    /// at-most-once per subscriber per event. (The mirror race — the
+    /// event observing the subscription on *neither* shard — is the
+    /// same anomaly as an event racing an unsubscribe+resubscribe and
+    /// is documented on [`Broker::migrate`].)
+    ///
+    /// The sort only runs when a relocation actually committed during
+    /// the match window (`epoch_before` no longer current): any
+    /// relocation able to duplicate this publish's matched set commits
+    /// under a shard write lock *between* two of its shard visits, and
+    /// therefore between the two epoch reads. Migration-quiescent
+    /// publishes — and single-shard brokers, which cannot migrate —
+    /// pay nothing.
+    fn dedup_matched(&self, epoch_before: u64, matched: &mut Vec<SubscriptionId>) {
+        if self.inner.migration_epoch.load(Ordering::Acquire) != epoch_before {
+            matched.sort_unstable();
+            matched.dedup();
+        }
+    }
+
     /// Returns the matched buffer's capacity to the thread for the next
-    /// publish.
-    fn return_matched(matched: Vec<SubscriptionId>) {
+    /// publish — unless the publish grew it past the scratch trim cap,
+    /// in which case the spike capacity is dropped rather than pinned
+    /// in the thread-local state (the matched-accumulator half of the
+    /// high-water fix; [`Broker::trim_oversized`] covers the scratch).
+    fn return_matched(&self, mut matched: Vec<SubscriptionId>) {
+        self.release_if_oversized(&mut matched);
         PUBLISH_STATE.with(|cell| cell.borrow_mut().matched = matched);
+    }
+
+    /// The one place the trim-cap rule for id buffers lives: a vector
+    /// grown past [`BrokerBuilder::scratch_trim_cap`] is replaced by an
+    /// empty one (capacity released) before being parked for reuse.
+    fn release_if_oversized(&self, ids: &mut Vec<SubscriptionId>) {
+        if ids.capacity() * std::mem::size_of::<SubscriptionId>() > self.inner.scratch_trim_cap {
+            *ids = Vec::new();
+        }
+    }
+
+    /// The sequential-path half of the scratch high-water fix: the
+    /// thread-local publish scratch is trimmed after a publish that
+    /// grew it past [`BrokerBuilder::scratch_trim_cap`], mirroring what
+    /// the fan-out [`ScratchPool`] does on lease return — one
+    /// pathological event cannot pin its peak capacity in every
+    /// publisher thread forever. (`trim_publish_scratch` remains the
+    /// manual whole-state release.)
+    fn trim_oversized(&self, scratch: &mut MatchScratch) {
+        if scratch.heap_bytes() > self.inner.scratch_trim_cap {
+            scratch.trim();
+        }
     }
 
     /// Whether the next publish should fan out across shards: requires
@@ -382,8 +657,13 @@ impl Broker {
                     let engine = inner.shards[s].read();
                     let mut lease = fan.scratches.lease(&**engine);
                     engine.match_event_into(&event, &mut lease);
-                    for id in lease.matched_mut().iter_mut() {
-                        *id = inner.router.global(s, *id);
+                    // Directory translation under the shard read lock —
+                    // see `match_into` for why that makes it sound
+                    // against concurrent migration (and why an empty
+                    // match skips the lock).
+                    if !lease.matched().is_empty() {
+                        let directory = inner.directory.read();
+                        lease.translate_matched(|l| directory.global_of(s, l));
                     }
                     lease
                 }; // shard lock released before the rendezvous
@@ -400,12 +680,15 @@ impl Broker {
         {
             let engine = self.inner.shards[0].read();
             engine.match_event_into(event, scratch);
-            out.extend(
-                scratch
-                    .matched()
-                    .iter()
-                    .map(|&l| self.inner.router.global(0, l)),
-            );
+            if !scratch.matched().is_empty() {
+                let directory = self.inner.directory.read();
+                out.extend(
+                    scratch
+                        .matched()
+                        .iter()
+                        .filter_map(|&l| directory.global_of(0, l)),
+                );
+            }
         }
         let mut lost = 0u64;
         for slot in run.wait() {
@@ -459,6 +742,7 @@ impl Broker {
         // lock acquisitions; buckets keep delivery event-major so
         // per-subscriber notification order equals the sequential one.
         let parallel = self.parallel_eligible();
+        let epoch = self.migration_epoch();
         let buckets = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
             let mut buckets = std::mem::take(&mut state.buckets);
@@ -477,15 +761,29 @@ impl Broker {
                     let engine = lock.read();
                     for (event, bucket) in events.iter().zip(&mut buckets) {
                         engine.match_event_into(event, &mut state.scratch);
+                        if state.scratch.matched().is_empty() {
+                            continue;
+                        }
+                        // Per-event directory guard: soundness needs it
+                        // only around the translation (under the shard
+                        // read lock); holding it across the whole batch
+                        // would stall every subscribe/unsubscribe/
+                        // migration for the batch's matching phase.
+                        let directory = self.inner.directory.read();
                         bucket.extend(
                             state
                                 .scratch
                                 .matched()
                                 .iter()
-                                .map(|&l| self.inner.router.global(s, l)),
+                                .filter_map(|&l| directory.global_of(s, l)),
                         );
                     }
                 }
+            }
+            self.trim_oversized(&mut state.scratch);
+            for bucket in buckets.iter_mut().take(events.len()) {
+                // Same migration-race guard as the single-publish path.
+                self.dedup_matched(epoch, bucket);
             }
             buckets
         });
@@ -513,6 +811,12 @@ impl Broker {
             .stats
             .notifications_delivered
             .fetch_add(delivered as u64, Ordering::Relaxed);
+        // Bucket half of the high-water fix: a bucket a pathological
+        // event grew past the trim cap is released, not parked.
+        let mut buckets = buckets;
+        for bucket in &mut buckets {
+            self.release_if_oversized(bucket);
+        }
         PUBLISH_STATE.with(|cell| cell.borrow_mut().buckets = buckets);
         delivered
     }
@@ -560,7 +864,17 @@ impl Broker {
                     let mut ends: Vec<usize> = Vec::with_capacity(shared.len());
                     for event in shared.iter() {
                         engine.match_event_into(event, &mut lease);
-                        flat.extend(lease.matched().iter().map(|&l| inner.router.global(s, l)));
+                        if !lease.matched().is_empty() {
+                            // Per-event directory guard — see the
+                            // sequential batch path.
+                            let directory = inner.directory.read();
+                            flat.extend(
+                                lease
+                                    .matched()
+                                    .iter()
+                                    .filter_map(|&l| directory.global_of(s, l)),
+                            );
+                        }
                         ends.push(flat.len());
                     }
                     (flat, ends)
@@ -577,11 +891,15 @@ impl Broker {
             let engine = self.inner.shards[0].read();
             for (event, bucket) in events.iter().zip(buckets.iter_mut()) {
                 engine.match_event_into(event, scratch);
+                if scratch.matched().is_empty() {
+                    continue;
+                }
+                let directory = self.inner.directory.read();
                 bucket.extend(
                     scratch
                         .matched()
                         .iter()
-                        .map(|&l| self.inner.router.global(0, l)),
+                        .filter_map(|&l| directory.global_of(0, l)),
                 );
             }
         }
@@ -696,13 +1014,19 @@ impl Broker {
         self.inner.fanout.as_ref().map(|f| &*f.scratches)
     }
 
-    /// The engines' memory breakdown, summed across shards.
+    /// The engines' memory breakdown, summed across shards, plus the
+    /// subscription directory's tables and stored expressions
+    /// (reported as `unsub_support`).
     pub fn memory_usage(&self) -> MemoryUsage {
+        let directory = MemoryUsage {
+            unsub_support: self.inner.directory.read().heap_bytes(),
+            ..MemoryUsage::default()
+        };
         self.inner
             .shards
             .iter()
             .map(|lock| lock.read().memory_usage())
-            .fold(MemoryUsage::default(), |a, b| a + b)
+            .fold(directory, |a, b| a + b)
     }
 
     /// Which engine kind the broker runs (of the first shard, when
@@ -720,6 +1044,7 @@ impl Broker {
             notifications_dropped: s.notifications_dropped.load(Ordering::Relaxed),
             subscriptions_created: s.subscriptions_created.load(Ordering::Relaxed),
             subscriptions_removed: s.subscriptions_removed.load(Ordering::Relaxed),
+            subscriptions_migrated: s.subscriptions_migrated.load(Ordering::Relaxed),
             fanout_worker_failures: s.fanout_worker_failures.load(Ordering::Relaxed),
         }
     }
@@ -789,6 +1114,7 @@ pub struct BrokerBuilder {
     policy: DeliveryPolicy,
     parallel_threshold: Option<usize>,
     worker_threads: Option<usize>,
+    scratch_trim_cap: Option<usize>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -800,6 +1126,7 @@ impl fmt::Debug for BrokerBuilder {
             .field("policy", &self.policy)
             .field("parallel_threshold", &self.parallel_threshold)
             .field("worker_threads", &self.worker_threads)
+            .field("scratch_trim_cap", &self.scratch_trim_cap)
             .finish()
     }
 }
@@ -893,17 +1220,34 @@ impl BrokerBuilder {
         self
     }
 
+    /// Sets the heap-byte cap above which a publish scratch is trimmed
+    /// — capacity released — instead of kept at its high-water size
+    /// (default: [`DEFAULT_SCRATCH_TRIM_CAP`]). Applied on both
+    /// publish paths: a fan-out scratch returning to the pool, and the
+    /// sequential path's thread-local scratch after each
+    /// publish/batch. Without a cap, one pathological event (say, a
+    /// 100k-candidate spike) would pin its peak allocation in every
+    /// pooled scratch and every publisher thread for the broker's
+    /// lifetime. `usize::MAX` disables trimming (the pre-cap
+    /// behaviour); `0` trims on every return — useful in
+    /// memory-starved deployments, at the price of re-growing the
+    /// buffers each publish.
+    #[must_use]
+    pub fn scratch_trim_cap(mut self, bytes: usize) -> Self {
+        self.scratch_trim_cap = Some(bytes);
+        self
+    }
+
     /// Builds the broker.
     pub fn build(self) -> Broker {
         let engines = self.custom.unwrap_or_else(|| {
             let kind = self.kind.unwrap_or(EngineKind::NonCanonical);
             (0..self.shards.max(1)).map(|_| kind.build()).collect()
         });
-        let router = ShardRouter::new(engines.len());
         let shard_count = engines.len();
         // The parallel pipeline exists only when there is more than one
-        // shard to fan out over; a single-shard broker is byte-for-byte
-        // the pre-fan-out broker.
+        // shard to fan out over; a single-shard broker builds no worker
+        // pool and always takes the sequential walk.
         let fanout = (shard_count >= 2).then(|| {
             let threads = self.worker_threads.unwrap_or_else(|| {
                 (shard_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
@@ -912,14 +1256,21 @@ impl BrokerBuilder {
                 pool: WorkerPool::new(threads),
                 // One warm scratch per worker, plus headroom for a slot
                 // probed while a return is in flight.
-                scratches: Arc::new(ScratchPool::new(threads + 1)),
+                scratches: Arc::new(ScratchPool::with_trim_cap(
+                    threads + 1,
+                    self.scratch_trim_cap.unwrap_or(DEFAULT_SCRATCH_TRIM_CAP),
+                )),
             }
         });
         Broker {
             inner: Arc::new(BrokerInner {
                 shards: engines.into_iter().map(RwLock::new).collect(),
-                router,
-                next_shard: AtomicUsize::new(0),
+                directory: RwLock::new(SubscriptionDirectory::new(shard_count)),
+                scratch_trim_cap: self.scratch_trim_cap.unwrap_or(DEFAULT_SCRATCH_TRIM_CAP),
+                placeholder_expr: Arc::new(
+                    Expr::parse("__unmigratable = 0").expect("placeholder parses"),
+                ),
+                migration_epoch: AtomicU64::new(0),
                 senders: RwLock::new(HashMap::new()),
                 policy: self.policy,
                 stats: AtomicStats::default(),
@@ -1278,6 +1629,148 @@ mod tests {
         assert_eq!(a.drain().len(), 1);
         assert_eq!(b.drain().len(), 1);
         assert!(broker.memory_usage().total() > 0);
+    }
+
+    #[test]
+    fn drained_shard_is_refilled_first() {
+        // The churn-skew regression at the broker layer: unsubscribes
+        // empty one shard; the old blind round-robin cursor kept
+        // striding past it, least-loaded placement refills it.
+        let broker = Broker::builder().shards(4).build();
+        let mut subs: Vec<_> = (0..12)
+            .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+            .collect();
+        assert_eq!(broker.shard_loads(), vec![3, 3, 3, 3]);
+        // Arrivals 2, 6, 10 are shard 2's; drop them.
+        for &i in &[10usize, 6, 2] {
+            drop(subs.remove(i));
+        }
+        assert_eq!(broker.shard_loads(), vec![3, 3, 0, 3]);
+        for i in 12..15 {
+            subs.push(broker.subscribe(&format!("a = {i}")).unwrap());
+        }
+        assert_eq!(broker.shard_loads(), vec![3, 3, 3, 3]);
+        // And the refilled shard actually matches.
+        assert_eq!(broker.publish(ev(&[("a", 13)])), 1);
+    }
+
+    #[test]
+    fn rebalance_moves_load_without_touching_subscribers() {
+        let broker = Broker::builder().shards(3).build();
+        let mut subs: Vec<_> = (0..12)
+            .map(|i| broker.subscribe(&format!("a = {i} or all = 1")).unwrap())
+            .collect();
+        // Drain shard 1 (arrivals 1, 4, 7, 10) to skew the loads.
+        for &i in &[10usize, 7, 4, 1] {
+            drop(subs.remove(i));
+        }
+        assert_eq!(broker.shard_loads(), vec![4, 0, 4]);
+
+        // Bounded step first, then the rest.
+        assert_eq!(broker.migrate(1), 1);
+        let moved = broker.rebalance();
+        assert!(moved >= 1);
+        let loads = broker.shard_loads();
+        let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
+        assert!(spread <= 1, "balanced after rebalance: {loads:?}");
+        assert_eq!(loads.iter().sum::<usize>(), 8, "no subscription lost");
+        assert_eq!(broker.stats().subscriptions_migrated, (1 + moved) as u64);
+        assert_eq!(broker.rebalance(), 0, "already balanced");
+
+        // Ids, handles and delivery survived every move.
+        assert_eq!(broker.publish(ev(&[("all", 1)])), 8);
+        for sub in &subs {
+            assert_eq!(sub.drain().len(), 1);
+            assert!(broker.unsubscribe(sub.id()));
+        }
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn migrated_subscriptions_can_still_unsubscribe_by_handle_drop() {
+        let broker = Broker::builder().shards(2).build();
+        let mut subs: Vec<_> = (0..8)
+            .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+            .collect();
+        // Drop three of shard 0's (arrivals 0, 2, 4) to skew.
+        for &i in &[4usize, 2, 0] {
+            drop(subs.remove(i));
+        }
+        assert_eq!(broker.shard_loads(), vec![1, 4]);
+        assert!(broker.rebalance() >= 1);
+        // Handle drop must route through the directory to wherever the
+        // subscription lives now.
+        drop(subs);
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.shard_loads(), vec![0, 0]);
+    }
+
+    #[test]
+    fn single_shard_directory_charges_no_expression_heap() {
+        // The shared placeholder must not be charged per subscription:
+        // a flat broker's directory overhead stays table-sized, while
+        // a sharded broker (which stores real expressions for
+        // migration) reports more.
+        let flat = Broker::builder().build();
+        let sharded = Broker::builder().shards(2).build();
+        let _flat_subs: Vec<_> = (0..50)
+            .map(|i| flat.subscribe(&format!("a = {i} or b = {i}")).unwrap())
+            .collect();
+        let _sharded_subs: Vec<_> = (0..50)
+            .map(|i| sharded.subscribe(&format!("a = {i} or b = {i}")).unwrap())
+            .collect();
+        let flat_dir = flat.memory_usage().unsub_support;
+        let sharded_dir = sharded.memory_usage().unsub_support;
+        assert!(
+            flat_dir < sharded_dir,
+            "flat {flat_dir} should be table-only, sharded {sharded_dir} stores expressions"
+        );
+    }
+
+    #[test]
+    fn single_shard_broker_has_nothing_to_migrate() {
+        let broker = Broker::builder().build();
+        let _sub = broker.subscribe("a = 1").unwrap();
+        assert_eq!(broker.rebalance(), 0);
+        assert_eq!(broker.shard_loads(), vec![1]);
+        assert_eq!(broker.stats().subscriptions_migrated, 0);
+    }
+
+    #[test]
+    fn scratch_trim_cap_bounds_the_fanout_pool() {
+        // Default: the generous cap is wired through to the pool.
+        let broker = Broker::builder().shards(2).build();
+        assert_eq!(
+            broker.scratch_pool().unwrap().trim_cap(),
+            DEFAULT_SCRATCH_TRIM_CAP
+        );
+
+        // A zero cap trims on every return: after a forced-parallel
+        // publish against a real engine, the parked scratches hold no
+        // high-water memory — the spike-pinning bug is gone.
+        let tight = Broker::builder()
+            .shards(2)
+            .parallel_threshold(0)
+            .scratch_trim_cap(0)
+            .build();
+        let _subs: Vec<_> = (0..50)
+            .map(|i| tight.subscribe(&format!("a = {i} or b = 1")).unwrap())
+            .collect();
+        assert_eq!(tight.publish(ev(&[("b", 1)])), 50);
+        let pool = tight.scratch_pool().unwrap();
+        assert_eq!(pool.trim_cap(), 0);
+        assert!(pool.pooled() >= 1, "scratches still return to the pool");
+        assert_eq!(pool.heap_bytes(), 0, "trimmed on return, not pinned");
+
+        // The sequential path trims its thread-local scratch by the
+        // same cap: repeated publishes stay correct through the
+        // trim-and-regrow cycle.
+        let sequential = Broker::builder().scratch_trim_cap(0).build();
+        let sub = sequential.subscribe("a = 1 or b = 1").unwrap();
+        for _ in 0..3 {
+            assert_eq!(sequential.publish(ev(&[("a", 1)])), 1);
+        }
+        assert_eq!(sub.drain().len(), 3);
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //!
 //! # Threading model
 //!
-//! Subscriptions are partitioned round-robin across **engine shards**
+//! Subscriptions are partitioned across **engine shards**
 //! ([`Broker::builder`]`.shards(n)`, default 1), each behind its own
-//! [`parking_lot::RwLock`]; the global ↔ per-shard id translation is
-//! the [`boolmatch_core::ShardRouter`] stride arithmetic shared with
-//! [`boolmatch_core::ShardedEngine`]. Matching is a **shared-read**
+//! [`parking_lot::RwLock`]. Placement is **load-aware** (least-loaded
+//! shard, round-robin tie-break) and routed through a shared
+//! [`boolmatch_core::SubscriptionDirectory`] — the same global-id
+//! indirection table [`boolmatch_core::ShardedEngine`] uses — so a
+//! subscription's id is stable while its placement is not:
+//! [`Broker::rebalance`] / [`Broker::migrate`] live-migrate
+//! subscriptions between shards (write-locking only the two shards
+//! involved; matching continues everywhere else) without touching any
+//! id, handle or delivery stream. Matching is a **shared-read**
 //! operation: `publish` visits each shard under that shard's *read*
 //! lock with a thread-local [`boolmatch_core::MatchScratch`] for all
 //! per-event mutable state, so any number of publisher threads match

@@ -32,11 +32,15 @@
 //! model.
 //!
 //! For write scalability, any of the engines can be **sharded**: a
-//! [`ShardedEngine`] partitions subscriptions round-robin across `S`
-//! inner engines (global ↔ per-shard id translation via
-//! [`ShardRouter`]) and is itself a [`FilterEngine`], so everything
-//! downstream works against it transparently. The broker builds its
-//! per-shard locking on the same routing arithmetic.
+//! [`ShardedEngine`] partitions subscriptions across `S` inner engines
+//! and is itself a [`FilterEngine`], so everything downstream works
+//! against it transparently. Placement is load-aware (least-loaded
+//! shard, round-robin tie-break) and routed through a
+//! [`SubscriptionDirectory`] — a global-id indirection table that keeps
+//! ids stable while placement changes, which is what enables **live
+//! migration** ([`ShardedEngine::rebalance`]) and incremental
+//! shard-count **resizing** ([`ShardedEngine::resize`]). The broker
+//! builds its per-shard locking around the same directory.
 //!
 //! For **intra-event** parallelism, one publish can fan out across the
 //! shards: [`ShardedEngine::match_event_parallel`] matches every shard
@@ -94,7 +98,7 @@ pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
 pub use pool::{FanOut, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool};
-pub use routing::ShardRouter;
+pub use routing::{PredicateRouter, SubscriptionDirectory};
 pub use scratch::{MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;

@@ -1,49 +1,606 @@
-//! Global ↔ per-shard id routing for the sharded matching core.
+//! Subscription routing for the sharded matching core: the
+//! [`SubscriptionDirectory`] indirection table and the stride
+//! [`PredicateRouter`] for per-shard predicate id spaces.
 //!
-//! A [`crate::ShardedEngine`] (and the broker's per-shard lock layout
-//! built on the same mapping) partitions subscriptions across `S`
-//! independent inner engines. Each inner engine hands out its own dense
-//! sequential [`SubscriptionId`]s and [`PredicateId`]s, so a routing
-//! layer must translate between those *local* id spaces and the single
-//! *global* id space the outside world sees.
+//! Through PR 3 the global ↔ `(shard, local)` subscription mapping was
+//! pure arithmetic — stride interleaving, `global = local·S + shard`.
+//! That mapping costs nothing, but it welds a subscription's placement
+//! into its identity: a subscription can never move to another shard,
+//! and the shard count `S` can never change, without re-issuing every
+//! id the outside world holds. Load-aware rebalancing needs the
+//! opposite contract — **ids are stable, placement is not** — so the
+//! arithmetic is replaced by one level of indirection:
 //!
-//! The mapping is pure arithmetic — **stride interleaving**:
+//! * [`SubscriptionDirectory`] is a slot map from global subscription
+//!   id to a [`(shard, local)`] placement record (plus the stored
+//!   subscription expression, which live migration re-subscribes on the
+//!   target shard). Retired slots go on a **free list**; by default ids
+//!   are still handed out in arrival order — the *n*-th accepted
+//!   subscription gets global id *n*, exactly like an unsharded engine,
+//!   which the sharded ≡ flat equivalence tests rely on — while
+//!   [`SubscriptionDirectory::with_recycled_ids`] pops the free list
+//!   instead to bound the table under unbounded churn.
+//! * Placement is **load-aware**: [`SubscriptionDirectory::place`]
+//!   picks the least-loaded shard (weight: live subscriptions,
+//!   pluggable for match frequency later), breaking ties round-robin so
+//!   a churn-free subscribe stream places exactly like the old
+//!   round-robin cursor did — but a shard drained by unsubscribes is
+//!   refilled first instead of being skipped past blindly.
+//! * The directory also keeps the **reverse** maps (`shard, local` →
+//!   global) that matching uses to translate matched local ids, and the
+//!   per-shard load counts that rebalancing plans against.
 //!
-//! ```text
-//! global = local * S + shard        shard = global % S
-//!                                   local = global / S
-//! ```
-//!
-//! This needs no table, no lock and no allocation, and it composes with
-//! round-robin placement to a useful invariant: because inner engines
-//! assign local ids sequentially, the *n*-th accepted subscription of a
-//! round-robin sharded engine lands on shard `n % S` with local index
-//! `n / S`, i.e. global id exactly `n` — the same id an unsharded
-//! engine would have assigned. Sharded and unsharded matched-id sets
-//! are therefore directly comparable (the shard-equivalence property
-//! tests rely on this), and `S = 1` is the identity mapping.
+//! Predicate ids are *not* in the directory: predicates are interned
+//! per shard, never migrate individually, and only surface through the
+//! transient standalone `phase1`/`phase2` API. They keep the cheap
+//! stride arithmetic in [`PredicateRouter`], rebuilt when the shard
+//! count changes (a global predicate id is only meaningful between a
+//! `phase1`/`phase2` pair with no intervening resize).
+
+use std::sync::Arc;
+
+use boolmatch_expr::Expr;
 
 use crate::{PredicateId, SubscriptionId};
 
-/// Stateless arithmetic mapping between the global id space and the
-/// per-shard `(shard, local id)` spaces of an `S`-way sharded engine.
+/// Reverse-map sentinel: this `(shard, local)` slot holds no live
+/// subscription.
+const NO_GLOBAL: u32 = u32::MAX;
+
+/// Where one live subscription currently lives.
+#[derive(Debug, Clone)]
+struct Placement {
+    shard: u32,
+    local: u32,
+    /// What [`SubscriptionDirectory::commit`] charged to the
+    /// directory's expression-heap estimate for this entry — recorded
+    /// so retire releases exactly that amount, regardless of how the
+    /// `Arc`'s reference count has changed since (a migrator's
+    /// transient clone must not skew the accounting).
+    charged_bytes: u32,
+    /// The registered expression, kept so live migration can
+    /// re-subscribe it on a target shard.
+    expr: Arc<Expr>,
+}
+
+/// The global-id indirection table of a sharded engine or broker:
+/// global subscription id → `(shard, local id)` placement, with a free
+/// list of retired slots, per-shard load counts, and the reverse maps
+/// matching uses to translate shard-local matched ids back to global
+/// ids.
+///
+/// # Id-stability contract
+///
+/// A subscription's **global id never changes** while it is registered:
+/// [`SubscriptionDirectory::relocate`] (live migration) and shard-count
+/// changes rewrite only the placement behind the id. By default ids are
+/// issued in arrival order and never reused — the *n*-th committed
+/// subscription gets global id *n*, the same id an unsharded engine
+/// would assign — so sharded and flat matched-id sets stay directly
+/// comparable even across migration and resizing.
+/// [`SubscriptionDirectory::with_recycled_ids`] trades that alignment
+/// for a bounded table: retired ids are then reissued LIFO from the
+/// free list.
+///
+/// # Placement protocol
+///
+/// Registration is a two-step dance so callers can run the engine's own
+/// `subscribe` (which may fail) between the steps without the
+/// directory lock held:
+///
+/// 1. [`SubscriptionDirectory::place`] picks the least-loaded shard and
+///    **reserves** a unit of load on it (so concurrent placers spread
+///    out instead of dog-piling the same shard);
+/// 2. [`SubscriptionDirectory::commit`] records the engine-assigned
+///    local id and issues the global id — or
+///    [`SubscriptionDirectory::cancel`] releases the reservation when
+///    the engine refused the subscription.
 ///
 /// # Examples
 ///
 /// ```
-/// use boolmatch_core::{ShardRouter, SubscriptionId};
+/// use std::sync::Arc;
+/// use boolmatch_core::{SubscriptionDirectory, SubscriptionId};
+/// use boolmatch_expr::Expr;
 ///
-/// let router = ShardRouter::new(4);
-/// let global = router.global(3, SubscriptionId::from_index(10));
-/// assert_eq!(global.index(), 43);
-/// assert_eq!(router.split(global), (3, SubscriptionId::from_index(10)));
+/// let mut dir = SubscriptionDirectory::new(2);
+/// let expr = Arc::new(Expr::parse("a = 1")?);
+/// let shard = dir.place(); // least-loaded; empty directory → shard 0
+/// let global = dir.commit(shard, SubscriptionId::from_index(0), expr);
+/// assert_eq!(global.index(), 0); // arrival-order global id
+/// assert_eq!(dir.placement_of(global), Some((0, SubscriptionId::from_index(0))));
+/// assert_eq!(dir.global_of(0, SubscriptionId::from_index(0)), Some(global));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriptionDirectory {
+    /// Global id → placement; `None` marks a retired (free-listed) id.
+    slots: Vec<Option<Placement>>,
+    /// Retired global ids, most recently retired last.
+    free: Vec<u32>,
+    /// Whether [`SubscriptionDirectory::commit`] reissues retired ids
+    /// (LIFO) instead of appending arrival-order ids.
+    recycle_ids: bool,
+    /// Per-shard live subscription count, **including** placements
+    /// reserved by [`SubscriptionDirectory::place`] but not yet
+    /// committed.
+    loads: Vec<usize>,
+    /// `reverse[shard][local]` → global id (`NO_GLOBAL` when empty).
+    reverse: Vec<Vec<u32>>,
+    /// Round-robin tie-break cursor for [`SubscriptionDirectory::place`].
+    cursor: usize,
+    /// Committed live subscriptions (excludes reservations).
+    live: usize,
+    /// Running estimate of the heap held by the stored expressions
+    /// (node-count based; maintained on commit/retire so
+    /// [`SubscriptionDirectory::heap_bytes`] stays O(shards)).
+    expr_bytes: usize,
+}
+
+/// Approximate heap bytes one stored expression adds to the directory:
+/// its node count times the node size. String payloads inside
+/// predicates are not walked, so this is a lower bound.
+fn expr_estimate(expr: &Expr) -> usize {
+    expr.node_count() * std::mem::size_of::<Expr>()
+}
+
+impl SubscriptionDirectory {
+    /// An empty directory over `shards` shards, issuing arrival-order
+    /// global ids (never reused — flat-engine aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        SubscriptionDirectory {
+            slots: Vec::new(),
+            free: Vec::new(),
+            recycle_ids: false,
+            loads: vec![0; shards],
+            reverse: vec![Vec::new(); shards],
+            cursor: 0,
+            live: 0,
+            expr_bytes: 0,
+        }
+    }
+
+    /// Like [`SubscriptionDirectory::new`], but retired global ids are
+    /// reissued (LIFO) from the free list, bounding the table to the
+    /// high-water live count under unbounded churn. Ids then no longer
+    /// align with an unsharded engine's arrival-order ids.
+    pub fn with_recycled_ids(shards: usize) -> Self {
+        SubscriptionDirectory {
+            recycle_ids: true,
+            ..Self::new(shards)
+        }
+    }
+
+    /// Number of shards placements route over.
+    pub fn shard_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Committed live subscriptions.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Per-shard load (live subscriptions plus uncommitted
+    /// reservations), indexed by shard.
+    pub fn loads(&self) -> &[usize] {
+        &self.loads
+    }
+
+    /// One shard's load; see [`SubscriptionDirectory::loads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn load(&self, shard: usize) -> usize {
+        self.loads[shard]
+    }
+
+    /// Retired slots in the global id table (issued ids whose
+    /// subscription is gone; reissued only in
+    /// [recycled-ids](SubscriptionDirectory::with_recycled_ids) mode).
+    pub fn vacant(&self) -> usize {
+        self.slots.len() - self.live
+    }
+
+    /// Exclusive upper bound of the issued global id space (including
+    /// retired ids). Scratch stamp arrays can be sized against this.
+    pub fn id_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spread between the most- and least-loaded shard.
+    pub fn imbalance(&self) -> usize {
+        let max = self.loads.iter().copied().max().unwrap_or(0);
+        let min = self.loads.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// Whether the shard loads are as even as they can be (spread ≤ 1)
+    /// — the invariant `rebalance()` restores.
+    pub fn is_balanced(&self) -> bool {
+        self.imbalance() <= 1
+    }
+
+    /// The `(most loaded, least loaded)` shard pair a rebalancer should
+    /// move a subscription between, or `None` when already balanced.
+    /// Ties break to the lowest shard index, so planning is
+    /// deterministic.
+    pub fn skew_pair(&self) -> Option<(usize, usize)> {
+        let mut max_i = 0;
+        let mut min_i = 0;
+        for (i, &load) in self.loads.iter().enumerate() {
+            if load > self.loads[max_i] {
+                max_i = i;
+            }
+            if load < self.loads[min_i] {
+                min_i = i;
+            }
+        }
+        (self.loads[max_i] - self.loads[min_i] > 1).then_some((max_i, min_i))
+    }
+
+    /// Picks the shard a new subscription should land on — the
+    /// least-loaded shard, ties broken round-robin from an internal
+    /// cursor — and reserves one unit of load on it. Follow with
+    /// [`SubscriptionDirectory::commit`] or
+    /// [`SubscriptionDirectory::cancel`].
+    ///
+    /// On a directory that has only ever seen subscribes, this places
+    /// exactly like classic round-robin (shard `n % S` for the *n*-th
+    /// call); once unsubscribes have skewed the loads, drained shards
+    /// are refilled first.
+    pub fn place(&mut self) -> usize {
+        self.place_among(self.shard_count())
+    }
+
+    /// [`SubscriptionDirectory::place`] restricted to shards
+    /// `0..limit` — the form shard draining uses, so a dying shard
+    /// (index ≥ `limit`) is never chosen as a migration target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero or exceeds the shard count.
+    pub fn place_among(&mut self, limit: usize) -> usize {
+        assert!(
+            limit > 0 && limit <= self.shard_count(),
+            "placement limit {limit} outside 1..={}",
+            self.shard_count()
+        );
+        let min = self.loads[..limit]
+            .iter()
+            .copied()
+            .min()
+            .expect("limit > 0");
+        let mut chosen = self.cursor % limit;
+        for step in 0..limit {
+            let shard = (self.cursor + step) % limit;
+            if self.loads[shard] == min {
+                chosen = shard;
+                break;
+            }
+        }
+        self.cursor = (chosen + 1) % limit;
+        self.loads[chosen] += 1;
+        chosen
+    }
+
+    /// Releases a reservation made by [`SubscriptionDirectory::place`]
+    /// whose engine `subscribe` failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or has no load to release.
+    pub fn cancel(&mut self, shard: usize) {
+        assert!(self.loads[shard] > 0, "cancel without a reservation");
+        self.loads[shard] -= 1;
+    }
+
+    /// Completes a placement reserved by
+    /// [`SubscriptionDirectory::place`]: records that `shard` assigned
+    /// `local` to the subscription holding `expr`, and issues its
+    /// global id (arrival-order, or recycled — see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, or (debug) if the `(shard,
+    /// local)` slot is already mapped.
+    pub fn commit(
+        &mut self,
+        shard: usize,
+        local: SubscriptionId,
+        expr: Arc<Expr>,
+    ) -> SubscriptionId {
+        self.commit_charging(shard, local, expr, true)
+    }
+
+    /// [`SubscriptionDirectory::commit`] for an expression the caller
+    /// shares across many subscriptions (e.g. a single-shard broker's
+    /// placeholder, where migration is unreachable and every entry
+    /// clones one allocation): the entry is stored but contributes
+    /// nothing to [`SubscriptionDirectory::heap_bytes`], since the
+    /// allocation does not exist per subscription. Plain `commit`
+    /// charges every entry.
+    pub fn commit_shared(
+        &mut self,
+        shard: usize,
+        local: SubscriptionId,
+        expr: Arc<Expr>,
+    ) -> SubscriptionId {
+        self.commit_charging(shard, local, expr, false)
+    }
+
+    fn commit_charging(
+        &mut self,
+        shard: usize,
+        local: SubscriptionId,
+        expr: Arc<Expr>,
+        charge: bool,
+    ) -> SubscriptionId {
+        // Clamped to the field width so add and release stay symmetric
+        // even for absurdly large expressions.
+        let charged = if charge {
+            expr_estimate(&expr).min(u32::MAX as usize)
+        } else {
+            0
+        };
+        self.expr_bytes += charged;
+        let placement = Placement {
+            shard: u32::try_from(shard).expect("shard count fits u32"),
+            local: u32::try_from(local.index()).expect("local ids fit u32"),
+            charged_bytes: charged as u32,
+            expr,
+        };
+        let recycled = if self.recycle_ids {
+            self.free.pop()
+        } else {
+            None
+        };
+        let global = match recycled {
+            Some(free) => {
+                debug_assert!(self.slots[free as usize].is_none());
+                self.slots[free as usize] = Some(placement);
+                free
+            }
+            None => {
+                let next = u32::try_from(self.slots.len()).expect("more than u32::MAX - 1 ids");
+                // `NO_GLOBAL` (u32::MAX) is the reverse-map sentinel;
+                // issuing it as an id would make that subscription
+                // silently unmatchable.
+                assert_ne!(next, NO_GLOBAL, "global subscription id space exhausted");
+                self.slots.push(Some(placement));
+                next
+            }
+        };
+        let reverse = &mut self.reverse[shard];
+        if reverse.len() <= local.index() {
+            reverse.resize(local.index() + 1, NO_GLOBAL);
+        }
+        debug_assert_eq!(
+            reverse[local.index()],
+            NO_GLOBAL,
+            "local slot already mapped"
+        );
+        reverse[local.index()] = global;
+        self.live += 1;
+        SubscriptionId::from_index(global as usize)
+    }
+
+    /// The `(shard, local id)` placement behind a global id, or `None`
+    /// for ids never issued or already retired.
+    pub fn placement_of(&self, global: SubscriptionId) -> Option<(usize, SubscriptionId)> {
+        let p = self.slots.get(global.index())?.as_ref()?;
+        Some((
+            p.shard as usize,
+            SubscriptionId::from_index(p.local as usize),
+        ))
+    }
+
+    /// The stored expression of a live subscription (shared, cheap to
+    /// clone), or `None` for retired/unknown ids.
+    pub fn expr_of(&self, global: SubscriptionId) -> Option<&Arc<Expr>> {
+        Some(&self.slots.get(global.index())?.as_ref()?.expr)
+    }
+
+    /// The global id currently mapped to `(shard, local)` — the
+    /// translation matching applies to each matched local id. `None`
+    /// when the slot holds no live subscription (out of range, never
+    /// issued, retired, or migrated away).
+    pub fn global_of(&self, shard: usize, local: SubscriptionId) -> Option<SubscriptionId> {
+        self.reverse
+            .get(shard)?
+            .get(local.index())
+            .copied()
+            .filter(|&g| g != NO_GLOBAL)
+            .map(|g| SubscriptionId::from_index(g as usize))
+    }
+
+    /// Removes a subscription: frees its global id slot (onto the free
+    /// list, in recycled-ids mode), clears the reverse mapping and
+    /// releases its load unit. Returns the placement it had plus the
+    /// stored expression, or `None` for unknown/already-retired ids.
+    pub fn retire(&mut self, global: SubscriptionId) -> Option<(usize, SubscriptionId, Arc<Expr>)> {
+        let p = self.slots.get_mut(global.index())?.take()?;
+        // Release exactly what commit charged — re-estimating here
+        // would drift whenever the Arc's count changed in between.
+        self.expr_bytes -= p.charged_bytes as usize;
+        self.clear_reverse(p.shard as usize, p.local as usize);
+        self.loads[p.shard as usize] -= 1;
+        self.live -= 1;
+        if self.recycle_ids {
+            // Arrival-order mode never pops the free list, so pushing
+            // there would only leak; `vacant()` counts table holes
+            // directly instead.
+            self.free
+                .push(u32::try_from(global.index()).expect("issued ids fit u32"));
+        }
+        Some((
+            p.shard as usize,
+            SubscriptionId::from_index(p.local as usize),
+            p.expr,
+        ))
+    }
+
+    /// Clears one reverse-map entry and truncates the dead tail it may
+    /// leave. Engines hand out local ids monotonically and migration
+    /// always retires the *highest* live local first, so without the
+    /// truncation a shard drain would rescan an ever-growing
+    /// `NO_GLOBAL` suffix on every [`SubscriptionDirectory::last_resident`]
+    /// call — O(n²) over the drain. Trimming keeps the tail live and the
+    /// drain linear.
+    fn clear_reverse(&mut self, shard: usize, local: usize) {
+        let reverse = &mut self.reverse[shard];
+        reverse[local] = NO_GLOBAL;
+        while reverse.last() == Some(&NO_GLOBAL) {
+            reverse.pop();
+        }
+    }
+
+    /// Commits a live migration: moves `global` from `(from,
+    /// old_local)` to `(to, new_local)`, keeping its global id and
+    /// stored expression. Returns `false` — changing nothing — unless
+    /// the subscription's current placement is exactly `(from,
+    /// old_local)`, so a migrator that raced a concurrent unsubscribe
+    /// can detect the loss and undo its target-side subscribe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn relocate(
+        &mut self,
+        global: SubscriptionId,
+        from: usize,
+        old_local: SubscriptionId,
+        to: usize,
+        new_local: SubscriptionId,
+    ) -> bool {
+        assert!(to < self.shard_count(), "target shard out of range");
+        let Some(p) = self.slots.get_mut(global.index()).and_then(Option::as_mut) else {
+            return false;
+        };
+        if p.shard as usize != from || p.local as usize != old_local.index() {
+            return false;
+        }
+        p.shard = u32::try_from(to).expect("shard count fits u32");
+        p.local = u32::try_from(new_local.index()).expect("local ids fit u32");
+        self.clear_reverse(from, old_local.index());
+        let reverse = &mut self.reverse[to];
+        if reverse.len() <= new_local.index() {
+            reverse.resize(new_local.index() + 1, NO_GLOBAL);
+        }
+        debug_assert_eq!(reverse[new_local.index()], NO_GLOBAL);
+        reverse[new_local.index()] = u32::try_from(global.index()).expect("issued ids fit u32");
+        self.loads[from] -= 1;
+        self.loads[to] += 1;
+        true
+    }
+
+    /// The live `(global, local)` pairs resident on `shard`, ascending
+    /// by local id — an inspection/debug helper (allocates a fresh
+    /// `Vec`). Migration planning itself walks victims through
+    /// [`SubscriptionDirectory::last_resident`], not through this.
+    pub fn residents(&self, shard: usize) -> Vec<(SubscriptionId, SubscriptionId)> {
+        self.reverse.get(shard).map_or_else(Vec::new, |reverse| {
+            reverse
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| g != NO_GLOBAL)
+                .map(|(local, &g)| {
+                    (
+                        SubscriptionId::from_index(g as usize),
+                        SubscriptionId::from_index(local),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// The resident of `shard` with the highest local id — the cheapest
+    /// deterministic migration victim (its reverse-map tail entry).
+    pub fn last_resident(&self, shard: usize) -> Option<(SubscriptionId, SubscriptionId)> {
+        let reverse = self.reverse.get(shard)?;
+        reverse
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(_, &g)| g != NO_GLOBAL)
+            .map(|(local, &g)| {
+                (
+                    SubscriptionId::from_index(g as usize),
+                    SubscriptionId::from_index(local),
+                )
+            })
+    }
+
+    /// Adds one (empty) shard at the next index and returns that index.
+    pub fn add_shard(&mut self) -> usize {
+        self.loads.push(0);
+        self.reverse.push(Vec::new());
+        self.loads.len() - 1
+    }
+
+    /// Removes the highest-indexed shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it still carries load (drain it first) or if it is the
+    /// only shard.
+    pub fn remove_last_shard(&mut self) {
+        assert!(self.shard_count() > 1, "cannot remove the only shard");
+        assert_eq!(
+            *self.loads.last().expect("at least one shard"),
+            0,
+            "removing a shard that still carries subscriptions"
+        );
+        self.loads.pop();
+        self.reverse.pop();
+        self.cursor %= self.shard_count();
+    }
+
+    /// Approximate heap bytes held by the directory: the id/reverse/
+    /// load tables plus a node-count estimate of the stored
+    /// expressions. Folded into the sharded engine's and broker's
+    /// `memory_usage` (as unsubscription/rebalancing support).
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<Placement>>()
+            + self.free.capacity() * 4
+            + self.loads.capacity() * std::mem::size_of::<usize>()
+            + self.reverse.iter().map(|r| r.capacity() * 4).sum::<usize>()
+            + self.expr_bytes
+    }
+}
+
+/// Stateless stride mapping between the global predicate id space and
+/// the per-shard predicate spaces of an `S`-way sharded engine:
+/// `global = local·S + shard`.
+///
+/// Predicates are interned independently per shard and never migrate,
+/// so — unlike subscription ids, which live in the
+/// [`SubscriptionDirectory`] — their global ids can stay arithmetic.
+/// The mapping is only meaningful for a fixed shard count: a sharded
+/// engine rebuilds its router when it is resized, and a `phase1` output
+/// must not be fed to `phase2` across a resize.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{PredicateId, PredicateRouter};
+///
+/// let router = PredicateRouter::new(4);
+/// let global = router.global_pred(3, PredicateId::from_index(10));
+/// assert_eq!(router.split_pred(global), (3, PredicateId::from_index(10)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardRouter {
+pub struct PredicateRouter {
     shards: usize,
 }
 
-impl ShardRouter {
+impl PredicateRouter {
     /// Creates a router for `shards` shards.
     ///
     /// # Panics
@@ -51,7 +608,7 @@ impl ShardRouter {
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
-        ShardRouter { shards }
+        PredicateRouter { shards }
     }
 
     /// Number of shards routed over.
@@ -59,34 +616,13 @@ impl ShardRouter {
         self.shards
     }
 
-    /// The global subscription id of `local` on `shard`.
+    /// The global predicate id of `local` on `shard` (predicate spaces
+    /// of different shards are disjoint even when they intern the same
+    /// predicate).
     ///
     /// # Panics
     ///
     /// Panics (debug) if `shard` is out of range.
-    pub fn global(&self, shard: usize, local: SubscriptionId) -> SubscriptionId {
-        debug_assert!(shard < self.shards);
-        SubscriptionId::from_index(local.index() * self.shards + shard)
-    }
-
-    /// The shard a global subscription id lives on.
-    pub fn shard_of(&self, global: SubscriptionId) -> usize {
-        global.index() % self.shards
-    }
-
-    /// The shard-local subscription id behind a global id.
-    pub fn local_of(&self, global: SubscriptionId) -> SubscriptionId {
-        SubscriptionId::from_index(global.index() / self.shards)
-    }
-
-    /// Both routing halves of a global subscription id at once.
-    pub fn split(&self, global: SubscriptionId) -> (usize, SubscriptionId) {
-        (self.shard_of(global), self.local_of(global))
-    }
-
-    /// The global predicate id of `local` on `shard` (same stride
-    /// interleaving as subscriptions; predicate spaces of different
-    /// shards are disjoint even when they intern the same predicate).
     pub fn global_pred(&self, shard: usize, local: PredicateId) -> PredicateId {
         debug_assert!(shard < self.shards);
         PredicateId::from_index(local.index() * self.shards + shard)
@@ -100,9 +636,10 @@ impl ShardRouter {
         )
     }
 
-    /// The exclusive upper bound of the global id space, given each
-    /// shard's exclusive local bound: the largest interleaved id any
-    /// shard can have issued, plus one. Zero when every shard is empty.
+    /// The exclusive upper bound of the global predicate id space,
+    /// given each shard's exclusive local bound: the largest
+    /// interleaved id any shard can have issued, plus one. Zero when
+    /// every shard is empty.
     pub fn global_bound(&self, local_bounds: impl IntoIterator<Item = usize>) -> usize {
         local_bounds
             .into_iter()
@@ -118,22 +655,236 @@ impl ShardRouter {
 mod tests {
     use super::*;
 
+    fn expr() -> Arc<Expr> {
+        Arc::new(Expr::parse("a = 1").unwrap())
+    }
+
+    fn sid(i: usize) -> SubscriptionId {
+        SubscriptionId::from_index(i)
+    }
+
+    /// Registers one subscription the way engines do: place, then
+    /// commit with the next local id of the chosen shard.
+    fn register(dir: &mut SubscriptionDirectory, next_local: &mut [usize]) -> SubscriptionId {
+        let shard = dir.place();
+        let local = sid(next_local[shard]);
+        next_local[shard] += 1;
+        dir.commit(shard, local, expr())
+    }
+
     #[test]
-    fn subscription_round_trip() {
-        let router = ShardRouter::new(3);
-        for shard in 0..3 {
-            for local in 0..10 {
-                let g = router.global(shard, SubscriptionId::from_index(local));
-                assert_eq!(router.shard_of(g), shard);
-                assert_eq!(router.local_of(g), SubscriptionId::from_index(local));
-                assert_eq!(router.split(g), (shard, SubscriptionId::from_index(local)));
-            }
+    fn churn_free_placement_is_round_robin_with_arrival_order_ids() {
+        let mut dir = SubscriptionDirectory::new(3);
+        let mut locals = [0usize; 3];
+        for n in 0..9 {
+            let before = dir.loads().to_vec();
+            let global = register(&mut dir, &mut locals);
+            assert_eq!(global.index(), n, "arrival-order ids");
+            // The n-th subscription lands on shard n % 3, like the old
+            // round-robin cursor.
+            let (shard, _) = dir.placement_of(global).unwrap();
+            assert_eq!(shard, n % 3);
+            assert_eq!(dir.load(shard), before[shard] + 1);
         }
+        assert_eq!(dir.loads(), &[3, 3, 3]);
+        assert_eq!(dir.live(), 9);
+        assert!(dir.is_balanced());
+    }
+
+    #[test]
+    fn drained_shard_is_refilled_first() {
+        let mut dir = SubscriptionDirectory::new(4);
+        let mut locals = [0usize; 4];
+        let globals: Vec<_> = (0..12).map(|_| register(&mut dir, &mut locals)).collect();
+        // Drain shard 2 (subscriptions 2, 6, 10).
+        for &g in &[globals[2], globals[6], globals[10]] {
+            let (shard, _, _) = dir.retire(g).unwrap();
+            assert_eq!(shard, 2);
+        }
+        assert_eq!(dir.loads(), &[3, 3, 0, 3]);
+        assert_eq!(dir.skew_pair(), Some((0, 2)));
+        // The next three placements must refill shard 2 — the old blind
+        // round-robin cursor would have spread them over all shards.
+        for _ in 0..3 {
+            let g = register(&mut dir, &mut locals);
+            assert_eq!(dir.placement_of(g).unwrap().0, 2);
+        }
+        assert_eq!(dir.loads(), &[3, 3, 3, 3]);
+        assert!(dir.skew_pair().is_none());
+    }
+
+    #[test]
+    fn retire_frees_and_arrival_mode_never_reuses() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let mut locals = [0usize; 2];
+        let a = register(&mut dir, &mut locals);
+        let b = register(&mut dir, &mut locals);
+        assert_eq!(dir.retire(a).map(|(s, l, _)| (s, l)), Some((0, sid(0))));
+        assert_eq!(dir.retire(a), None, "double retire");
+        assert_eq!(dir.vacant(), 1);
+        assert_eq!(dir.global_of(0, sid(0)), None);
+        let c = register(&mut dir, &mut locals);
+        assert_eq!(c.index(), 2, "arrival-order mode appends");
+        assert_eq!(dir.id_bound(), 3);
+        assert_eq!(dir.live(), 2);
+        assert!(dir.expr_of(b).is_some());
+        assert!(dir.expr_of(a).is_none());
+    }
+
+    #[test]
+    fn recycled_ids_pop_the_free_list() {
+        let mut dir = SubscriptionDirectory::with_recycled_ids(2);
+        let mut locals = [0usize; 2];
+        let a = register(&mut dir, &mut locals);
+        let _b = register(&mut dir, &mut locals);
+        dir.retire(a).unwrap();
+        let c = register(&mut dir, &mut locals);
+        assert_eq!(c, a, "retired id reissued LIFO");
+        assert_eq!(dir.id_bound(), 2, "table stays bounded");
+        assert_eq!(dir.vacant(), 0);
+    }
+
+    #[test]
+    fn cancel_releases_the_reservation() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let shard = dir.place();
+        assert_eq!(dir.load(shard), 1);
+        dir.cancel(shard);
+        assert_eq!(dir.loads(), &[0, 0]);
+        // The tie-break cursor advanced, so — like the old round-robin
+        // cursor *not* advancing on rejection — the next placement still
+        // refills the least-loaded shard first (all tied: cursor order).
+        let next = dir.place();
+        assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn relocate_keeps_the_global_id_and_moves_the_load() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let mut locals = [0usize; 2];
+        let g = register(&mut dir, &mut locals); // shard 0, local 0
+        assert!(dir.relocate(g, 0, sid(0), 1, sid(7)));
+        assert_eq!(dir.placement_of(g), Some((1, sid(7))));
+        assert_eq!(dir.global_of(0, sid(0)), None);
+        assert_eq!(dir.global_of(1, sid(7)), Some(g));
+        assert_eq!(dir.loads(), &[0, 1]);
+        // Stale placements (wrong shard or local) are refused.
+        assert!(!dir.relocate(g, 0, sid(0), 0, sid(1)));
+        assert!(!dir.relocate(sid(99), 0, sid(0), 1, sid(1)));
+        // Retired ids are refused too.
+        dir.retire(g).unwrap();
+        assert!(!dir.relocate(g, 1, sid(7), 0, sid(1)));
+    }
+
+    #[test]
+    fn residents_walk_in_local_order() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let mut locals = [0usize; 2];
+        let globals: Vec<_> = (0..6).map(|_| register(&mut dir, &mut locals)).collect();
+        // Shard 0 holds globals 0, 2, 4 at locals 0, 1, 2.
+        assert_eq!(
+            dir.residents(0),
+            vec![
+                (globals[0], sid(0)),
+                (globals[2], sid(1)),
+                (globals[4], sid(2))
+            ]
+        );
+        assert_eq!(dir.last_resident(0), Some((globals[4], sid(2))));
+        dir.retire(globals[4]).unwrap();
+        assert_eq!(dir.last_resident(0), Some((globals[2], sid(1))));
+        assert!(dir.residents(9).is_empty(), "out-of-range shard is empty");
+        assert_eq!(dir.last_resident(9), None);
+    }
+
+    #[test]
+    fn shard_count_grows_and_shrinks() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let mut locals = [0usize; 3];
+        let _ = register(&mut dir, &mut locals);
+        assert_eq!(dir.add_shard(), 2);
+        assert_eq!(dir.shard_count(), 3);
+        // Shards 1 and 2 tie at zero load; the cursor (at 1) breaks the
+        // tie, then the new shard fills.
+        let g1 = register(&mut dir, &mut locals);
+        assert_eq!(dir.placement_of(g1).unwrap().0, 1);
+        let g = register(&mut dir, &mut locals);
+        assert_eq!(dir.placement_of(g).unwrap().0, 2);
+        // place_among excludes dying shards.
+        let target = dir.place_among(2);
+        assert!(target < 2);
+        dir.cancel(target);
+        // Draining then removing the last shard.
+        let (from, local) = (2usize, dir.last_resident(2).unwrap().1);
+        let to = dir.place_among(2);
+        dir.cancel(to); // relocate moves the load itself
+        assert!(dir.relocate(g, from, local, to, sid(locals[to])));
+        dir.remove_last_shard();
+        assert_eq!(dir.shard_count(), 2);
+        assert_eq!(dir.placement_of(g).unwrap().0, to);
+    }
+
+    #[test]
+    #[should_panic(expected = "still carries subscriptions")]
+    fn removing_a_loaded_shard_panics() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let shard = dir.place();
+        dir.commit(shard, sid(0), expr());
+        // Shard 0 got the subscription; make shard 1 the loaded one.
+        let shard = dir.place();
+        dir.commit(shard, sid(0), expr());
+        dir.remove_last_shard();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the only shard")]
+    fn removing_the_only_shard_panics() {
+        SubscriptionDirectory::new(1).remove_last_shard();
+    }
+
+    #[test]
+    fn heap_bytes_track_the_tables() {
+        let mut dir = SubscriptionDirectory::new(2);
+        let empty = dir.heap_bytes();
+        let mut locals = [0usize; 2];
+        for _ in 0..32 {
+            register(&mut dir, &mut locals);
+        }
+        assert!(dir.heap_bytes() > empty);
+    }
+
+    #[test]
+    fn shared_commits_are_not_charged_and_retire_releases_the_charge() {
+        // Twin directories run identical operations, one storing a
+        // shared placeholder, one deep-stored expressions — the only
+        // heap_bytes difference is the expression charge.
+        let placeholder = expr();
+        let mut charged = SubscriptionDirectory::new(1);
+        let mut shared = SubscriptionDirectory::new(1);
+        for i in 0..4 {
+            let s = charged.place();
+            charged.commit(s, sid(i), expr());
+            let s = shared.place();
+            shared.commit_shared(s, sid(i), Arc::clone(&placeholder));
+        }
+        assert!(
+            charged.heap_bytes() > shared.heap_bytes(),
+            "plain commits charge expression heap, shared ones do not"
+        );
+        for i in 0..4 {
+            charged.retire(sid(i)).unwrap();
+            shared.retire(sid(i)).unwrap();
+        }
+        assert_eq!(
+            charged.heap_bytes(),
+            shared.heap_bytes(),
+            "retire released exactly what commit charged"
+        );
     }
 
     #[test]
     fn predicate_round_trip() {
-        let router = ShardRouter::new(5);
+        let router = PredicateRouter::new(5);
         for shard in 0..5 {
             for local in [0usize, 1, 7, 100] {
                 let g = router.global_pred(shard, PredicateId::from_index(local));
@@ -143,49 +894,23 @@ mod tests {
                 );
             }
         }
+        assert_eq!(router.shards(), 5);
     }
 
     #[test]
-    fn single_shard_is_identity() {
-        let router = ShardRouter::new(1);
-        let id = SubscriptionId::from_index(42);
-        assert_eq!(router.global(0, id), id);
-        assert_eq!(router.split(id), (0, id));
-    }
-
-    #[test]
-    fn global_ids_are_unique_across_shards() {
-        let router = ShardRouter::new(4);
-        let mut seen = std::collections::HashSet::new();
-        for shard in 0..4 {
-            for local in 0..16 {
-                assert!(seen.insert(router.global(shard, SubscriptionId::from_index(local))));
-            }
-        }
-    }
-
-    #[test]
-    fn round_robin_matches_arrival_order() {
-        // The invariant the shard-equivalence tests rely on: n-th
-        // round-robin placement gets global id n.
-        let router = ShardRouter::new(3);
-        for n in 0..30usize {
-            let (shard, local) = (n % 3, SubscriptionId::from_index(n / 3));
-            assert_eq!(router.global(shard, local).index(), n);
-        }
-    }
-
-    #[test]
-    fn global_bound_covers_issued_ids() {
-        let router = ShardRouter::new(3);
-        // Shard 0 issued locals 0..4, shard 1 none, shard 2 locals 0..2.
+    fn predicate_global_bound_covers_issued_ids() {
+        let router = PredicateRouter::new(3);
         assert_eq!(router.global_bound([4, 0, 2]), (4 - 1) * 3 + 1);
         assert_eq!(router.global_bound([0, 0, 0]), 0);
-        // Every issued global id is below the bound.
         let bound = router.global_bound([4, 0, 2]);
         for (shard, locals) in [(0usize, 4usize), (2, 2)] {
             for l in 0..locals {
-                assert!(router.global(shard, SubscriptionId::from_index(l)).index() < bound);
+                assert!(
+                    router
+                        .global_pred(shard, PredicateId::from_index(l))
+                        .index()
+                        < bound
+                );
             }
         }
     }
@@ -193,6 +918,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
-        let _ = ShardRouter::new(0);
+        let _ = PredicateRouter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_directory_panics() {
+        let _ = SubscriptionDirectory::new(0);
     }
 }

@@ -69,13 +69,23 @@ impl MatchScratch {
         &self.matched
     }
 
-    /// Matched subscription ids of the most recent
-    /// [`match_event_into`](crate::FilterEngine::match_event_into),
-    /// mutably — for callers that translate the ids in place (the
-    /// sharded fan-out maps shard-local ids to global ids this way
-    /// without copying into a side buffer).
-    pub fn matched_mut(&mut self) -> &mut Vec<SubscriptionId> {
-        &mut self.matched
+    /// Rewrites the matched ids in place through `translate`, dropping
+    /// ids it maps to `None` — the directory-based form of the sharded
+    /// fan-out's local → global translation. A `None` means the
+    /// subscription was retired (or migrated away) between matching and
+    /// translation; delivery would have skipped it anyway, so it is
+    /// filtered here, once, instead of at every consumer.
+    pub fn translate_matched(
+        &mut self,
+        mut translate: impl FnMut(SubscriptionId) -> Option<SubscriptionId>,
+    ) {
+        self.matched.retain_mut(|id| match translate(*id) {
+            Some(global) => {
+                *id = global;
+                true
+            }
+            None => false,
+        });
     }
 
     /// Clears all per-event state while **keeping** every buffer's
@@ -322,6 +332,27 @@ mod tests {
         assert_eq!(matcher.matched(), &[id]);
         matcher.match_event_into(&Event::builder().attr("a", 2_i64).build());
         assert!(matcher.matched().is_empty());
+    }
+
+    #[test]
+    fn translate_matched_rewrites_and_filters_in_place() {
+        let mut scratch = MatchScratch::new();
+        scratch.matched = vec![
+            crate::SubscriptionId::from_index(0),
+            crate::SubscriptionId::from_index(1),
+            crate::SubscriptionId::from_index(2),
+        ];
+        // Shift live ids by 10; id 1 was retired concurrently.
+        scratch.translate_matched(|id| {
+            (id.index() != 1).then(|| crate::SubscriptionId::from_index(id.index() + 10))
+        });
+        assert_eq!(
+            scratch.matched(),
+            &[
+                crate::SubscriptionId::from_index(10),
+                crate::SubscriptionId::from_index(12)
+            ]
+        );
     }
 
     #[test]

@@ -9,16 +9,31 @@
 //! — it implements [`FilterEngine`] itself, so the sweep harness,
 //! tests, and any single-threaded caller can use it transparently.
 //!
-//! Routing is the stride interleaving of [`ShardRouter`]: subscriptions
-//! are placed round-robin, which makes the *n*-th accepted subscription
-//! get global id *n*, exactly as an unsharded engine would assign (the
-//! shard-equivalence property tests rely on this).
+//! Routing goes through a [`SubscriptionDirectory`]: global ids are
+//! issued in arrival order (the *n*-th accepted subscription gets
+//! global id *n*, exactly as an unsharded engine would assign — the
+//! shard-equivalence property tests rely on this) and map through an
+//! indirection table to whatever `(shard, local)` slot currently backs
+//! them. Because the id is **stable while the placement is not**, the
+//! engine supports what stride arithmetic never could:
+//!
+//! * **load-aware placement** — [`FilterEngine::subscribe`] picks the
+//!   least-loaded shard (round-robin tie-break), so a shard drained by
+//!   unsubscribes is refilled instead of skipped past blindly;
+//! * **live migration** — [`ShardedEngine::migrate`] /
+//!   [`ShardedEngine::rebalance`] move subscriptions from overloaded to
+//!   underloaded shards by re-subscribing the stored expression on the
+//!   target and retiring the source entry, without changing any id;
+//! * **incremental resizing** — [`ShardedEngine::resize`] grows or
+//!   shrinks the shard vector, draining one shard at a time instead of
+//!   rebuilding the world.
 //!
 //! **Locking is deliberately not here.** `ShardedEngine` is a plain
 //! value with `&mut self` registration, like every other engine. The
-//! broker achieves *concurrent* shard writes by holding its shards in
-//! separate `RwLock`s and reusing the same [`ShardRouter`] arithmetic;
-//! see `boolmatch-broker`.
+//! broker achieves *concurrent* shard writes (and migration that only
+//! stalls the two shards involved) by holding its shards in separate
+//! `RwLock`s around a shared [`SubscriptionDirectory`]; see
+//! `boolmatch-broker`.
 //!
 //! # Examples
 //!
@@ -29,19 +44,21 @@
 //!
 //! let mut engine = Matcher::new(ShardedEngine::new(EngineKind::NonCanonical, 4));
 //! let id = engine.subscribe(&Expr::parse("(a = 1 or b = 2) and c = 3")?)?;
+//! engine.engine_mut().rebalance(); // no-op here: placement is already even
 //! let event = Event::builder().attr("b", 2_i64).attr("c", 3_i64).build();
 //! assert_eq!(engine.match_event(&event).matched, vec![id]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use boolmatch_expr::Expr;
 use boolmatch_types::Event;
 
 use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
 use crate::pool::{PooledScratch, ScratchPool};
-use crate::routing::ShardRouter;
+use crate::routing::{PredicateRouter, SubscriptionDirectory};
 use crate::{FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
 
 /// A boxed engine usable as a shard.
@@ -49,22 +66,27 @@ pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
 
 /// `S` inner engines composed into one [`FilterEngine`].
 ///
-/// * `subscribe` places round-robin onto one shard; `unsubscribe`
-///   routes by id arithmetic to the owning shard.
+/// * `subscribe` places onto the least-loaded shard (round-robin
+///   tie-break, so a churn-free stream places exactly like classic
+///   round-robin); `unsubscribe` routes by directory lookup to the
+///   owning shard.
 /// * Matching runs every shard against the event and merges the
-///   results: matched ids are translated to the global id space,
-///   [`MatchStats`] and [`MemoryUsage`] are summed component-wise
-///   (per-shard work adds up — e.g. `fulfilled` counts each shard's own
-///   phase-1 output, since shards intern predicates independently).
-/// * With `S = 1` the routing is the identity and behaviour is
+///   results: matched ids are translated to the global id space through
+///   the directory's reverse maps, [`MatchStats`] and [`MemoryUsage`]
+///   are summed component-wise (per-shard work adds up — e.g.
+///   `fulfilled` counts each shard's own phase-1 output, since shards
+///   intern predicates independently).
+/// * [`ShardedEngine::migrate`], [`ShardedEngine::rebalance`] and
+///   [`ShardedEngine::resize`] move live subscriptions between shards
+///   without changing their global ids.
+/// * With `S = 1` placement is trivial and behaviour is
 ///   indistinguishable from the inner engine.
 pub struct ShardedEngine {
-    router: ShardRouter,
+    directory: SubscriptionDirectory,
     shards: Vec<BoxedEngine>,
-    /// Next round-robin placement target; advanced only on a successful
-    /// subscribe so rejected expressions do not skew placement (and the
-    /// global-id ↔ arrival-order alignment survives rejections).
-    next_shard: usize,
+    /// Stride router for the per-shard *predicate* spaces (predicates
+    /// never migrate); rebuilt on resize.
+    pred_router: PredicateRouter,
 }
 
 impl ShardedEngine {
@@ -77,6 +99,24 @@ impl ShardedEngine {
         Self::from_engines((0..shards).map(|_| kind.build()).collect())
     }
 
+    /// Like [`ShardedEngine::new`], but retired global ids are reissued
+    /// (LIFO) instead of growing the directory forever: under unbounded
+    /// churn the id table stays bounded by the high-water live count.
+    /// The trade-offs: ids no longer align with a flat engine's
+    /// arrival-order ids, and a caller holding a stale id can collide
+    /// with its new owner — so this stays an explicit engine-level
+    /// opt-in (the broker, whose subscription handles unsubscribe on
+    /// drop, always uses arrival-order ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_recycled_ids(kind: EngineKind, shards: usize) -> Self {
+        let mut engine = Self::new(kind, shards);
+        engine.directory = SubscriptionDirectory::with_recycled_ids(shards);
+        engine
+    }
+
     /// Composes pre-built (possibly custom or heterogeneous) engines;
     /// shard `i` is `engines[i]`. [`ShardedEngine::kind`] reports the
     /// first engine's kind.
@@ -86,9 +126,9 @@ impl ShardedEngine {
     /// Panics if `engines` is empty.
     pub fn from_engines(engines: Vec<BoxedEngine>) -> Self {
         ShardedEngine {
-            router: ShardRouter::new(engines.len()),
+            directory: SubscriptionDirectory::new(engines.len()),
+            pred_router: PredicateRouter::new(engines.len()),
             shards: engines,
-            next_shard: 0,
         }
     }
 
@@ -97,9 +137,10 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// The id router (stride arithmetic; cheap to copy).
-    pub fn router(&self) -> ShardRouter {
-        self.router
+    /// The global-id directory (placements, loads, free list), for
+    /// inspection.
+    pub fn directory(&self) -> &SubscriptionDirectory {
+        &self.directory
     }
 
     /// Shard `i`'s engine, for inspection.
@@ -111,10 +152,120 @@ impl ShardedEngine {
         &*self.shards[i]
     }
 
-    /// Live subscriptions per shard — round-robin keeps these within
-    /// one of each other.
+    /// Live subscriptions per shard, as the shard engines report them.
+    /// Always equal to the directory's
+    /// [`loads`](SubscriptionDirectory::loads); kept as an independent
+    /// probe of that invariant.
     pub fn shard_subscription_counts(&self) -> Vec<usize> {
         self.shards.iter().map(|e| e.subscription_count()).collect()
+    }
+
+    /// Moves up to `max_moves` subscriptions, one at a time, from the
+    /// currently most-loaded to the currently least-loaded shard —
+    /// live migration: the stored expression is re-subscribed on the
+    /// target shard, the source entry is retired, and the global id is
+    /// untouched, so existing subscribers notice nothing. Stops early
+    /// once the loads are balanced (spread ≤ 1) or a move is refused
+    /// (possible only with heterogeneous shards whose target engine
+    /// rejects the expression — the subscription then simply stays
+    /// put). Returns the number of subscriptions moved.
+    pub fn migrate(&mut self, max_moves: usize) -> usize {
+        let mut moved = 0;
+        while moved < max_moves {
+            let Some((from, to)) = self.directory.skew_pair() else {
+                break;
+            };
+            if !self.migrate_one(from, to) {
+                break;
+            }
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Migrates until the per-shard loads are as even as they can be:
+    /// afterwards `max(load) − min(load) ≤ 1` (unless a heterogeneous
+    /// target shard refused a move). Returns the number of
+    /// subscriptions moved.
+    pub fn rebalance(&mut self) -> usize {
+        self.migrate(usize::MAX)
+    }
+
+    /// Grows or shrinks to `new_shards` shards **incrementally**.
+    /// Growing appends fresh engines of [`ShardedEngine::kind`] (new
+    /// shards start empty; follow with [`ShardedEngine::rebalance`] to
+    /// spread existing subscriptions onto them). Shrinking drains one
+    /// dying shard at a time — each resident is live-migrated to the
+    /// least-loaded surviving shard — then drops the empty engine, so
+    /// no surviving shard is ever rebuilt and every global id survives.
+    /// Returns the number of subscriptions migrated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_shards` is zero, or if a surviving shard refuses
+    /// a drained subscription (possible only with heterogeneous
+    /// shards).
+    pub fn resize(&mut self, new_shards: usize) -> usize {
+        assert!(new_shards > 0, "a sharded engine needs at least one shard");
+        let old = self.shards.len();
+        let mut moved = 0;
+        if new_shards > old {
+            let kind = self.kind();
+            for _ in old..new_shards {
+                self.shards.push(kind.build());
+                self.directory.add_shard();
+            }
+        } else {
+            for dying in (new_shards..old).rev() {
+                while let Some((global, local)) = self.directory.last_resident(dying) {
+                    // `place_among` keeps the drain spreading over the
+                    // survivors (least-loaded + tie-break cursor); the
+                    // reservation is released immediately because
+                    // `relocate` moves the load unit itself.
+                    let to = self.directory.place_among(new_shards);
+                    self.directory.cancel(to);
+                    self.relocate(global, dying, local, to)
+                        .expect("a surviving shard refused a drained subscription");
+                    moved += 1;
+                }
+                self.shards.pop();
+                self.directory.remove_last_shard();
+            }
+        }
+        self.pred_router = PredicateRouter::new(new_shards);
+        moved
+    }
+
+    /// One migration step from `from` to `to`; `false` when `from` has
+    /// no residents or the target engine refuses the expression.
+    fn migrate_one(&mut self, from: usize, to: usize) -> bool {
+        let Some((global, local)) = self.directory.last_resident(from) else {
+            return false;
+        };
+        self.relocate(global, from, local, to).is_ok()
+    }
+
+    /// Moves one subscription: re-subscribe on `to`, retire on `from`,
+    /// repoint the directory. The global id is untouched.
+    fn relocate(
+        &mut self,
+        global: SubscriptionId,
+        from: usize,
+        local: SubscriptionId,
+        to: usize,
+    ) -> Result<(), SubscribeError> {
+        let expr = Arc::clone(
+            self.directory
+                .expr_of(global)
+                .expect("residents hold live directory entries"),
+        );
+        let new_local = self.shards[to].subscribe(&expr)?;
+        self.shards[from]
+            .unsubscribe(local)
+            .expect("directory and shard engines are kept in sync");
+        let relocated = self.directory.relocate(global, from, local, to, new_local);
+        debug_assert!(relocated, "single-threaded relocation cannot race");
+        Ok(())
     }
 
     /// [`FilterEngine::match_event_into`], with the per-shard matching
@@ -147,7 +298,7 @@ impl ShardedEngine {
         if self.shards.len() == 1 {
             return self.match_event_into(event, scratch);
         }
-        let router = self.router;
+        let directory = &self.directory;
         let mut remote: Vec<Option<(PooledScratch<'_>, MatchStats)>> =
             (1..self.shards.len()).map(|_| None).collect();
         let mut stats = MatchStats::default();
@@ -158,20 +309,31 @@ impl ShardedEngine {
                     let mut lease = scratches.checkout(engine);
                     let stats = engine.match_event_into(event, &mut lease);
                     // Translate to global ids in place — the merge below
-                    // then just concatenates.
-                    for id in lease.matched_mut().iter_mut() {
-                        *id = router.global(shard, *id);
-                    }
+                    // then just concatenates. On this single-owner path
+                    // every matched local is live; the expect keeps a
+                    // broken directory↔engine sync loud instead of
+                    // silently diverging from the sequential walk.
+                    lease.translate_matched(|local| {
+                        Some(
+                            directory
+                                .global_of(shard, local)
+                                .expect("matched locals hold live directory entries"),
+                        )
+                    });
                     *slot = Some((lease, stats));
                 });
             }
             // Shard 0 inline, into the caller's scratch.
             stats = self.shards[0].match_event_into(event, scratch);
         });
+        scratch.translate_matched(|local| {
+            Some(
+                directory
+                    .global_of(0, local)
+                    .expect("matched locals hold live directory entries"),
+            )
+        });
         let mut matched = std::mem::take(&mut scratch.matched);
-        for id in matched.iter_mut() {
-            *id = router.global(0, *id);
-        }
         for slot in &mut remote {
             let (lease, shard_stats) = slot.take().expect("scoped worker fills its slot");
             stats = stats + shard_stats;
@@ -179,6 +341,14 @@ impl ShardedEngine {
         }
         scratch.matched = matched;
         stats
+    }
+
+    /// Directory translation of one shard's matched local id; matched
+    /// locals are always live on this single-owner engine.
+    fn global_of(&self, shard: usize, local: SubscriptionId) -> SubscriptionId {
+        self.directory
+            .global_of(shard, local)
+            .expect("matched locals hold live directory entries")
     }
 }
 
@@ -198,18 +368,26 @@ impl FilterEngine for ShardedEngine {
     }
 
     fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
-        let shard = self.next_shard;
-        let local = self.shards[shard].subscribe(expr)?;
-        self.next_shard = (shard + 1) % self.shards.len();
-        Ok(self.router.global(shard, local))
+        let shard = self.directory.place();
+        match self.shards[shard].subscribe(expr) {
+            Ok(local) => Ok(self.directory.commit(shard, local, Arc::new(expr.clone()))),
+            Err(e) => {
+                self.directory.cancel(shard);
+                Err(e)
+            }
+        }
     }
 
     fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), UnsubscribeError> {
-        let (shard, local) = self.router.split(id);
-        self.shards[shard].unsubscribe(local).map_err(|e| match e {
+        let Some((shard, local)) = self.directory.placement_of(id) else {
             // Errors surface in the caller's (global) id space.
-            UnsubscribeError::UnknownSubscription(_) => UnsubscribeError::UnknownSubscription(id),
-        })
+            return Err(UnsubscribeError::UnknownSubscription(id));
+        };
+        self.shards[shard]
+            .unsubscribe(local)
+            .expect("directory and shard engines are kept in sync");
+        self.directory.retire(id);
+        Ok(())
     }
 
     fn phase1(&self, event: &Event, out: &mut FulfilledSet) {
@@ -221,7 +399,7 @@ impl FilterEngine for ShardedEngine {
         for (s, engine) in self.shards.iter().enumerate() {
             engine.phase1(event, &mut local);
             for &id in local.ids() {
-                out.insert(self.router.global_pred(s, id));
+                out.insert(self.pred_router.global_pred(s, id));
             }
         }
     }
@@ -242,13 +420,13 @@ impl FilterEngine for ShardedEngine {
             let universe = engine.predicate_universe();
             local.begin(universe);
             for &g in fulfilled.ids() {
-                let (shard, pred) = self.router.split_pred(g);
+                let (shard, pred) = self.pred_router.split_pred(g);
                 if shard == s && pred.index() < universe {
                     local.insert(pred);
                 }
             }
             stats = stats + engine.phase2(&local, scratch, &mut shard_out);
-            matched.extend(shard_out.iter().map(|&l| self.router.global(s, l)));
+            matched.extend(shard_out.iter().map(|&l| self.global_of(s, l)));
         }
         scratch.shard_fulfilled = local;
         scratch.shard_matched = shard_out;
@@ -259,7 +437,8 @@ impl FilterEngine for ShardedEngine {
         // Per shard: phase 1 straight into phase 2, all in the shard's
         // own (local) id spaces — no translation of predicate ids, no
         // allocation in steady state. Only matched ids are mapped to
-        // the global space, into the accumulating `matched` buffer.
+        // the global space (a directory reverse-map lookup each), into
+        // the accumulating `matched` buffer.
         let mut fulfilled = std::mem::take(&mut scratch.fulfilled);
         let mut matched = std::mem::take(&mut scratch.matched);
         let mut shard_out = std::mem::take(&mut scratch.shard_matched);
@@ -268,7 +447,7 @@ impl FilterEngine for ShardedEngine {
         for (s, engine) in self.shards.iter().enumerate() {
             engine.phase1(event, &mut fulfilled);
             stats = stats + engine.phase2(&fulfilled, scratch, &mut shard_out);
-            matched.extend(shard_out.iter().map(|&l| self.router.global(s, l)));
+            matched.extend(shard_out.iter().map(|&l| self.global_of(s, l)));
         }
         scratch.fulfilled = fulfilled;
         scratch.matched = matched;
@@ -281,8 +460,16 @@ impl FilterEngine for ShardedEngine {
     }
 
     fn subscription_id_bound(&self) -> usize {
-        self.router
-            .global_bound(self.shards.iter().map(|e| e.subscription_id_bound()))
+        // Scratch buffers serve two id spaces here: global ids (the
+        // directory's issued bound) and each shard's local ids (the
+        // inner phase-2 stamp space, which migration churn can grow
+        // past the global bound). Cover both.
+        self.shards
+            .iter()
+            .map(|e| e.subscription_id_bound())
+            .max()
+            .unwrap_or(0)
+            .max(self.directory.id_bound())
     }
 
     fn registered_units(&self) -> usize {
@@ -307,15 +494,22 @@ impl FilterEngine for ShardedEngine {
     }
 
     fn predicate_universe(&self) -> usize {
-        self.router
+        self.pred_router
             .global_bound(self.shards.iter().map(|e| e.predicate_universe()))
     }
 
     fn memory_usage(&self) -> MemoryUsage {
+        // The directory (id tables + stored expressions for migration)
+        // is the sharding layer's own overhead, reported as
+        // unsubscription/rebalancing support.
+        let directory = MemoryUsage {
+            unsub_support: self.directory.heap_bytes(),
+            ..MemoryUsage::default()
+        };
         self.shards
             .iter()
             .map(|e| e.memory_usage())
-            .fold(MemoryUsage::default(), |a, b| a + b)
+            .fold(directory, |a, b| a + b)
     }
 }
 
@@ -341,6 +535,14 @@ mod tests {
             .collect()
     }
 
+    /// Sorted matched ids of `engine` for `event`.
+    fn matched(engine: &ShardedEngine, event: &Event) -> Vec<SubscriptionId> {
+        let mut scratch = MatchScratch::new();
+        let mut ids = engine.match_event(event, &mut scratch).matched;
+        ids.sort_unstable();
+        ids
+    }
+
     #[test]
     fn global_ids_follow_arrival_order() {
         for shards in [1usize, 3, 8] {
@@ -354,12 +556,37 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_balances_shards() {
+    fn churn_free_placement_matches_round_robin() {
         let mut engine = ShardedEngine::new(EngineKind::Counting, 4);
         for e in exprs(10) {
             engine.subscribe(&e).unwrap();
         }
         assert_eq!(engine.shard_subscription_counts(), vec![3, 3, 2, 2]);
+        assert_eq!(engine.directory().loads(), &[3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn drained_shard_is_refilled_first() {
+        // The churn-skew regression: the old blind round-robin cursor
+        // kept striding past a shard emptied by unsubscribes; the
+        // least-loaded placement must refill it.
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, 4);
+        let ids: Vec<_> = exprs(12)
+            .iter()
+            .map(|e| engine.subscribe(e).unwrap())
+            .collect();
+        // Shard 2 holds arrivals 2, 6, 10; drain it.
+        for &i in &[2usize, 6, 10] {
+            engine.unsubscribe(ids[i]).unwrap();
+        }
+        assert_eq!(engine.shard_subscription_counts(), vec![3, 3, 0, 3]);
+        for e in exprs(15)[12..].iter() {
+            let id = engine.subscribe(e).unwrap();
+            let (shard, _) = engine.directory().placement_of(id).unwrap();
+            assert_eq!(shard, 2, "new subscriptions refill the drained shard");
+        }
+        assert_eq!(engine.shard_subscription_counts(), vec![3, 3, 3, 3]);
+        assert!(engine.directory().is_balanced());
     }
 
     #[test]
@@ -409,6 +636,85 @@ mod tests {
         let mut m = Matcher::new(engine);
         let matched = m.match_event(&ev(&[("group", 4), ("tick", 100)])).matched;
         assert!(!matched.contains(&ids[4]));
+    }
+
+    #[test]
+    fn migration_keeps_ids_and_matches_stable() {
+        for kind in EngineKind::ALL {
+            let mut engine = ShardedEngine::new(kind, 3);
+            let ids: Vec<_> = exprs(12)
+                .iter()
+                .map(|e| engine.subscribe(e).unwrap())
+                .collect();
+            // Skew the loads: drain shard 1 (arrivals 1, 4, 7, 10).
+            for &i in &[1usize, 4, 7, 10] {
+                engine.unsubscribe(ids[i]).unwrap();
+            }
+            assert_eq!(engine.directory().loads(), &[4, 0, 4]);
+            let event = ev(&[("boost", 1), ("tick", 100)]);
+            let before = matched(&engine, &event);
+            assert_eq!(before.len(), 8, "every live subscription matches");
+
+            // One bounded step ([4,0,4] → [3,1,4]), then the rest.
+            assert_eq!(engine.migrate(1), 1);
+            assert_eq!(engine.directory().imbalance(), 3, "one move narrows it");
+            let moved = engine.rebalance();
+            assert!(moved >= 1, "kind={kind}");
+            assert!(engine.directory().is_balanced(), "kind={kind}");
+            assert_eq!(
+                engine.directory().loads().iter().sum::<usize>(),
+                8,
+                "no subscription lost"
+            );
+            assert_eq!(
+                engine.shard_subscription_counts(),
+                engine.directory().loads(),
+                "engines and directory agree"
+            );
+
+            // Same global ids match, before and after migration.
+            assert_eq!(matched(&engine, &event), before, "kind={kind}");
+            assert_eq!(engine.rebalance(), 0, "already balanced");
+        }
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_incrementally() {
+        for kind in EngineKind::ALL {
+            let mut engine = ShardedEngine::new(kind, 3);
+            for e in exprs(12) {
+                engine.subscribe(&e).unwrap();
+            }
+            let event = ev(&[("boost", 1), ("tick", 100)]);
+            let before = matched(&engine, &event);
+            assert_eq!(before.len(), 12);
+
+            // Grow: new shards start empty; rebalance spreads onto them.
+            assert_eq!(engine.resize(5), 0);
+            assert_eq!(engine.shard_count(), 5);
+            assert_eq!(engine.directory().loads(), &[4, 4, 4, 0, 0]);
+            assert_eq!(matched(&engine, &event), before, "grow, kind={kind}");
+            engine.rebalance();
+            assert!(engine.directory().is_balanced());
+            assert_eq!(matched(&engine, &event), before, "spread, kind={kind}");
+
+            // Shrink below the original count: dying shards drain onto
+            // the survivors one at a time.
+            let moved = engine.resize(2);
+            assert!(moved >= 1);
+            assert_eq!(engine.shard_count(), 2);
+            assert_eq!(engine.directory().loads().iter().sum::<usize>(), 12);
+            assert_eq!(matched(&engine, &event), before, "shrink, kind={kind}");
+
+            // All the way to one shard — flat again.
+            engine.resize(1);
+            assert_eq!(engine.shard_count(), 1);
+            assert_eq!(matched(&engine, &event), before, "flat, kind={kind}");
+
+            // Ids survived every move: unsubscribe still routes.
+            engine.unsubscribe(before[0]).unwrap();
+            assert_eq!(engine.subscription_count(), 11);
+        }
     }
 
     #[test]
@@ -463,7 +769,10 @@ mod tests {
                 .iter()
                 .map(|s| s.memory_usage().total())
                 .sum::<usize>()
+                + engine.directory().heap_bytes(),
+            "engine totals plus the directory's own tables"
         );
+        assert!(engine.directory().heap_bytes() > 0);
         assert!(engine.subscription_id_bound() >= 12);
         assert!(engine.predicate_universe() > 0);
         assert!(engine.unit_slot_bound() > 0);
@@ -477,9 +786,15 @@ mod tests {
         for kind in EngineKind::ALL {
             for shards in [1usize, 3, 8] {
                 let mut engine = ShardedEngine::new(kind, shards);
-                for e in exprs(24) {
-                    engine.subscribe(&e).unwrap();
-                }
+                let ids: Vec<_> = exprs(24)
+                    .iter()
+                    .map(|e| engine.subscribe(e).unwrap())
+                    .collect();
+                // Skew shard 0, then rebalance, so the parallel walk
+                // also exercises post-migration reverse maps.
+                engine.unsubscribe(ids[0]).unwrap();
+                engine.unsubscribe(ids[shards]).unwrap();
+                engine.rebalance();
                 let mut seq = MatchScratch::new();
                 let mut par = MatchScratch::new();
                 for t in 0..30 {
@@ -511,7 +826,6 @@ mod tests {
             wait_for: Option<Arc<AtomicBool>>,
             announce: Option<Arc<AtomicBool>>,
         }
-        use std::sync::Arc;
 
         impl FilterEngine for GatedEngine {
             fn kind(&self) -> EngineKind {
@@ -587,6 +901,29 @@ mod tests {
         // spins on), yet the merge is still shard 0 then shard 1.
         assert_eq!(scratch.matched(), &[a, b]);
         assert_eq!(stats.matched, 2);
+    }
+
+    #[test]
+    fn recycled_ids_bound_the_directory_under_churn() {
+        let mut engine = ShardedEngine::with_recycled_ids(EngineKind::NonCanonical, 2);
+        let pool = exprs(4);
+        // Sustained churn at 2 live: subscribe/unsubscribe forever.
+        let a = engine.subscribe(&pool[0]).unwrap();
+        let _b = engine.subscribe(&pool[1]).unwrap();
+        for i in 0..50 {
+            let dead = engine.subscribe(&pool[2 + (i % 2)]).unwrap();
+            engine.unsubscribe(dead).unwrap();
+        }
+        // The id table never grew past the high-water live count (+1
+        // for the churning slot); retired ids were reissued.
+        assert_eq!(engine.directory().id_bound(), 3);
+        assert_eq!(engine.directory().vacant(), 1);
+        // Matching still translates through the recycled slots.
+        let mut scratch = MatchScratch::new();
+        let matched = engine
+            .match_event(&ev(&[("group", 0), ("tick", 0)]), &mut scratch)
+            .matched;
+        assert!(matched.contains(&a));
     }
 
     #[test]

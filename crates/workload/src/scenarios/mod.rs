@@ -5,16 +5,20 @@
 //! domains where interests are *not* naturally conjunctive. These
 //! generators produce such workloads: stock tickers (numeric ranges
 //! with alternatives), news alerting (string search), auction
-//! monitoring (mixed), and subscription churn (sustained
+//! monitoring (mixed), subscription churn (sustained
 //! subscribe/unsubscribe interleaved with publishing, for the sharded
-//! broker's write path).
+//! broker's write path), and rebalancing (churn with periodic
+//! shard-rebalance and shard-resize marks, for the live-migration
+//! equivalence tests and benches).
 
 mod auction;
 mod churn;
 mod news;
+mod rebalance;
 mod stock;
 
 pub use auction::AuctionScenario;
 pub use churn::{ChurnOp, ChurnScenario};
 pub use news::NewsScenario;
+pub use rebalance::{RebalanceOp, RebalanceScenario};
 pub use stock::StockScenario;

@@ -1,0 +1,206 @@
+//! Rebalancing scenario: subscription churn interleaved with periodic
+//! shard-rebalance and shard-resize points.
+//!
+//! The sharded broker's load-aware placement, live migration and
+//! incremental resizing are only trustworthy if they preserve matching
+//! semantics *while* the workload keeps churning. This scenario extends
+//! the plain churn stream with deterministic `Rebalance` and
+//! `Resize(n)` marks, so property tests can replay one stream against a
+//! flat engine and a sharded engine (rebalancing at the marks) and
+//! assert identical matched-id sets, and benches can measure publish
+//! cost through skew → rebalance → resize cycles.
+
+use super::{ChurnOp, ChurnScenario};
+
+/// One operation of a rebalancing stream.
+#[derive(Debug, Clone)]
+pub enum RebalanceOp {
+    /// A plain churn operation (subscribe / unsubscribe / publish).
+    Churn(ChurnOp),
+    /// Rebalance now: migrate until the per-shard loads are even
+    /// (spread ≤ 1). Flat consumers treat this as a no-op.
+    Rebalance,
+    /// Resize to this many shards (grow or shrink incrementally). Flat
+    /// consumers treat this as a no-op.
+    Resize(usize),
+}
+
+/// Deterministic generator of churn interleaved with rebalance and
+/// resize marks.
+///
+/// The churn component is a [`ChurnScenario`]; every
+/// `rebalance_every`-th operation is a [`RebalanceOp::Rebalance`] mark
+/// and every `resize_every`-th a [`RebalanceOp::Resize`] walking a
+/// fixed shard-count ladder derived from the base shard count (`S →
+/// S+2 → max(1, S−1) → S → …`), so a replayed schedule always returns
+/// to where it started. The default mark periods are co-prime so the
+/// marks drift through the churn stream instead of beating against it.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_workload::scenarios::{RebalanceOp, RebalanceScenario};
+///
+/// let mut scenario = RebalanceScenario::new(7, 50, 4);
+/// let ops = scenario.ops(500);
+/// assert!(ops.iter().any(|op| matches!(op, RebalanceOp::Rebalance)));
+/// assert!(ops.iter().any(|op| matches!(op, RebalanceOp::Resize(_))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RebalanceScenario {
+    churn: ChurnScenario,
+    ladder: Vec<usize>,
+    ladder_at: usize,
+    rebalance_every: usize,
+    resize_every: usize,
+    emitted: usize,
+}
+
+impl RebalanceScenario {
+    /// Creates a deterministic scenario over `base_shards` shards that
+    /// keeps roughly `target_live` subscriptions alive, rebalancing
+    /// every 97th and resizing every 211th operation by default.
+    pub fn new(seed: u64, target_live: usize, base_shards: usize) -> Self {
+        let base = base_shards.max(1);
+        RebalanceScenario {
+            churn: ChurnScenario::new(seed, target_live),
+            ladder: vec![base + 2, base.saturating_sub(1).max(1), base],
+            ladder_at: 0,
+            rebalance_every: 97,
+            resize_every: 211,
+            emitted: 0,
+        }
+    }
+
+    /// Sets how often a [`RebalanceOp::Rebalance`] mark is emitted
+    /// (every `n`-th operation; clamped to at least 2).
+    #[must_use]
+    pub fn with_rebalance_every(mut self, n: usize) -> Self {
+        self.rebalance_every = n.max(2);
+        self
+    }
+
+    /// Sets how often a [`RebalanceOp::Resize`] mark is emitted (every
+    /// `n`-th operation; clamped to at least 2).
+    #[must_use]
+    pub fn with_resize_every(mut self, n: usize) -> Self {
+        self.resize_every = n.max(2);
+        self
+    }
+
+    /// Live subscriptions after the operations generated so far (the
+    /// length the consumer's live list must have).
+    pub fn live(&self) -> usize {
+        self.churn.live()
+    }
+
+    /// The shard counts the resize marks walk, in order.
+    pub fn ladder(&self) -> &[usize] {
+        &self.ladder
+    }
+
+    /// The next operation.
+    pub fn next_op(&mut self) -> RebalanceOp {
+        self.emitted += 1;
+        if self.emitted % self.resize_every == 0 {
+            let shards = self.ladder[self.ladder_at % self.ladder.len()];
+            self.ladder_at += 1;
+            return RebalanceOp::Resize(shards);
+        }
+        if self.emitted % self.rebalance_every == 0 {
+            return RebalanceOp::Rebalance;
+        }
+        RebalanceOp::Churn(self.churn.next_op())
+    }
+
+    /// A batch of operations.
+    pub fn ops(&mut self, n: usize) -> Vec<RebalanceOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic() {
+        let a = RebalanceScenario::new(42, 50, 4).ops(800);
+        let b = RebalanceScenario::new(42, 50, 4).ops(800);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (RebalanceOp::Rebalance, RebalanceOp::Rebalance) => {}
+                (RebalanceOp::Resize(m), RebalanceOp::Resize(n)) => assert_eq!(m, n),
+                (
+                    RebalanceOp::Churn(ChurnOp::Subscribe(e1)),
+                    RebalanceOp::Churn(ChurnOp::Subscribe(e2)),
+                ) => {
+                    assert_eq!(e1.to_string(), e2.to_string());
+                }
+                (
+                    RebalanceOp::Churn(ChurnOp::Unsubscribe(i)),
+                    RebalanceOp::Churn(ChurnOp::Unsubscribe(j)),
+                ) => {
+                    assert_eq!(i, j);
+                }
+                (
+                    RebalanceOp::Churn(ChurnOp::Publish(e1)),
+                    RebalanceOp::Churn(ChurnOp::Publish(e2)),
+                ) => {
+                    assert_eq!(e1.get("price"), e2.get("price"));
+                }
+                (a, b) => panic!("streams diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn marks_fire_at_their_periods() {
+        let mut scenario = RebalanceScenario::new(3, 30, 4)
+            .with_rebalance_every(10)
+            .with_resize_every(25);
+        let ops = scenario.ops(100);
+        let rebalances = ops
+            .iter()
+            .filter(|op| matches!(op, RebalanceOp::Rebalance))
+            .count();
+        let resizes: Vec<usize> = ops
+            .iter()
+            .filter_map(|op| match op {
+                RebalanceOp::Resize(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        // 100/10 = 10 rebalance slots, minus the 50th and 100th (the
+        // resize period wins when both hit).
+        assert_eq!(rebalances, 8);
+        assert_eq!(resizes, vec![6, 3, 4, 6], "ladder: S+2 → S−1 → S → …");
+    }
+
+    #[test]
+    fn ladder_returns_to_the_base_and_never_hits_zero() {
+        let scenario = RebalanceScenario::new(1, 10, 1);
+        assert_eq!(scenario.ladder(), &[3, 1, 1]);
+        let scenario = RebalanceScenario::new(1, 10, 8);
+        assert_eq!(scenario.ladder(), &[10, 7, 8]);
+        assert_eq!(*scenario.ladder().last().unwrap(), 8);
+    }
+
+    #[test]
+    fn unsubscribe_indexes_are_always_valid() {
+        let mut scenario = RebalanceScenario::new(9, 40, 3);
+        let mut live = 0usize;
+        for op in scenario.ops(3_000) {
+            match op {
+                RebalanceOp::Churn(ChurnOp::Subscribe(_)) => live += 1,
+                RebalanceOp::Churn(ChurnOp::Unsubscribe(i)) => {
+                    assert!(i < live, "index {i} out of {live}");
+                    live -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(live, scenario.live());
+    }
+}

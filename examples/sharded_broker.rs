@@ -52,6 +52,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     delivered += broker.publish_batch(&ticks);
 
+    // Least-loaded placement kept the shards even through all that
+    // churn (the old blind round-robin cursor could not). An adversarial
+    // drain still skews them: everyone who happens to live on shards 1
+    // and 2 leaves at once. `rebalance()` live-migrates subscriptions
+    // (ids, handles and queues untouched) until no shard is more than
+    // one subscription heavier than another.
+    println!("shard loads after churn:      {:?}", broker.shard_loads());
+    churners.clear(); // the churn cohort leaves; watchers remain
+    let mut watchers = watchers;
+    for i in (0..watchers.len()).rev() {
+        if i % 4 == 1 || i % 4 == 2 {
+            drop(watchers.remove(i)); // drains shards 1 and 2
+        }
+    }
+    println!("shard loads after the drain:  {:?}", broker.shard_loads());
+    let moved = broker.rebalance();
+    println!(
+        "shard loads after migrating {moved} subscriptions: {:?}",
+        broker.shard_loads()
+    );
+
     let stats = broker.stats();
     println!(
         "published {} events in batches; {} notifications delivered",

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use boolmatch_broker::{Broker, BrokerError, DeliveryPolicy, Subscription};
     pub use boolmatch_core::{
         CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, MatchResult, MatchScratch,
-        Matcher, NonCanonicalEngine, ShardRouter, ShardedEngine, SubscriptionId,
+        Matcher, NonCanonicalEngine, ShardedEngine, SubscriptionDirectory, SubscriptionId,
     };
     pub use boolmatch_expr::{CompareOp, Expr, Predicate};
     pub use boolmatch_types::{Event, Schema, Value, ValueKind};

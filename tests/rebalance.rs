@@ -1,0 +1,500 @@
+//! Load-aware rebalancing, live migration and shard resizing — the
+//! correctness claims, proven without relying on timing:
+//!
+//! * **Equivalence** — a sharded engine replaying churn interleaved
+//!   with `rebalance()` and `resize()` must produce matched-id sets
+//!   identical to a flat (unsharded) engine replaying the same stream,
+//!   for every engine kind and S ∈ {1, 3, 8}; after every `rebalance()`
+//!   the shard loads must satisfy the distribution invariant
+//!   `max − min ≤ 1`. A broker-level replay proves the same for
+//!   delivery counts with `rebalance()` racing nothing away.
+//! * **Churn-skew regression** — a shard drained by unsubscribes must
+//!   be refilled by new subscriptions (the old blind round-robin
+//!   cursor kept striding past it). CI runs this one under `--release`
+//!   too.
+//! * **Migration isolation** — a migration holding one shard pair's
+//!   write locks must not block matching on any other shard
+//!   (latch-observed, like the gate tests in `shard_concurrency.rs`).
+//! * **Race window** — publishes racing live migration deliver each
+//!   event to a subscriber at most once, never to a nonexistent
+//!   subscriber, and exactly once again when migration is quiescent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use boolmatch::core::{
+    FilterEngine, FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscribeError,
+    UnsubscribeError,
+};
+use boolmatch::expr::Expr;
+use boolmatch::prelude::*;
+use boolmatch::workload::scenarios::{ChurnOp, RebalanceOp, RebalanceScenario};
+
+/// The headline property test: interleaved
+/// subscribe/unsubscribe/publish/rebalance/resize against a sharded
+/// engine matches a flat engine exactly — same arrival-order global
+/// ids, same matched-id sets — and every rebalance restores the
+/// shard-distribution invariant.
+#[test]
+fn churn_with_migration_and_resize_equals_flat_engine() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 3, 8] {
+            let mut flat = Matcher::new(kind.build());
+            let mut sharded = Matcher::new(ShardedEngine::new(kind, shards));
+            let mut live: Vec<SubscriptionId> = Vec::new();
+            let mut scenario = RebalanceScenario::new(17, 60, shards)
+                .with_rebalance_every(41)
+                .with_resize_every(83);
+            let mut rebalances = 0usize;
+            let mut resizes = 0usize;
+
+            for (step, op) in scenario.ops(1_000).into_iter().enumerate() {
+                match op {
+                    RebalanceOp::Churn(ChurnOp::Subscribe(expr)) => {
+                        let a = flat.subscribe(&expr).unwrap();
+                        let b = sharded.subscribe(&expr).unwrap();
+                        assert_eq!(a, b, "arrival-order ids diverge at {step} ({kind})");
+                        live.push(a);
+                    }
+                    RebalanceOp::Churn(ChurnOp::Unsubscribe(i)) => {
+                        let id = live.remove(i);
+                        flat.unsubscribe(id).unwrap();
+                        sharded.unsubscribe(id).unwrap();
+                    }
+                    RebalanceOp::Churn(ChurnOp::Publish(event)) => {
+                        let mut a = flat.match_event(&event).matched;
+                        let mut b = sharded.match_event(&event).matched;
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        assert_eq!(a, b, "kind={kind} shards={shards} step={step}");
+                    }
+                    RebalanceOp::Rebalance => {
+                        rebalances += 1;
+                        sharded.rebalance();
+                        // The distribution invariant: after a
+                        // rebalance, no shard is more than one
+                        // subscription heavier than any other.
+                        assert!(
+                            sharded.directory().is_balanced(),
+                            "imbalance {} after rebalance at {step} ({kind}, S={shards}): {:?}",
+                            sharded.directory().imbalance(),
+                            sharded.directory().loads(),
+                        );
+                        assert_eq!(
+                            sharded.shard_subscription_counts(),
+                            sharded.directory().loads(),
+                            "engines and directory agree at {step}"
+                        );
+                    }
+                    RebalanceOp::Resize(n) => {
+                        resizes += 1;
+                        sharded.resize(n);
+                        assert_eq!(sharded.shard_count(), n, "step {step}");
+                    }
+                }
+                assert_eq!(flat.subscription_count(), live.len());
+                assert_eq!(sharded.subscription_count(), live.len());
+            }
+            // 1000 ops → 24 rebalances, 12 resizes; 12 is a multiple of
+            // the ladder length, so the schedule ends at the base count.
+            assert_eq!((rebalances, resizes), (24, 12));
+            assert_eq!(sharded.shard_count(), shards);
+        }
+    }
+}
+
+/// The same replay at the broker layer: a sharded broker that
+/// rebalances mid-stream delivers exactly like a flat broker — per
+/// publish and per surviving subscriber.
+#[test]
+fn rebalancing_broker_delivers_like_flat_broker() {
+    for shards in [3usize, 8] {
+        let flat = Broker::builder().build();
+        let sharded = Broker::builder().shards(shards).build();
+        let mut flat_live: Vec<Subscription> = Vec::new();
+        let mut sharded_live: Vec<Subscription> = Vec::new();
+        let mut scenario = RebalanceScenario::new(29, 50, shards).with_rebalance_every(31);
+
+        for (step, op) in scenario.ops(1_500).into_iter().enumerate() {
+            match op {
+                RebalanceOp::Churn(ChurnOp::Subscribe(expr)) => {
+                    let a = flat.subscribe_expr(&expr).unwrap();
+                    let b = sharded.subscribe_expr(&expr).unwrap();
+                    assert_eq!(a.id(), b.id(), "arrival-order ids diverge at {step}");
+                    flat_live.push(a);
+                    sharded_live.push(b);
+                }
+                RebalanceOp::Churn(ChurnOp::Unsubscribe(i)) => {
+                    drop(flat_live.remove(i));
+                    drop(sharded_live.remove(i));
+                }
+                RebalanceOp::Churn(ChurnOp::Publish(event)) => {
+                    let a = flat.publish(event.clone());
+                    let b = sharded.publish(event);
+                    assert_eq!(a, b, "shards={shards} step={step}");
+                }
+                RebalanceOp::Rebalance => {
+                    sharded.rebalance();
+                    let loads = sharded.shard_loads();
+                    let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
+                    assert!(
+                        spread <= 1,
+                        "unbalanced after rebalance at {step}: {loads:?}"
+                    );
+                }
+                // The broker resizes via `ShardedEngine` only (a broker
+                // keeps its shard/lock count for its lifetime).
+                RebalanceOp::Resize(_) => {}
+            }
+        }
+
+        for (i, (a, b)) in flat_live.iter().zip(&sharded_live).enumerate() {
+            assert_eq!(
+                a.drain().len(),
+                b.drain().len(),
+                "survivor {i}, shards={shards}"
+            );
+        }
+        let fs = flat.stats();
+        let ss = sharded.stats();
+        assert_eq!(fs.notifications_delivered, ss.notifications_delivered);
+        assert_eq!(fs.subscriptions_created, ss.subscriptions_created);
+        assert_eq!(fs.subscriptions_removed, ss.subscriptions_removed);
+        assert_eq!(fs.subscriptions_migrated, 0, "flat brokers never migrate");
+        assert!(ss.subscriptions_migrated > 0, "the sharded broker did");
+    }
+}
+
+/// The churn-skew regression (run under `--release` in CI too): drain
+/// one shard via unsubscribes, then assert new subscriptions refill it
+/// instead of striding past it — at the engine and the broker layer.
+#[test]
+fn churn_skew_drained_shard_is_refilled() {
+    // Engine layer.
+    let mut engine = ShardedEngine::new(EngineKind::NonCanonical, 4);
+    let exprs: Vec<Expr> = (0..16)
+        .map(|i| Expr::parse(&format!("a = {i}")).unwrap())
+        .collect();
+    let ids: Vec<_> = exprs[..12]
+        .iter()
+        .map(|e| engine.subscribe(e).unwrap())
+        .collect();
+    for &i in &[2usize, 6, 10] {
+        engine.unsubscribe(ids[i]).unwrap(); // shard 2's residents
+    }
+    assert_eq!(engine.directory().loads(), &[3, 3, 0, 3]);
+    for e in &exprs[12..15] {
+        let id = engine.subscribe(e).unwrap();
+        assert_eq!(
+            engine.directory().placement_of(id).unwrap().0,
+            2,
+            "new subscriptions must refill the drained shard"
+        );
+    }
+    assert_eq!(engine.directory().loads(), &[3, 3, 3, 3]);
+
+    // Broker layer, including delivery through the refilled shard.
+    let broker = Broker::builder().shards(4).build();
+    let mut subs: Vec<_> = (0..12)
+        .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+        .collect();
+    for &i in &[10usize, 6, 2] {
+        drop(subs.remove(i));
+    }
+    assert_eq!(broker.shard_loads(), vec![3, 3, 0, 3]);
+    let refill: Vec<_> = (12..15)
+        .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+        .collect();
+    assert_eq!(broker.shard_loads(), vec![3, 3, 3, 3]);
+    assert_eq!(
+        broker.publish(Event::builder().attr("a", 14_i64).build()),
+        1
+    );
+    assert_eq!(refill[2].drain().len(), 1);
+}
+
+/// Publishes racing live migration: a subscriber must never receive
+/// one event twice (the publish could otherwise see a migrating
+/// subscription on both its source and target shard), every delivered
+/// notification must belong to a real subscriber, and once migration
+/// is quiescent delivery is exact again. This is the concurrent
+/// execution of the at-most-once window documented on
+/// `Broker::migrate`; the single-threaded replays above cannot reach
+/// these interleavings.
+#[test]
+fn publish_racing_migration_delivers_at_most_once() {
+    let broker = Broker::builder().shards(4).build();
+    // 80 subscriptions that all match every event; dropping the ones
+    // on shards 1 and 2 (arrivals ≡ 1, 2 mod 4) skews the survivors
+    // onto shards 0 and 3, giving the migrator real work.
+    let mut subs: Vec<Subscription> = (0..80)
+        .map(|_| broker.subscribe("tick = 1").unwrap())
+        .collect();
+    for i in (0..subs.len()).rev() {
+        if i % 4 == 1 || i % 4 == 2 {
+            drop(subs.remove(i));
+        }
+    }
+    assert_eq!(broker.shard_loads(), vec![20, 0, 0, 20]);
+
+    let publishes = 400usize;
+    thread::scope(|scope| {
+        let migrator = {
+            let broker = broker.clone();
+            scope.spawn(move || {
+                let mut moved = 0usize;
+                loop {
+                    let step = broker.migrate(1);
+                    if step == 0 {
+                        break;
+                    }
+                    moved += step;
+                    thread::yield_now();
+                }
+                moved
+            })
+        };
+        let publisher = {
+            let broker = broker.clone();
+            scope.spawn(move || {
+                for _ in 0..publishes {
+                    broker.publish(Event::builder().attr("tick", 1_i64).build());
+                    thread::yield_now();
+                }
+            })
+        };
+        publisher.join().unwrap();
+        assert!(migrator.join().unwrap() >= 1, "migration actually ran");
+    });
+    let loads = broker.shard_loads();
+    assert!(
+        loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 1,
+        "balanced: {loads:?}"
+    );
+
+    // At-most-once per event per subscriber, and no phantom deliveries:
+    // the drained queues reconcile exactly with the broker's counter.
+    let mut total_drained = 0u64;
+    for (i, sub) in subs.iter().enumerate() {
+        let got = sub.drain().len();
+        assert!(got <= publishes, "subscriber {i} got {got} > {publishes}");
+        total_drained += got as u64;
+    }
+    assert_eq!(total_drained, broker.stats().notifications_delivered);
+
+    // Quiescent again: delivery is exact.
+    assert_eq!(
+        broker.publish(Event::builder().attr("tick", 1_i64).build()),
+        subs.len()
+    );
+    for sub in &subs {
+        assert_eq!(sub.drain().len(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Migration isolation gate test
+
+/// A one-shot latch: `open` releases every current and future `wait`.
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Returns whether the latch opened within `timeout`.
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.open.lock().unwrap();
+        let (guard, result) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |open| !*open)
+            .unwrap();
+        drop(guard);
+        !result.timed_out()
+    }
+}
+
+/// Minimal engine: accepts subscriptions, matches nothing, and can be
+/// instrumented to (a) announce when matching enters it and (b) park
+/// inside `subscribe` — but only once armed, so setup subscriptions
+/// pass through freely and only the migration's target-side
+/// re-subscribe blocks.
+struct GateEngine {
+    subs: usize,
+    matching_entered: Option<Arc<Latch>>,
+    armed: Option<Arc<AtomicBool>>,
+    in_subscribe: Option<Arc<Latch>>,
+    release: Option<Arc<Latch>>,
+}
+
+impl GateEngine {
+    fn plain() -> Box<Self> {
+        Box::new(GateEngine {
+            subs: 0,
+            matching_entered: None,
+            armed: None,
+            in_subscribe: None,
+            release: None,
+        })
+    }
+}
+
+impl FilterEngine for GateEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::NonCanonical
+    }
+
+    fn subscribe(&mut self, _expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
+        if self
+            .armed
+            .as_ref()
+            .is_some_and(|a| a.load(Ordering::Acquire))
+        {
+            if let (Some(entered), Some(release)) = (&self.in_subscribe, &self.release) {
+                entered.open();
+                assert!(
+                    release.wait(Duration::from_secs(10)),
+                    "test driver never released the blocked migration"
+                );
+            }
+        }
+        self.subs += 1;
+        Ok(SubscriptionId::from_index(self.subs - 1))
+    }
+
+    fn unsubscribe(&mut self, _id: SubscriptionId) -> Result<(), UnsubscribeError> {
+        Ok(())
+    }
+
+    fn phase1(&self, _event: &Event, out: &mut FulfilledSet) {
+        if let Some(latch) = &self.matching_entered {
+            latch.open();
+        }
+        out.begin(0);
+    }
+
+    fn phase2(
+        &self,
+        _fulfilled: &FulfilledSet,
+        _scratch: &mut MatchScratch,
+        matched: &mut Vec<SubscriptionId>,
+    ) -> MatchStats {
+        matched.clear();
+        MatchStats::default()
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.subs
+    }
+
+    fn predicate_count(&self) -> usize {
+        0
+    }
+
+    fn predicate_universe(&self) -> usize {
+        0
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage::default()
+    }
+}
+
+/// The deterministic gate: while a migration holds the write locks of
+/// its shard pair (parked inside the target engine's re-subscribe), a
+/// publisher must still enter matching on a shard outside the pair.
+/// Under a single engine lock — or a stop-the-world rebuild — this
+/// times out.
+#[test]
+fn migration_does_not_block_matching_on_other_shards() {
+    let matching_entered = Latch::new();
+    let in_migration = Latch::new();
+    let release = Latch::new();
+    let armed = Arc::new(AtomicBool::new(false));
+
+    let broker = Broker::builder()
+        .engine_instances(vec![
+            // Shard 0: outside the migrating pair; announces matching.
+            Box::new(GateEngine {
+                subs: 0,
+                matching_entered: Some(matching_entered.clone()),
+                armed: None,
+                in_subscribe: None,
+                release: None,
+            }),
+            // Shard 1: the migration target; parks inside `subscribe`
+            // once armed.
+            Box::new(GateEngine {
+                subs: 0,
+                matching_entered: None,
+                armed: Some(armed.clone()),
+                in_subscribe: Some(in_migration.clone()),
+                release: Some(release.clone()),
+            }),
+            // Shard 2: the migration source.
+            GateEngine::plain(),
+        ])
+        .build();
+
+    // Least-loaded placement: arrivals 0..6 land on shards 0,1,2,0,1,2.
+    let subs: Vec<Subscription> = (0..6)
+        .map(|i| broker.subscribe(&format!("s = {i}")).unwrap())
+        .collect();
+    assert_eq!(broker.shard_loads(), vec![2, 2, 2]);
+    // Skew to loads [1, 0, 2]: the skew pair is (from=2, to=1).
+    broker.unsubscribe(subs[1].id());
+    broker.unsubscribe(subs[4].id());
+    broker.unsubscribe(subs[0].id());
+    assert_eq!(broker.shard_loads(), vec![1, 0, 2]);
+
+    armed.store(true, Ordering::Release);
+    thread::scope(|scope| {
+        let migrator = {
+            let broker = broker.clone();
+            scope.spawn(move || broker.rebalance())
+        };
+        assert!(
+            in_migration.wait(Duration::from_secs(10)),
+            "migration never reached the target-side subscribe"
+        );
+
+        // Shards 1 and 2 are now write-locked by the migration. A
+        // publish must still enter matching on shard 0 (it will then
+        // queue on the locked pair until the release).
+        let publisher = {
+            let broker = broker.clone();
+            scope.spawn(move || broker.publish(Event::builder().attr("n", 1_i64).build()))
+        };
+        assert!(
+            matching_entered.wait(Duration::from_secs(10)),
+            "publisher never entered matching on shard 0 while the \
+             migration held shards 1 and 2: migration is not lock-scoped"
+        );
+
+        armed.store(false, Ordering::Release); // only the first move parks
+        release.open();
+        let moved = migrator.join().unwrap();
+        assert!(moved >= 1, "the migration completed");
+        assert_eq!(publisher.join().unwrap(), 0, "gate engines match nothing");
+    });
+
+    let loads = broker.shard_loads();
+    let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
+    assert!(spread <= 1, "balanced after the gated migration: {loads:?}");
+    assert_eq!(broker.stats().subscriptions_migrated, 1);
+    assert_eq!(broker.subscription_count(), 3);
+}

@@ -201,9 +201,10 @@ fn write_locked_shard_does_not_block_matching_on_other_shards() {
         ])
         .build();
 
-    // Round-robin placement: subscription 0 lands on shard 0 (returns
-    // immediately), subscription 1 lands on shard 1 and parks inside
-    // `subscribe`, holding shard 1's write lock.
+    // Least-loaded placement (round-robin from empty): subscription 0
+    // lands on shard 0 (returns immediately), subscription 1 lands on
+    // shard 1 and parks inside `subscribe`, holding shard 1's write
+    // lock.
     let _warm = broker.subscribe("warmup = 0").unwrap();
 
     let _blocked = thread::scope(|scope| {
