@@ -6,7 +6,7 @@
 //! measurement), this binary is built to run unattended: it times each
 //! named workload with a fixed warm-up + N-sample loop, records the
 //! **median ns/op**, and writes everything to one JSON file
-//! (`BENCH_PR4.json` by default). CI smoke-runs it in `--quick` mode on
+//! (`BENCH_PR5.json` by default). CI smoke-runs it in `--quick` mode on
 //! every push.
 //!
 //! ```text
@@ -14,7 +14,7 @@
 //! ```
 //!
 //! * `--quick` — smaller corpora and fewer samples (CI / smoke mode).
-//! * `--out PATH` — output path (default `BENCH_PR4.json`).
+//! * `--out PATH` — output path (default `BENCH_PR5.json`).
 //!
 //! The recorded numbers carry the same caveat as the concurrency
 //! benches: on a single-core host the `parallel` rows measure the
@@ -26,9 +26,12 @@ use std::time::Instant;
 
 use boolmatch_bench::Args;
 use boolmatch_broker::{Broker, DeliveryPolicy, Subscription};
-use boolmatch_core::{EngineKind, FilterEngine, MatchScratch, ScratchPool, ShardedEngine};
+use boolmatch_core::{
+    EngineKind, FilterEngine, MatchScratch, ScratchPool, ShardTranslation, ShardedEngine,
+    SubscriptionId,
+};
 use boolmatch_types::Event;
-use boolmatch_workload::scenarios::StockScenario;
+use boolmatch_workload::scenarios::{HotKeyScenario, StockScenario};
 
 /// One recorded measurement.
 struct Sample {
@@ -105,7 +108,7 @@ fn stock_broker(
 fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
-    let out_path = args.get("out").unwrap_or("BENCH_PR4.json").to_owned();
+    let out_path = args.get("out").unwrap_or("BENCH_PR5.json").to_owned();
     let (samples, ops) = if quick { (5, 200) } else { (15, 1_000) };
     let subscription_counts: &[usize] = if quick {
         &[1_000, 10_000]
@@ -255,11 +258,97 @@ fn main() {
         });
     }
 
+    // --- Shard-local matched-id translation (the publish hot path's
+    // only per-match routing cost since the directory lock came off) ---
+    {
+        // A warm shard map of `corpus` residents and a typical matched
+        // set of 64 local ids: one op = translating one event's matched
+        // set, exactly what each publish pays per shard under the shard
+        // lock it already holds.
+        let residents = if quick { 20_000 } else { 100_000 };
+        let mut translation = ShardTranslation::new();
+        for local in 0..residents {
+            translation.set(
+                SubscriptionId::from_index(local),
+                SubscriptionId::from_index(local * 4),
+            );
+        }
+        let matched: Vec<SubscriptionId> = (0..64)
+            .map(|i| SubscriptionId::from_index(i * (residents / 64)))
+            .collect();
+        let mut out: Vec<SubscriptionId> = Vec::with_capacity(64);
+        record(
+            &mut results,
+            format!("translate/per_event/64of{residents}"),
+            samples,
+            ops,
+            || {
+                out.clear();
+                out.extend(matched.iter().filter_map(|&l| translation.global_of(l)));
+                assert_eq!(out.len(), 64);
+            },
+        );
+    }
+
+    // --- Background rebalance: publish cost under a hot-key skew with
+    // frequency-weighted ticks running, and the cost of one tick ---
+    {
+        let shards = 4;
+        let subs = if quick { 400 } else { 2_000 };
+        let broker = Broker::builder()
+            .engine(EngineKind::NonCanonical)
+            .shards(shards)
+            .delivery(DeliveryPolicy::DropNewest { capacity: 4 })
+            .build();
+        // stride = shard count: every hot subscription lands on shard 0
+        // under churn-free placement — counts balanced, match load
+        // maximally skewed (see HotKeyScenario).
+        let mut scenario = HotKeyScenario::new(2_005, shards);
+        let _receivers: Vec<Subscription> = scenario
+            .subscriptions(subs)
+            .iter()
+            .map(|e| broker.subscribe_expr(e).expect("accepted"))
+            .collect();
+        let hot_events: Vec<Event> = scenario.events(64);
+        let mut at = 0usize;
+        record(
+            &mut results,
+            format!("background_rebalance/publish_hotkey/s{shards}/{subs}"),
+            samples,
+            ops.min(200),
+            || {
+                at = (at + 1) % hot_events.len();
+                broker.publish(hot_events[at].clone());
+            },
+        );
+        // One frequency-weighted tick (snapshot counters, pick the
+        // hot/cool pair, migrate a small chunk). Publishes in between
+        // keep the counters moving so ticks have real skew to act on.
+        record(
+            &mut results,
+            format!("background_rebalance/tick/s{shards}/{subs}"),
+            samples.min(7),
+            ops.min(50),
+            || {
+                at = (at + 1) % hot_events.len();
+                broker.publish(hot_events[at].clone());
+                broker.rebalance_by_match_frequency(4);
+            },
+        );
+        println!(
+            "    (hot-key shard loads after ticks: {:?}, hits {:?})",
+            broker.shard_loads(),
+            broker.shard_match_hits()
+        );
+    }
+
     // --- JSON output (hand-rolled: no serde in the offline workspace) ---
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"snapshot\": \"PR4 load-aware shard rebalancing\",\n");
+    json.push_str(
+        "  \"snapshot\": \"PR5 shard-local translation, generation-tagged ids, background rebalance\",\n",
+    );
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }

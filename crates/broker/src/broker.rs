@@ -5,16 +5,19 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use boolmatch_core::{
-    BoxedEngine, EngineKind, FanOut, FilterEngine, MatchScratch, MemoryUsage, ScratchLease,
-    ScratchPool, SubscribeError, SubscriptionDirectory, SubscriptionId, WorkerPool,
+    BoxedEngine, EngineKind, FanOut, FanOutPool, FilterEngine, MatchScratch, MatchStats,
+    MemoryUsage, ScratchLease, ScratchPool, ShardTranslation, SubscribeError,
+    SubscriptionDirectory, SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
 use crossbeam::channel::Sender;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::delivery::DeliveryPolicy;
 use crate::subscriber::Subscription;
@@ -73,7 +76,9 @@ pub struct BrokerStats {
     /// Subscriptions removed (explicitly or by handle drop).
     pub subscriptions_removed: u64,
     /// Subscriptions live-migrated between shards by
-    /// [`Broker::migrate`] / [`Broker::rebalance`]. Migration never
+    /// [`Broker::migrate`] / [`Broker::rebalance`] /
+    /// [`Broker::rebalance_by_match_frequency`] / [`Broker::resize`]
+    /// (including the background rebalance thread). Migration never
     /// changes a subscription's id or its delivery stream — this
     /// counter only measures rebalancing work.
     pub subscriptions_migrated: u64,
@@ -142,45 +147,210 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4_096;
 /// below it never trim and so never re-allocate.
 pub const DEFAULT_SCRATCH_TRIM_CAP: usize = 8 << 20;
 
-/// The parallel publish machinery, present only on multi-shard brokers:
-/// a persistent worker pool (threads park between publishes — no spawn
-/// on the hot path) plus the pool of warm per-worker scratches.
+/// Subscriptions one background-rebalance tick moves at most — the
+/// "small chunks" that keep continuous rebalancing from ever stalling a
+/// shard pair for long.
+pub const BACKGROUND_REBALANCE_CHUNK: usize = 32;
+
+/// Absolute per-tick match-delta floor below which
+/// [`Broker::rebalance_by_match_frequency`] treats shard hit skew as
+/// noise and moves nothing.
+pub const MATCH_FREQUENCY_SKEW_FLOOR: u64 = 16;
+
+/// What the background rebalance thread balances on each tick; see
+/// [`BrokerBuilder::background_rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalancePolicy {
+    /// Even out per-shard **live-subscription counts** (the PR-4
+    /// invariant `max − min ≤ 1`) — the right policy when every
+    /// subscription costs roughly the same to match.
+    SubscriptionCount,
+    /// Even out per-shard **observed match frequency**: each shard
+    /// carries a lock-free counter of the matches it produced, and the
+    /// tick migrates subscriptions from the shard with the highest
+    /// per-tick match delta to the one with the lowest. This is the
+    /// policy for skewed workloads where a minority of hot
+    /// subscriptions absorb most matches — count-balanced shards can
+    /// still hide an arbitrarily lopsided match load (see the
+    /// `HotKeyScenario` workload and the `background_rebalance` bench
+    /// rows).
+    MatchFrequency,
+}
+
+/// How one `migrate_between` call decides to keep moving.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MigrateMode {
+    /// Stop when the pair's subscription counts are balanced
+    /// (`load(from) ≤ load(to) + 1`).
+    Balance,
+    /// Stop only when the source would drop to zero subscriptions —
+    /// the frequency-weighted rebalancer deliberately unbalances
+    /// counts to balance match load.
+    Frequency,
+    /// Move everything — shard draining during a shrink.
+    Drain,
+}
+
+/// One engine shard: the engine plus its local → global translation
+/// map behind a single lock, and the lock-free match counter the
+/// frequency-weighted rebalancer reads. Cells are shared by `Arc`
+/// across resize epochs, so a surviving shard keeps its lock, its
+/// translation map and its counters when the shard set around it
+/// changes.
+struct ShardCell {
+    state: RwLock<ShardState>,
+    /// Matches this shard has contributed across its lifetime
+    /// (`MatchStats::matched` summed over publishes), maintained with
+    /// relaxed atomics on the publish path — no lock, no shared-state
+    /// contention.
+    hits: AtomicU64,
+}
+
+struct ShardState {
+    engine: BoxedEngine,
+    /// Read-side local → global map, updated only by operations already
+    /// holding this shard's write lock (subscribe, unsubscribe,
+    /// migration) and read under the read lock publishes already hold
+    /// for matching — translation never touches broker-global state.
+    translation: ShardTranslation,
+}
+
+impl ShardCell {
+    fn new(engine: BoxedEngine) -> Self {
+        ShardCell {
+            state: RwLock::new(ShardState {
+                engine,
+                translation: ShardTranslation::new(),
+            }),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn record_hits(&self, stats: &MatchStats) {
+        if stats.matched > 0 {
+            self.hits.fetch_add(stats.matched as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-worker flat matches + per-event end offsets, one per shard per
+/// batch (event `e`'s ids are `flat[ends[e-1]..ends[e]]`).
+type ShardMatches = (Vec<SubscriptionId>, Vec<usize>);
+
+/// The parallel publish machinery, present only on multi-shard shard
+/// sets: a persistent worker pool (threads park between publishes — no
+/// spawn on the hot path), the pool of warm per-worker scratches, and
+/// the pooled fan-out rendezvous (no per-publish rendezvous allocation
+/// either). Cheap to clone — a resize that keeps the worker count
+/// carries the whole pipeline into the next epoch.
+#[derive(Clone)]
 struct Fanout {
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     scratches: Arc<ScratchPool>,
+    publish_rendezvous: Arc<FanOutPool<ScratchLease>>,
+    batch_rendezvous: Arc<FanOutPool<ShardMatches>>,
+}
+
+impl Fanout {
+    fn new(threads: usize, scratch_trim_cap: usize) -> Self {
+        Fanout {
+            pool: Arc::new(WorkerPool::new(threads)),
+            // One warm scratch per worker, plus headroom for a slot
+            // probed while a return is in flight; same sizing for the
+            // parked rendezvous.
+            scratches: Arc::new(ScratchPool::with_trim_cap(threads + 1, scratch_trim_cap)),
+            publish_rendezvous: Arc::new(FanOutPool::new(threads + 1)),
+            batch_rendezvous: Arc::new(FanOutPool::new(threads + 1)),
+        }
+    }
+}
+
+/// One resize epoch: the shard cells and the parallel pipeline sized
+/// for them. [`Broker::resize`] swaps the whole set behind the epoch
+/// lock — a publish clones the `Arc` once (the only broker-global lock
+/// it ever takes, held for a pointer copy) and works on an immutable
+/// snapshot from there.
+struct ShardSet {
+    shards: Vec<Arc<ShardCell>>,
+    /// `None` on single-shard sets: their publish path is exactly the
+    /// pre-fan-out sequential walk.
+    fanout: Option<Fanout>,
+}
+
+/// A one-shot stop signal for the background rebalance thread: `signal`
+/// releases a `wait_timeout` immediately instead of letting the thread
+/// sleep out its interval on shutdown.
+struct StopLatch {
+    stopped: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl StopLatch {
+    fn new() -> Self {
+        StopLatch {
+            stopped: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        *self.stopped.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout`; returns whether stop was signalled.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.stopped.lock().unwrap_or_else(PoisonError::into_inner);
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |stopped| !*stopped)
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard
+    }
+}
+
+/// The background rebalance thread's handle, joined when the broker's
+/// last reference drops.
+struct RebalancerHandle {
+    stop: Arc<StopLatch>,
+    thread: JoinHandle<()>,
 }
 
 pub(crate) struct BrokerInner {
-    /// One engine per shard, each behind its own lock: subscription
-    /// churn write-locks exactly one shard (and live migration exactly
-    /// two), so publishers keep matching on every other shard.
-    shards: Vec<RwLock<BoxedEngine>>,
-    /// Global ↔ (shard, local) id translation, placement loads and the
-    /// stored expressions migration re-subscribes — the same directory
-    /// [`boolmatch_core::ShardedEngine`] uses, shared here behind its
-    /// own lock.
+    /// The current shard set (cells + parallel pipeline), swapped
+    /// wholesale by [`Broker::resize`]. Steady-state readers take the
+    /// lock only long enough to clone the `Arc`.
+    shard_set: RwLock<Arc<ShardSet>>,
+    /// The **write-side** placement directory: global id ↔ placement,
+    /// loads and the stored expressions migration re-subscribes.
+    /// Touched by subscribe/unsubscribe/migrate/resize only — the
+    /// publish paths never acquire this lock (each shard's translation
+    /// map, under that shard's own lock, serves matched-id
+    /// translation). `tests/hot_path.rs` holds this lock's write side
+    /// across publishes to prove it.
     ///
     /// **Lock order:** the directory lock is *innermost* — it is only
     /// ever acquired while holding at most shard locks, and nothing
     /// acquires a shard lock while holding it. Shard locks themselves
     /// are only ever multiply-acquired in ascending index order
-    /// (migration), so the broker's lock graph is acyclic.
+    /// (migration), and the shard-set lock is never held across any
+    /// other acquisition, so the broker's lock graph is acyclic.
     directory: RwLock<SubscriptionDirectory>,
+    /// Serializes the control plane — migrate/rebalance/resize and the
+    /// background thread's ticks — so a resize can never swap the shard
+    /// set out from under a running migration.
+    maintenance: Mutex<()>,
+    /// Last per-shard hit snapshot the frequency-weighted rebalancer
+    /// compared against (ticks act on deltas, not lifetime totals).
+    freq_baseline: Mutex<Vec<u64>>,
     senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
     policy: DeliveryPolicy,
     stats: AtomicStats,
-    /// `None` on single-shard brokers: their publish path is exactly
-    /// the pre-fan-out sequential walk.
-    fanout: Option<Fanout>,
     /// Heap-byte cap above which a publish scratch is trimmed after
     /// use instead of keeping its high-water capacity — applied to the
     /// fan-out [`ScratchPool`] on return *and* to the sequential
     /// path's thread-local scratch after each publish/batch.
     scratch_trim_cap: usize,
-    /// Stored in the directory instead of a per-subscription `Expr`
-    /// clone on single-shard brokers, where migration is unreachable
-    /// and the expression would never be read.
-    placeholder_expr: Arc<Expr>,
     /// Bumped once per committed relocation (under the directory write
     /// lock). A publish snapshots it before matching and after its last
     /// translation: only when the two differ can the matched set hold
@@ -189,60 +359,81 @@ pub(crate) struct BrokerInner {
     /// Live-subscription count at which publishes switch from the
     /// sequential shard walk to the parallel fan-out.
     parallel_threshold: usize,
+    /// The builder's worker-thread override, kept so a resize can
+    /// rebuild the pipeline with the same policy.
+    worker_threads: Option<usize>,
+    /// Engine kind a grow appends (the first shard's kind at build
+    /// time).
+    grow_kind: EngineKind,
+    /// The background rebalance thread, when configured.
+    rebalancer: Mutex<Option<RebalancerHandle>>,
+}
+
+impl Drop for BrokerInner {
+    fn drop(&mut self) {
+        if let Some(handle) = self.rebalancer.get_mut().take() {
+            handle.stop.signal();
+            // The last broker reference can die on the rebalancer
+            // thread itself (its tick upgrades the Weak into a
+            // temporary strong handle); joining ourselves would
+            // deadlock — the thread is already past its loop and
+            // exits on its own.
+            if handle.thread.thread().id() != std::thread::current().id() {
+                let _ = handle.thread.join();
+            }
+        }
+    }
 }
 
 impl BrokerInner {
+    fn shard_set(&self) -> Arc<ShardSet> {
+        Arc::clone(&self.shard_set.read())
+    }
+
     pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> bool {
         let existed = self.senders.write().remove(&id).is_some();
         if existed {
             // The sender map is the source of truth; the directory and
-            // engine state follow. Retiring the directory entry first
+            // shard state follow. Retiring the directory entry first
             // means a concurrent migration of this subscription aborts
             // cleanly (its `relocate` finds the entry gone and undoes
             // the target-side copy) and a concurrent match drops the id
             // at translation — whose delivery the removed sender would
-            // have skipped anyway.
+            // have skipped anyway. With recycled ids the retire is
+            // generation-checked, so a stale handle from an earlier
+            // occupancy of the slot was already a no-op at the sender
+            // map and can never reach here.
             let (shard, local, _expr) = self
                 .directory
                 .write()
                 .retire(id)
                 .expect("sender map and directory are kept in sync");
-            self.shards[shard]
-                .write()
-                .unsubscribe(local)
-                .expect("directory and shard engines are kept in sync");
+            // The shard-set snapshot is taken *after* the retire: the
+            // directory lock hand-off guarantees any resize that grew
+            // the set before our entry was placed is visible. A shard
+            // index beyond the snapshot means the shard was drained and
+            // dropped by a shrink while we raced it — its engine went
+            // with it, so there is nothing left to unsubscribe.
+            let set = self.shard_set();
+            if let Some(cell) = set.shards.get(shard) {
+                let mut state = cell.state.write();
+                // `clear_if` is the stale-cell guard: only if this
+                // local slot still belongs to *our* global id do we
+                // touch the engine (a drain may have completed the
+                // removal on our behalf, or — across a shrink+grow — a
+                // fresh shard may live at this index).
+                if state.translation.clear_if(local, id) {
+                    state
+                        .engine
+                        .unsubscribe(local)
+                        .expect("translation and shard engine are kept in sync");
+                }
+            }
             self.stats
                 .subscriptions_removed
                 .fetch_add(1, Ordering::Relaxed);
         }
         existed
-    }
-
-    /// Matches `event` against every shard (read lock each, one at a
-    /// time) and appends the matched **global** ids to `out`.
-    ///
-    /// Translation happens *under the shard's read lock*: migration
-    /// commits a relocation only while holding that shard's write lock,
-    /// so the reverse mapping of a just-matched local id cannot be
-    /// repointed before it is read here. A `None` translation means a
-    /// racing unsubscribe retired the id — it is dropped, exactly as
-    /// delivery would drop its removed sender. A shard that matched
-    /// nothing skips the directory lock entirely.
-    fn match_into(&self, event: &Event, scratch: &mut MatchScratch, out: &mut Vec<SubscriptionId>) {
-        for (s, lock) in self.shards.iter().enumerate() {
-            let engine = lock.read();
-            engine.match_event_into(event, scratch);
-            if scratch.matched().is_empty() {
-                continue;
-            }
-            let directory = self.directory.read();
-            out.extend(
-                scratch
-                    .matched()
-                    .iter()
-                    .filter_map(|&l| directory.global_of(s, l)),
-            );
-        }
     }
 }
 
@@ -259,6 +450,11 @@ impl Broker {
     /// Starts configuring a broker.
     pub fn builder() -> BrokerBuilder {
         BrokerBuilder::default()
+    }
+
+    /// The current resize epoch's shard set.
+    fn shard_set(&self) -> Arc<ShardSet> {
+        self.inner.shard_set()
     }
 
     /// Registers a subscription written in the subscription language
@@ -287,31 +483,35 @@ impl Broker {
         // placement). Only the chosen shard is then write-locked, so
         // registration never stalls matching on the other shards; the
         // reservation is cancelled if the engine refuses the
-        // expression, and committed — issuing the arrival-order global
-        // id — once the engine has assigned the local id.
+        // expression, and committed — issuing the global id — once the
+        // engine has assigned the local id. The shard-set snapshot is
+        // taken *after* the placement: the directory lock hand-off
+        // guarantees a placement on a freshly grown shard only happens
+        // once the grown set is visible, and a shrink restricts
+        // placement before any dying cell leaves the set.
         let shard = self.inner.directory.write().place();
-        let local = match self.inner.shards[shard].write().subscribe(expr) {
+        let set = self.shard_set();
+        let cell = &set.shards[shard];
+        // The expression is stored for every broker — including
+        // single-shard ones, which `resize` can grow into migrating
+        // multi-shard brokers at any time. (The PR-4 placeholder
+        // shortcut is gone, and with it the accounting fib that those
+        // entries were free.) Cloned before the shard lock: the deep
+        // copy must not extend the window in which publishes on this
+        // shard are stalled.
+        let stored = Arc::new(expr.clone());
+        let mut state = cell.state.write();
+        let local = match state.engine.subscribe(expr) {
             Ok(local) => local,
             Err(e) => {
+                drop(state);
                 self.inner.directory.write().cancel(shard);
                 return Err(e.into());
             }
         };
-        // Single-shard brokers can never migrate (and have no resize),
-        // so the directory's stored expression would be dead weight on
-        // the most common configuration: share one placeholder instead
-        // of deep-cloning every subscription, via the uncharged
-        // `commit_shared` so memory accounting stays truthful.
-        let id = if self.shard_count() == 1 {
-            let stored = Arc::clone(&self.inner.placeholder_expr);
-            self.inner
-                .directory
-                .write()
-                .commit_shared(shard, local, stored)
-        } else {
-            let stored = Arc::new(expr.clone());
-            self.inner.directory.write().commit(shard, local, stored)
-        };
+        let id = self.inner.directory.write().commit(shard, local, stored);
+        state.translation.set(local, id);
+        drop(state);
         let (tx, rx) = self.inner.policy.channel();
         self.inner.senders.write().insert(id, tx);
         self.inner
@@ -349,29 +549,38 @@ impl Broker {
     /// deduplicates matched ids). Events published after `migrate`
     /// returns always see the subscription at its new placement.
     pub fn migrate(&self, max_moves: usize) -> usize {
+        let _maintenance = self.inner.maintenance.lock();
+        self.migrate_locked(max_moves)
+    }
+
+    /// [`Broker::migrate`] body, with the maintenance lock already
+    /// held (so `resize` and the background thread can compose it).
+    fn migrate_locked(&self, max_moves: usize) -> usize {
         // Bound how long one lock acquisition of the shard pair is
         // held: a large drain (rebalance() on a heavily skewed broker)
         // is chunked, releasing and re-acquiring the pair's write
         // locks between chunks so publishers reaching those shards are
         // stalled for at most one chunk, not the whole drain.
         const MIGRATE_CHUNK: usize = 64;
+        let set = self.shard_set();
         let mut moved = 0;
         while moved < max_moves {
             let Some((from, to)) = self.inner.directory.read().skew_pair() else {
                 break;
             };
-            let step = self.migrate_between(from, to, (max_moves - moved).min(MIGRATE_CHUNK));
+            let step = self.migrate_between(
+                &set,
+                from,
+                to,
+                (max_moves - moved).min(MIGRATE_CHUNK),
+                MigrateMode::Balance,
+            );
             if step == 0 {
                 break;
             }
             moved += step;
         }
-        if moved > 0 {
-            self.inner
-                .stats
-                .subscriptions_migrated
-                .fetch_add(moved as u64, Ordering::Relaxed);
-        }
+        self.note_migrated(moved);
         moved
     }
 
@@ -383,77 +592,321 @@ impl Broker {
         self.migrate(usize::MAX)
     }
 
+    /// One frequency-weighted rebalance tick: compares each shard's
+    /// match counter against the last tick's snapshot and live-migrates
+    /// up to `max_moves` subscriptions from the shard with the highest
+    /// match delta to the one with the lowest — evening out observed
+    /// **match load**, not subscription counts. Returns the number of
+    /// subscriptions moved (0 when the skew is within
+    /// [`MATCH_FREQUENCY_SKEW_FLOOR`], when the hot shard has a single
+    /// subscription, or on the re-arming call after a resize changed
+    /// the shard set).
+    ///
+    /// This is the tick the
+    /// [`MatchFrequency`](RebalancePolicy::MatchFrequency) background
+    /// thread runs on its interval; it is public so operators and tests
+    /// can drive the same policy deterministically.
+    pub fn rebalance_by_match_frequency(&self, max_moves: usize) -> usize {
+        let _maintenance = self.inner.maintenance.lock();
+        let set = self.shard_set();
+        if set.shards.len() < 2 {
+            return 0;
+        }
+        let hits: Vec<u64> = set
+            .shards
+            .iter()
+            .map(|cell| cell.hits.load(Ordering::Relaxed))
+            .collect();
+        let deltas: Vec<u64> = {
+            let mut baseline = self.inner.freq_baseline.lock();
+            if baseline.len() != hits.len() {
+                // The shard set changed since the last tick: re-arm and
+                // measure a fresh interval instead of comparing
+                // counters across unrelated cells.
+                *baseline = hits;
+                return 0;
+            }
+            let deltas = hits
+                .iter()
+                .zip(baseline.iter())
+                // Saturating: a shrink+grow can put a fresh cell (with
+                // a zeroed counter) at an index that had history.
+                .map(|(hit, base)| hit.saturating_sub(*base))
+                .collect();
+            *baseline = hits;
+            deltas
+        };
+        let mut hot = 0;
+        let mut cool = 0;
+        for (i, &delta) in deltas.iter().enumerate() {
+            if delta > deltas[hot] {
+                hot = i;
+            }
+            if delta < deltas[cool] {
+                cool = i;
+            }
+        }
+        // Act only on real skew: the hot shard must out-match the cool
+        // one by 2× plus an absolute floor, and must keep at least one
+        // subscription.
+        if hot == cool
+            || deltas[hot] < 2 * deltas[cool] + MATCH_FREQUENCY_SKEW_FLOOR
+            || self.inner.directory.read().load(hot) <= 1
+        {
+            return 0;
+        }
+        let moved = self.migrate_between(&set, hot, cool, max_moves, MigrateMode::Frequency);
+        self.note_migrated(moved);
+        moved
+    }
+
+    fn note_migrated(&self, moved: usize) {
+        if moved > 0 {
+            self.inner
+                .stats
+                .subscriptions_migrated
+                .fetch_add(moved as u64, Ordering::Relaxed);
+        }
+    }
+
     /// One migration batch between a fixed shard pair, bounded by
     /// `cap` moves: both shard locks are taken once (in ascending index
     /// order — the broker-wide discipline that keeps concurrent
-    /// migrations deadlock-free) and held while subscriptions move
-    /// until the pair is balanced.
-    fn migrate_between(&self, from: usize, to: usize, cap: usize) -> usize {
+    /// migrations deadlock-free) and held while subscriptions move,
+    /// with `mode` deciding when the pair is done.
+    fn migrate_between(
+        &self,
+        set: &ShardSet,
+        from: usize,
+        to: usize,
+        cap: usize,
+        mode: MigrateMode,
+    ) -> usize {
         debug_assert_ne!(from, to);
         let (lo, hi) = (from.min(to), from.max(to));
-        let lo_guard = self.inner.shards[lo].write();
-        let hi_guard = self.inner.shards[hi].write();
-        let (mut from_engine, mut to_engine) = if from < to {
+        let lo_guard = set.shards[lo].state.write();
+        let hi_guard = set.shards[hi].state.write();
+        let (mut from_state, mut to_state) = if from < to {
             (lo_guard, hi_guard)
         } else {
             (hi_guard, lo_guard)
         };
         let mut moved = 0;
         while moved < cap {
-            // Re-plan every step against the live directory: concurrent
-            // unsubscribes (which never need these shard locks to
-            // retire an entry) may have rebalanced the pair or removed
-            // the intended victim already.
-            let (global, local, expr) = {
+            {
+                // Re-plan every step against the live directory:
+                // concurrent unsubscribes (which never need these shard
+                // locks to retire an entry) may have rebalanced the
+                // pair already.
                 let directory = self.inner.directory.read();
-                if directory.load(from) <= directory.load(to) + 1 {
+                let done = match mode {
+                    MigrateMode::Balance => directory.load(from) <= directory.load(to) + 1,
+                    MigrateMode::Frequency => directory.load(from) <= 1,
+                    MigrateMode::Drain => false,
+                };
+                if done {
                     break;
                 }
-                let Some((global, local)) = directory.last_resident(from) else {
-                    break;
-                };
-                let expr = Arc::clone(
-                    directory
-                        .expr_of(global)
-                        .expect("residents hold live directory entries"),
-                );
-                (global, local, expr)
+            }
+            // The victim comes from the source shard's own translation
+            // map (we hold its write lock, so the map cannot move under
+            // us); the directory is then consulted for the stored
+            // expression and to confirm the entry is still live.
+            let Some((global, local)) = from_state.translation.last_resident() else {
+                break;
             };
-            let Ok(new_local) = to_engine.subscribe(&expr) else {
-                break; // heterogeneous target refused; nothing moved
+            let expr = {
+                let directory = self.inner.directory.read();
+                match directory.placement_of(global) {
+                    Some((shard, at)) if shard == from && at == local => Arc::clone(
+                        directory
+                            .expr_of(global)
+                            .expect("live placements store their expression"),
+                    ),
+                    _ => {
+                        // A racing unsubscribe retired the entry
+                        // directory-first and is now parked on this
+                        // shard's write lock (which we hold). Complete
+                        // the shard-side removal on its behalf; its own
+                        // `clear_if` then finds the slot gone and
+                        // skips. Not a migration — re-plan.
+                        let cleared = from_state.translation.clear_if(local, global);
+                        debug_assert!(cleared);
+                        from_state
+                            .engine
+                            .unsubscribe(local)
+                            .expect("translation and shard engine are kept in sync");
+                        continue;
+                    }
+                }
+            };
+            let Ok(new_local) = to_state.engine.subscribe(&expr) else {
+                // A heterogeneous target refused the expression. For
+                // balancing that just means the subscription stays put
+                // — but a drain has nowhere else to leave it, and
+                // silently retrying would spin forever on the same
+                // refusal: honour `resize`'s documented panic instead
+                // (matching `ShardedEngine::resize`).
+                assert!(
+                    mode != MigrateMode::Drain,
+                    "a surviving shard refused a drained subscription"
+                );
+                break;
             };
             let relocated = {
                 let mut directory = self.inner.directory.write();
                 let relocated = directory.relocate(global, from, local, to, new_local);
                 if relocated {
                     // Bumped inside the directory critical section: a
-                    // publisher that observes the new mapping (it takes
-                    // the directory read lock to translate) is then
-                    // guaranteed to also observe the bumped epoch on
-                    // its post-match check and dedup. Bumping after
-                    // the lock is released would leave a window where
-                    // a racing publish translates the moved
-                    // subscription twice yet still sees the old epoch;
-                    // a failed relocate changed no mapping, so it
-                    // bumps nothing and forces no spurious sorts.
+                    // racing publish that translated the moved
+                    // subscription on both shards is then guaranteed to
+                    // observe the bumped epoch on its post-match check
+                    // and dedup; a failed relocate changed no mapping,
+                    // so it bumps nothing and forces no spurious sorts.
                     self.inner.migration_epoch.fetch_add(1, Ordering::Release);
                 }
                 relocated
             };
             if relocated {
-                from_engine
+                from_state
+                    .engine
                     .unsubscribe(local)
                     .expect("directory and shard engines are kept in sync");
+                let cleared = from_state.translation.clear_if(local, global);
+                debug_assert!(cleared, "relocated entries were resident");
+                to_state.translation.set(new_local, global);
                 moved += 1;
             } else {
                 // The victim was retired between planning and commit;
-                // undo the target-side copy and re-plan.
-                to_engine
+                // undo the target-side copy and re-plan (the next
+                // iteration's placement check completes the
+                // source-side removal).
+                to_state
+                    .engine
                     .unsubscribe(new_local)
                     .expect("the fresh target copy is removable");
             }
         }
         moved
+    }
+
+    /// Grows or shrinks the broker to `new_shards` engine shards,
+    /// **live**: publishes, subscribes and unsubscribes keep flowing
+    /// throughout, and no subscription changes its id, handle or
+    /// delivery stream. Returns the number of subscriptions migrated
+    /// (growing moves none — new shards start empty; follow with
+    /// [`Broker::rebalance`], or let the background thread spread load
+    /// onto them).
+    ///
+    /// The shard/lock array itself is replaced behind an **epoch
+    /// swap**: surviving shards keep their cells (lock, translation
+    /// map, match counters — publishes holding the old epoch finish
+    /// against the same cells), a grow appends fresh engines of the
+    /// build-time kind, and a shrink first restricts placement to the
+    /// survivors, drains each dying shard via live migration, and only
+    /// then swaps the dying cells out. The parallel fan-out pipeline is
+    /// carried across when its worker count still fits, rebuilt
+    /// otherwise, and dropped at one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_shards` is zero, or if a surviving shard refuses
+    /// a drained subscription (possible only with heterogeneous
+    /// [`BrokerBuilder::engine_instances`]).
+    pub fn resize(&self, new_shards: usize) -> usize {
+        assert!(new_shards > 0, "a broker needs at least one engine shard");
+        let _maintenance = self.inner.maintenance.lock();
+        let old_set = self.shard_set();
+        let old = old_set.shards.len();
+        let mut moved = 0;
+        if new_shards == old {
+            return 0;
+        }
+        if new_shards > old {
+            let mut shards = old_set.shards.clone();
+            for _ in old..new_shards {
+                shards.push(Arc::new(ShardCell::new(self.inner.grow_kind.build())));
+            }
+            let fanout = self.fanout_for(&old_set, new_shards);
+            // Swap first, then grow the directory: a placement can only
+            // choose the new shards after the directory grows, and any
+            // thread that observes the grown directory also observes
+            // the swapped set (both handed off through the locks in
+            // that order).
+            *self.inner.shard_set.write() = Arc::new(ShardSet { shards, fanout });
+            let mut directory = self.inner.directory.write();
+            for _ in old..new_shards {
+                directory.add_shard();
+            }
+        } else {
+            // Shrink. 1: no new subscription may land on a dying shard
+            // from here on.
+            self.inner.directory.write().restrict_placement(new_shards);
+            // 2: drain every dying shard onto the survivors via live
+            // migration, spreading chunk by chunk (least-loaded target
+            // per chunk). A dying shard's load can briefly exceed its
+            // residents — an in-flight subscribe placed there before
+            // the restriction commits moments later — so the drain
+            // loops until the directory agrees the shard is empty.
+            const DRAIN_CHUNK: usize = 64;
+            for dying in (new_shards..old).rev() {
+                loop {
+                    let drained = {
+                        let directory = self.inner.directory.read();
+                        directory.load(dying) == 0
+                    } && old_set.shards[dying].state.read().translation.is_empty();
+                    if drained {
+                        break;
+                    }
+                    let to = {
+                        let mut directory = self.inner.directory.write();
+                        let to = directory.place_among(new_shards);
+                        directory.cancel(to); // relocate moves the load itself
+                        to
+                    };
+                    let step =
+                        self.migrate_between(&old_set, dying, to, DRAIN_CHUNK, MigrateMode::Drain);
+                    moved += step;
+                    if step == 0 {
+                        // Nothing movable yet (in-flight reservation):
+                        // let the subscriber commit or cancel.
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            // 3: swap the dying cells out of the epoch; publishes still
+            // holding the old set match empty engines there.
+            let shards: Vec<Arc<ShardCell>> = old_set.shards[..new_shards].to_vec();
+            let fanout = self.fanout_for(&old_set, new_shards);
+            *self.inner.shard_set.write() = Arc::new(ShardSet { shards, fanout });
+            // 4: shrink the directory to match.
+            let mut directory = self.inner.directory.write();
+            for _ in new_shards..old {
+                directory.remove_last_shard();
+            }
+        }
+        // Frequency ticks must not compare counters across shard sets.
+        self.inner.freq_baseline.lock().clear();
+        self.note_migrated(moved);
+        moved
+    }
+
+    /// The parallel pipeline for a `new_count`-shard set: none below
+    /// two shards, the old epoch's pipeline when its worker count still
+    /// matches the sizing policy, a fresh one otherwise.
+    fn fanout_for(&self, old_set: &ShardSet, new_count: usize) -> Option<Fanout> {
+        if new_count < 2 {
+            return None;
+        }
+        let threads = self.inner.worker_threads.unwrap_or_else(|| {
+            (new_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        });
+        if let Some(fanout) = &old_set.fanout {
+            if fanout.pool.threads() == threads {
+                return Some(fanout.clone());
+            }
+        }
+        Some(Fanout::new(threads, self.inner.scratch_trim_cap))
     }
 
     /// Live subscriptions per shard (placement reservations included) —
@@ -462,18 +915,54 @@ impl Broker {
         self.inner.directory.read().loads().to_vec()
     }
 
+    /// Lifetime matches each shard has produced
+    /// (`MatchStats::matched`, summed over publishes) — the counters
+    /// the [`MatchFrequency`](RebalancePolicy::MatchFrequency)
+    /// rebalancer balances on.
+    pub fn shard_match_hits(&self) -> Vec<u64> {
+        self.shard_set()
+            .shards
+            .iter()
+            .map(|cell| cell.hits.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Whether a background rebalance thread is attached (see
+    /// [`BrokerBuilder::background_rebalance`]).
+    pub fn background_rebalance_active(&self) -> bool {
+        self.inner.rebalancer.lock().is_some()
+    }
+
+    /// Runs `f` while holding the placement directory's **write** lock
+    /// — blocking every subscribe/unsubscribe/migrate/resize, but (by
+    /// design) no publish. This is a verification hook: the hot-path
+    /// contract says steady-state publishing never touches the
+    /// directory lock, and `tests/hot_path.rs` proves it by publishing
+    /// through this window.
+    #[doc(hidden)]
+    pub fn with_directory_write_held<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.inner.directory.write();
+        f()
+    }
+
     /// Publishes an event: matches it against every subscription and
     /// queues notifications to the matching subscribers. Returns the
     /// number of notifications delivered.
     ///
     /// Matching visits each shard under that shard's **read** lock with
-    /// a thread-local [`MatchScratch`], so concurrent publishers match
-    /// in parallel and a write-locked shard (a subscription in
-    /// progress) delays only its own shard's portion of the match. All
-    /// locks are released before delivery; the thread-local borrow
-    /// covers only matching. The matched buffer is reused across
-    /// publishes on the same thread — the steady-state publish path
-    /// allocates only the `Arc` around the event.
+    /// a thread-local [`MatchScratch`], and translates matched local
+    /// ids through the shard's own translation map **under that same
+    /// lock** — the matching/translation phase acquires no
+    /// broker-global lock beyond the one-pointer clone of the current
+    /// shard set (and, in particular, never the placement directory's;
+    /// delivery afterwards takes the sender-map read lock, outside all
+    /// engine locks). Concurrent
+    /// publishers match in parallel and a write-locked shard (a
+    /// subscription in progress) delays only its own shard's portion of
+    /// the match. All locks are released before delivery; the
+    /// thread-local borrow covers only matching. The matched buffer is
+    /// reused across publishes on the same thread — the steady-state
+    /// publish path allocates only the `Arc` around the event.
     ///
     /// On a multi-shard broker at or above the builder's
     /// [`parallel threshold`](BrokerBuilder::parallel_threshold), the
@@ -488,10 +977,11 @@ impl Broker {
     /// unsubscribe — possible when the handle's broker reference was
     /// already gone) are pruned.
     pub fn publish(&self, event: Event) -> usize {
-        if self.parallel_eligible() {
-            return self.publish_parallel(&Arc::new(event));
+        let set = self.shard_set();
+        if self.parallel_eligible(&set) {
+            return self.publish_parallel(&set, &Arc::new(event));
         }
-        let matched = self.matched_via(|scratch, out| self.inner.match_into(&event, scratch, out));
+        let matched = self.matched_via(|scratch, out| self.match_into(&set, &event, scratch, out));
         // The Arc wrap stays lazy (inside deliver_matched) so an
         // unmatched event costs no allocation at all.
         let delivered = self.deliver_matched(event, &matched);
@@ -504,10 +994,11 @@ impl Broker {
     /// the fan-out workers and every delivered notification, and the
     /// event is never cloned.
     pub fn publish_arc(&self, event: Arc<Event>) -> usize {
-        if self.parallel_eligible() {
-            return self.publish_parallel(&event);
+        let set = self.shard_set();
+        if self.parallel_eligible(&set) {
+            return self.publish_parallel(&set, &event);
         }
-        let matched = self.matched_via(|scratch, out| self.inner.match_into(&event, scratch, out));
+        let matched = self.matched_via(|scratch, out| self.match_into(&set, &event, scratch, out));
         let delivered = self.deliver_matched_arc(&event, &matched);
         self.return_matched(matched);
         delivered
@@ -516,9 +1007,9 @@ impl Broker {
     /// The parallel publish pipeline: one job per remote shard on the
     /// persistent worker pool, shard 0 matched inline by the caller,
     /// results merged in shard order.
-    fn publish_parallel(&self, event: &Arc<Event>) -> usize {
+    fn publish_parallel(&self, set: &Arc<ShardSet>, event: &Arc<Event>) -> usize {
         let matched =
-            self.matched_via(|scratch, out| self.match_parallel_into(event, scratch, out));
+            self.matched_via(|scratch, out| self.match_parallel_into(set, event, scratch, out));
         let delivered = self.deliver_matched_arc(event, &matched);
         self.return_matched(matched);
         delivered
@@ -550,6 +1041,35 @@ impl Broker {
             .events_published
             .fetch_add(1, Ordering::Relaxed);
         matched
+    }
+
+    /// Matches `event` against every shard (read lock each, one at a
+    /// time) and appends the matched **global** ids to `out`.
+    ///
+    /// Translation goes through the shard's own map *under the shard's
+    /// read lock*: migration commits a relocation only while holding
+    /// that shard's write lock, so the mapping of a just-matched local
+    /// id cannot be repointed before it is read here. A `None`
+    /// translation means a racing unsubscribe retired the id — it is
+    /// dropped, exactly as delivery would drop its removed sender.
+    fn match_into(
+        &self,
+        set: &ShardSet,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        for cell in &set.shards {
+            let state = cell.state.read();
+            let stats = state.engine.match_event_into(event, scratch);
+            cell.record_hits(&stats);
+            out.extend(
+                scratch
+                    .matched()
+                    .iter()
+                    .filter_map(|&l| state.translation.global_of(l)),
+            );
+        }
     }
 
     /// Snapshot of the migration epoch, taken before matching starts;
@@ -613,10 +1133,10 @@ impl Broker {
     }
 
     /// Whether the next publish should fan out across shards: requires
-    /// the worker pool (multi-shard brokers only) and at least
+    /// the worker pool (multi-shard sets only) and at least
     /// `parallel_threshold` live subscriptions.
-    fn parallel_eligible(&self) -> bool {
-        if self.inner.fanout.is_none() {
+    fn parallel_eligible(&self, set: &ShardSet) -> bool {
+        if set.fanout.is_none() {
             return false;
         }
         let stats = &self.inner.stats;
@@ -627,76 +1147,73 @@ impl Broker {
 
     /// Matches `event` against every shard concurrently and appends the
     /// matched **global** ids to `out`, in shard order — the same
-    /// sequence [`BrokerInner::match_into`]'s sequential walk produces.
+    /// sequence [`Broker::match_into`]'s sequential walk produces.
     ///
     /// Each worker takes its shard's read lock, matches into a warm
     /// [`MatchScratch`] leased from the scratch pool (checkout hygiene
     /// — reset + capacity — happens once per lease), translates the
-    /// shard-local ids to global ids in place, releases the lock, and
-    /// parks the lease in its [`FanOut`] slot. The caller matches
-    /// shard 0 itself with the thread-local scratch, then merges the
-    /// slots in shard index order. The rendezvous is panic-safe: a
-    /// worker that dies completes its slot empty instead of wedging the
-    /// publish.
+    /// shard-local ids to global ids in place through the shard's own
+    /// map, releases the lock, and parks the lease in its [`FanOut`]
+    /// slot. The rendezvous itself is leased from a [`FanOutPool`] —
+    /// the steady-state parallel publish allocates neither scratches
+    /// nor the rendezvous. The caller matches shard 0 itself with the
+    /// thread-local scratch, then merges the slots in shard index
+    /// order. The rendezvous is panic-safe: a worker that dies
+    /// completes its slot empty instead of wedging the publish.
+    ///
+    /// Jobs capture only their shard's cell and the scratch pool —
+    /// never the broker — so a fan-out job can never be the one
+    /// holding the broker's last reference.
     fn match_parallel_into(
         &self,
+        set: &Arc<ShardSet>,
         event: &Arc<Event>,
         scratch: &mut MatchScratch,
         out: &mut Vec<SubscriptionId>,
     ) {
-        let shards = self.inner.shards.len();
-        let fan = self.inner.fanout.as_ref().expect("parallel needs a pool");
-        let run: Arc<FanOut<ScratchLease>> = FanOut::new(shards - 1);
+        let shards = set.shards.len();
+        let fan = set.fanout.as_ref().expect("parallel needs a pool");
+        let run: Arc<FanOut<ScratchLease>> = fan.publish_rendezvous.checkout(shards - 1);
         for s in 1..shards {
             let slot = run.slot(s - 1);
-            let inner = Arc::clone(&self.inner);
+            let cell = Arc::clone(&set.shards[s]);
+            let scratches = Arc::clone(&fan.scratches);
             let event = Arc::clone(event);
             fan.pool.submit(move || {
                 let lease = {
-                    let fan = inner.fanout.as_ref().expect("fanout lives with the broker");
-                    let engine = inner.shards[s].read();
-                    let mut lease = fan.scratches.lease(&**engine);
-                    engine.match_event_into(&event, &mut lease);
-                    // Directory translation under the shard read lock —
-                    // see `match_into` for why that makes it sound
-                    // against concurrent migration (and why an empty
-                    // match skips the lock).
-                    if !lease.matched().is_empty() {
-                        let directory = inner.directory.read();
-                        lease.translate_matched(|l| directory.global_of(s, l));
-                    }
+                    let state = cell.state.read();
+                    let mut lease = scratches.lease(&*state.engine);
+                    let stats = state.engine.match_event_into(&event, &mut lease);
+                    cell.record_hits(&stats);
+                    // Shard-local translation under the shard read lock
+                    // — see `match_into` for why that makes it sound
+                    // against concurrent migration.
+                    lease.translate_matched(|l| state.translation.global_of(l));
                     lease
                 }; // shard lock released before the rendezvous
-                   // The broker references go first: once the slot
-                   // completes, the publisher may return and drop the last
-                   // external broker handle — this job must not be the one
-                   // holding the final `Arc<BrokerInner>` (its drop would
-                   // tear the worker pool down from inside a worker).
                 drop(event);
-                drop(inner);
+                drop(cell);
                 slot.fill(lease);
             });
         }
         {
-            let engine = self.inner.shards[0].read();
-            engine.match_event_into(event, scratch);
-            if !scratch.matched().is_empty() {
-                let directory = self.inner.directory.read();
-                out.extend(
-                    scratch
-                        .matched()
-                        .iter()
-                        .filter_map(|&l| directory.global_of(0, l)),
-                );
-            }
+            let cell = &set.shards[0];
+            let state = cell.state.read();
+            let stats = state.engine.match_event_into(event, scratch);
+            cell.record_hits(&stats);
+            out.extend(
+                scratch
+                    .matched()
+                    .iter()
+                    .filter_map(|&l| state.translation.global_of(l)),
+            );
         }
         let mut lost = 0u64;
-        for slot in run.wait() {
-            match slot {
-                Some(lease) => out.extend_from_slice(lease.matched()),
-                None => lost += 1,
-            }
-        }
+        run.wait_each(|slot| match slot {
+            Some(lease) => out.extend_from_slice(lease.matched()),
+            None => lost += 1,
+        });
+        fan.publish_rendezvous.park(run);
         self.note_lost_workers(lost);
     }
 
@@ -726,7 +1243,8 @@ impl Broker {
     ///
     /// Compared to the one-by-one sequence, the batch acquires each
     /// shard's read lock **once** (matching all events against a shard
-    /// while it is hot in cache), reuses the thread-local scratch
+    /// while it is hot in cache, translating through the shard's own
+    /// map under the same guard), reuses the thread-local scratch
     /// across the whole batch, and takes the sender-map read lock once
     /// for all deliveries. On a multi-shard broker past the
     /// [`parallel threshold`](BrokerBuilder::parallel_threshold) the
@@ -741,7 +1259,8 @@ impl Broker {
         // matched global ids per event. Shard-major order amortises
         // lock acquisitions; buckets keep delivery event-major so
         // per-subscriber notification order equals the sequential one.
-        let parallel = self.parallel_eligible();
+        let set = self.shard_set();
+        let parallel = self.parallel_eligible(&set);
         let epoch = self.migration_epoch();
         let buckets = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
@@ -755,27 +1274,21 @@ impl Broker {
                 buckets.resize_with(events.len(), Vec::new);
             }
             if parallel {
-                self.match_batch_parallel(events, &mut state.scratch, &mut buckets);
+                self.match_batch_parallel(&set, events, &mut state.scratch, &mut buckets);
             } else {
-                for (s, lock) in self.inner.shards.iter().enumerate() {
-                    let engine = lock.read();
+                for cell in &set.shards {
+                    let shard_state = cell.state.read();
                     for (event, bucket) in events.iter().zip(&mut buckets) {
-                        engine.match_event_into(event, &mut state.scratch);
-                        if state.scratch.matched().is_empty() {
-                            continue;
-                        }
-                        // Per-event directory guard: soundness needs it
-                        // only around the translation (under the shard
-                        // read lock); holding it across the whole batch
-                        // would stall every subscribe/unsubscribe/
-                        // migration for the batch's matching phase.
-                        let directory = self.inner.directory.read();
+                        let stats = shard_state
+                            .engine
+                            .match_event_into(event, &mut state.scratch);
+                        cell.record_hits(&stats);
                         bucket.extend(
                             state
                                 .scratch
                                 .matched()
                                 .iter()
-                                .filter_map(|&l| directory.global_of(s, l)),
+                                .filter_map(|&l| shard_state.translation.global_of(l)),
                         );
                     }
                 }
@@ -836,87 +1349,79 @@ impl Broker {
     /// and merges the worker buckets in shard order.
     fn match_batch_parallel(
         &self,
+        set: &Arc<ShardSet>,
         events: &[Arc<Event>],
         scratch: &mut MatchScratch,
         buckets: &mut [Vec<SubscriptionId>],
     ) {
-        let shards = self.inner.shards.len();
-        let fan = self.inner.fanout.as_ref().expect("parallel needs a pool");
+        let shards = set.shards.len();
+        let fan = set.fanout.as_ref().expect("parallel needs a pool");
         // The worker jobs are `'static`; the one per-batch allocation
         // for sharing the event list is this Vec of Arc clones.
         let shared: Arc<Vec<Arc<Event>>> = Arc::new(events.to_vec());
         // Each worker hands back its shard's matches as one flat id
-        // vector plus per-event end offsets (event `e`'s ids are
-        // `flat[ends[e-1]..ends[e]]`) — two allocations per shard per
-        // batch instead of one Vec per event.
-        type ShardMatches = (Vec<SubscriptionId>, Vec<usize>);
-        let run: Arc<FanOut<ShardMatches>> = FanOut::new(shards - 1);
+        // vector plus per-event end offsets — two allocations per shard
+        // per batch instead of one Vec per event; the rendezvous
+        // carrying them is pooled.
+        let run: Arc<FanOut<ShardMatches>> = fan.batch_rendezvous.checkout(shards - 1);
         for s in 1..shards {
             let slot = run.slot(s - 1);
-            let inner = Arc::clone(&self.inner);
+            let cell = Arc::clone(&set.shards[s]);
+            let scratches = Arc::clone(&fan.scratches);
             let shared = Arc::clone(&shared);
             fan.pool.submit(move || {
                 let out = {
-                    let fan = inner.fanout.as_ref().expect("fanout lives with the broker");
-                    let engine = inner.shards[s].read();
-                    let mut lease = fan.scratches.lease(&**engine);
+                    let state = cell.state.read();
+                    let mut lease = scratches.lease(&*state.engine);
                     let mut flat: Vec<SubscriptionId> = Vec::new();
                     let mut ends: Vec<usize> = Vec::with_capacity(shared.len());
                     for event in shared.iter() {
-                        engine.match_event_into(event, &mut lease);
-                        if !lease.matched().is_empty() {
-                            // Per-event directory guard — see the
-                            // sequential batch path.
-                            let directory = inner.directory.read();
-                            flat.extend(
-                                lease
-                                    .matched()
-                                    .iter()
-                                    .filter_map(|&l| directory.global_of(s, l)),
-                            );
-                        }
+                        let stats = state.engine.match_event_into(event, &mut lease);
+                        cell.record_hits(&stats);
+                        flat.extend(
+                            lease
+                                .matched()
+                                .iter()
+                                .filter_map(|&l| state.translation.global_of(l)),
+                        );
                         ends.push(flat.len());
                     }
                     (flat, ends)
                 };
-                // Broker references released before the slot completes
-                // (see `match_parallel_into`): this job must never hold
-                // the final `Arc<BrokerInner>`.
                 drop(shared);
-                drop(inner);
+                drop(cell);
                 slot.fill(out);
             });
         }
         {
-            let engine = self.inner.shards[0].read();
+            let cell = &set.shards[0];
+            let state = cell.state.read();
             for (event, bucket) in events.iter().zip(buckets.iter_mut()) {
-                engine.match_event_into(event, scratch);
-                if scratch.matched().is_empty() {
-                    continue;
-                }
-                let directory = self.inner.directory.read();
+                let stats = state.engine.match_event_into(event, scratch);
+                cell.record_hits(&stats);
                 bucket.extend(
                     scratch
                         .matched()
                         .iter()
-                        .filter_map(|&l| directory.global_of(0, l)),
+                        .filter_map(|&l| state.translation.global_of(l)),
                 );
             }
         }
         // Slot order is shard order, so per-event ids concatenate
         // exactly like the sequential shard-major walk.
         let mut lost = 0u64;
-        for slot in run.wait() {
+        run.wait_each(|slot| {
             let Some((flat, ends)) = slot else {
                 lost += 1;
-                continue;
+                return;
             };
             let mut start = 0usize;
             for (bucket, &end) in buckets.iter_mut().zip(&ends) {
                 bucket.extend_from_slice(&flat[start..end]);
                 start = end;
             }
-        }
+        });
+        fan.batch_rendezvous.park(run);
         self.note_lost_workers(lost);
     }
 
@@ -997,42 +1502,54 @@ impl Broker {
         self.inner.senders.read().len()
     }
 
-    /// Number of engine shards subscriptions are partitioned across.
+    /// Number of engine shards subscriptions are partitioned across
+    /// (the current resize epoch's).
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.shard_set().shards.len()
     }
 
     /// Number of persistent fan-out worker threads (0 on single-shard
     /// brokers, which have no parallel pipeline).
     pub fn parallel_workers(&self) -> usize {
-        self.inner.fanout.as_ref().map_or(0, |f| f.pool.threads())
+        self.shard_set()
+            .fanout
+            .as_ref()
+            .map_or(0, |f| f.pool.threads())
     }
 
     /// The fan-out scratch pool, for observability (steady-state memory
     /// probes); `None` on single-shard brokers.
-    pub fn scratch_pool(&self) -> Option<&ScratchPool> {
-        self.inner.fanout.as_ref().map(|f| &*f.scratches)
+    pub fn scratch_pool(&self) -> Option<Arc<ScratchPool>> {
+        self.shard_set()
+            .fanout
+            .as_ref()
+            .map(|f| Arc::clone(&f.scratches))
     }
 
     /// The engines' memory breakdown, summed across shards, plus the
-    /// subscription directory's tables and stored expressions
-    /// (reported as `unsub_support`).
+    /// routing overhead — the write-side directory's tables and stored
+    /// expressions *and* every shard's read-side translation map —
+    /// reported as `unsub_support`.
     pub fn memory_usage(&self) -> MemoryUsage {
-        let directory = MemoryUsage {
-            unsub_support: self.inner.directory.read().heap_bytes(),
-            ..MemoryUsage::default()
-        };
-        self.inner
-            .shards
-            .iter()
-            .map(|lock| lock.read().memory_usage())
-            .fold(directory, |a, b| a + b)
+        let set = self.shard_set();
+        let mut routing = self.inner.directory.read().heap_bytes();
+        let mut usage = MemoryUsage::default();
+        for cell in &set.shards {
+            let state = cell.state.read();
+            routing += state.translation.heap_bytes();
+            usage = usage + state.engine.memory_usage();
+        }
+        usage
+            + MemoryUsage {
+                unsub_support: routing,
+                ..MemoryUsage::default()
+            }
     }
 
     /// Which engine kind the broker runs (of the first shard, when
     /// heterogeneous engines were supplied).
     pub fn engine_kind(&self) -> EngineKind {
-        self.inner.shards[0].read().kind()
+        self.shard_set().shards[0].state.read().engine.kind()
     }
 
     /// Counter snapshot.
@@ -1047,6 +1564,39 @@ impl Broker {
             subscriptions_migrated: s.subscriptions_migrated.load(Ordering::Relaxed),
             fanout_worker_failures: s.fanout_worker_failures.load(Ordering::Relaxed),
         }
+    }
+
+    /// One background tick of `policy`; returns the subscriptions
+    /// moved.
+    fn background_tick(&self, policy: RebalancePolicy) -> usize {
+        match policy {
+            RebalancePolicy::SubscriptionCount => self.migrate(BACKGROUND_REBALANCE_CHUNK),
+            RebalancePolicy::MatchFrequency => {
+                self.rebalance_by_match_frequency(BACKGROUND_REBALANCE_CHUNK)
+            }
+        }
+    }
+}
+
+/// The background rebalance thread body: tick `policy` every
+/// `interval` until the broker goes away or shutdown is signalled. The
+/// thread holds only a `Weak` reference — it can never keep a dropped
+/// broker alive, and a failed upgrade is its exit signal.
+fn background_rebalance_loop(
+    weak: Weak<BrokerInner>,
+    stop: Arc<StopLatch>,
+    interval: Duration,
+    policy: RebalancePolicy,
+) {
+    while !stop.wait_timeout(interval) {
+        let Some(inner) = weak.upgrade() else {
+            break;
+        };
+        let broker = Broker { inner };
+        broker.background_tick(policy);
+        // `broker` drops here; if an exiting owner raced us, this may
+        // be the last reference — BrokerInner's Drop skips joining the
+        // thread it is running on, so the teardown stays clean.
     }
 }
 
@@ -1115,6 +1665,8 @@ pub struct BrokerBuilder {
     parallel_threshold: Option<usize>,
     worker_threads: Option<usize>,
     scratch_trim_cap: Option<usize>,
+    recycled_ids: bool,
+    background: Option<(Duration, RebalancePolicy)>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -1127,6 +1679,8 @@ impl fmt::Debug for BrokerBuilder {
             .field("parallel_threshold", &self.parallel_threshold)
             .field("worker_threads", &self.worker_threads)
             .field("scratch_trim_cap", &self.scratch_trim_cap)
+            .field("recycled_ids", &self.recycled_ids)
+            .field("background_rebalance", &self.background)
             .finish()
     }
 }
@@ -1144,7 +1698,8 @@ impl BrokerBuilder {
     /// its own lock (default: 1, which is behaviourally identical to an
     /// unsharded broker). More shards mean subscription churn blocks a
     /// smaller slice of concurrent matching and smaller per-shard
-    /// phase-2 state; see the `shard_scaling` bench.
+    /// phase-2 state; see the `shard_scaling` bench. The count can be
+    /// changed live later with [`Broker::resize`].
     ///
     /// Ignored when [`BrokerBuilder::engine_instances`] supplies
     /// pre-built engines (the instance count is the shard count).
@@ -1191,6 +1746,37 @@ impl BrokerBuilder {
     #[must_use]
     pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Bounds the global id table under unbounded subscription churn:
+    /// retired id slots are reissued (LIFO) instead of growing the
+    /// table forever. Every reissue carries a fresh **generation tag**
+    /// in the id's high bits, so a stale handle's late unsubscribe can
+    /// never alias — and remove — the slot's new owner; recycling is
+    /// ABA-safe even with drop-unsubscribing [`Subscription`] handles.
+    /// The trade-off: ids no longer align with an unsharded engine's
+    /// arrival-order ids (relevant to tests comparing against flat
+    /// engines, not to applications).
+    #[must_use]
+    pub fn recycled_ids(mut self) -> Self {
+        self.recycled_ids = true;
+        self
+    }
+
+    /// Attaches a **background rebalance thread**: every `interval` it
+    /// runs one tick of `policy`, live-migrating at most
+    /// [`BACKGROUND_REBALANCE_CHUNK`] subscriptions — continuous,
+    /// amortised rebalancing instead of operator-triggered
+    /// [`Broker::rebalance`] bursts. The thread parks between ticks,
+    /// holds only a weak reference to the broker (it can never keep a
+    /// dropped broker alive), wakes immediately on shutdown, and is
+    /// joined when the last broker handle drops. Ticks serialize with
+    /// operator-driven migration and [`Broker::resize`] on the broker's
+    /// maintenance lock; none of it ever blocks the publish hot path.
+    #[must_use]
+    pub fn background_rebalance(mut self, interval: Duration, policy: RebalancePolicy) -> Self {
+        self.background = Some((interval, policy));
         self
     }
 
@@ -1245,41 +1831,57 @@ impl BrokerBuilder {
             (0..self.shards.max(1)).map(|_| kind.build()).collect()
         });
         let shard_count = engines.len();
+        let grow_kind = engines[0].kind();
+        let scratch_trim_cap = self.scratch_trim_cap.unwrap_or(DEFAULT_SCRATCH_TRIM_CAP);
+        let worker_threads = self.worker_threads;
         // The parallel pipeline exists only when there is more than one
         // shard to fan out over; a single-shard broker builds no worker
         // pool and always takes the sequential walk.
         let fanout = (shard_count >= 2).then(|| {
-            let threads = self.worker_threads.unwrap_or_else(|| {
+            let threads = worker_threads.unwrap_or_else(|| {
                 (shard_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
             });
-            Fanout {
-                pool: WorkerPool::new(threads),
-                // One warm scratch per worker, plus headroom for a slot
-                // probed while a return is in flight.
-                scratches: Arc::new(ScratchPool::with_trim_cap(
-                    threads + 1,
-                    self.scratch_trim_cap.unwrap_or(DEFAULT_SCRATCH_TRIM_CAP),
-                )),
-            }
+            Fanout::new(threads, scratch_trim_cap)
         });
-        Broker {
-            inner: Arc::new(BrokerInner {
-                shards: engines.into_iter().map(RwLock::new).collect(),
-                directory: RwLock::new(SubscriptionDirectory::new(shard_count)),
-                scratch_trim_cap: self.scratch_trim_cap.unwrap_or(DEFAULT_SCRATCH_TRIM_CAP),
-                placeholder_expr: Arc::new(
-                    Expr::parse("__unmigratable = 0").expect("placeholder parses"),
-                ),
-                migration_epoch: AtomicU64::new(0),
-                senders: RwLock::new(HashMap::new()),
-                policy: self.policy,
-                stats: AtomicStats::default(),
-                fanout,
-                parallel_threshold: self
-                    .parallel_threshold
-                    .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
-            }),
+        let shards: Vec<Arc<ShardCell>> = engines
+            .into_iter()
+            .map(|engine| Arc::new(ShardCell::new(engine)))
+            .collect();
+        let directory = if self.recycled_ids {
+            SubscriptionDirectory::with_recycled_ids(shard_count)
+        } else {
+            SubscriptionDirectory::new(shard_count)
+        };
+        let inner = Arc::new(BrokerInner {
+            shard_set: RwLock::new(Arc::new(ShardSet { shards, fanout })),
+            directory: RwLock::new(directory),
+            maintenance: Mutex::new(()),
+            freq_baseline: Mutex::new(Vec::new()),
+            scratch_trim_cap,
+            migration_epoch: AtomicU64::new(0),
+            senders: RwLock::new(HashMap::new()),
+            policy: self.policy,
+            stats: AtomicStats::default(),
+            parallel_threshold: self
+                .parallel_threshold
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
+            worker_threads,
+            grow_kind,
+            rebalancer: Mutex::new(None),
+        });
+        if let Some((interval, policy)) = self.background {
+            let stop = Arc::new(StopLatch::new());
+            let weak = Arc::downgrade(&inner);
+            let thread = {
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("boolmatch-rebalancer".into())
+                    .spawn(move || background_rebalance_loop(weak, stop, interval, policy))
+                    .expect("spawning the background rebalance thread")
+            };
+            *inner.rebalancer.lock() = Some(RebalancerHandle { stop, thread });
         }
+        Broker { inner }
     }
 }
 
@@ -1443,7 +2045,7 @@ mod tests {
                     .iter()
                     .map(|e| sharded.subscribe(e).unwrap())
                     .collect();
-                // Round-robin + stride routing preserves arrival-order ids.
+                // Load-aware placement preserves arrival-order ids.
                 for (a, b) in flat_subs.iter().zip(&sharded_subs) {
                     assert_eq!(a.id(), b.id());
                 }
@@ -1706,11 +2308,10 @@ mod tests {
     }
 
     #[test]
-    fn single_shard_directory_charges_no_expression_heap() {
-        // The shared placeholder must not be charged per subscription:
-        // a flat broker's directory overhead stays table-sized, while
-        // a sharded broker (which stores real expressions for
-        // migration) reports more.
+    fn memory_usage_charges_routing_on_every_shape() {
+        // Satellite fix: a single-shard broker no longer hides its
+        // stored expressions behind an uncharged placeholder, and the
+        // per-shard translation maps are charged on every broker.
         let flat = Broker::builder().build();
         let sharded = Broker::builder().shards(2).build();
         let _flat_subs: Vec<_> = (0..50)
@@ -1719,12 +2320,15 @@ mod tests {
         let _sharded_subs: Vec<_> = (0..50)
             .map(|i| sharded.subscribe(&format!("a = {i} or b = {i}")).unwrap())
             .collect();
-        let flat_dir = flat.memory_usage().unsub_support;
-        let sharded_dir = sharded.memory_usage().unsub_support;
-        assert!(
-            flat_dir < sharded_dir,
-            "flat {flat_dir} should be table-only, sharded {sharded_dir} stores expressions"
-        );
+        let flat_routing = flat.memory_usage().unsub_support;
+        let sharded_routing = sharded.memory_usage().unsub_support;
+        // Both store real expressions now (a flat broker can be resized
+        // into a migrating one at any time), so the routing overhead is
+        // comparable — and decidedly not zero — on both.
+        assert!(flat_routing > 50 * std::mem::size_of::<usize>());
+        assert!(sharded_routing > 50 * std::mem::size_of::<usize>());
+        // An empty broker charges (almost) nothing by comparison.
+        assert!(Broker::builder().build().memory_usage().unsub_support < flat_routing);
     }
 
     #[test]
@@ -1732,6 +2336,7 @@ mod tests {
         let broker = Broker::builder().build();
         let _sub = broker.subscribe("a = 1").unwrap();
         assert_eq!(broker.rebalance(), 0);
+        assert_eq!(broker.rebalance_by_match_frequency(8), 0);
         assert_eq!(broker.shard_loads(), vec![1]);
         assert_eq!(broker.stats().subscriptions_migrated, 0);
     }
@@ -1783,5 +2388,217 @@ mod tests {
         trim_publish_scratch();
         assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
         assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn resize_grows_live_and_rebalance_spreads() {
+        let broker = Broker::builder().shards(2).build();
+        let subs: Vec<_> = (0..8)
+            .map(|i| broker.subscribe(&format!("a = {i} or all = 1")).unwrap())
+            .collect();
+        assert_eq!(broker.resize(4), 0, "growing migrates nothing");
+        assert_eq!(broker.shard_count(), 4);
+        assert_eq!(broker.shard_loads(), vec![4, 4, 0, 0]);
+        // Delivery is unchanged through the grow.
+        assert_eq!(broker.publish(ev(&[("all", 1)])), 8);
+        // New subscriptions fill the new shards first; rebalance then
+        // evens everything out.
+        let extra = broker.subscribe("a = 100").unwrap();
+        assert_eq!(
+            broker
+                .inner
+                .directory
+                .read()
+                .placement_of(extra.id())
+                .unwrap()
+                .0,
+            2
+        );
+        broker.rebalance();
+        let loads = broker.shard_loads();
+        assert!(loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 1);
+        assert_eq!(broker.publish(ev(&[("all", 1)])), 8);
+        for sub in &subs {
+            assert_eq!(sub.drain().len(), 2);
+        }
+        // The pipeline appeared with the second shard.
+        assert!(broker.parallel_workers() >= 1);
+    }
+
+    #[test]
+    fn resize_shrinks_live_and_keeps_every_subscription() {
+        let broker = Broker::builder().shards(4).build();
+        let subs: Vec<_> = (0..12)
+            .map(|i| broker.subscribe(&format!("a = {i} or all = 1")).unwrap())
+            .collect();
+        let moved = broker.resize(2);
+        assert!(moved >= 1, "shrinking drains the dying shards");
+        assert_eq!(broker.shard_count(), 2);
+        assert_eq!(broker.shard_loads().len(), 2);
+        assert_eq!(broker.shard_loads().iter().sum::<usize>(), 12);
+        assert_eq!(broker.stats().subscriptions_migrated, moved as u64);
+        assert_eq!(broker.publish(ev(&[("all", 1)])), 12);
+        // All the way down to a flat broker: the pipeline is gone.
+        broker.resize(1);
+        assert_eq!(broker.shard_count(), 1);
+        assert_eq!(broker.parallel_workers(), 0);
+        assert!(broker.scratch_pool().is_none());
+        assert_eq!(broker.publish(ev(&[("all", 1)])), 12);
+        for sub in &subs {
+            assert_eq!(sub.drain().len(), 2);
+            assert!(broker.unsubscribe(sub.id()));
+        }
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.resize(1), 0, "no-op resize");
+    }
+
+    #[test]
+    #[should_panic(expected = "a surviving shard refused a drained subscription")]
+    fn shrink_panics_when_a_survivor_refuses_a_drained_subscription() {
+        // Heterogeneous shards: the surviving counting shard cannot
+        // accept the huge non-canonical expression living on the dying
+        // shard. The drain must panic (like ShardedEngine::resize), not
+        // spin forever on the refusal.
+        let broker = Broker::builder()
+            .engine_instances(vec![
+                EngineKind::Counting.build(),
+                EngineKind::NonCanonical.build(),
+            ])
+            .build();
+        let _anchor = broker.subscribe("x = 1").unwrap(); // shard 0
+        let huge: String = (0..17)
+            .map(|i| format!("(a{i} = 1 or b{i} = 1)"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let _wide = broker.subscribe(&huge).unwrap(); // shard 1 accepts it
+        broker.resize(1);
+    }
+
+    #[test]
+    fn resize_then_unsubscribe_routes_correctly() {
+        // Ids survive a shrink that migrated their subscriptions, and
+        // handle drops still land on the right shard afterwards.
+        let broker = Broker::builder().shards(3).build();
+        let subs: Vec<_> = (0..9)
+            .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+            .collect();
+        broker.resize(1);
+        broker.resize(4);
+        drop(subs);
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.shard_loads(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn recycled_ids_bound_the_table_and_stay_aba_safe() {
+        let broker = Broker::builder().shards(2).recycled_ids().build();
+        let keeper = broker.subscribe("a = 1").unwrap();
+        // Churn one slot: subscribe/unsubscribe repeatedly.
+        for i in 0..20 {
+            let sub = broker.subscribe(&format!("b = {i}")).unwrap();
+            drop(sub);
+        }
+        // The table stayed bounded: only two slots were ever needed.
+        assert_eq!(broker.inner.directory.read().id_bound(), 2);
+        // The survivor still matches and can still be removed by its
+        // (generation-tagged) id.
+        assert_eq!(broker.publish(ev(&[("a", 1)])), 1);
+        assert_eq!(keeper.drain().len(), 1);
+        drop(keeper);
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn shard_match_hits_follow_delivered_matches() {
+        let broker = Broker::builder().shards(2).build();
+        let _a = broker.subscribe("a = 1").unwrap(); // shard 0
+        let _b = broker.subscribe("b = 1").unwrap(); // shard 1
+        assert_eq!(broker.shard_match_hits(), vec![0, 0]);
+        broker.publish(ev(&[("a", 1)]));
+        broker.publish(ev(&[("a", 1)]));
+        broker.publish(ev(&[("b", 1)]));
+        assert_eq!(broker.shard_match_hits(), vec![2, 1]);
+        // The batch path feeds the same counters.
+        broker.publish_batch_events(&[ev(&[("a", 1)]), ev(&[("b", 1)])]);
+        assert_eq!(broker.shard_match_hits(), vec![3, 2]);
+    }
+
+    #[test]
+    fn match_frequency_rebalance_moves_load_off_the_hot_shard() {
+        let broker = Broker::builder().shards(2).build();
+        // Shard 0 gets the hot subscriptions (arrivals 0, 2, 4, ...),
+        // shard 1 the cold ones — every publish of the hot event then
+        // hits only shard 0.
+        let _subs: Vec<_> = (0..8)
+            .map(|i| {
+                broker
+                    .subscribe(if i % 2 == 0 { "hot = 1" } else { "cold = 1" })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(broker.shard_loads(), vec![4, 4]);
+        // First tick only arms the baseline.
+        assert_eq!(broker.rebalance_by_match_frequency(8), 0);
+        for _ in 0..50 {
+            broker.publish(ev(&[("hot", 1)]));
+        }
+        let hits = broker.shard_match_hits();
+        assert!(hits[0] >= 200 && hits[1] == 0, "skewed: {hits:?}");
+        // The tick sees the skew and moves subscriptions from the hot
+        // shard to the cool one — deliberately unbalancing counts.
+        let moved = broker.rebalance_by_match_frequency(2);
+        assert_eq!(moved, 2);
+        assert_eq!(broker.shard_loads(), vec![2, 6]);
+        // Delivery is untouched throughout.
+        assert_eq!(broker.publish(ev(&[("hot", 1)])), 4);
+        // A quiet interval moves nothing.
+        assert_eq!(broker.rebalance_by_match_frequency(2), 0);
+    }
+
+    #[test]
+    fn background_rebalance_thread_balances_and_shuts_down() {
+        let broker = Broker::builder()
+            .shards(3)
+            .background_rebalance(Duration::from_millis(1), RebalancePolicy::SubscriptionCount)
+            .build();
+        assert!(broker.background_rebalance_active());
+        let mut subs: Vec<_> = (0..12)
+            .map(|i| broker.subscribe(&format!("a = {i}")).unwrap())
+            .collect();
+        // Skew the loads by draining shard 1 (arrivals 1, 4, 7, 10).
+        for &i in &[10usize, 7, 4, 1] {
+            drop(subs.remove(i));
+        }
+        // The background thread must even this out on its own.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let loads = broker.shard_loads();
+            let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
+            if spread <= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background rebalance never balanced: {loads:?}"
+            );
+            std::thread::yield_now();
+        }
+        assert!(broker.stats().subscriptions_migrated >= 1);
+        // Dropping the last handle joins the thread (deadlock here
+        // would hang the test).
+        drop(subs);
+        drop(broker);
+    }
+
+    #[test]
+    fn directory_write_hook_blocks_subscribes_but_not_publishes() {
+        let broker = Broker::builder().shards(2).build();
+        let _sub = broker.subscribe("a = 1").unwrap();
+        let delivered = broker.with_directory_write_held(|| {
+            // A publish completes while the directory is write-held;
+            // the full latch-gated proof lives in tests/hot_path.rs.
+            broker.publish(ev(&[("a", 1)]))
+        });
+        assert_eq!(delivered, 1);
     }
 }

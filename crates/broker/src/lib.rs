@@ -10,30 +10,41 @@
 //! # Threading model
 //!
 //! Subscriptions are partitioned across **engine shards**
-//! ([`Broker::builder`]`.shards(n)`, default 1), each behind its own
-//! [`parking_lot::RwLock`]. Placement is **load-aware** (least-loaded
-//! shard, round-robin tie-break) and routed through a shared
-//! [`boolmatch_core::SubscriptionDirectory`] — the same global-id
-//! indirection table [`boolmatch_core::ShardedEngine`] uses — so a
-//! subscription's id is stable while its placement is not:
-//! [`Broker::rebalance`] / [`Broker::migrate`] live-migrate
-//! subscriptions between shards (write-locking only the two shards
-//! involved; matching continues everywhere else) without touching any
-//! id, handle or delivery stream. Matching is a **shared-read**
-//! operation: `publish` visits each shard under that shard's *read*
-//! lock with a thread-local [`boolmatch_core::MatchScratch`] for all
-//! per-event mutable state, so any number of publisher threads match
-//! concurrently — matching throughput scales with cores (see the
-//! `concurrent_publish` and `shard_scaling` benches). Only
-//! `subscribe`/`unsubscribe` take a write lock, and only on the one
-//! shard that owns the subscription: registration churn stalls `1/n`
-//! of matching instead of all of it (proven deterministically in
-//! `tests/shard_concurrency.rs`). Delivery happens outside all engine
-//! locks; events are reference counted, so fan-out to thousands of
-//! subscribers copies pointers, not payloads. [`Broker::publish_batch`]
-//! takes `Arc<Event>`s — one allocation per event, shared across
-//! matching and delivery — and amortises lock acquisition, scratch
-//! reuse and the sender-map lookup across a whole batch of events.
+//! ([`Broker::builder`]`.shards(n)`, default 1; resizable live with
+//! [`Broker::resize`]), each behind its own [`parking_lot::RwLock`].
+//! Placement is **load-aware** (least-loaded shard, round-robin
+//! tie-break) and recorded in a write-side
+//! [`boolmatch_core::SubscriptionDirectory`] — touched only by
+//! subscribe/unsubscribe/migrate/resize — while each shard owns the
+//! read-side [`boolmatch_core::ShardTranslation`] map matching uses to
+//! translate its matched local ids, under the shard lock it already
+//! holds. A subscription's id is therefore stable while its placement
+//! is not: [`Broker::rebalance`] / [`Broker::migrate`] /
+//! [`Broker::rebalance_by_match_frequency`] live-migrate subscriptions
+//! between shards (write-locking only the two shards involved;
+//! matching continues everywhere else) without touching any id, handle
+//! or delivery stream, and
+//! [`BrokerBuilder::background_rebalance`] runs the same migration
+//! continuously in small chunks from a parked thread. Matching is a
+//! **shared-read** operation: `publish` visits each shard under that
+//! shard's *read* lock with a thread-local
+//! [`boolmatch_core::MatchScratch`] for all per-event mutable state,
+//! so any number of publisher threads match concurrently — matching
+//! throughput scales with cores (see the `concurrent_publish` and
+//! `shard_scaling` benches) and **no broker-global lock sits on the
+//! steady-state matching path** (the placement-directory write lock
+//! can be held indefinitely without delaying a single publish — proven
+//! in `tests/hot_path.rs`; delivery afterwards takes only the
+//! sender-map read lock). Only `subscribe`/`unsubscribe` take a write
+//! lock, and only on the one shard that owns the subscription:
+//! registration churn stalls `1/n` of matching instead of all of it
+//! (proven deterministically in `tests/shard_concurrency.rs`).
+//! Delivery happens outside all engine locks; events are reference
+//! counted, so fan-out to thousands of subscribers copies pointers,
+//! not payloads. [`Broker::publish_batch`] takes `Arc<Event>`s — one
+//! allocation per event, shared across matching and delivery — and
+//! amortises lock acquisition, scratch reuse and the sender-map lookup
+//! across a whole batch of events.
 //!
 //! Multi-shard brokers additionally carry a **parallel publish
 //! pipeline**: past [`BrokerBuilder::parallel_threshold`] live
@@ -84,7 +95,8 @@ mod subscriber;
 
 pub use broker::{
     trim_publish_scratch, Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher,
-    DEFAULT_PARALLEL_THRESHOLD,
+    RebalancePolicy, BACKGROUND_REBALANCE_CHUNK, DEFAULT_PARALLEL_THRESHOLD,
+    DEFAULT_SCRATCH_TRIM_CAP, MATCH_FREQUENCY_SKEW_FLOOR,
 };
 pub use delivery::DeliveryPolicy;
 pub use subscriber::Subscription;

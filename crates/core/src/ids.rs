@@ -43,24 +43,73 @@ impl fmt::Display for PredicateId {
 /// Sequentially assigned by an engine and never reused, so a stale id
 /// held after unsubscription can be detected instead of silently
 /// aliasing a new subscription.
+///
+/// # Generation tagging
+///
+/// The 64-bit value is split into a 32-bit **slot** (low half) and a
+/// 32-bit **generation** (high half). Flat engines and arrival-order
+/// sharded directories only ever issue generation 0, so the id *is* the
+/// dense index (`from_index`/`index` round-trip unchanged). A directory
+/// running in recycled-ids mode reissues a retired slot under the
+/// slot's next generation: the new id compares, hashes and displays
+/// differently from every id the slot carried before, which is what
+/// makes bounded id recycling ABA-safe — a stale handle's late
+/// unsubscribe can no longer alias the slot's new owner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubscriptionId(u64);
 
+/// Bits of a [`SubscriptionId`] holding the slot index; the generation
+/// occupies the bits above.
+const SLOT_BITS: u32 = 32;
+
 impl SubscriptionId {
-    /// Builds an id from a raw dense index.
+    /// Builds an id from a raw dense index (generation 0).
     pub fn from_index(index: usize) -> SubscriptionId {
         SubscriptionId(index as u64)
     }
 
     /// The raw dense index.
+    ///
+    /// Meaningful as an array index only for generation-0 ids (flat
+    /// engines, arrival-order directories); a generation-tagged id's
+    /// raw value is the full packed word. Use
+    /// [`SubscriptionId::slot`] when indexing slot tables.
     pub fn index(self) -> usize {
         usize::try_from(self.0).expect("subscription id exceeds usize")
+    }
+
+    /// Packs a generation-tagged id: `slot` in the low 32 bits, the
+    /// issuing `generation` above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not fit the 32-bit slot field.
+    pub fn from_parts(generation: u32, slot: usize) -> SubscriptionId {
+        let slot = u32::try_from(slot).expect("subscription slot fits u32");
+        SubscriptionId(u64::from(generation) << SLOT_BITS | u64::from(slot))
+    }
+
+    /// The slot index — the half of the id that addresses a directory
+    /// table entry. For generation-0 ids this equals
+    /// [`SubscriptionId::index`].
+    pub fn slot(self) -> usize {
+        (self.0 & u64::from(u32::MAX)) as usize
+    }
+
+    /// The generation the slot was under when this id was issued; 0 for
+    /// every flat-engine and arrival-order id.
+    pub fn generation(self) -> u32 {
+        (self.0 >> SLOT_BITS) as u32
     }
 }
 
 impl fmt::Display for SubscriptionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "s{}", self.0)
+        } else {
+            write!(f, "s{}.g{}", self.slot(), self.generation())
+        }
     }
 }
 
@@ -82,6 +131,29 @@ mod tests {
         let id = SubscriptionId::from_index(7);
         assert_eq!(id.index(), 7);
         assert_eq!(id.to_string(), "s7");
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 0);
+    }
+
+    #[test]
+    fn generation_tagging_packs_and_unpacks() {
+        let id = SubscriptionId::from_parts(3, 7);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(id.to_string(), "s7.g3");
+        // Generation 0 is bit-identical to the plain dense index.
+        assert_eq!(
+            SubscriptionId::from_parts(0, 7),
+            SubscriptionId::from_index(7)
+        );
+        // Same slot, different generation: distinct ids — the ABA guard.
+        assert_ne!(
+            SubscriptionId::from_parts(1, 7),
+            SubscriptionId::from_index(7)
+        );
+        assert!(
+            SubscriptionId::from_parts(1, 0) > SubscriptionId::from_index(u32::MAX as usize - 1)
+        );
     }
 
     #[test]

@@ -97,8 +97,10 @@ pub use ids::{PredicateId, SubscriptionId};
 pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
-pub use pool::{FanOut, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool};
-pub use routing::{PredicateRouter, SubscriptionDirectory};
+pub use pool::{
+    FanOut, FanOutPool, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool,
+};
+pub use routing::{PredicateRouter, ShardTranslation, SubscriptionDirectory};
 pub use scratch::{MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;

@@ -400,6 +400,43 @@ impl<T> FanOut<T> {
         std::mem::take(&mut state.slots)
     }
 
+    /// Like [`FanOut::wait`], but drains each result through `f` (in
+    /// slot order) **without** taking the slot vector — the allocation
+    /// stays with the rendezvous, so a pooled `FanOut` reused via
+    /// [`FanOutPool`] allocates nothing in steady state.
+    pub fn wait_each(&self, mut f: impl FnMut(Option<T>)) {
+        let mut state = self.lock();
+        while state.remaining > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        for slot in state.slots.iter_mut() {
+            f(slot.take());
+        }
+    }
+
+    /// Re-arms a spent rendezvous for `n` fresh slots, reusing the slot
+    /// vector's capacity. Only a rendezvous whose previous run fully
+    /// completed (every guard consumed or dropped) may be reset —
+    /// [`FanOutPool::checkout`] additionally proves no guard still
+    /// holds the `Arc` before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots from the previous run are still outstanding.
+    fn reset(&self, n: usize) {
+        let mut state = self.lock();
+        assert_eq!(
+            state.remaining, 0,
+            "resetting a rendezvous with outstanding slots"
+        );
+        state.slots.clear();
+        state.slots.resize_with(n, || None);
+        state.remaining = n;
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, FanState<T>> {
         self.state
             .lock()
@@ -456,6 +493,106 @@ impl<T> std::fmt::Debug for SlotGuard<T> {
         f.debug_struct("SlotGuard")
             .field("index", &self.index)
             .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FanOutPool
+
+/// A non-blocking pool of reusable [`FanOut`] rendezvous — the
+/// [`ScratchPool`]-style checkout that takes the per-publish rendezvous
+/// allocation off the broker's parallel hot path.
+///
+/// [`FanOutPool::checkout`] probes the fixed slot array with
+/// `try_lock`: a parked rendezvous is re-armed (slot vector capacity
+/// reused, no allocation) if — and only if — nothing else still holds
+/// its `Arc`; otherwise a fresh one is built. Workers may legitimately
+/// hold a rendezvous `Arc` for a moment *after* the caller's `wait`
+/// returns (a [`SlotGuard`] drops its reference after completing its
+/// slot), so the checkout's uniqueness check is what makes reuse safe:
+/// a rendezvous is only ever re-armed once every reference from its
+/// previous run is gone. [`FanOutPool::park`] returns a waited-on
+/// rendezvous for reuse (never blocks; dropped when the pool is full).
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::FanOutPool;
+///
+/// let pool: FanOutPool<u32> = FanOutPool::new(1);
+/// let run = pool.checkout(2);
+/// run.slot(0).fill(10);
+/// run.slot(1).fill(20);
+/// let mut out = Vec::new();
+/// run.wait_each(|v| out.push(v));
+/// assert_eq!(out, vec![Some(10), Some(20)]);
+/// pool.park(run);
+/// assert_eq!(pool.pooled(), 1); // reused by the next checkout
+/// ```
+#[derive(Debug)]
+pub struct FanOutPool<T> {
+    slots: Vec<Mutex<Option<Arc<FanOut<T>>>>>,
+}
+
+impl<T> FanOutPool<T> {
+    /// A pool retaining at most `slots` parked rendezvous (at least
+    /// one).
+    pub fn new(slots: usize) -> Self {
+        FanOutPool {
+            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Checks out a rendezvous armed for `n` slots: a parked one whose
+    /// previous run has fully let go (its `Arc` is unique) is re-armed
+    /// in place, otherwise a fresh one is allocated.
+    pub fn checkout(&self, n: usize) -> Arc<FanOut<T>> {
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.try_lock() {
+                // The uniqueness check is race-free: the only way to
+                // reach this Arc is through the slot we hold locked, so
+                // a count of 1 cannot grow under us.
+                if guard
+                    .as_ref()
+                    .is_some_and(|run| Arc::strong_count(run) == 1)
+                {
+                    let run = guard.take().expect("checked above");
+                    drop(guard);
+                    run.reset(n);
+                    return run;
+                }
+            }
+        }
+        FanOut::new(n)
+    }
+
+    /// Parks a rendezvous for reuse after its `wait`/`wait_each`
+    /// returned. Never blocks; when every slot is full or contended the
+    /// rendezvous is simply dropped.
+    pub fn park(&self, run: Arc<FanOut<T>>) {
+        debug_assert_eq!(
+            run.lock().remaining,
+            0,
+            "parking a rendezvous that was never waited on"
+        );
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.try_lock() {
+                if guard.is_none() {
+                    *guard = Some(run);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Number of rendezvous currently parked (skipping slots another
+    /// thread holds locked at probe time).
+    pub fn pooled(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.try_lock().ok())
+            .filter(|slot| slot.is_some())
+            .count()
     }
 }
 
@@ -657,6 +794,80 @@ mod tests {
     fn zero_sized_pools_clamp_to_one() {
         assert_eq!(ScratchPool::new(0).capacity(), 1);
         assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert_eq!(FanOutPool::<()>::new(0).slots.len(), 1);
+    }
+
+    #[test]
+    fn fan_out_pool_reuses_the_rendezvous_allocation() {
+        let pool: FanOutPool<usize> = FanOutPool::new(1);
+        let first = pool.checkout(3);
+        for i in 0..3 {
+            first.slot(i).fill(i);
+        }
+        let mut got = Vec::new();
+        first.wait_each(|v| got.push(v));
+        assert_eq!(got, vec![Some(0), Some(1), Some(2)]);
+        pool.park(first);
+        assert_eq!(pool.pooled(), 1);
+
+        // The next checkout re-arms the SAME rendezvous (pointer
+        // equality proves no fresh allocation), even for a different
+        // slot count.
+        let peek = {
+            let guard = pool.slots[0].try_lock().unwrap();
+            Arc::as_ptr(guard.as_ref().unwrap())
+        };
+        let second = pool.checkout(2);
+        assert!(
+            std::ptr::eq(peek, Arc::as_ptr(&second)),
+            "rendezvous reused"
+        );
+        assert_eq!(pool.pooled(), 0);
+        second.slot(1).fill(9);
+        second.slot(0).fill(8);
+        assert_eq!(second.wait(), vec![Some(8), Some(9)]);
+        pool.park(second);
+    }
+
+    #[test]
+    fn fan_out_pool_skips_rendezvous_still_referenced_by_a_late_worker() {
+        let pool: FanOutPool<u8> = FanOutPool::new(1);
+        let run = pool.checkout(1);
+        let straggler = Arc::clone(&run); // a worker still holding on
+        run.slot(0).fill(1);
+        run.wait_each(|_| {});
+        pool.park(run);
+        assert_eq!(pool.pooled(), 1);
+        // The parked rendezvous is not unique, so checkout must build a
+        // fresh one rather than re-arm under the straggler.
+        let fresh = pool.checkout(1);
+        assert!(!Arc::ptr_eq(&fresh, &straggler));
+        drop(straggler);
+        // Once the straggler lets go, the parked one is reusable again.
+        let reused = pool.checkout(1);
+        assert_eq!(pool.pooled(), 0);
+        drop(reused);
+        drop(fresh);
+    }
+
+    #[test]
+    fn fan_out_pool_park_drops_overflow() {
+        let pool: FanOutPool<u8> = FanOutPool::new(1);
+        let a = pool.checkout(0);
+        let b = pool.checkout(0);
+        a.wait_each(|_| {});
+        b.wait_each(|_| {});
+        pool.park(a);
+        pool.park(b); // pool full: dropped, not parked
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding slots")]
+    fn resetting_an_armed_rendezvous_panics() {
+        let run: Arc<FanOut<u8>> = FanOut::new(2);
+        let _guard = run.slot(0);
+        run.reset(1);
     }
 
     #[test]

@@ -1,34 +1,37 @@
-//! Subscription routing for the sharded matching core: the
-//! [`SubscriptionDirectory`] indirection table and the stride
+//! Subscription routing for the sharded matching core: the write-side
+//! [`SubscriptionDirectory`] placement table, the per-shard
+//! [`ShardTranslation`] reverse maps matching reads, and the stride
 //! [`PredicateRouter`] for per-shard predicate id spaces.
 //!
 //! Through PR 3 the global ↔ `(shard, local)` subscription mapping was
 //! pure arithmetic — stride interleaving, `global = local·S + shard`.
-//! That mapping costs nothing, but it welds a subscription's placement
-//! into its identity: a subscription can never move to another shard,
-//! and the shard count `S` can never change, without re-issuing every
-//! id the outside world holds. Load-aware rebalancing needs the
-//! opposite contract — **ids are stable, placement is not** — so the
-//! arithmetic is replaced by one level of indirection:
+//! PR 4 replaced the arithmetic with one broker-global indirection
+//! table so ids could stay stable while placement moved (live
+//! migration, resizing) — but that table then sat on the publish hot
+//! path: every publish took the directory's read lock, per shard per
+//! event, just to translate matched local ids. This module is the
+//! split that takes it back off:
 //!
-//! * [`SubscriptionDirectory`] is a slot map from global subscription
-//!   id to a [`(shard, local)`] placement record (plus the stored
-//!   subscription expression, which live migration re-subscribes on the
-//!   target shard). Retired slots go on a **free list**; by default ids
-//!   are still handed out in arrival order — the *n*-th accepted
-//!   subscription gets global id *n*, exactly like an unsharded engine,
-//!   which the sharded ≡ flat equivalence tests rely on — while
-//!   [`SubscriptionDirectory::with_recycled_ids`] pops the free list
-//!   instead to bound the table under unbounded churn.
-//! * Placement is **load-aware**: [`SubscriptionDirectory::place`]
-//!   picks the least-loaded shard (weight: live subscriptions,
-//!   pluggable for match frequency later), breaking ties round-robin so
-//!   a churn-free subscribe stream places exactly like the old
-//!   round-robin cursor did — but a shard drained by unsubscribes is
-//!   refilled first instead of being skipped past blindly.
-//! * The directory also keeps the **reverse** maps (`shard, local` →
-//!   global) that matching uses to translate matched local ids, and the
-//!   per-shard load counts that rebalancing plans against.
+//! * [`SubscriptionDirectory`] is now **write-side only**: the slot map
+//!   from global subscription id to `(shard, local)` placement (plus
+//!   the stored expression live migration re-subscribes), the free
+//!   list, the per-shard load counts placement plans against, and the
+//!   placement cursor. It is touched by subscribe, unsubscribe,
+//!   migration and resizing — never by matching.
+//! * [`ShardTranslation`] is the **read-side** local → global reverse
+//!   map, one per shard, owned next to that shard's engine and read
+//!   under the shard's own lock. Matching translates its matched local
+//!   ids through the shard it just matched — no shared state beyond
+//!   the lock it already holds. Registration and migration update only
+//!   the (one or two) involved shards' maps.
+//! * Global ids are **generation-tagged** ([`crate::SubscriptionId`]
+//!   packs `generation ⊕ slot`): a directory in
+//!   [recycled-ids](SubscriptionDirectory::with_recycled_ids) mode
+//!   reissues a retired slot under its next generation, so a stale id
+//!   can never alias the slot's new owner (the ABA hazard that used to
+//!   keep bounded recycling engine-only). Arrival-order directories
+//!   issue generation 0 and ids remain the dense indexes a flat engine
+//!   would assign.
 //!
 //! Predicate ids are *not* in the directory: predicates are interned
 //! per shard, never migrate individually, and only surface through the
@@ -43,31 +46,47 @@ use boolmatch_expr::Expr;
 
 use crate::{PredicateId, SubscriptionId};
 
-/// Reverse-map sentinel: this `(shard, local)` slot holds no live
-/// subscription.
-const NO_GLOBAL: u32 = u32::MAX;
+/// Reverse-map sentinel: this local slot holds no live subscription.
+/// `u64::MAX` is unreachable as a packed id (slot `u32::MAX` is never
+/// issued — see [`SubscriptionDirectory`]'s commit).
+const NO_GLOBAL: u64 = u64::MAX;
 
 /// Where one live subscription currently lives.
 #[derive(Debug, Clone)]
 struct Placement {
     shard: u32,
     local: u32,
-    /// What [`SubscriptionDirectory::commit`] charged to the
-    /// directory's expression-heap estimate for this entry — recorded
-    /// so retire releases exactly that amount, regardless of how the
-    /// `Arc`'s reference count has changed since (a migrator's
-    /// transient clone must not skew the accounting).
+    /// What commit charged to the directory's expression-heap estimate
+    /// for this entry — recorded so retire releases exactly that
+    /// amount, regardless of how the `Arc`'s reference count has
+    /// changed since (a migrator's transient clone must not skew the
+    /// accounting).
     charged_bytes: u32,
     /// The registered expression, kept so live migration can
     /// re-subscribe it on a target shard.
     expr: Arc<Expr>,
 }
 
-/// The global-id indirection table of a sharded engine or broker:
+/// One global-id slot: the generation it is currently on, plus the
+/// placement when live.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Bumped on every retire, so a recycled reissue is tagged with a
+    /// generation no prior holder of this slot ever saw.
+    generation: u32,
+    placement: Option<Placement>,
+}
+
+/// The write-side placement directory of a sharded engine or broker:
 /// global subscription id → `(shard, local id)` placement, with a free
-/// list of retired slots, per-shard load counts, and the reverse maps
-/// matching uses to translate shard-local matched ids back to global
-/// ids.
+/// list of retired slots and the per-shard load counts placement and
+/// rebalancing plan against.
+///
+/// The directory is deliberately **not** on the matching path: matched
+/// local ids are translated through each shard's own
+/// [`ShardTranslation`], which lives with the shard and is read under
+/// the shard's existing lock. Only subscribe / unsubscribe / migrate /
+/// resize touch the directory.
 ///
 /// # Id-stability contract
 ///
@@ -79,8 +98,11 @@ struct Placement {
 /// would assign — so sharded and flat matched-id sets stay directly
 /// comparable even across migration and resizing.
 /// [`SubscriptionDirectory::with_recycled_ids`] trades that alignment
-/// for a bounded table: retired ids are then reissued LIFO from the
-/// free list.
+/// for a bounded table: retired slots are then reissued LIFO from the
+/// free list, each reissue generation-tagged
+/// ([`SubscriptionId::generation`]) so stale ids from earlier
+/// occupancies of the slot stay distinguishable — and rejectable —
+/// forever.
 ///
 /// # Placement protocol
 ///
@@ -96,37 +118,47 @@ struct Placement {
 ///    [`SubscriptionDirectory::cancel`] releases the reservation when
 ///    the engine refused the subscription.
 ///
+/// The caller then records the issued id in the owning shard's
+/// [`ShardTranslation`] (under that shard's lock, when there is one).
+///
 /// # Examples
 ///
 /// ```
 /// use std::sync::Arc;
-/// use boolmatch_core::{SubscriptionDirectory, SubscriptionId};
+/// use boolmatch_core::{ShardTranslation, SubscriptionDirectory, SubscriptionId};
 /// use boolmatch_expr::Expr;
 ///
 /// let mut dir = SubscriptionDirectory::new(2);
+/// let mut translation = ShardTranslation::new(); // shard 0's map
 /// let expr = Arc::new(Expr::parse("a = 1")?);
 /// let shard = dir.place(); // least-loaded; empty directory → shard 0
-/// let global = dir.commit(shard, SubscriptionId::from_index(0), expr);
+/// let local = SubscriptionId::from_index(0);
+/// let global = dir.commit(shard, local, expr);
+/// translation.set(local, global);
 /// assert_eq!(global.index(), 0); // arrival-order global id
-/// assert_eq!(dir.placement_of(global), Some((0, SubscriptionId::from_index(0))));
-/// assert_eq!(dir.global_of(0, SubscriptionId::from_index(0)), Some(global));
+/// assert_eq!(dir.placement_of(global), Some((0, local)));
+/// assert_eq!(translation.global_of(local), Some(global));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SubscriptionDirectory {
-    /// Global id → placement; `None` marks a retired (free-listed) id.
-    slots: Vec<Option<Placement>>,
-    /// Retired global ids, most recently retired last.
+    /// Global id slot → generation + placement; a `None` placement
+    /// marks a retired (free-listed) slot.
+    slots: Vec<Slot>,
+    /// Retired slot indexes, most recently retired last.
     free: Vec<u32>,
-    /// Whether [`SubscriptionDirectory::commit`] reissues retired ids
-    /// (LIFO) instead of appending arrival-order ids.
+    /// Whether commit reissues retired slots (LIFO, generation-tagged)
+    /// instead of appending arrival-order ids.
     recycle_ids: bool,
     /// Per-shard live subscription count, **including** placements
     /// reserved by [`SubscriptionDirectory::place`] but not yet
     /// committed.
     loads: Vec<usize>,
-    /// `reverse[shard][local]` → global id (`NO_GLOBAL` when empty).
-    reverse: Vec<Vec<u32>>,
+    /// Placement limit: [`SubscriptionDirectory::place`] only chooses
+    /// shards `0..active`. Equal to the shard count except while a
+    /// shrink is draining dying shards
+    /// ([`SubscriptionDirectory::restrict_placement`]).
+    active: usize,
     /// Round-robin tie-break cursor for [`SubscriptionDirectory::place`].
     cursor: usize,
     /// Committed live subscriptions (excludes reservations).
@@ -158,22 +190,31 @@ impl SubscriptionDirectory {
             free: Vec::new(),
             recycle_ids: false,
             loads: vec![0; shards],
-            reverse: vec![Vec::new(); shards],
+            active: shards,
             cursor: 0,
             live: 0,
             expr_bytes: 0,
         }
     }
 
-    /// Like [`SubscriptionDirectory::new`], but retired global ids are
+    /// Like [`SubscriptionDirectory::new`], but retired slots are
     /// reissued (LIFO) from the free list, bounding the table to the
-    /// high-water live count under unbounded churn. Ids then no longer
-    /// align with an unsharded engine's arrival-order ids.
+    /// high-water live count under unbounded churn. Every reissue is
+    /// generation-tagged, so ids from earlier occupancies of a slot are
+    /// rejected instead of aliased — recycling is ABA-safe and usable
+    /// behind drop-unsubscribing handles. Ids then no longer align with
+    /// an unsharded engine's arrival-order ids.
     pub fn with_recycled_ids(shards: usize) -> Self {
         SubscriptionDirectory {
             recycle_ids: true,
             ..Self::new(shards)
         }
+    }
+
+    /// Whether retired slots are reissued (generation-tagged) instead
+    /// of the table growing forever.
+    pub fn recycles_ids(&self) -> bool {
+        self.recycle_ids
     }
 
     /// Number of shards placements route over.
@@ -208,8 +249,11 @@ impl SubscriptionDirectory {
         self.slots.len() - self.live
     }
 
-    /// Exclusive upper bound of the issued global id space (including
-    /// retired ids). Scratch stamp arrays can be sized against this.
+    /// Exclusive upper bound of the issued global **slot** space
+    /// (including retired slots). Scratch stamp arrays can be sized
+    /// against this; note a recycled id's full
+    /// [`SubscriptionId::index`] also carries the generation in its
+    /// high bits and must not be used as an array index.
     pub fn id_bound(&self) -> usize {
         self.slots.len()
     }
@@ -227,10 +271,10 @@ impl SubscriptionDirectory {
         self.imbalance() <= 1
     }
 
-    /// The `(most loaded, least loaded)` shard pair a rebalancer should
-    /// move a subscription between, or `None` when already balanced.
-    /// Ties break to the lowest shard index, so planning is
-    /// deterministic.
+    /// The `(most loaded, least loaded)` shard pair a count-balancing
+    /// rebalancer should move a subscription between, or `None` when
+    /// already balanced. Ties break to the lowest shard index, so
+    /// planning is deterministic.
     pub fn skew_pair(&self) -> Option<(usize, usize)> {
         let mut max_i = 0;
         let mut min_i = 0;
@@ -246,8 +290,10 @@ impl SubscriptionDirectory {
     }
 
     /// Picks the shard a new subscription should land on — the
-    /// least-loaded shard, ties broken round-robin from an internal
-    /// cursor — and reserves one unit of load on it. Follow with
+    /// least-loaded shard among the currently
+    /// [placeable](SubscriptionDirectory::restrict_placement) ones,
+    /// ties broken round-robin from an internal cursor — and reserves
+    /// one unit of load on it. Follow with
     /// [`SubscriptionDirectory::commit`] or
     /// [`SubscriptionDirectory::cancel`].
     ///
@@ -256,7 +302,7 @@ impl SubscriptionDirectory {
     /// call); once unsubscribes have skewed the loads, drained shards
     /// are refilled first.
     pub fn place(&mut self) -> usize {
-        self.place_among(self.shard_count())
+        self.place_among(self.active)
     }
 
     /// [`SubscriptionDirectory::place`] restricted to shards
@@ -290,6 +336,32 @@ impl SubscriptionDirectory {
         chosen
     }
 
+    /// Restricts every subsequent [`SubscriptionDirectory::place`] to
+    /// shards `0..survivors` — the first step of a shrink: once set, no
+    /// new subscription can land on a dying shard while its residents
+    /// drain. [`SubscriptionDirectory::remove_last_shard`] completes
+    /// the shrink; [`SubscriptionDirectory::add_shard`] lifts the
+    /// restriction when growing again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `survivors` is zero or exceeds the shard count.
+    pub fn restrict_placement(&mut self, survivors: usize) {
+        assert!(
+            survivors > 0 && survivors <= self.shard_count(),
+            "placement restriction {survivors} outside 1..={}",
+            self.shard_count()
+        );
+        self.active = survivors;
+    }
+
+    /// The exclusive upper bound of shards
+    /// [`SubscriptionDirectory::place`] currently chooses from; equal
+    /// to the shard count except mid-shrink.
+    pub fn active_shards(&self) -> usize {
+        self.active
+    }
+
     /// Releases a reservation made by [`SubscriptionDirectory::place`]
     /// whose engine `subscribe` failed.
     ///
@@ -304,51 +376,23 @@ impl SubscriptionDirectory {
     /// Completes a placement reserved by
     /// [`SubscriptionDirectory::place`]: records that `shard` assigned
     /// `local` to the subscription holding `expr`, and issues its
-    /// global id (arrival-order, or recycled — see the type docs).
+    /// global id (arrival-order, or generation-tagged recycled — see
+    /// the type docs). The caller is responsible for mirroring the
+    /// `local → global` mapping into the shard's
+    /// [`ShardTranslation`].
     ///
     /// # Panics
     ///
-    /// Panics if `shard` is out of range, or (debug) if the `(shard,
-    /// local)` slot is already mapped.
+    /// Panics if `shard` is out of range.
     pub fn commit(
         &mut self,
         shard: usize,
         local: SubscriptionId,
         expr: Arc<Expr>,
     ) -> SubscriptionId {
-        self.commit_charging(shard, local, expr, true)
-    }
-
-    /// [`SubscriptionDirectory::commit`] for an expression the caller
-    /// shares across many subscriptions (e.g. a single-shard broker's
-    /// placeholder, where migration is unreachable and every entry
-    /// clones one allocation): the entry is stored but contributes
-    /// nothing to [`SubscriptionDirectory::heap_bytes`], since the
-    /// allocation does not exist per subscription. Plain `commit`
-    /// charges every entry.
-    pub fn commit_shared(
-        &mut self,
-        shard: usize,
-        local: SubscriptionId,
-        expr: Arc<Expr>,
-    ) -> SubscriptionId {
-        self.commit_charging(shard, local, expr, false)
-    }
-
-    fn commit_charging(
-        &mut self,
-        shard: usize,
-        local: SubscriptionId,
-        expr: Arc<Expr>,
-        charge: bool,
-    ) -> SubscriptionId {
         // Clamped to the field width so add and release stay symmetric
         // even for absurdly large expressions.
-        let charged = if charge {
-            expr_estimate(&expr).min(u32::MAX as usize)
-        } else {
-            0
-        };
+        let charged = expr_estimate(&expr).min(u32::MAX as usize);
         self.expr_bytes += charged;
         let placement = Placement {
             shard: u32::try_from(shard).expect("shard count fits u32"),
@@ -361,40 +405,49 @@ impl SubscriptionDirectory {
         } else {
             None
         };
-        let global = match recycled {
+        let slot_index = match recycled {
             Some(free) => {
-                debug_assert!(self.slots[free as usize].is_none());
-                self.slots[free as usize] = Some(placement);
+                debug_assert!(self.slots[free as usize].placement.is_none());
+                self.slots[free as usize].placement = Some(placement);
                 free
             }
             None => {
                 let next = u32::try_from(self.slots.len()).expect("more than u32::MAX - 1 ids");
-                // `NO_GLOBAL` (u32::MAX) is the reverse-map sentinel;
-                // issuing it as an id would make that subscription
-                // silently unmatchable.
-                assert_ne!(next, NO_GLOBAL, "global subscription id space exhausted");
-                self.slots.push(Some(placement));
+                // Slot `u32::MAX` is never issued: `u64::MAX` is the
+                // translation maps' sentinel, and a packed id with slot
+                // and generation both `u32::MAX` would collide with it.
+                assert_ne!(next, u32::MAX, "global subscription slot space exhausted");
+                self.slots.push(Slot {
+                    generation: 0,
+                    placement: Some(placement),
+                });
                 next
             }
         };
-        let reverse = &mut self.reverse[shard];
-        if reverse.len() <= local.index() {
-            reverse.resize(local.index() + 1, NO_GLOBAL);
-        }
-        debug_assert_eq!(
-            reverse[local.index()],
-            NO_GLOBAL,
-            "local slot already mapped"
-        );
-        reverse[local.index()] = global;
         self.live += 1;
-        SubscriptionId::from_index(global as usize)
+        SubscriptionId::from_parts(
+            self.slots[slot_index as usize].generation,
+            slot_index as usize,
+        )
+    }
+
+    /// The slot behind `global`, provided the id's generation matches
+    /// the slot's current occupancy — a stale id (earlier generation of
+    /// a recycled slot) resolves to `None` exactly like a never-issued
+    /// one.
+    fn live_slot(&self, global: SubscriptionId) -> Option<&Placement> {
+        let slot = self.slots.get(global.slot())?;
+        if slot.generation != global.generation() {
+            return None;
+        }
+        slot.placement.as_ref()
     }
 
     /// The `(shard, local id)` placement behind a global id, or `None`
-    /// for ids never issued or already retired.
+    /// for ids never issued, already retired, or from an earlier
+    /// generation of a recycled slot.
     pub fn placement_of(&self, global: SubscriptionId) -> Option<(usize, SubscriptionId)> {
-        let p = self.slots.get(global.index())?.as_ref()?;
+        let p = self.live_slot(global)?;
         Some((
             p.shard as usize,
             SubscriptionId::from_index(p.local as usize),
@@ -402,34 +455,31 @@ impl SubscriptionDirectory {
     }
 
     /// The stored expression of a live subscription (shared, cheap to
-    /// clone), or `None` for retired/unknown ids.
+    /// clone), or `None` for retired/unknown/stale ids.
     pub fn expr_of(&self, global: SubscriptionId) -> Option<&Arc<Expr>> {
-        Some(&self.slots.get(global.index())?.as_ref()?.expr)
+        Some(&self.live_slot(global)?.expr)
     }
 
-    /// The global id currently mapped to `(shard, local)` — the
-    /// translation matching applies to each matched local id. `None`
-    /// when the slot holds no live subscription (out of range, never
-    /// issued, retired, or migrated away).
-    pub fn global_of(&self, shard: usize, local: SubscriptionId) -> Option<SubscriptionId> {
-        self.reverse
-            .get(shard)?
-            .get(local.index())
-            .copied()
-            .filter(|&g| g != NO_GLOBAL)
-            .map(|g| SubscriptionId::from_index(g as usize))
-    }
-
-    /// Removes a subscription: frees its global id slot (onto the free
-    /// list, in recycled-ids mode), clears the reverse mapping and
-    /// releases its load unit. Returns the placement it had plus the
-    /// stored expression, or `None` for unknown/already-retired ids.
+    /// Removes a subscription: frees its slot (onto the free list, in
+    /// recycled-ids mode), bumps the slot's generation and releases its
+    /// load unit. Returns the placement it had plus the stored
+    /// expression — the caller clears the owning shard's
+    /// [`ShardTranslation`] entry — or `None` for unknown, stale or
+    /// already-retired ids.
     pub fn retire(&mut self, global: SubscriptionId) -> Option<(usize, SubscriptionId, Arc<Expr>)> {
-        let p = self.slots.get_mut(global.index())?.take()?;
+        let slot = self.slots.get_mut(global.slot())?;
+        if slot.generation != global.generation() {
+            return None;
+        }
+        let p = slot.placement.take()?;
+        // The ABA guard: whatever this slot is reissued as next carries
+        // a generation no retired holder ever saw. (Wrapping after 2^32
+        // retires of one slot is accepted: an id that stale has crossed
+        // four billion reuses.)
+        slot.generation = slot.generation.wrapping_add(1);
         // Release exactly what commit charged — re-estimating here
         // would drift whenever the Arc's count changed in between.
         self.expr_bytes -= p.charged_bytes as usize;
-        self.clear_reverse(p.shard as usize, p.local as usize);
         self.loads[p.shard as usize] -= 1;
         self.live -= 1;
         if self.recycle_ids {
@@ -437,7 +487,7 @@ impl SubscriptionDirectory {
             // there would only leak; `vacant()` counts table holes
             // directly instead.
             self.free
-                .push(u32::try_from(global.index()).expect("issued ids fit u32"));
+                .push(u32::try_from(global.slot()).expect("issued slots fit u32"));
         }
         Some((
             p.shard as usize,
@@ -446,27 +496,14 @@ impl SubscriptionDirectory {
         ))
     }
 
-    /// Clears one reverse-map entry and truncates the dead tail it may
-    /// leave. Engines hand out local ids monotonically and migration
-    /// always retires the *highest* live local first, so without the
-    /// truncation a shard drain would rescan an ever-growing
-    /// `NO_GLOBAL` suffix on every [`SubscriptionDirectory::last_resident`]
-    /// call — O(n²) over the drain. Trimming keeps the tail live and the
-    /// drain linear.
-    fn clear_reverse(&mut self, shard: usize, local: usize) {
-        let reverse = &mut self.reverse[shard];
-        reverse[local] = NO_GLOBAL;
-        while reverse.last() == Some(&NO_GLOBAL) {
-            reverse.pop();
-        }
-    }
-
     /// Commits a live migration: moves `global` from `(from,
     /// old_local)` to `(to, new_local)`, keeping its global id and
     /// stored expression. Returns `false` — changing nothing — unless
     /// the subscription's current placement is exactly `(from,
     /// old_local)`, so a migrator that raced a concurrent unsubscribe
-    /// can detect the loss and undo its target-side subscribe.
+    /// can detect the loss and undo its target-side subscribe. The
+    /// caller moves the [`ShardTranslation`] entries of the two
+    /// involved shards (under their locks, when there are locks).
     ///
     /// # Panics
     ///
@@ -480,7 +517,13 @@ impl SubscriptionDirectory {
         new_local: SubscriptionId,
     ) -> bool {
         assert!(to < self.shard_count(), "target shard out of range");
-        let Some(p) = self.slots.get_mut(global.index()).and_then(Option::as_mut) else {
+        let Some(slot) = self.slots.get_mut(global.slot()) else {
+            return false;
+        };
+        if slot.generation != global.generation() {
+            return false;
+        }
+        let Some(p) = slot.placement.as_mut() else {
             return false;
         };
         if p.shard as usize != from || p.local as usize != old_local.index() {
@@ -488,59 +531,16 @@ impl SubscriptionDirectory {
         }
         p.shard = u32::try_from(to).expect("shard count fits u32");
         p.local = u32::try_from(new_local.index()).expect("local ids fit u32");
-        self.clear_reverse(from, old_local.index());
-        let reverse = &mut self.reverse[to];
-        if reverse.len() <= new_local.index() {
-            reverse.resize(new_local.index() + 1, NO_GLOBAL);
-        }
-        debug_assert_eq!(reverse[new_local.index()], NO_GLOBAL);
-        reverse[new_local.index()] = u32::try_from(global.index()).expect("issued ids fit u32");
         self.loads[from] -= 1;
         self.loads[to] += 1;
         true
     }
 
-    /// The live `(global, local)` pairs resident on `shard`, ascending
-    /// by local id — an inspection/debug helper (allocates a fresh
-    /// `Vec`). Migration planning itself walks victims through
-    /// [`SubscriptionDirectory::last_resident`], not through this.
-    pub fn residents(&self, shard: usize) -> Vec<(SubscriptionId, SubscriptionId)> {
-        self.reverse.get(shard).map_or_else(Vec::new, |reverse| {
-            reverse
-                .iter()
-                .enumerate()
-                .filter(|&(_, &g)| g != NO_GLOBAL)
-                .map(|(local, &g)| {
-                    (
-                        SubscriptionId::from_index(g as usize),
-                        SubscriptionId::from_index(local),
-                    )
-                })
-                .collect()
-        })
-    }
-
-    /// The resident of `shard` with the highest local id — the cheapest
-    /// deterministic migration victim (its reverse-map tail entry).
-    pub fn last_resident(&self, shard: usize) -> Option<(SubscriptionId, SubscriptionId)> {
-        let reverse = self.reverse.get(shard)?;
-        reverse
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|&(_, &g)| g != NO_GLOBAL)
-            .map(|(local, &g)| {
-                (
-                    SubscriptionId::from_index(g as usize),
-                    SubscriptionId::from_index(local),
-                )
-            })
-    }
-
     /// Adds one (empty) shard at the next index and returns that index.
+    /// Any placement restriction from an earlier shrink is lifted.
     pub fn add_shard(&mut self) -> usize {
         self.loads.push(0);
-        self.reverse.push(Vec::new());
+        self.active = self.loads.len();
         self.loads.len() - 1
     }
 
@@ -558,20 +558,173 @@ impl SubscriptionDirectory {
             "removing a shard that still carries subscriptions"
         );
         self.loads.pop();
-        self.reverse.pop();
+        self.active = self.active.min(self.loads.len());
         self.cursor %= self.shard_count();
     }
 
-    /// Approximate heap bytes held by the directory: the id/reverse/
-    /// load tables plus a node-count estimate of the stored
-    /// expressions. Folded into the sharded engine's and broker's
-    /// `memory_usage` (as unsubscription/rebalancing support).
+    /// Approximate heap bytes held by the directory: the slot and load
+    /// tables plus a node-count estimate of the stored expressions.
+    /// The per-shard [`ShardTranslation`] maps are charged by their
+    /// owners (they no longer live here). Folded into the sharded
+    /// engine's and broker's `memory_usage` as
+    /// unsubscription/rebalancing support.
     pub fn heap_bytes(&self) -> usize {
-        self.slots.capacity() * std::mem::size_of::<Option<Placement>>()
+        self.slots.capacity() * std::mem::size_of::<Slot>()
             + self.free.capacity() * 4
             + self.loads.capacity() * std::mem::size_of::<usize>()
-            + self.reverse.iter().map(|r| r.capacity() * 4).sum::<usize>()
             + self.expr_bytes
+    }
+}
+
+/// One shard's local → global id translation map — the read side of
+/// the [`SubscriptionDirectory`] split, owned next to the shard's
+/// engine and read under the shard's own lock.
+///
+/// Matching translates each matched local id through the shard it just
+/// matched (`translation.global_of(local)`), so the per-event
+/// translation cost involves **no shared broker state**: the shard
+/// lock the matcher already holds covers the map, and a subscription /
+/// unsubscription / migration updates only the maps of the shards it
+/// write-locks anyway.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{ShardTranslation, SubscriptionId};
+///
+/// let mut map = ShardTranslation::new();
+/// let local = SubscriptionId::from_index(0);
+/// let global = SubscriptionId::from_index(17);
+/// map.set(local, global);
+/// assert_eq!(map.global_of(local), Some(global));
+/// assert_eq!(map.last_resident(), Some((global, local)));
+/// assert!(map.clear_if(local, global));
+/// assert_eq!(map.global_of(local), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardTranslation {
+    /// `map[local]` → packed global id raw value, `NO_GLOBAL` when the
+    /// local slot holds no live subscription.
+    map: Vec<u64>,
+    /// Live entries (non-sentinel), kept so `len` is O(1).
+    live: usize,
+}
+
+impl ShardTranslation {
+    /// An empty map; grows lazily to the shard's local id space.
+    pub fn new() -> Self {
+        ShardTranslation::default()
+    }
+
+    /// Live subscriptions mapped on this shard.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the shard maps no live subscription.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Records that this shard's `local` id belongs to `global`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the local slot is already mapped.
+    pub fn set(&mut self, local: SubscriptionId, global: SubscriptionId) {
+        let raw = (global.generation() as u64) << 32 | global.slot() as u64;
+        debug_assert_ne!(raw, NO_GLOBAL, "packed id collides with the sentinel");
+        if self.map.len() <= local.index() {
+            self.map.resize(local.index() + 1, NO_GLOBAL);
+        }
+        debug_assert_eq!(
+            self.map[local.index()],
+            NO_GLOBAL,
+            "local slot already mapped"
+        );
+        self.map[local.index()] = raw;
+        self.live += 1;
+    }
+
+    /// The global id currently mapped to `local` — the translation
+    /// matching applies to each matched local id. `None` when the slot
+    /// holds no live subscription (out of range, never issued, retired,
+    /// or migrated away).
+    pub fn global_of(&self, local: SubscriptionId) -> Option<SubscriptionId> {
+        self.map
+            .get(local.index())
+            .copied()
+            .filter(|&raw| raw != NO_GLOBAL)
+            .map(|raw| {
+                SubscriptionId::from_parts((raw >> 32) as u32, (raw & u64::from(u32::MAX)) as usize)
+            })
+    }
+
+    /// Clears the `local` entry, returning the global id it mapped (or
+    /// `None` if it was empty).
+    pub fn clear(&mut self, local: SubscriptionId) -> Option<SubscriptionId> {
+        let global = self.global_of(local)?;
+        self.map[local.index()] = NO_GLOBAL;
+        self.live -= 1;
+        self.trim_tail();
+        Some(global)
+    }
+
+    /// Clears the `local` entry only if it currently maps to `global`;
+    /// returns whether it did. This is the guard concurrent brokers use
+    /// when an unsubscribe may race a resize that rebuilt the shard at
+    /// this index: a stale caller's `(local, global)` pair cannot match
+    /// a fresh shard's map, so the fresh shard's subscriptions are
+    /// safe from stale removals.
+    pub fn clear_if(&mut self, local: SubscriptionId, global: SubscriptionId) -> bool {
+        if self.global_of(local) != Some(global) {
+            return false;
+        }
+        self.map[local.index()] = NO_GLOBAL;
+        self.live -= 1;
+        self.trim_tail();
+        true
+    }
+
+    /// Truncates the dead sentinel tail a clear may leave. Engines hand
+    /// out local ids monotonically and migration always retires the
+    /// *highest* live local first, so without the truncation a shard
+    /// drain would rescan an ever-growing sentinel suffix on every
+    /// [`ShardTranslation::last_resident`] call — O(n²) over the
+    /// drain. Trimming keeps the tail live and the drain linear.
+    fn trim_tail(&mut self) {
+        while self.map.last() == Some(&NO_GLOBAL) {
+            self.map.pop();
+        }
+    }
+
+    /// The live `(global, local)` pairs resident on this shard,
+    /// ascending by local id — an inspection/debug helper (allocates a
+    /// fresh `Vec`). Migration planning itself walks victims through
+    /// [`ShardTranslation::last_resident`], not through this.
+    pub fn residents(&self) -> Vec<(SubscriptionId, SubscriptionId)> {
+        (0..self.map.len())
+            .filter_map(|local| {
+                let local = SubscriptionId::from_index(local);
+                self.global_of(local).map(|global| (global, local))
+            })
+            .collect()
+    }
+
+    /// The resident with the highest local id — the cheapest
+    /// deterministic migration victim (the map's tail entry).
+    pub fn last_resident(&self) -> Option<(SubscriptionId, SubscriptionId)> {
+        (0..self.map.len()).rev().find_map(|local| {
+            let local = SubscriptionId::from_index(local);
+            self.global_of(local).map(|global| (global, local))
+        })
+    }
+
+    /// Approximate heap bytes held by the map — charged into its
+    /// owner's `memory_usage` (each shard's translation map is that
+    /// shard's overhead, not the directory's).
+    pub fn heap_bytes(&self) -> usize {
+        self.map.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -664,22 +817,43 @@ mod tests {
     }
 
     /// Registers one subscription the way engines do: place, then
-    /// commit with the next local id of the chosen shard.
-    fn register(dir: &mut SubscriptionDirectory, next_local: &mut [usize]) -> SubscriptionId {
+    /// commit with the next local id of the chosen shard, then mirror
+    /// the mapping into the shard's translation map.
+    fn register(
+        dir: &mut SubscriptionDirectory,
+        maps: &mut [ShardTranslation],
+        next_local: &mut [usize],
+    ) -> SubscriptionId {
         let shard = dir.place();
         let local = sid(next_local[shard]);
         next_local[shard] += 1;
-        dir.commit(shard, local, expr())
+        let global = dir.commit(shard, local, expr());
+        maps[shard].set(local, global);
+        global
+    }
+
+    /// Retires `global` from the directory and its shard's map, the way
+    /// engine/broker unsubscribe does.
+    fn retire(
+        dir: &mut SubscriptionDirectory,
+        maps: &mut [ShardTranslation],
+        global: SubscriptionId,
+    ) -> usize {
+        let (shard, local, _) = dir.retire(global).unwrap();
+        assert!(maps[shard].clear_if(local, global));
+        shard
     }
 
     #[test]
     fn churn_free_placement_is_round_robin_with_arrival_order_ids() {
         let mut dir = SubscriptionDirectory::new(3);
+        let mut maps = vec![ShardTranslation::new(); 3];
         let mut locals = [0usize; 3];
         for n in 0..9 {
             let before = dir.loads().to_vec();
-            let global = register(&mut dir, &mut locals);
+            let global = register(&mut dir, &mut maps, &mut locals);
             assert_eq!(global.index(), n, "arrival-order ids");
+            assert_eq!(global.generation(), 0, "arrival mode never tags");
             // The n-th subscription lands on shard n % 3, like the old
             // round-robin cursor.
             let (shard, _) = dir.placement_of(global).unwrap();
@@ -689,24 +863,28 @@ mod tests {
         assert_eq!(dir.loads(), &[3, 3, 3]);
         assert_eq!(dir.live(), 9);
         assert!(dir.is_balanced());
+        assert_eq!(maps.iter().map(ShardTranslation::len).sum::<usize>(), 9);
     }
 
     #[test]
     fn drained_shard_is_refilled_first() {
         let mut dir = SubscriptionDirectory::new(4);
+        let mut maps = vec![ShardTranslation::new(); 4];
         let mut locals = [0usize; 4];
-        let globals: Vec<_> = (0..12).map(|_| register(&mut dir, &mut locals)).collect();
+        let globals: Vec<_> = (0..12)
+            .map(|_| register(&mut dir, &mut maps, &mut locals))
+            .collect();
         // Drain shard 2 (subscriptions 2, 6, 10).
         for &g in &[globals[2], globals[6], globals[10]] {
-            let (shard, _, _) = dir.retire(g).unwrap();
-            assert_eq!(shard, 2);
+            assert_eq!(retire(&mut dir, &mut maps, g), 2);
         }
         assert_eq!(dir.loads(), &[3, 3, 0, 3]);
         assert_eq!(dir.skew_pair(), Some((0, 2)));
+        assert!(maps[2].is_empty());
         // The next three placements must refill shard 2 — the old blind
         // round-robin cursor would have spread them over all shards.
         for _ in 0..3 {
-            let g = register(&mut dir, &mut locals);
+            let g = register(&mut dir, &mut maps, &mut locals);
             assert_eq!(dir.placement_of(g).unwrap().0, 2);
         }
         assert_eq!(dir.loads(), &[3, 3, 3, 3]);
@@ -716,14 +894,14 @@ mod tests {
     #[test]
     fn retire_frees_and_arrival_mode_never_reuses() {
         let mut dir = SubscriptionDirectory::new(2);
+        let mut maps = vec![ShardTranslation::new(); 2];
         let mut locals = [0usize; 2];
-        let a = register(&mut dir, &mut locals);
-        let b = register(&mut dir, &mut locals);
+        let a = register(&mut dir, &mut maps, &mut locals);
+        let b = register(&mut dir, &mut maps, &mut locals);
         assert_eq!(dir.retire(a).map(|(s, l, _)| (s, l)), Some((0, sid(0))));
         assert_eq!(dir.retire(a), None, "double retire");
         assert_eq!(dir.vacant(), 1);
-        assert_eq!(dir.global_of(0, sid(0)), None);
-        let c = register(&mut dir, &mut locals);
+        let c = register(&mut dir, &mut maps, &mut locals);
         assert_eq!(c.index(), 2, "arrival-order mode appends");
         assert_eq!(dir.id_bound(), 3);
         assert_eq!(dir.live(), 2);
@@ -732,16 +910,27 @@ mod tests {
     }
 
     #[test]
-    fn recycled_ids_pop_the_free_list() {
+    fn recycled_ids_pop_the_free_list_with_a_fresh_generation() {
         let mut dir = SubscriptionDirectory::with_recycled_ids(2);
+        assert!(dir.recycles_ids());
+        let mut maps = vec![ShardTranslation::new(); 2];
         let mut locals = [0usize; 2];
-        let a = register(&mut dir, &mut locals);
-        let _b = register(&mut dir, &mut locals);
-        dir.retire(a).unwrap();
-        let c = register(&mut dir, &mut locals);
-        assert_eq!(c, a, "retired id reissued LIFO");
+        let a = register(&mut dir, &mut maps, &mut locals);
+        let _b = register(&mut dir, &mut maps, &mut locals);
+        retire(&mut dir, &mut maps, a);
+        let c = register(&mut dir, &mut maps, &mut locals);
+        assert_eq!(c.slot(), a.slot(), "retired slot reissued LIFO");
+        assert_eq!(c.generation(), a.generation() + 1, "tagged reissue");
+        assert_ne!(c, a, "the ABA guard: same slot, distinguishable ids");
         assert_eq!(dir.id_bound(), 2, "table stays bounded");
         assert_eq!(dir.vacant(), 0);
+        // The stale id is dead everywhere: lookups, retire, relocate.
+        assert_eq!(dir.placement_of(a), None);
+        assert_eq!(dir.expr_of(a), None);
+        assert_eq!(dir.retire(a), None);
+        assert!(!dir.relocate(a, 0, sid(1), 1, sid(0)));
+        // While the reissued id is fully live.
+        assert!(dir.placement_of(c).is_some());
     }
 
     #[test]
@@ -761,12 +950,16 @@ mod tests {
     #[test]
     fn relocate_keeps_the_global_id_and_moves_the_load() {
         let mut dir = SubscriptionDirectory::new(2);
+        let mut maps = vec![ShardTranslation::new(); 2];
         let mut locals = [0usize; 2];
-        let g = register(&mut dir, &mut locals); // shard 0, local 0
+        let g = register(&mut dir, &mut maps, &mut locals); // shard 0, local 0
         assert!(dir.relocate(g, 0, sid(0), 1, sid(7)));
+        // The caller mirrors the move into the two shard maps.
+        assert!(maps[0].clear_if(sid(0), g));
+        maps[1].set(sid(7), g);
         assert_eq!(dir.placement_of(g), Some((1, sid(7))));
-        assert_eq!(dir.global_of(0, sid(0)), None);
-        assert_eq!(dir.global_of(1, sid(7)), Some(g));
+        assert_eq!(maps[0].global_of(sid(0)), None);
+        assert_eq!(maps[1].global_of(sid(7)), Some(g));
         assert_eq!(dir.loads(), &[0, 1]);
         // Stale placements (wrong shard or local) are refused.
         assert!(!dir.relocate(g, 0, sid(0), 0, sid(1)));
@@ -777,48 +970,45 @@ mod tests {
     }
 
     #[test]
-    fn residents_walk_in_local_order() {
-        let mut dir = SubscriptionDirectory::new(2);
-        let mut locals = [0usize; 2];
-        let globals: Vec<_> = (0..6).map(|_| register(&mut dir, &mut locals)).collect();
-        // Shard 0 holds globals 0, 2, 4 at locals 0, 1, 2.
-        assert_eq!(
-            dir.residents(0),
-            vec![
-                (globals[0], sid(0)),
-                (globals[2], sid(1)),
-                (globals[4], sid(2))
-            ]
-        );
-        assert_eq!(dir.last_resident(0), Some((globals[4], sid(2))));
-        dir.retire(globals[4]).unwrap();
-        assert_eq!(dir.last_resident(0), Some((globals[2], sid(1))));
-        assert!(dir.residents(9).is_empty(), "out-of-range shard is empty");
-        assert_eq!(dir.last_resident(9), None);
+    fn placement_restriction_bounds_place() {
+        let mut dir = SubscriptionDirectory::new(4);
+        assert_eq!(dir.active_shards(), 4);
+        dir.restrict_placement(2);
+        assert_eq!(dir.active_shards(), 2);
+        for _ in 0..8 {
+            let shard = dir.place();
+            assert!(shard < 2, "restricted placement chose shard {shard}");
+        }
+        // Growing lifts the restriction.
+        dir.add_shard();
+        assert_eq!(dir.active_shards(), 5);
     }
 
     #[test]
     fn shard_count_grows_and_shrinks() {
         let mut dir = SubscriptionDirectory::new(2);
+        let mut maps = vec![ShardTranslation::new(); 3];
         let mut locals = [0usize; 3];
-        let _ = register(&mut dir, &mut locals);
+        let _ = register(&mut dir, &mut maps, &mut locals);
         assert_eq!(dir.add_shard(), 2);
         assert_eq!(dir.shard_count(), 3);
         // Shards 1 and 2 tie at zero load; the cursor (at 1) breaks the
         // tie, then the new shard fills.
-        let g1 = register(&mut dir, &mut locals);
+        let g1 = register(&mut dir, &mut maps, &mut locals);
         assert_eq!(dir.placement_of(g1).unwrap().0, 1);
-        let g = register(&mut dir, &mut locals);
+        let g = register(&mut dir, &mut maps, &mut locals);
         assert_eq!(dir.placement_of(g).unwrap().0, 2);
         // place_among excludes dying shards.
         let target = dir.place_among(2);
         assert!(target < 2);
         dir.cancel(target);
         // Draining then removing the last shard.
-        let (from, local) = (2usize, dir.last_resident(2).unwrap().1);
+        let (_, local) = maps[2].last_resident().unwrap();
         let to = dir.place_among(2);
         dir.cancel(to); // relocate moves the load itself
-        assert!(dir.relocate(g, from, local, to, sid(locals[to])));
+        assert!(dir.relocate(g, 2, local, to, sid(locals[to])));
+        assert!(maps[2].clear_if(local, g));
+        maps[to].set(sid(locals[to]), g);
         dir.remove_last_shard();
         assert_eq!(dir.shard_count(), 2);
         assert_eq!(dir.placement_of(g).unwrap().0, to);
@@ -843,43 +1033,70 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_track_the_tables() {
+    fn heap_bytes_track_the_tables_and_expressions() {
         let mut dir = SubscriptionDirectory::new(2);
         let empty = dir.heap_bytes();
+        let mut maps = vec![ShardTranslation::new(); 2];
         let mut locals = [0usize; 2];
         for _ in 0..32 {
-            register(&mut dir, &mut locals);
+            register(&mut dir, &mut maps, &mut locals);
         }
         assert!(dir.heap_bytes() > empty);
+        assert!(maps[0].heap_bytes() > 0, "translation charged by its owner");
+        // Retiring everything releases exactly the expression charge
+        // commit added (capacity stays, the charge does not).
+        let full = dir.heap_bytes();
+        for slot in 0..32 {
+            dir.retire(sid(slot)).unwrap();
+        }
+        assert!(dir.heap_bytes() < full);
     }
 
     #[test]
-    fn shared_commits_are_not_charged_and_retire_releases_the_charge() {
-        // Twin directories run identical operations, one storing a
-        // shared placeholder, one deep-stored expressions — the only
-        // heap_bytes difference is the expression charge.
-        let placeholder = expr();
-        let mut charged = SubscriptionDirectory::new(1);
-        let mut shared = SubscriptionDirectory::new(1);
-        for i in 0..4 {
-            let s = charged.place();
-            charged.commit(s, sid(i), expr());
-            let s = shared.place();
-            shared.commit_shared(s, sid(i), Arc::clone(&placeholder));
-        }
-        assert!(
-            charged.heap_bytes() > shared.heap_bytes(),
-            "plain commits charge expression heap, shared ones do not"
-        );
-        for i in 0..4 {
-            charged.retire(sid(i)).unwrap();
-            shared.retire(sid(i)).unwrap();
-        }
+    fn translation_map_tracks_residents() {
+        let mut map = ShardTranslation::new();
+        assert!(map.is_empty());
+        assert_eq!(map.last_resident(), None);
+        assert_eq!(map.global_of(sid(5)), None, "out of range is empty");
+        map.set(sid(0), sid(10));
+        map.set(sid(1), sid(11));
+        map.set(sid(2), sid(12));
+        assert_eq!(map.len(), 3);
         assert_eq!(
-            charged.heap_bytes(),
-            shared.heap_bytes(),
-            "retire released exactly what commit charged"
+            map.residents(),
+            vec![(sid(10), sid(0)), (sid(11), sid(1)), (sid(12), sid(2))]
         );
+        assert_eq!(map.last_resident(), Some((sid(12), sid(2))));
+        // Clearing the tail truncates it (the O(n²)-drain guard).
+        assert_eq!(map.clear(sid(2)), Some(sid(12)));
+        assert_eq!(map.last_resident(), Some((sid(11), sid(1))));
+        assert_eq!(map.clear(sid(2)), None, "double clear");
+        // Middle clears leave the tail live.
+        assert_eq!(map.clear(sid(0)), Some(sid(10)));
+        assert_eq!(map.residents(), vec![(sid(11), sid(1))]);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn translation_clear_if_guards_against_stale_pairs() {
+        let mut map = ShardTranslation::new();
+        map.set(sid(0), sid(10));
+        // A stale caller with the wrong global id cannot clear the
+        // slot's current owner.
+        assert!(!map.clear_if(sid(0), sid(99)));
+        assert_eq!(map.global_of(sid(0)), Some(sid(10)));
+        assert!(map.clear_if(sid(0), sid(10)));
+        assert!(!map.clear_if(sid(0), sid(10)), "already cleared");
+    }
+
+    #[test]
+    fn translation_round_trips_generation_tagged_ids() {
+        let mut map = ShardTranslation::new();
+        let tagged = SubscriptionId::from_parts(7, 3);
+        map.set(sid(0), tagged);
+        assert_eq!(map.global_of(sid(0)), Some(tagged));
+        assert_eq!(map.last_resident(), Some((tagged, sid(0))));
+        assert!(map.clear_if(sid(0), tagged));
     }
 
     #[test]

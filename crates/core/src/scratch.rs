@@ -70,11 +70,13 @@ impl MatchScratch {
     }
 
     /// Rewrites the matched ids in place through `translate`, dropping
-    /// ids it maps to `None` — the directory-based form of the sharded
-    /// fan-out's local → global translation. A `None` means the
-    /// subscription was retired (or migrated away) between matching and
-    /// translation; delivery would have skipped it anyway, so it is
-    /// filtered here, once, instead of at every consumer.
+    /// ids it maps to `None` — the sharded fan-out's local → global
+    /// translation, fed from the matched shard's own
+    /// [`crate::ShardTranslation`] map (under whatever lock already
+    /// guards that shard). A `None` means the subscription was retired
+    /// (or migrated away) between matching and translation; delivery
+    /// would have skipped it anyway, so it is filtered here, once,
+    /// instead of at every consumer.
     pub fn translate_matched(
         &mut self,
         mut translate: impl FnMut(SubscriptionId) -> Option<SubscriptionId>,

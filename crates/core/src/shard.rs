@@ -9,13 +9,17 @@
 //! — it implements [`FilterEngine`] itself, so the sweep harness,
 //! tests, and any single-threaded caller can use it transparently.
 //!
-//! Routing goes through a [`SubscriptionDirectory`]: global ids are
-//! issued in arrival order (the *n*-th accepted subscription gets
-//! global id *n*, exactly as an unsharded engine would assign — the
-//! shard-equivalence property tests rely on this) and map through an
-//! indirection table to whatever `(shard, local)` slot currently backs
-//! them. Because the id is **stable while the placement is not**, the
-//! engine supports what stride arithmetic never could:
+//! Routing splits across two structures. The write-side
+//! [`SubscriptionDirectory`] issues global ids in arrival order (the
+//! *n*-th accepted subscription gets global id *n*, exactly as an
+//! unsharded engine would assign — the shard-equivalence property
+//! tests rely on this) and maps each id to whatever `(shard, local)`
+//! slot currently backs it. Each shard additionally owns a read-side
+//! [`ShardTranslation`] — its local → global reverse map — which is
+//! all matching ever consults: translating a matched local id touches
+//! only the shard that produced it, never the directory. Because the
+//! id is **stable while the placement is not**, the engine supports
+//! what stride arithmetic never could:
 //!
 //! * **load-aware placement** — [`FilterEngine::subscribe`] picks the
 //!   least-loaded shard (round-robin tie-break), so a shard drained by
@@ -58,11 +62,21 @@ use boolmatch_types::Event;
 
 use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
 use crate::pool::{PooledScratch, ScratchPool};
-use crate::routing::{PredicateRouter, SubscriptionDirectory};
+use crate::routing::{PredicateRouter, ShardTranslation, SubscriptionDirectory};
 use crate::{FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
 
 /// A boxed engine usable as a shard.
 pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
+
+/// One shard: its engine plus the local → global translation map
+/// matching reads. Keeping the map *with* the shard (instead of in the
+/// shared directory) is what keeps translation off any shared state —
+/// the broker's concurrent form protects both together under one
+/// per-shard lock.
+struct ShardSlot {
+    engine: BoxedEngine,
+    translation: ShardTranslation,
+}
 
 /// `S` inner engines composed into one [`FilterEngine`].
 ///
@@ -83,7 +97,7 @@ pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
 ///   indistinguishable from the inner engine.
 pub struct ShardedEngine {
     directory: SubscriptionDirectory,
-    shards: Vec<BoxedEngine>,
+    shards: Vec<ShardSlot>,
     /// Stride router for the per-shard *predicate* spaces (predicates
     /// never migrate); rebuilt on resize.
     pred_router: PredicateRouter,
@@ -128,7 +142,13 @@ impl ShardedEngine {
         ShardedEngine {
             directory: SubscriptionDirectory::new(engines.len()),
             pred_router: PredicateRouter::new(engines.len()),
-            shards: engines,
+            shards: engines
+                .into_iter()
+                .map(|engine| ShardSlot {
+                    engine,
+                    translation: ShardTranslation::new(),
+                })
+                .collect(),
         }
     }
 
@@ -149,7 +169,16 @@ impl ShardedEngine {
     ///
     /// Panics if `i >= shard_count()`.
     pub fn shard(&self, i: usize) -> &(dyn FilterEngine + Send + Sync) {
-        &*self.shards[i]
+        &*self.shards[i].engine
+    }
+
+    /// Shard `i`'s local → global translation map, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn translation(&self, i: usize) -> &ShardTranslation {
+        &self.shards[i].translation
     }
 
     /// Live subscriptions per shard, as the shard engines report them.
@@ -157,7 +186,10 @@ impl ShardedEngine {
     /// [`loads`](SubscriptionDirectory::loads); kept as an independent
     /// probe of that invariant.
     pub fn shard_subscription_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|e| e.subscription_count()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.engine.subscription_count())
+            .collect()
     }
 
     /// Moves up to `max_moves` subscriptions, one at a time, from the
@@ -212,12 +244,15 @@ impl ShardedEngine {
         if new_shards > old {
             let kind = self.kind();
             for _ in old..new_shards {
-                self.shards.push(kind.build());
+                self.shards.push(ShardSlot {
+                    engine: kind.build(),
+                    translation: ShardTranslation::new(),
+                });
                 self.directory.add_shard();
             }
         } else {
             for dying in (new_shards..old).rev() {
-                while let Some((global, local)) = self.directory.last_resident(dying) {
+                while let Some((global, local)) = self.shards[dying].translation.last_resident() {
                     // `place_among` keeps the drain spreading over the
                     // survivors (least-loaded + tie-break cursor); the
                     // reservation is released immediately because
@@ -239,14 +274,15 @@ impl ShardedEngine {
     /// One migration step from `from` to `to`; `false` when `from` has
     /// no residents or the target engine refuses the expression.
     fn migrate_one(&mut self, from: usize, to: usize) -> bool {
-        let Some((global, local)) = self.directory.last_resident(from) else {
+        let Some((global, local)) = self.shards[from].translation.last_resident() else {
             return false;
         };
         self.relocate(global, from, local, to).is_ok()
     }
 
     /// Moves one subscription: re-subscribe on `to`, retire on `from`,
-    /// repoint the directory. The global id is untouched.
+    /// repoint the directory and the two shards' translation maps. The
+    /// global id is untouched.
     fn relocate(
         &mut self,
         global: SubscriptionId,
@@ -259,12 +295,16 @@ impl ShardedEngine {
                 .expr_of(global)
                 .expect("residents hold live directory entries"),
         );
-        let new_local = self.shards[to].subscribe(&expr)?;
+        let new_local = self.shards[to].engine.subscribe(&expr)?;
         self.shards[from]
+            .engine
             .unsubscribe(local)
             .expect("directory and shard engines are kept in sync");
         let relocated = self.directory.relocate(global, from, local, to, new_local);
         debug_assert!(relocated, "single-threaded relocation cannot race");
+        let cleared = self.shards[from].translation.clear_if(local, global);
+        debug_assert!(cleared, "translation and directory are kept in sync");
+        self.shards[to].translation.set(new_local, global);
         Ok(())
     }
 
@@ -298,39 +338,42 @@ impl ShardedEngine {
         if self.shards.len() == 1 {
             return self.match_event_into(event, scratch);
         }
-        let directory = &self.directory;
         let mut remote: Vec<Option<(PooledScratch<'_>, MatchStats)>> =
             (1..self.shards.len()).map(|_| None).collect();
         let mut stats = MatchStats::default();
         std::thread::scope(|scope| {
-            for (i, (engine, slot)) in self.shards[1..].iter().zip(remote.iter_mut()).enumerate() {
-                let shard = i + 1;
+            for (slot_shard, slot) in self.shards[1..].iter().zip(remote.iter_mut()) {
                 scope.spawn(move || {
+                    let engine = &slot_shard.engine;
                     let mut lease = scratches.checkout(engine);
                     let stats = engine.match_event_into(event, &mut lease);
-                    // Translate to global ids in place — the merge below
-                    // then just concatenates. On this single-owner path
-                    // every matched local is live; the expect keeps a
-                    // broken directory↔engine sync loud instead of
-                    // silently diverging from the sequential walk.
+                    // Translate to global ids in place through the
+                    // shard's own map — the merge below then just
+                    // concatenates, and no worker touches any shared
+                    // routing state. On this single-owner path every
+                    // matched local is live; the expect keeps a broken
+                    // translation↔engine sync loud instead of silently
+                    // diverging from the sequential walk.
                     lease.translate_matched(|local| {
                         Some(
-                            directory
-                                .global_of(shard, local)
-                                .expect("matched locals hold live directory entries"),
+                            slot_shard
+                                .translation
+                                .global_of(local)
+                                .expect("matched locals hold live translation entries"),
                         )
                     });
                     *slot = Some((lease, stats));
                 });
             }
             // Shard 0 inline, into the caller's scratch.
-            stats = self.shards[0].match_event_into(event, scratch);
+            stats = self.shards[0].engine.match_event_into(event, scratch);
         });
         scratch.translate_matched(|local| {
             Some(
-                directory
-                    .global_of(0, local)
-                    .expect("matched locals hold live directory entries"),
+                self.shards[0]
+                    .translation
+                    .global_of(local)
+                    .expect("matched locals hold live translation entries"),
             )
         });
         let mut matched = std::mem::take(&mut scratch.matched);
@@ -343,12 +386,14 @@ impl ShardedEngine {
         stats
     }
 
-    /// Directory translation of one shard's matched local id; matched
-    /// locals are always live on this single-owner engine.
+    /// Translation of one shard's matched local id through that
+    /// shard's own map; matched locals are always live on this
+    /// single-owner engine.
     fn global_of(&self, shard: usize, local: SubscriptionId) -> SubscriptionId {
-        self.directory
-            .global_of(shard, local)
-            .expect("matched locals hold live directory entries")
+        self.shards[shard]
+            .translation
+            .global_of(local)
+            .expect("matched locals hold live translation entries")
     }
 }
 
@@ -364,13 +409,17 @@ impl fmt::Debug for ShardedEngine {
 
 impl FilterEngine for ShardedEngine {
     fn kind(&self) -> EngineKind {
-        self.shards[0].kind()
+        self.shards[0].engine.kind()
     }
 
     fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
         let shard = self.directory.place();
-        match self.shards[shard].subscribe(expr) {
-            Ok(local) => Ok(self.directory.commit(shard, local, Arc::new(expr.clone()))),
+        match self.shards[shard].engine.subscribe(expr) {
+            Ok(local) => {
+                let global = self.directory.commit(shard, local, Arc::new(expr.clone()));
+                self.shards[shard].translation.set(local, global);
+                Ok(global)
+            }
             Err(e) => {
                 self.directory.cancel(shard);
                 Err(e)
@@ -384,9 +433,12 @@ impl FilterEngine for ShardedEngine {
             return Err(UnsubscribeError::UnknownSubscription(id));
         };
         self.shards[shard]
+            .engine
             .unsubscribe(local)
             .expect("directory and shard engines are kept in sync");
         self.directory.retire(id);
+        let cleared = self.shards[shard].translation.clear_if(local, id);
+        debug_assert!(cleared, "translation and directory are kept in sync");
         Ok(())
     }
 
@@ -396,8 +448,8 @@ impl FilterEngine for ShardedEngine {
         // is no scratch in phase 1's signature); the hot path —
         // `match_event_into` — never materialises global predicate ids.
         let mut local = FulfilledSet::new();
-        for (s, engine) in self.shards.iter().enumerate() {
-            engine.phase1(event, &mut local);
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.engine.phase1(event, &mut local);
             for &id in local.ids() {
                 out.insert(self.pred_router.global_pred(s, id));
             }
@@ -414,18 +466,18 @@ impl FilterEngine for ShardedEngine {
         let mut local = std::mem::take(&mut scratch.shard_fulfilled);
         let mut shard_out = std::mem::take(&mut scratch.shard_matched);
         let mut stats = MatchStats::default();
-        for (s, engine) in self.shards.iter().enumerate() {
+        for (s, shard) in self.shards.iter().enumerate() {
             // Project the global fulfilled set onto this shard's
             // predicate space.
-            let universe = engine.predicate_universe();
+            let universe = shard.engine.predicate_universe();
             local.begin(universe);
             for &g in fulfilled.ids() {
-                let (shard, pred) = self.pred_router.split_pred(g);
-                if shard == s && pred.index() < universe {
+                let (owner, pred) = self.pred_router.split_pred(g);
+                if owner == s && pred.index() < universe {
                     local.insert(pred);
                 }
             }
-            stats = stats + engine.phase2(&local, scratch, &mut shard_out);
+            stats = stats + shard.engine.phase2(&local, scratch, &mut shard_out);
             matched.extend(shard_out.iter().map(|&l| self.global_of(s, l)));
         }
         scratch.shard_fulfilled = local;
@@ -437,16 +489,16 @@ impl FilterEngine for ShardedEngine {
         // Per shard: phase 1 straight into phase 2, all in the shard's
         // own (local) id spaces — no translation of predicate ids, no
         // allocation in steady state. Only matched ids are mapped to
-        // the global space (a directory reverse-map lookup each), into
-        // the accumulating `matched` buffer.
+        // the global space (one lookup in the shard's own translation
+        // map each), into the accumulating `matched` buffer.
         let mut fulfilled = std::mem::take(&mut scratch.fulfilled);
         let mut matched = std::mem::take(&mut scratch.matched);
         let mut shard_out = std::mem::take(&mut scratch.shard_matched);
         matched.clear();
         let mut stats = MatchStats::default();
-        for (s, engine) in self.shards.iter().enumerate() {
-            engine.phase1(event, &mut fulfilled);
-            stats = stats + engine.phase2(&fulfilled, scratch, &mut shard_out);
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.engine.phase1(event, &mut fulfilled);
+            stats = stats + shard.engine.phase2(&fulfilled, scratch, &mut shard_out);
             matched.extend(shard_out.iter().map(|&l| self.global_of(s, l)));
         }
         scratch.fulfilled = fulfilled;
@@ -456,24 +508,30 @@ impl FilterEngine for ShardedEngine {
     }
 
     fn subscription_count(&self) -> usize {
-        self.shards.iter().map(|e| e.subscription_count()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.engine.subscription_count())
+            .sum()
     }
 
     fn subscription_id_bound(&self) -> usize {
         // Scratch buffers serve two id spaces here: global ids (the
-        // directory's issued bound) and each shard's local ids (the
-        // inner phase-2 stamp space, which migration churn can grow
-        // past the global bound). Cover both.
+        // directory's issued slot bound) and each shard's local ids
+        // (the inner phase-2 stamp space, which migration churn can
+        // grow past the global bound). Cover both.
         self.shards
             .iter()
-            .map(|e| e.subscription_id_bound())
+            .map(|s| s.engine.subscription_id_bound())
             .max()
             .unwrap_or(0)
             .max(self.directory.id_bound())
     }
 
     fn registered_units(&self) -> usize {
-        self.shards.iter().map(|e| e.registered_units()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.engine.registered_units())
+            .sum()
     }
 
     fn unit_slot_bound(&self) -> usize {
@@ -482,7 +540,7 @@ impl FilterEngine for ShardedEngine {
         // per-shard maximum is exactly what pre-sizing needs.
         self.shards
             .iter()
-            .map(|e| e.unit_slot_bound())
+            .map(|s| s.engine.unit_slot_bound())
             .max()
             .unwrap_or(0)
     }
@@ -490,26 +548,32 @@ impl FilterEngine for ShardedEngine {
     fn predicate_count(&self) -> usize {
         // Shards intern independently: a predicate shared by
         // subscriptions on different shards is counted once per shard.
-        self.shards.iter().map(|e| e.predicate_count()).sum()
+        self.shards.iter().map(|s| s.engine.predicate_count()).sum()
     }
 
     fn predicate_universe(&self) -> usize {
         self.pred_router
-            .global_bound(self.shards.iter().map(|e| e.predicate_universe()))
+            .global_bound(self.shards.iter().map(|s| s.engine.predicate_universe()))
     }
 
     fn memory_usage(&self) -> MemoryUsage {
-        // The directory (id tables + stored expressions for migration)
-        // is the sharding layer's own overhead, reported as
+        // The sharding layer's own overhead — the write-side directory
+        // (slot table + stored expressions for migration) plus every
+        // shard's read-side translation map — is reported as
         // unsubscription/rebalancing support.
-        let directory = MemoryUsage {
-            unsub_support: self.directory.heap_bytes(),
+        let routing = MemoryUsage {
+            unsub_support: self.directory.heap_bytes()
+                + self
+                    .shards
+                    .iter()
+                    .map(|s| s.translation.heap_bytes())
+                    .sum::<usize>(),
             ..MemoryUsage::default()
         };
         self.shards
             .iter()
-            .map(|e| e.memory_usage())
-            .fold(directory, |a, b| a + b)
+            .map(|s| s.engine.memory_usage())
+            .fold(routing, |a, b| a + b)
     }
 }
 
@@ -763,16 +827,22 @@ mod tests {
             engine.predicate_count(),
             per_shard.iter().map(|s| s.predicate_count()).sum::<usize>()
         );
+        let translation_bytes: usize = (0..4).map(|i| engine.translation(i).heap_bytes()).sum();
         assert_eq!(
             engine.memory_usage().total(),
             per_shard
                 .iter()
                 .map(|s| s.memory_usage().total())
                 .sum::<usize>()
-                + engine.directory().heap_bytes(),
-            "engine totals plus the directory's own tables"
+                + engine.directory().heap_bytes()
+                + translation_bytes,
+            "engine totals plus the directory and per-shard translation maps"
         );
         assert!(engine.directory().heap_bytes() > 0);
+        assert!(
+            translation_bytes > 0,
+            "per-shard reverse maps are charged, not free"
+        );
         assert!(engine.subscription_id_bound() >= 12);
         assert!(engine.predicate_universe() > 0);
         assert!(engine.unit_slot_bound() > 0);

@@ -7,18 +7,22 @@
 //! with alternatives), news alerting (string search), auction
 //! monitoring (mixed), subscription churn (sustained
 //! subscribe/unsubscribe interleaved with publishing, for the sharded
-//! broker's write path), and rebalancing (churn with periodic
+//! broker's write path), rebalancing (churn with periodic
 //! shard-rebalance and shard-resize marks, for the live-migration
-//! equivalence tests and benches).
+//! equivalence tests and benches), and hot keys (a minority of
+//! subscriptions absorbing most matches, for the match-frequency
+//! rebalancing policy).
 
 mod auction;
 mod churn;
+mod hotkey;
 mod news;
 mod rebalance;
 mod stock;
 
 pub use auction::AuctionScenario;
 pub use churn::{ChurnOp, ChurnScenario};
+pub use hotkey::HotKeyScenario;
 pub use news::NewsScenario;
 pub use rebalance::{RebalanceOp, RebalanceScenario};
 pub use stock::StockScenario;

@@ -73,6 +73,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         broker.shard_loads()
     );
 
+    // The shard count itself is a live knob: grow to six shards (the
+    // lock array is swapped behind an epoch; publishes never stop),
+    // spread onto the new shards, then shrink back — every dying
+    // shard's subscriptions are live-migrated onto the survivors.
+    broker.resize(6);
+    broker.rebalance();
+    println!("shard loads after resize(6):  {:?}", broker.shard_loads());
+    let drained = broker.resize(4);
+    println!(
+        "shard loads after resize(4) drained {drained} subscriptions back: {:?}",
+        broker.shard_loads()
+    );
+
+    // Counts even does not mean load even: per-shard match counters
+    // expose which shards actually produce the matches, and a
+    // frequency-weighted rebalance tick (what
+    // `BrokerBuilder::background_rebalance` runs continuously on its
+    // own thread) migrates hot load instead of raw counts.
+    println!(
+        "per-shard match counters:     {:?}",
+        broker.shard_match_hits()
+    );
+    broker.rebalance_by_match_frequency(8);
+
     let stats = broker.stats();
     println!(
         "published {} events in batches; {} notifications delivered",

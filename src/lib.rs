@@ -59,10 +59,13 @@ pub use boolmatch_workload as workload;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use boolmatch_broker::{Broker, BrokerError, DeliveryPolicy, Subscription};
+    pub use boolmatch_broker::{
+        Broker, BrokerError, DeliveryPolicy, RebalancePolicy, Subscription,
+    };
     pub use boolmatch_core::{
         CountingEngine, CountingVariantEngine, EngineKind, FilterEngine, MatchResult, MatchScratch,
-        Matcher, NonCanonicalEngine, ShardedEngine, SubscriptionDirectory, SubscriptionId,
+        Matcher, NonCanonicalEngine, ShardTranslation, ShardedEngine, SubscriptionDirectory,
+        SubscriptionId,
     };
     pub use boolmatch_expr::{CompareOp, Expr, Predicate};
     pub use boolmatch_types::{Event, Schema, Value, ValueKind};

@@ -391,3 +391,73 @@ fn scratch_pool_stops_allocating_after_warmup() {
     );
     assert_eq!(broker.stats().events_published, 10_100);
 }
+
+/// The trim-cap × scratch-pool interaction (PR-5 satellite): one
+/// pathological spike event matched **on a worker thread** must not pin
+/// its peak allocation in the pooled scratches. Steady traffic below
+/// the cap keeps its warm capacity (no trim, no re-allocation); the
+/// spike's return is trimmed to nothing; steady traffic then re-warms
+/// and keeps matching correctly.
+#[test]
+fn worker_thread_spike_does_not_pin_pooled_scratch_capacity() {
+    let cap = 24 << 10; // between the steady and spike footprints
+    let broker = Broker::builder()
+        .engine(EngineKind::NonCanonical)
+        .shards(2)
+        .worker_threads(1)
+        .parallel_threshold(0) // every publish fans out to the worker
+        .scratch_trim_cap(cap)
+        .build();
+    // A small steady population and a large spike-only population: the
+    // spike subs size the stamp arrays (steady footprint) but only the
+    // spike event explodes the candidate/matched buffers.
+    let _steady: Vec<Subscription> = (0..8)
+        .map(|i| broker.subscribe(&format!("tick = {i}")).unwrap())
+        .collect();
+    let _spikers: Vec<Subscription> = (0..4_000)
+        .map(|_| broker.subscribe("boom = 1").unwrap())
+        .collect();
+    let steady_event = Event::builder().attr("tick", 3_i64).build();
+    let spike_event = Event::builder().attr("boom", 1_i64).build();
+
+    // Warm up on steady traffic; the warm footprint must sit below the
+    // cap or the test would not distinguish steady from spike.
+    for _ in 0..50 {
+        assert_eq!(broker.publish(steady_event.clone()), 1);
+    }
+    let pool = broker.scratch_pool().expect("multi-shard broker");
+    let warm = pool.heap_bytes();
+    assert!(warm > 0, "steady matching warmed a pooled scratch");
+    assert!(
+        warm <= cap,
+        "test invariant: steady footprint {warm} must fit the cap {cap}"
+    );
+    // Steady state really is steady: no trims, no re-allocation.
+    for _ in 0..50 {
+        broker.publish(steady_event.clone());
+    }
+    assert_eq!(pool.heap_bytes(), warm, "steady traffic never trims");
+
+    // The spike: ~2000 matches on the worker's shard grow its lease far
+    // past the cap...
+    assert_eq!(broker.publish(spike_event.clone()), 4_000);
+    // ...and the return trims it instead of parking the high-water
+    // capacity (the old behaviour pinned it for the broker's lifetime).
+    assert!(
+        pool.heap_bytes() < warm,
+        "spike capacity was parked: {} >= warm {warm}",
+        pool.heap_bytes()
+    );
+    assert!(pool.pooled() >= 1, "trimmed, not dropped");
+
+    // Steady traffic re-warms lazily and stays correct — and the
+    // re-warmed footprint is the steady one, not the spike's.
+    for _ in 0..50 {
+        assert_eq!(broker.publish(steady_event.clone()), 1);
+    }
+    let rewarmed = pool.heap_bytes();
+    assert!(rewarmed > 0 && rewarmed <= cap, "re-warmed to steady size");
+    // The spike still delivers exactly when it happens again.
+    assert_eq!(broker.publish(spike_event), 4_000);
+    assert_eq!(broker.publish(steady_event), 1);
+}

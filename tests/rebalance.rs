@@ -144,9 +144,12 @@ fn rebalancing_broker_delivers_like_flat_broker() {
                         "unbalanced after rebalance at {step}: {loads:?}"
                     );
                 }
-                // The broker resizes via `ShardedEngine` only (a broker
-                // keeps its shard/lock count for its lifetime).
-                RebalanceOp::Resize(_) => {}
+                // Since PR 5 the broker resizes live too: the shard
+                // set (locks included) is swapped behind an epoch.
+                RebalanceOp::Resize(n) => {
+                    sharded.resize(n);
+                    assert_eq!(sharded.shard_count(), n, "step {step}");
+                }
             }
         }
 
