@@ -1,0 +1,97 @@
+//! `invariant-lint` — CLI over [`boolmatch_analysis`].
+//!
+//! ```text
+//! invariant-lint [--root PATH] [--format text|json]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any finding survives, 2 on
+//! usage or I/O errors. CI runs this as a required job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use boolmatch_analysis::{lint_workspace, render_json, render_text};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut json = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = argv.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format takes `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            other if other.starts_with("--format=") => match &other["--format=".len()..] {
+                "json" => json = true,
+                "text" => json = false,
+                bad => return Err(format!("--format takes `text` or `json`, got `{bad}`")),
+            },
+            other if other.starts_with("--root=") => {
+                root = Some(PathBuf::from(&other["--root=".len()..]));
+            }
+            "--help" | "-h" => {
+                println!("usage: invariant-lint [--root PATH] [--format text|json]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // Default root: the workspace the binary was built from — correct
+    // for `cargo run -p boolmatch-analysis`; CI passes --root=. anyway.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    Ok(Args { root, json })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("invariant-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&args.root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("invariant-lint: {}: {err}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+        if findings.is_empty() {
+            eprintln!("invariant-lint: clean ({})", args.root.display());
+        } else {
+            eprintln!("invariant-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,618 @@
+//! The invariant rules, run over the token/comment stream from
+//! [`crate::lexer`].
+//!
+//! Regions are declared in comments (see the README's *Invariants &
+//! analysis* section for the user-facing catalogue):
+//!
+//! - `// lint: hot-path` … `// lint: end-hot-path` — the enclosed code
+//!   runs on the publish fast path: the `hot-path-locking`,
+//!   `panic-policy` and `scratch-hygiene` rules apply.
+//! - `// lint: lock-order` … `// lint: end-lock-order` — the enclosed
+//!   code holds several engine locks at once: the `lock-order` rule
+//!   applies (ascending shard indexes, directory innermost).
+//! - `// lint: allow(rule, reason = "…")` — suppress `rule` on this
+//!   line and on the next code line. A missing or empty reason is
+//!   itself a finding (`lint-hygiene`).
+//!
+//! The `safety-comment` rule is global: every `unsafe` block needs a
+//! `SAFETY:` comment within the three preceding lines.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// Broker-global lock *field* names: acquiring any of these inside a
+/// hot-path region is a finding. `shard` states are per-shard and fine;
+/// `senders` reads during delivery carry an explicit allow.
+const GLOBAL_LOCKS: &[&str] = &[
+    "directory",
+    "maintenance",
+    "senders",
+    "shard_set",
+    "freq_baseline",
+    "rebalancer",
+];
+
+/// Panicking constructs disallowed in hot-path regions. `assert!` /
+/// `debug_assert!` stay legal: they state invariants, and the policy
+/// targets *recoverable-error-turned-abort* sites, not invariant
+/// checks.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Every rule the lint knows, as stable machine-readable names.
+pub const RULES: &[&str] = &[
+    "hot-path-locking",
+    "lock-order",
+    "scratch-hygiene",
+    "panic-policy",
+    "safety-comment",
+    "lint-hygiene",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path label the caller supplied (repo-relative in the CLI).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name, one of [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed `// lint: …` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Directive {
+    HotPath,
+    EndHotPath,
+    LockOrder,
+    EndLockOrder,
+    Allow {
+        rule: String,
+        reason: Option<String>,
+    },
+    /// `lint:` prefix present but unparseable — reported, never ignored
+    /// silently.
+    Malformed(String),
+}
+
+fn parse_directive(text: &str) -> Option<Directive> {
+    // Comment text arrives without `//`; doc-comment markers and
+    // leading whitespace are framing.
+    let body = text.trim_start_matches(['/', '!']).trim_start();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let word_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '-' || c == '_'))
+        .unwrap_or(rest.len());
+    let (word, tail) = rest.split_at(word_end);
+    match word {
+        "hot-path" => Some(Directive::HotPath),
+        "end-hot-path" => Some(Directive::EndHotPath),
+        "lock-order" => Some(Directive::LockOrder),
+        "end-lock-order" => Some(Directive::EndLockOrder),
+        "allow" => Some(parse_allow(tail.trim_start())),
+        other => Some(Directive::Malformed(format!(
+            "unknown lint directive `{other}`"
+        ))),
+    }
+}
+
+/// Parses the `(rule, reason = "…")` tail of an allow directive.
+fn parse_allow(tail: &str) -> Directive {
+    let Some(inner) = tail.strip_prefix('(') else {
+        return Directive::Malformed("allow needs `(rule, reason = \"…\")`".into());
+    };
+    let Some(close) = inner.rfind(')') else {
+        return Directive::Malformed("allow is missing its closing `)`".into());
+    };
+    let inner = &inner[..close];
+    let (rule, rest) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_owned);
+    Directive::Allow {
+        rule: rule.to_owned(),
+        reason,
+    }
+}
+
+/// An inclusive line range a region covers.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    start: u32,
+    end: u32,
+}
+
+impl Region {
+    fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// Everything the rules need about one file, precomputed.
+struct FileView<'a> {
+    file: &'a str,
+    lexed: &'a Lexed,
+    hot: Vec<Region>,
+    lock_order: Vec<Region>,
+    /// `(rule, lines-it-covers)` per well-formed allow.
+    allows: Vec<(String, [u32; 2])>,
+    findings: Vec<Finding>,
+}
+
+impl<'a> FileView<'a> {
+    fn new(file: &'a str, lexed: &'a Lexed, last_line: u32) -> Self {
+        let mut view = FileView {
+            file,
+            lexed,
+            hot: Vec::new(),
+            lock_order: Vec::new(),
+            allows: Vec::new(),
+            findings: Vec::new(),
+        };
+        view.collect_directives(last_line);
+        view
+    }
+
+    fn report(&mut self, line: u32, rule: &'static str, message: String) {
+        // `lint-hygiene` findings are never suppressible — an allow
+        // that allowed itself would be unfalsifiable.
+        if rule != "lint-hygiene" {
+            let suppressed = self
+                .allows
+                .iter()
+                .any(|(r, lines)| r == rule && lines.contains(&line));
+            if suppressed {
+                return;
+            }
+        }
+        self.findings.push(Finding {
+            file: self.file.to_owned(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// First token line strictly after `line` — where a preceding-line
+    /// allow lands.
+    fn next_code_line(&self, line: u32) -> u32 {
+        self.lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > line)
+            .unwrap_or(line)
+    }
+
+    fn collect_directives(&mut self, last_line: u32) {
+        let mut open_hot: Option<u32> = None;
+        let mut open_lock: Option<u32> = None;
+        for Comment { text, line } in &self.lexed.comments {
+            let Some(directive) = parse_directive(text) else {
+                continue;
+            };
+            let line = *line;
+            match directive {
+                Directive::HotPath => {
+                    if open_hot.is_some() {
+                        self.report(
+                            line,
+                            "lint-hygiene",
+                            "`lint: hot-path` while a hot-path region is already open".into(),
+                        );
+                    } else {
+                        open_hot = Some(line);
+                    }
+                }
+                Directive::EndHotPath => match open_hot.take() {
+                    Some(start) => self.hot.push(Region { start, end: line }),
+                    None => self.report(
+                        line,
+                        "lint-hygiene",
+                        "`lint: end-hot-path` without an open hot-path region".into(),
+                    ),
+                },
+                Directive::LockOrder => {
+                    if open_lock.is_some() {
+                        self.report(
+                            line,
+                            "lint-hygiene",
+                            "`lint: lock-order` while a lock-order region is already open".into(),
+                        );
+                    } else {
+                        open_lock = Some(line);
+                    }
+                }
+                Directive::EndLockOrder => match open_lock.take() {
+                    Some(start) => self.lock_order.push(Region { start, end: line }),
+                    None => self.report(
+                        line,
+                        "lint-hygiene",
+                        "`lint: end-lock-order` without an open lock-order region".into(),
+                    ),
+                },
+                Directive::Allow { rule, reason } => {
+                    if !RULES.contains(&rule.as_str()) {
+                        self.report(
+                            line,
+                            "lint-hygiene",
+                            format!("allow names unknown rule `{rule}`"),
+                        );
+                        continue;
+                    }
+                    match reason.as_deref() {
+                        Some(r) if !r.trim().is_empty() => {
+                            let covers = [line, self.next_code_line(line)];
+                            self.allows.push((rule, covers));
+                        }
+                        _ => self.report(
+                            line,
+                            "lint-hygiene",
+                            format!(
+                                "allow({rule}) needs a non-empty `reason = \"…\"` — \
+                                 suppressions must say why"
+                            ),
+                        ),
+                    }
+                }
+                Directive::Malformed(msg) => self.report(line, "lint-hygiene", msg),
+            }
+        }
+        if let Some(start) = open_hot {
+            self.report(
+                start,
+                "lint-hygiene",
+                "hot-path region is never closed (`lint: end-hot-path` missing)".into(),
+            );
+            self.hot.push(Region {
+                start,
+                end: last_line,
+            });
+        }
+        if let Some(start) = open_lock {
+            self.report(
+                start,
+                "lint-hygiene",
+                "lock-order region is never closed (`lint: end-lock-order` missing)".into(),
+            );
+            self.lock_order.push(Region {
+                start,
+                end: last_line,
+            });
+        }
+    }
+
+    fn in_hot(&self, line: u32) -> bool {
+        self.hot.iter().any(|r| r.contains(line))
+    }
+
+    fn in_lock_order(&self, line: u32) -> bool {
+        self.lock_order.iter().any(|r| r.contains(line))
+    }
+}
+
+/// Lints one file's source; `file` is only a label for findings.
+pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let last_line = lexed
+        .tokens
+        .last()
+        .map_or(1, |t| t.line)
+        .max(lexed.comments.last().map_or(1, |c| c.line));
+    let mut view = FileView::new(file, &lexed, last_line);
+    check_hot_path_locking(&mut view);
+    check_panic_policy(&mut view);
+    check_scratch_hygiene(&mut view);
+    check_lock_order(&mut view);
+    check_safety_comments(&mut view);
+    let mut findings = view.findings;
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// `receiver.method(` shape at token index `i` (pointing at `method`):
+/// returns the receiver ident.
+fn method_call_receiver(toks: &[Tok], i: usize) -> Option<&str> {
+    if i < 2 || !toks[i - 1].is_punct('.') {
+        return None;
+    }
+    if toks.get(i + 1).is_none_or(|t| !t.is_punct('(')) {
+        return None;
+    }
+    toks[i - 2].ident()
+}
+
+/// Is token `i` a `.method(` call (any receiver)?
+fn is_method_call(toks: &[Tok], i: usize) -> bool {
+    i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// No broker-global lock may be acquired inside a hot-path region.
+fn check_hot_path_locking(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(method) = tok.ident() else { continue };
+        if !matches!(method, "read" | "write" | "lock") || !view.in_hot(tok.line) {
+            continue;
+        }
+        if let Some(receiver) = method_call_receiver(toks, i) {
+            if GLOBAL_LOCKS.contains(&receiver) {
+                let line = tok.line;
+                view.report(
+                    line,
+                    "hot-path-locking",
+                    format!(
+                        "`{receiver}.{method}()` acquires the broker-global `{receiver}` \
+                         lock inside a hot-path region; the publish fast path must stay \
+                         off every global lock (use try_* / per-shard state, or justify \
+                         with an allow)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// No `unwrap`/`expect`/`panic!`-family construct in a hot-path region
+/// without an allow carrying a reason.
+fn check_panic_policy(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if !view.in_hot(tok.line) {
+            continue;
+        }
+        let line = tok.line;
+        if PANIC_METHODS.contains(&name) && is_method_call(toks, i) {
+            view.report(
+                line,
+                "panic-policy",
+                format!(
+                    "`.{name}()` on the hot path can abort a publish; return the error, \
+                     handle the None, or add `lint: allow(panic-policy, reason = …)` \
+                     naming the invariant that makes it unreachable"
+                ),
+            );
+        } else if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            view.report(
+                line,
+                "panic-policy",
+                format!("`{name}!` on the hot path; same policy as unwrap/expect"),
+            );
+        }
+    }
+}
+
+/// In hot-path regions a zero-argument `.reset()` on a scratch value
+/// must be followed shortly by `.ensure_capacity(…)` — a reset scratch
+/// with stale capacity silently reallocates on the next publish.
+fn check_scratch_hygiene(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.ident() != Some("reset") || !view.in_hot(tok.line) {
+            continue;
+        }
+        // Zero-arg only: `reset ( )`. FanOut's `reset(n)` is a
+        // different protocol (slot-count rendezvous) and exempt.
+        if !is_method_call(toks, i) || toks.get(i + 2).is_none_or(|t| !t.is_punct(')')) {
+            continue;
+        }
+        // Look ahead a short window for the pairing call.
+        const WINDOW: usize = 48;
+        let paired = toks[i..toks.len().min(i + WINDOW)]
+            .iter()
+            .any(|t| t.ident() == Some("ensure_capacity"));
+        if !paired {
+            let line = tok.line;
+            view.report(
+                line,
+                "scratch-hygiene",
+                "`.reset()` in a hot-path region without a nearby `.ensure_capacity(…)`; \
+                 checkout sites must re-arm capacity or the next publish reallocates"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Lock-order regions: multi-shard acquisitions must be in ascending
+/// index order, and no shard state may be locked while a named
+/// directory guard is still live (directory is the innermost lock).
+fn check_lock_order(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+
+    // --- directory-innermost -------------------------------------------------
+    // Track `let [mut] NAME = … directory … .read()/.write() … ;`
+    // bindings; the guard lives until its block closes (depth drops
+    // below the binding depth). A later `.state.read/.write(` while a
+    // guard is live inverts shard-then-directory.
+    let mut live_guards: Vec<(u32, u32)> = Vec::new(); // (depth, bound-at-line)
+    let mut i = 0usize;
+    while i < toks.len() {
+        let tok = &toks[i];
+        if !view.in_lock_order(tok.line) {
+            // Leaving the region kills tracking; regions are function-
+            // scoped so guards never straddle a region edge.
+            live_guards.clear();
+            i += 1;
+            continue;
+        }
+        live_guards.retain(|&(depth, _)| tok.depth >= depth);
+        if tok.ident() == Some("let") {
+            let (binds_directory, _stmt_end) = statement_binds_directory_guard(toks, i);
+            if binds_directory {
+                live_guards.push((tok.depth, tok.line));
+            }
+            // Fall through token by token: a later `let` statement can
+            // itself contain the shard-state acquisition under check.
+        }
+        // `….state.read(` / `….state.write(` — a shard-state lock.
+        if tok.ident() == Some("state")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .and_then(Tok::ident)
+                .is_some_and(|m| m == "read" || m == "write")
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(&(_, guard_line)) = live_guards.first() {
+                let line = tok.line;
+                view.report(
+                    line,
+                    "lock-order",
+                    format!(
+                        "shard state locked while the directory guard bound on line \
+                         {guard_line} is still live; the directory is the innermost \
+                         lock — drop the guard (end its block) before touching shards"
+                    ),
+                );
+            }
+        }
+        i += 1;
+    }
+
+    // --- ascending shard indexes --------------------------------------------
+    // Collect `shards[IDX].state.write(` sites; consecutive pairs in
+    // one region at overlapping scopes must be ascending. Single-token
+    // indexes only — computed indexes are the caller's proof burden.
+    let mut acquisitions: Vec<(u32, u32, String)> = Vec::new(); // (line, depth, index-text)
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.ident() != Some("shards") || !view.in_lock_order(tok.line) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|t| t.is_punct('[')) else {
+            continue;
+        };
+        let _ = open;
+        let Some(index) = toks.get(i + 2).and_then(Tok::ident) else {
+            continue;
+        };
+        if !(toks.get(i + 3).is_some_and(|t| t.is_punct(']'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 5).and_then(Tok::ident) == Some("state")
+            && toks.get(i + 6).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 7).and_then(Tok::ident) == Some("write")
+            && toks.get(i + 8).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        acquisitions.push((tok.line, tok.depth, index.to_owned()));
+    }
+    for pair in acquisitions.windows(2) {
+        let (first_line, _, first) = &pair[0];
+        let (second_line, _, second) = &pair[1];
+        // Only adjacent acquisitions in the same region count as a
+        // nested pair; different regions are different critical
+        // sections.
+        let same_region = view
+            .lock_order
+            .iter()
+            .any(|r| r.contains(*first_line) && r.contains(*second_line));
+        if !same_region {
+            continue;
+        }
+        let violation = match (first.parse::<u64>(), second.parse::<u64>()) {
+            (Ok(a), Ok(b)) => a >= b,
+            // The blessed identifier idiom is `(lo, hi)`; the reverse
+            // spelling is the classic inversion.
+            _ => first == "hi" && second == "lo",
+        };
+        if violation {
+            view.report(
+                *second_line,
+                "lock-order",
+                format!(
+                    "shard `{second}` locked after shard `{first}` (line {first_line}); \
+                     multi-shard acquisitions must use ascending indexes — sort into \
+                     the `(lo, hi)` idiom first"
+                ),
+            );
+        }
+    }
+}
+
+/// Does the `let` statement starting at `start` bind a guard from
+/// `directory….read()`/`….write()`? Returns (binds, index-after-`;`).
+fn statement_binds_directory_guard(toks: &[Tok], start: usize) -> (bool, usize) {
+    let mut depth_delta = 0i32;
+    let mut binds = false;
+    let mut i = start + 1;
+    while i < toks.len() {
+        let tok = &toks[i];
+        match &tok.kind {
+            TokKind::Punct('{') => depth_delta += 1,
+            TokKind::Punct('}') => {
+                depth_delta -= 1;
+                if depth_delta < 0 {
+                    break; // malformed / end of block
+                }
+            }
+            TokKind::Punct(';') if depth_delta == 0 => {
+                i += 1;
+                break;
+            }
+            // The guard source must be `directory.read(` / `.write(`
+            // verbatim, and at the statement's own nesting level: a
+            // guard taken inside a nested block dies at that block's
+            // `}` and never escapes into the binding.
+            TokKind::Ident(name)
+                if name == "directory"
+                    && depth_delta == 0
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                    && toks
+                        .get(i + 2)
+                        .and_then(Tok::ident)
+                        .is_some_and(|m| m == "read" || m == "write")
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct('(')) =>
+            {
+                binds = true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (binds, i)
+}
+
+/// Every `unsafe { … }` block needs a `SAFETY:` comment on one of the
+/// three preceding lines (or its own). Applies file-wide.
+fn check_safety_comments(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.ident() != Some("unsafe") {
+            continue;
+        }
+        // Only blocks: `unsafe {`. (`unsafe fn`/`unsafe impl` document
+        // their contract in rustdoc, not a SAFETY comment.)
+        if toks.get(i + 1).is_none_or(|t| !t.is_punct('{')) {
+            continue;
+        }
+        let line = tok.line;
+        let documented = view
+            .lexed
+            .comments
+            .iter()
+            .any(|c| c.line + 3 >= line && c.line <= line && c.text.contains("SAFETY:"));
+        if !documented {
+            view.report(
+                line,
+                "safety-comment",
+                "`unsafe` block without a `SAFETY:` comment in the three preceding \
+                 lines; state the proof obligation being discharged"
+                    .into(),
+            );
+        }
+    }
+}

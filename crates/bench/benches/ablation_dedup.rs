@@ -48,7 +48,7 @@ fn ablation_dedup(c: &mut Criterion) {
                         }
                     }
                     std::hint::black_box(candidates.len())
-                })
+                });
             },
         );
 
@@ -67,7 +67,7 @@ fn ablation_dedup(c: &mut Criterion) {
                         }
                     }
                     std::hint::black_box(candidates.len())
-                })
+                });
             },
         );
     }

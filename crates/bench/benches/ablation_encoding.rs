@@ -48,7 +48,7 @@ fn ablation_encoding(c: &mut Criterion) {
         b.iter(|| {
             let matched = trees.iter().filter(|t| t.eval(&set)).count();
             std::hint::black_box(matched)
-        })
+        });
     });
     group.bench_function("encoded_recursive", |b| {
         b.iter(|| {
@@ -57,7 +57,7 @@ fn ablation_encoding(c: &mut Criterion) {
                 .filter(|bytes| eval_recursive(bytes, &set))
                 .count();
             std::hint::black_box(matched)
-        })
+        });
     });
     group.bench_function("encoded_iterative", |b| {
         b.iter(|| {
@@ -66,7 +66,7 @@ fn ablation_encoding(c: &mut Criterion) {
                 .filter(|bytes| eval_iterative(bytes, &set))
                 .count();
             std::hint::black_box(matched)
-        })
+        });
     });
 
     group.finish();

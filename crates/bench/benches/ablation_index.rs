@@ -42,7 +42,7 @@ fn ablation_index(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(t.len())
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("build", "sorted_vec_bulk"), |b| {
         b.iter(|| {
@@ -52,7 +52,7 @@ fn ablation_index(c: &mut Criterion) {
                 .map(|(i, &k)| (Value::from(k), i as u32))
                 .collect();
             std::hint::black_box(SortedIndex::from_pairs(pairs).len())
-        })
+        });
     });
 
     // Range-query cost (the phase-1 hot path: constants below an event
@@ -82,7 +82,7 @@ fn ablation_index(c: &mut Criterion) {
                     .sum::<usize>();
             }
             std::hint::black_box(total)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("range_query", "sorted_vec"), |b| {
         b.iter(|| {
@@ -93,7 +93,7 @@ fn ablation_index(c: &mut Criterion) {
                 total += sorted.range(&(lo..hi)).count();
             }
             std::hint::black_box(total)
-        })
+        });
     });
 
     // Maintenance cost under churn (the reason the tree wins overall).
@@ -102,14 +102,14 @@ fn ablation_index(c: &mut Criterion) {
         b.iter(|| {
             tree.insert(key.clone(), vec![u32::MAX]);
             std::hint::black_box(tree.remove(&key));
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("churn", "sorted_vec"), |b| {
         let key = Value::from(424_242_i64);
         b.iter(|| {
             sorted.insert(key.clone(), u32::MAX);
             std::hint::black_box(sorted.remove(&key, &u32::MAX));
-        })
+        });
     });
 
     group.finish();

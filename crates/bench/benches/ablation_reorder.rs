@@ -84,7 +84,7 @@ fn ablation_reorder(c: &mut Criterion) {
             b.iter(|| {
                 let stats = engine.phase2(&set, &mut scratch, &mut matched);
                 std::hint::black_box(stats.matched)
-            })
+            });
         });
     }
 

@@ -58,7 +58,7 @@ fn ablation_sharing(c: &mut Criterion) {
                 b.iter(|| {
                     let stats = engine.phase2(&set, &mut scratch, &mut matched);
                     std::hint::black_box(stats.candidates)
-                })
+                });
             },
         );
         // Universe size goes in the bench id's console output via eprintln

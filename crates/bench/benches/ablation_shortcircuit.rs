@@ -69,14 +69,14 @@ fn ablation_shortcircuit(c: &mut Criterion) {
                         .filter(|bytes| eval_iterative(bytes, &set))
                         .count();
                     std::hint::black_box(matched)
-                })
+                });
             },
         );
         group.bench_with_input(BenchmarkId::new("full_eval_ast", label), &(), |b, ()| {
             b.iter(|| {
                 let matched = trees.iter().filter(|t| eval_full(t, &set)).count();
                 std::hint::black_box(matched)
-            })
+            });
         });
     }
 

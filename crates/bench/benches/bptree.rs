@@ -35,7 +35,7 @@ fn bptree(c: &mut Criterion) {
                 t.insert(k, k);
             }
             std::hint::black_box(t.len())
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("insert", "std_btreemap"), |b| {
         b.iter(|| {
@@ -44,7 +44,7 @@ fn bptree(c: &mut Criterion) {
                 t.insert(k, k);
             }
             std::hint::black_box(t.len())
-        })
+        });
     });
 
     let tree: BPlusTree<i64, i64> = data.iter().map(|&k| (k, k)).collect();
@@ -57,7 +57,7 @@ fn bptree(c: &mut Criterion) {
                 hits += usize::from(tree.get(k).is_some());
             }
             std::hint::black_box(hits)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("get", "std_btreemap"), |b| {
         b.iter(|| {
@@ -66,20 +66,20 @@ fn bptree(c: &mut Criterion) {
                 hits += usize::from(oracle.contains_key(k));
             }
             std::hint::black_box(hits)
-        })
+        });
     });
 
     group.bench_function(BenchmarkId::new("range_scan", "bptree"), |b| {
         b.iter(|| {
             let total: i64 = tree.range(1_000_000..2_000_000).map(|(_, v)| *v).sum();
             std::hint::black_box(total)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("range_scan", "std_btreemap"), |b| {
         b.iter(|| {
             let total: i64 = oracle.range(1_000_000..2_000_000).map(|(_, v)| *v).sum();
             std::hint::black_box(total)
-        })
+        });
     });
 
     group.finish();

@@ -84,7 +84,7 @@ fn concurrent_publish(c: &mut Criterion) {
                     b.iter_custom(|iters| {
                         let per_thread = iters.div_ceil(threads as u64).max(1);
                         publish_events(&broker, threads, per_thread)
-                    })
+                    });
                 },
             );
         }

@@ -32,7 +32,7 @@ fn bench_panel(c: &mut Criterion, panel: char, predicates: usize, fulfilled: usi
                 b.iter(|| {
                     let stats = engine.phase2(&set, &mut scratch, &mut matched);
                     std::hint::black_box(stats.candidates)
-                })
+                });
             });
         }
     }

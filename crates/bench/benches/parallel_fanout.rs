@@ -79,7 +79,7 @@ fn parallel_fanout(c: &mut Criterion) {
                     b.iter(|| {
                         at = (at + 1) % EVENTS;
                         black_box(broker.publish_arc(Arc::clone(&events[at])))
-                    })
+                    });
                 });
             }
         }

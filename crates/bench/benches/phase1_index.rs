@@ -54,7 +54,7 @@ fn phase1(c: &mut Criterion) {
                 out.clear();
                 idx.for_each_match(&ev, |id| out.push(id));
                 std::hint::black_box(out.len())
-            })
+            });
         });
     }
 
@@ -65,7 +65,7 @@ fn phase1(c: &mut Criterion) {
         b.iter(|| {
             idx.insert(u32::MAX, &p);
             assert!(idx.remove(u32::MAX, &p));
-        })
+        });
     });
 
     group.finish();

@@ -130,7 +130,7 @@ fn shard_scaling(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let per_thread = iters.div_ceil(PUBLISHERS as u64).max(1);
                     publish_under_churn(&broker, per_thread)
-                })
+                });
             });
         }
         group.finish();

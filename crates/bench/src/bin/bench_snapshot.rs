@@ -56,7 +56,7 @@ fn measure(samples: usize, ops: usize, mut op: impl FnMut()) -> f64 {
             start.elapsed().as_nanos() as f64 / ops as f64
         })
         .collect();
-    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op.sort_by(f64::total_cmp);
     per_op[per_op.len() / 2]
 }
 
@@ -246,7 +246,7 @@ fn main() {
                 start.elapsed().as_nanos() as f64 / moved.max(1) as f64
             })
             .collect();
-        per_move.sort_by(|a, b| a.total_cmp(b));
+        per_move.sort_by(f64::total_cmp);
         let median = per_move[per_move.len() / 2];
         let name = format!("rebalance/per_migrated_sub/s{shards}/{corpus}");
         println!("{name:<48} median: {median:>12.1} ns/op");
@@ -343,7 +343,7 @@ fn main() {
     }
 
     // --- JSON output (hand-rolled: no serde in the offline workspace) ---
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(

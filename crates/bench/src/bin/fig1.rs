@@ -58,7 +58,10 @@ fn main() {
         s.predicate_count()
     );
     for (i, conjunct) in dnf.conjuncts().iter().enumerate() {
-        let parts: Vec<String> = conjunct.iter().map(|p| p.to_string()).collect();
+        let parts: Vec<String> = conjunct
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         println!("  {:>2}. {}", i + 1, parts.join(" and "));
     }
 }

@@ -155,7 +155,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Args {
-        Args::parse_from(tokens.iter().map(|s| s.to_string()))
+        Args::parse_from(tokens.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use boolmatch_core::{
-    BoxedEngine, EngineKind, FanOut, FanOutPool, FilterEngine, MatchScratch, MatchStats,
-    MemoryUsage, ScratchLease, ScratchPool, ShardTranslation, SubscribeError,
+    lock_classes, BoxedEngine, EngineKind, FanOut, FanOutPool, FilterEngine, MatchScratch,
+    MatchStats, MemoryUsage, ScratchLease, ScratchPool, ShardTranslation, SubscribeError,
     SubscriptionDirectory, SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
@@ -216,12 +216,19 @@ struct ShardState {
 }
 
 impl ShardCell {
-    fn new(engine: BoxedEngine) -> Self {
+    /// `index` is the cell's position in the shard set at creation,
+    /// naming its lockdep class (`shard[index]`): multiple shard locks
+    /// may only ever be acquired in ascending index order. A surviving
+    /// cell keeps its class across resize epochs — its index never
+    /// changes while it is live (grows append, shrinks drop a suffix).
+    fn new(engine: BoxedEngine, index: usize) -> Self {
+        let state = RwLock::new(ShardState {
+            engine,
+            translation: ShardTranslation::new(),
+        });
+        state.set_class(&lock_classes::shard(index));
         ShardCell {
-            state: RwLock::new(ShardState {
-                engine,
-                translation: ShardTranslation::new(),
-            }),
+            state,
             hits: AtomicU64::new(0),
         }
     }
@@ -548,6 +555,10 @@ impl Broker {
     /// and is delivered to it at most once (never twice; publish
     /// deduplicates matched ids). Events published after `migrate`
     /// returns always see the subscription at its new placement.
+    // lint: lock-order — migration/rebalance/resize hold multiple
+    // shard locks (ascending index order only: the `(lo, hi)` idiom)
+    // and consult the directory innermost (no shard acquisition while
+    // a directory guard is live).
     pub fn migrate(&self, max_moves: usize) -> usize {
         let _maintenance = self.inner.maintenance.lock();
         self.migrate_locked(max_moves)
@@ -824,8 +835,11 @@ impl Broker {
         }
         if new_shards > old {
             let mut shards = old_set.shards.clone();
-            for _ in old..new_shards {
-                shards.push(Arc::new(ShardCell::new(self.inner.grow_kind.build())));
+            for index in old..new_shards {
+                shards.push(Arc::new(ShardCell::new(
+                    self.inner.grow_kind.build(),
+                    index,
+                )));
             }
             let fanout = self.fanout_for(&old_set, new_shards);
             // Swap first, then grow the directory: a placement can only
@@ -890,6 +904,7 @@ impl Broker {
         self.note_migrated(moved);
         moved
     }
+    // lint: end-lock-order
 
     /// The parallel pipeline for a `new_count`-shard set: none below
     /// two shards, the old epoch's pipeline when its worker count still
@@ -899,7 +914,8 @@ impl Broker {
             return None;
         }
         let threads = self.inner.worker_threads.unwrap_or_else(|| {
-            (new_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            (new_count - 1)
+                .min(std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
         });
         if let Some(fanout) = &old_set.fanout {
             if fanout.pool.threads() == threads {
@@ -941,9 +957,24 @@ impl Broker {
     /// through this window.
     #[doc(hidden)]
     pub fn with_directory_write_held<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _guard = self.inner.directory.write();
+        // `write_untracked`: `f` publishes while this thread holds the
+        // directory write lock — exactly the inversion lockdep exists to
+        // reject (publish takes shard read locks; the normal order is
+        // shard → directory). It cannot deadlock here because the hook
+        // guarantees the inverted pair is taken by no concurrent thread
+        // while this one holds the directory: publishes never block on
+        // the directory at all (the property under test), and writers
+        // that do take both always go shard-first and simply queue
+        // behind the hook. Tracking it would poison the global order
+        // graph with a cycle no production path can reach.
+        let _guard = self.inner.directory.write_untracked();
         f()
     }
+
+    // lint: hot-path — the publish/fan-out/delivery pipeline: no
+    // broker-global lock may be acquired here beyond the one-pointer
+    // shard-set clone (and the by-design sender-map read during
+    // delivery, allowed inline below).
 
     /// Publishes an event: matches it against every subscription and
     /// queues notifications to the matching subscribers. Returns the
@@ -978,8 +1009,8 @@ impl Broker {
     /// already gone) are pruned.
     pub fn publish(&self, event: Event) -> usize {
         let set = self.shard_set();
-        if self.parallel_eligible(&set) {
-            return self.publish_parallel(&set, &Arc::new(event));
+        if let Some(fan) = self.parallel_pipeline(&set) {
+            return self.publish_parallel(&set, fan, &Arc::new(event));
         }
         let matched = self.matched_via(|scratch, out| self.match_into(&set, &event, scratch, out));
         // The Arc wrap stays lazy (inside deliver_matched) so an
@@ -995,8 +1026,8 @@ impl Broker {
     /// event is never cloned.
     pub fn publish_arc(&self, event: Arc<Event>) -> usize {
         let set = self.shard_set();
-        if self.parallel_eligible(&set) {
-            return self.publish_parallel(&set, &event);
+        if let Some(fan) = self.parallel_pipeline(&set) {
+            return self.publish_parallel(&set, fan, &event);
         }
         let matched = self.matched_via(|scratch, out| self.match_into(&set, &event, scratch, out));
         let delivered = self.deliver_matched_arc(&event, &matched);
@@ -1007,9 +1038,9 @@ impl Broker {
     /// The parallel publish pipeline: one job per remote shard on the
     /// persistent worker pool, shard 0 matched inline by the caller,
     /// results merged in shard order.
-    fn publish_parallel(&self, set: &Arc<ShardSet>, event: &Arc<Event>) -> usize {
-        let matched =
-            self.matched_via(|scratch, out| self.match_parallel_into(set, event, scratch, out));
+    fn publish_parallel(&self, set: &Arc<ShardSet>, fan: &Fanout, event: &Arc<Event>) -> usize {
+        let matched = self
+            .matched_via(|scratch, out| self.match_parallel_into(set, fan, event, scratch, out));
         let delivered = self.deliver_matched_arc(event, &matched);
         self.return_matched(matched);
         delivered
@@ -1132,17 +1163,18 @@ impl Broker {
         }
     }
 
-    /// Whether the next publish should fan out across shards: requires
-    /// the worker pool (multi-shard sets only) and at least
-    /// `parallel_threshold` live subscriptions.
-    fn parallel_eligible(&self, set: &ShardSet) -> bool {
-        if set.fanout.is_none() {
-            return false;
-        }
+    /// The fan-out pipeline the next publish should use, or `None` for
+    /// the sequential walk: requires the worker pool (multi-shard sets
+    /// only) and at least `parallel_threshold` live subscriptions.
+    /// Returning the pipeline itself (not a bool) means the parallel
+    /// paths receive a proven-present `Fanout` instead of re-unwrapping
+    /// the option on the hot path.
+    fn parallel_pipeline<'a>(&self, set: &'a ShardSet) -> Option<&'a Fanout> {
+        let fan = set.fanout.as_ref()?;
         let stats = &self.inner.stats;
         let created = stats.subscriptions_created.load(Ordering::Relaxed);
         let removed = stats.subscriptions_removed.load(Ordering::Relaxed);
-        created.saturating_sub(removed) as usize >= self.inner.parallel_threshold
+        (created.saturating_sub(removed) as usize >= self.inner.parallel_threshold).then_some(fan)
     }
 
     /// Matches `event` against every shard concurrently and appends the
@@ -1167,12 +1199,12 @@ impl Broker {
     fn match_parallel_into(
         &self,
         set: &Arc<ShardSet>,
+        fan: &Fanout,
         event: &Arc<Event>,
         scratch: &mut MatchScratch,
         out: &mut Vec<SubscriptionId>,
     ) {
         let shards = set.shards.len();
-        let fan = set.fanout.as_ref().expect("parallel needs a pool");
         let run: Arc<FanOut<ScratchLease>> = fan.publish_rendezvous.checkout(shards - 1);
         for s in 1..shards {
             let slot = run.slot(s - 1);
@@ -1260,7 +1292,7 @@ impl Broker {
         // lock acquisitions; buckets keep delivery event-major so
         // per-subscriber notification order equals the sequential one.
         let set = self.shard_set();
-        let parallel = self.parallel_eligible(&set);
+        let pipeline = self.parallel_pipeline(&set);
         let epoch = self.migration_epoch();
         let buckets = PUBLISH_STATE.with(|cell| {
             let state = &mut *cell.borrow_mut();
@@ -1273,8 +1305,8 @@ impl Broker {
                 // extra cleared buckets are simply ignored).
                 buckets.resize_with(events.len(), Vec::new);
             }
-            if parallel {
-                self.match_batch_parallel(&set, events, &mut state.scratch, &mut buckets);
+            if let Some(fan) = pipeline {
+                self.match_batch_parallel(&set, fan, events, &mut state.scratch, &mut buckets);
             } else {
                 for cell in &set.shards {
                     let shard_state = cell.state.read();
@@ -1311,6 +1343,7 @@ impl Broker {
         let mut delivered = 0usize;
         let mut dead: Vec<SubscriptionId> = Vec::new();
         {
+            // lint: allow(hot-path-locking, reason = "delivery reads the sender map by design, outside all engine locks")
             let senders = self.inner.senders.read();
             for (event, matched) in events.iter().zip(&buckets) {
                 if matched.is_empty() {
@@ -1350,12 +1383,12 @@ impl Broker {
     fn match_batch_parallel(
         &self,
         set: &Arc<ShardSet>,
+        fan: &Fanout,
         events: &[Arc<Event>],
         scratch: &mut MatchScratch,
         buckets: &mut [Vec<SubscriptionId>],
     ) {
         let shards = set.shards.len();
-        let fan = set.fanout.as_ref().expect("parallel needs a pool");
         // The worker jobs are `'static`; the one per-batch allocation
         // for sharing the event list is this Vec of Arc clones.
         let shared: Arc<Vec<Arc<Event>>> = Arc::new(events.to_vec());
@@ -1441,6 +1474,7 @@ impl Broker {
         }
         let mut dead: Vec<SubscriptionId> = Vec::new();
         let delivered = {
+            // lint: allow(hot-path-locking, reason = "delivery reads the sender map by design, outside all engine locks")
             let senders = self.inner.senders.read();
             self.deliver_locked(&senders, event, matched, &mut dead)
         };
@@ -1489,6 +1523,8 @@ impl Broker {
             self.inner.unsubscribe(id);
         }
     }
+
+    // lint: end-hot-path
 
     /// A cloneable publishing handle for producer threads.
     pub fn publisher(&self) -> Publisher {
@@ -1673,7 +1709,7 @@ impl fmt::Debug for BrokerBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BrokerBuilder")
             .field("kind", &self.kind)
-            .field("custom", &self.custom.as_ref().map(|e| e.len()))
+            .field("custom", &self.custom.as_ref().map(Vec::len))
             .field("shards", &self.shards.max(1))
             .field("policy", &self.policy)
             .field("parallel_threshold", &self.parallel_threshold)
@@ -1839,13 +1875,15 @@ impl BrokerBuilder {
         // pool and always takes the sequential walk.
         let fanout = (shard_count >= 2).then(|| {
             let threads = worker_threads.unwrap_or_else(|| {
-                (shard_count - 1).min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+                (shard_count - 1)
+                    .min(std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
             });
             Fanout::new(threads, scratch_trim_cap)
         });
         let shards: Vec<Arc<ShardCell>> = engines
             .into_iter()
-            .map(|engine| Arc::new(ShardCell::new(engine)))
+            .enumerate()
+            .map(|(index, engine)| Arc::new(ShardCell::new(engine, index)))
             .collect();
         let directory = if self.recycled_ids {
             SubscriptionDirectory::with_recycled_ids(shard_count)
@@ -1869,6 +1907,16 @@ impl BrokerBuilder {
             grow_kind,
             rebalancer: Mutex::new(None),
         });
+        // Register the broker-global locks with lockdep (debug builds):
+        // runtime enforcement of the documented order — `maintenance`
+        // outermost, shard locks ascending, `directory` innermost,
+        // `senders`/`shard-set`/`freq-baseline`/`rebalancer` leaves.
+        inner.directory.set_class(lock_classes::DIRECTORY);
+        inner.maintenance.set_class(lock_classes::MAINTENANCE);
+        inner.senders.set_class(lock_classes::SENDERS);
+        inner.shard_set.set_class("shard-set");
+        inner.freq_baseline.set_class("freq-baseline");
+        inner.rebalancer.set_class("rebalancer");
         if let Some((interval, policy)) = self.background {
             let stop = Arc::new(StopLatch::new());
             let weak = Arc::downgrade(&inner);

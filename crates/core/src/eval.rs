@@ -16,10 +16,17 @@
 use crate::encode::{TAG_AND, TAG_NOT, TAG_OR, TAG_PRED};
 use crate::{FulfilledSet, PredicateId};
 
+// lint: hot-path — tree evaluation runs once per candidate
+// subscription per event. Malformed-input panics below are the
+// documented contract ("Panics on malformed input"): engine-encoded
+// trees are always well-formed, and foreign bytes go through
+// `crate::decode` first.
+
 #[inline]
 fn leaf_id(bytes: &[u8], offset: usize) -> PredicateId {
     let raw: [u8; 4] = bytes[offset + 1..offset + 5]
         .try_into()
+        // lint: allow(panic-policy, reason = "documented contract: panics on malformed trees; engine-encoded trees are well-formed")
         .expect("encoded tree is well-formed");
     PredicateId::from_raw(u32::from_le_bytes(raw))
 }
@@ -29,6 +36,7 @@ fn child_width(bytes: &[u8], widths_at: usize, i: usize) -> usize {
     u16::from_le_bytes(
         bytes[widths_at + 2 * i..widths_at + 2 * i + 2]
             .try_into()
+            // lint: allow(panic-policy, reason = "documented contract: panics on malformed trees; engine-encoded trees are well-formed")
             .expect("encoded tree is well-formed"),
     ) as usize
 }
@@ -82,6 +90,7 @@ fn eval_node(bytes: &[u8], offset: usize, set: &FulfilledSet) -> (bool, usize) {
                     }
                     (false, total)
                 }
+                // lint: allow(panic-policy, reason = "documented contract: panics on malformed trees; encode emits no other tag")
                 other => unreachable!("bad tag {other} in encoded tree"),
             }
         }
@@ -156,6 +165,7 @@ pub(crate) fn eval_iterative_with(
                 }
                 TAG_AND => !value || frame.i == frame.n,
                 TAG_OR => value || frame.i == frame.n,
+                // lint: allow(panic-policy, reason = "documented contract: panics on malformed trees; encode emits no other tag")
                 other => unreachable!("bad tag {other} in encoded tree"),
             };
             if done {
@@ -173,6 +183,8 @@ pub(crate) fn eval_iterative_with(
 
 // Re-exported privately for the engine's reusable scratch.
 pub(crate) use Frame as EvalFrame;
+
+// lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

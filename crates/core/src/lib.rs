@@ -100,7 +100,7 @@ pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
 pub use pool::{
     FanOut, FanOutPool, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool,
 };
-pub use routing::{PredicateRouter, ShardTranslation, SubscriptionDirectory};
+pub use routing::{lock_classes, PredicateRouter, ShardTranslation, SubscriptionDirectory};
 pub use scratch::{MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;

@@ -30,8 +30,12 @@
 //! the persistent pool.
 
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::routing::lock_classes;
 
 use crate::engine::FilterEngine;
 use crate::MatchScratch;
@@ -90,10 +94,12 @@ impl ScratchPool {
     ///
     /// [trimmed]: MatchScratch::trim
     pub fn with_trim_cap(slots: usize, trim_cap: usize) -> Self {
-        ScratchPool {
-            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
-            trim_cap,
+        let slots: Vec<Mutex<Option<MatchScratch>>> =
+            (0..slots.max(1)).map(|_| Mutex::new(None)).collect();
+        for slot in &slots {
+            slot.set_class(lock_classes::POOL);
         }
+        ScratchPool { slots, trim_cap }
     }
 
     /// Maximum number of scratches the pool retains.
@@ -112,7 +118,7 @@ impl ScratchPool {
     pub fn pooled(&self) -> usize {
         self.slots
             .iter()
-            .filter_map(|slot| slot.try_lock().ok())
+            .filter_map(Mutex::try_lock)
             .filter(|slot| slot.is_some())
             .count()
     }
@@ -123,10 +129,14 @@ impl ScratchPool {
     pub fn heap_bytes(&self) -> usize {
         self.slots
             .iter()
-            .filter_map(|slot| slot.try_lock().ok())
+            .filter_map(Mutex::try_lock)
             .filter_map(|slot| slot.as_ref().map(MatchScratch::heap_bytes))
             .sum()
     }
+
+    // lint: hot-path — scratch checkout/return runs once per fan-out
+    // job; pool slots are probed try-lock-only so a worker never
+    // blocks here.
 
     /// Checks a scratch out for matching against `engine`, borrowing
     /// the pool. The hygiene pair — [`MatchScratch::reset`] +
@@ -154,7 +164,7 @@ impl ScratchPool {
         let mut scratch = self
             .slots
             .iter()
-            .filter_map(|slot| slot.try_lock().ok())
+            .filter_map(Mutex::try_lock)
             .find_map(|mut slot| slot.take())
             .unwrap_or_default();
         scratch.reset();
@@ -171,7 +181,7 @@ impl ScratchPool {
             scratch.trim();
         }
         for slot in &self.slots {
-            if let Ok(mut slot) = slot.try_lock() {
+            if let Some(mut slot) = slot.try_lock() {
                 if slot.is_none() {
                     *slot = Some(scratch);
                     return;
@@ -179,6 +189,8 @@ impl ScratchPool {
             }
         }
     }
+
+    // lint: end-hot-path
 }
 
 /// A checked-out scratch borrowing its [`ScratchPool`]; derefs to
@@ -198,18 +210,23 @@ pub struct ScratchLease {
     scratch: Option<MatchScratch>,
 }
 
+// lint: hot-path — guard derefs run on every scratch access during a
+// match; the Option is only ever None after Drop took the scratch, so
+// the expects below are unreachable while a guard is usable.
 macro_rules! impl_scratch_guard {
     ($guard:ty) => {
         impl std::ops::Deref for $guard {
             type Target = MatchScratch;
 
             fn deref(&self) -> &MatchScratch {
+                // lint: allow(panic-policy, reason = "guard invariant: the scratch is Some from construction until Drop")
                 self.scratch.as_ref().expect("present until drop")
             }
         }
 
         impl std::ops::DerefMut for $guard {
             fn deref_mut(&mut self) -> &mut MatchScratch {
+                // lint: allow(panic-policy, reason = "guard invariant: the scratch is Some from construction until Drop")
                 self.scratch.as_mut().expect("present until drop")
             }
         }
@@ -234,6 +251,8 @@ macro_rules! impl_scratch_guard {
 
 impl_scratch_guard!(PooledScratch<'_>);
 impl_scratch_guard!(ScratchLease);
+
+// lint: end-hot-path
 
 // ---------------------------------------------------------------------------
 // WorkerPool
@@ -264,6 +283,7 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        rx.set_class(lock_classes::POOL);
         let workers = (0..threads.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -271,10 +291,7 @@ impl WorkerPool {
                     .name(format!("boolmatch-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only while dequeuing.
-                        let job = match rx.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => break,
-                        };
+                        let job = rx.lock().recv();
                         match job {
                             Ok(job) => {
                                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
@@ -296,14 +313,19 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Queues `job` for execution on some worker.
+    // lint: hot-path — submit runs once per remote shard per publish.
+
+    /// Queues `job` for execution on some worker. A job submitted to a
+    /// pool torn down concurrently (sender gone or workers exited) is
+    /// dropped, not run — safe for fan-out jobs, whose captured
+    /// [`SlotGuard`] completes its slot as `None` on drop.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.jobs
-            .as_ref()
-            .expect("sender lives until drop")
-            .send(Box::new(job))
-            .expect("workers live until the pool is dropped");
+        if let Some(jobs) = &self.jobs {
+            let _ = jobs.send(Box::new(job));
+        }
     }
+
+    // lint: end-hot-path
 }
 
 impl Drop for WorkerPool {
@@ -355,7 +377,11 @@ struct FanState<T> {
 /// assert_eq!(run.wait(), vec![Some("left"), Some("right")]);
 /// ```
 pub struct FanOut<T> {
-    state: Mutex<FanState<T>>,
+    // std Mutex (not the classed shim): the guard must be handed to
+    // Condvar::wait, which only std's guard type supports. The lock is
+    // a leaf — complete/wait touch nothing else while holding it — so
+    // it needs no lockdep class.
+    state: StdMutex<FanState<T>>,
     done: Condvar,
 }
 
@@ -363,7 +389,7 @@ impl<T> FanOut<T> {
     /// A rendezvous over `n` slots, shared between caller and workers.
     pub fn new(n: usize) -> Arc<Self> {
         Arc::new(FanOut {
-            state: Mutex::new(FanState {
+            state: StdMutex::new(FanState {
                 slots: (0..n).map(|_| None).collect(),
                 remaining: n,
             }),
@@ -412,7 +438,7 @@ impl<T> FanOut<T> {
                 .wait(state)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        for slot in state.slots.iter_mut() {
+        for slot in &mut state.slots {
             f(slot.take());
         }
     }
@@ -538,25 +564,27 @@ impl<T> FanOutPool<T> {
     /// A pool retaining at most `slots` parked rendezvous (at least
     /// one).
     pub fn new(slots: usize) -> Self {
-        FanOutPool {
-            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+        let slots: Vec<Mutex<Option<Arc<FanOut<T>>>>> =
+            (0..slots.max(1)).map(|_| Mutex::new(None)).collect();
+        for slot in &slots {
+            slot.set_class(lock_classes::POOL);
         }
+        FanOutPool { slots }
     }
+
+    // lint: hot-path — rendezvous checkout/park runs once per parallel
+    // publish; slots are probed try-lock-only.
 
     /// Checks out a rendezvous armed for `n` slots: a parked one whose
     /// previous run has fully let go (its `Arc` is unique) is re-armed
     /// in place, otherwise a fresh one is allocated.
     pub fn checkout(&self, n: usize) -> Arc<FanOut<T>> {
         for slot in &self.slots {
-            if let Ok(mut guard) = slot.try_lock() {
+            if let Some(mut guard) = slot.try_lock() {
                 // The uniqueness check is race-free: the only way to
                 // reach this Arc is through the slot we hold locked, so
                 // a count of 1 cannot grow under us.
-                if guard
-                    .as_ref()
-                    .is_some_and(|run| Arc::strong_count(run) == 1)
-                {
-                    let run = guard.take().expect("checked above");
+                if let Some(run) = guard.take_if(|run| Arc::strong_count(run) == 1) {
                     drop(guard);
                     run.reset(n);
                     return run;
@@ -576,7 +604,7 @@ impl<T> FanOutPool<T> {
             "parking a rendezvous that was never waited on"
         );
         for slot in &self.slots {
-            if let Ok(mut guard) = slot.try_lock() {
+            if let Some(mut guard) = slot.try_lock() {
                 if guard.is_none() {
                     *guard = Some(run);
                     return;
@@ -585,12 +613,14 @@ impl<T> FanOutPool<T> {
         }
     }
 
+    // lint: end-hot-path
+
     /// Number of rendezvous currently parked (skipping slots another
     /// thread holds locked at probe time).
     pub fn pooled(&self) -> usize {
         self.slots
             .iter()
-            .filter_map(|slot| slot.try_lock().ok())
+            .filter_map(Mutex::try_lock)
             .filter(|slot| slot.is_some())
             .count()
     }

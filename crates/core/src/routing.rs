@@ -46,6 +46,41 @@ use boolmatch_expr::Expr;
 
 use crate::{PredicateId, SubscriptionId};
 
+/// The canonical [lockdep](parking_lot::lockdep) class names for the
+/// sharded matching core and the broker built on it — the single place
+/// the locking discipline's vocabulary is spelled, so the class a lock
+/// registers under and the class the docs/lint talk about cannot
+/// drift apart.
+///
+/// The discipline (checked at runtime by the debug-build lockdep in the
+/// `parking_lot` shim, and statically by `invariant-lint`):
+///
+/// * [`MAINTENANCE`] is outermost — one control-plane operation at a
+///   time.
+/// * [`shard`]`(i)` locks nest only in ascending index order.
+/// * [`DIRECTORY`] is innermost — acquired only while holding at most
+///   shard locks, never the other way around.
+/// * [`POOL`] and [`SENDERS`] are leaves: never held across another
+///   classed acquisition (pool slots are `try_lock`-only on the hot
+///   path; the senders map is read during delivery holding nothing
+///   else).
+pub mod lock_classes {
+    /// The write-side placement directory — innermost.
+    pub const DIRECTORY: &str = "directory";
+    /// The broker's control-plane serialization lock — outermost.
+    pub const MAINTENANCE: &str = "maintenance";
+    /// Worker/scratch/fan-out pool slot locks — leaf, try-lock on the
+    /// hot path.
+    pub const POOL: &str = "pool";
+    /// The broker's subscriber-sender map — leaf, read during delivery.
+    pub const SENDERS: &str = "senders";
+    /// The class name for shard `index`'s state lock; ascending-index
+    /// nesting only.
+    pub fn shard(index: usize) -> String {
+        format!("shard[{index}]")
+    }
+}
+
 /// Reverse-map sentinel: this local slot holds no live subscription.
 /// `u64::MAX` is unreachable as a packed id (slot `u32::MAX` is never
 /// issued — see [`SubscriptionDirectory`]'s commit).

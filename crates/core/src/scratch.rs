@@ -62,6 +62,9 @@ impl MatchScratch {
         MatchScratch::default()
     }
 
+    // lint: hot-path — matched-id access and local→global translation
+    // run once per event on the delivery path.
+
     /// Matched subscription ids of the most recent
     /// [`match_event_into`](crate::FilterEngine::match_event_into), in
     /// unspecified order, without duplicates.
@@ -89,6 +92,8 @@ impl MatchScratch {
             None => false,
         });
     }
+
+    // lint: end-hot-path
 
     /// Clears all per-event state while **keeping** every buffer's
     /// capacity — the hygiene step a scratch pool applies once per

@@ -329,6 +329,9 @@ impl ShardedEngine {
     /// is the form hot paths should use; this method is the
     /// self-contained equivalent for standalone engines, tests and
     /// harnesses.
+    // lint: hot-path — the standalone parallel matching walk; the
+    // expects below keep translation↔engine desync loud rather than
+    // silently diverging from the sequential walk.
     pub fn match_event_parallel(
         &self,
         event: &Event,
@@ -359,6 +362,7 @@ impl ShardedEngine {
                             slot_shard
                                 .translation
                                 .global_of(local)
+                                // lint: allow(panic-policy, reason = "single-owner invariant: every matched local has a live translation entry")
                                 .expect("matched locals hold live translation entries"),
                         )
                     });
@@ -373,11 +377,13 @@ impl ShardedEngine {
                 self.shards[0]
                     .translation
                     .global_of(local)
+                    // lint: allow(panic-policy, reason = "single-owner invariant: every matched local has a live translation entry")
                     .expect("matched locals hold live translation entries"),
             )
         });
         let mut matched = std::mem::take(&mut scratch.matched);
         for slot in &mut remote {
+            // lint: allow(panic-policy, reason = "scope join guarantees every spawned worker filled its slot")
             let (lease, shard_stats) = slot.take().expect("scoped worker fills its slot");
             stats = stats + shard_stats;
             matched.extend_from_slice(lease.matched());
@@ -393,8 +399,10 @@ impl ShardedEngine {
         self.shards[shard]
             .translation
             .global_of(local)
+            // lint: allow(panic-policy, reason = "single-owner invariant: every matched local has a live translation entry")
             .expect("matched locals hold live translation entries")
     }
+    // lint: end-hot-path
 }
 
 impl fmt::Debug for ShardedEngine {
@@ -644,7 +652,7 @@ mod tests {
             engine.unsubscribe(ids[i]).unwrap();
         }
         assert_eq!(engine.shard_subscription_counts(), vec![3, 3, 0, 3]);
-        for e in exprs(15)[12..].iter() {
+        for e in &exprs(15)[12..] {
             let id = engine.subscribe(e).unwrap();
             let (shard, _) = engine.directory().placement_of(id).unwrap();
             assert_eq!(shard, 2, "new subscriptions refill the drained shard");

@@ -26,7 +26,7 @@ use crate::{ParseError, Predicate};
 ///
 /// let e = Expr::and(vec![
 ///     Expr::pred(Predicate::new("a", CompareOp::Gt, 10_i64)),
-///     Expr::not(Expr::pred(Predicate::new("b", CompareOp::Eq, "off"))),
+///     !(Expr::pred(Predicate::new("b", CompareOp::Eq, "off"))),
 /// ]);
 /// let ev = Event::builder().attr("a", 11_i64).attr("b", "on").build();
 /// assert!(e.eval_event(&ev));
@@ -79,15 +79,6 @@ impl Expr {
             children.pop().unwrap()
         } else {
             Expr::Or(children)
-        }
-    }
-
-    /// Builds a negation. Double negation is collapsed.
-    #[allow(clippy::should_implement_trait)]
-    pub fn not(child: Expr) -> Expr {
-        match child {
-            Expr::Not(inner) => *inner,
-            other => Expr::Not(Box::new(other)),
         }
     }
 
@@ -243,6 +234,21 @@ impl From<Predicate> for Expr {
     }
 }
 
+/// Builds a negation. Double negation is collapsed.
+///
+/// `Not` is in the std prelude, so both `!expr` and the constructor
+/// spelling `!(expr)` resolve here.
+impl std::ops::Not for Expr {
+    type Output = Expr;
+
+    fn not(self) -> Expr {
+        match self {
+            Expr::Not(inner) => *inner,
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+}
+
 impl fmt::Display for Expr {
     /// Prints the expression in the subscription language; the output
     /// re-parses to an equal expression (round-trip tested).
@@ -342,7 +348,7 @@ mod tests {
     #[test]
     fn double_negation_collapses() {
         let x = p("a", CompareOp::Eq, 1);
-        assert_eq!(Expr::not(Expr::not(x.clone())), x);
+        assert_eq!(!(!(x.clone())), x);
     }
 
     #[test]
@@ -369,10 +375,7 @@ mod tests {
 
     #[test]
     fn eval_with_truth_assignment() {
-        let e = Expr::or(vec![
-            p("a", CompareOp::Eq, 1),
-            Expr::not(p("b", CompareOp::Eq, 2)),
-        ]);
+        let e = Expr::or(vec![p("a", CompareOp::Eq, 1), !(p("b", CompareOp::Eq, 2))]);
         // oracle: everything false => not(b=2) is true => expression true
         assert!(e.eval_with(&mut |_| false));
         // oracle: everything true => a=1 true => true
@@ -392,10 +395,7 @@ mod tests {
         assert!(conj.is_conjunctive());
         assert!(p("a", CompareOp::Eq, 1).is_conjunctive());
         assert!(!fig1().is_conjunctive());
-        let nested = Expr::and(vec![
-            p("a", CompareOp::Eq, 1),
-            Expr::not(p("b", CompareOp::Eq, 2)),
-        ]);
+        let nested = Expr::and(vec![p("a", CompareOp::Eq, 1), !(p("b", CompareOp::Eq, 2))]);
         assert!(!nested.is_conjunctive());
     }
 
@@ -403,10 +403,10 @@ mod tests {
     fn display_round_trips() {
         for e in [
             fig1(),
-            Expr::not(fig1()),
+            !(fig1()),
             Expr::or(vec![
                 Expr::and(vec![p("a", CompareOp::Eq, 1), p("b", CompareOp::Ne, 2)]),
-                Expr::not(p("c", CompareOp::Lt, 3)),
+                !(p("c", CompareOp::Lt, 3)),
             ]),
         ] {
             let printed = e.to_string();

@@ -95,7 +95,7 @@ impl Parser {
         if matches!(self.peek(), Some(t) if t.kind == TokenKind::Not) {
             self.next();
             let inner = self.not_expr()?;
-            return Ok(Expr::not(inner));
+            return Ok(!(inner));
         }
         self.primary()
     }

@@ -89,10 +89,10 @@ mod tests {
     #[test]
     fn negation_swaps_sum_and_product() {
         // not(AND of 3 preds) == OR of 3 complements -> 3 conjunctions
-        let e = Expr::not(Expr::and(vec![p(0), p(1), p(2)]));
+        let e = !(Expr::and(vec![p(0), p(1), p(2)]));
         assert_eq!(estimate_dnf_size(&e), 3);
         // not(OR of or-pairs): not(or) -> and -> product
-        let e = Expr::not(Expr::or(vec![or_pair(0), or_pair(1)]));
+        let e = !(Expr::or(vec![or_pair(0), or_pair(1)]));
         // inner or_pairs are negated too: not(p0 or p1) -> conj of 1
         assert_eq!(estimate_dnf_size(&e), 1);
     }
@@ -110,7 +110,7 @@ mod tests {
         let cases = [
             Expr::and(vec![or_pair(0), or_pair(1), p(99)]),
             Expr::or(vec![Expr::and(vec![p(0), p(1)]), or_pair(2)]),
-            Expr::not(Expr::and(vec![or_pair(0), p(5)])),
+            !(Expr::and(vec![or_pair(0), p(5)])),
         ];
         for e in cases {
             let est = estimate_dnf_size(&e);

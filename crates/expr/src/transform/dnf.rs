@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn negation_is_eliminated_first() {
-        let e = Expr::not(Expr::or(vec![pe("a", 1), pe("b", 2)]));
+        let e = !(Expr::or(vec![pe("a", 1), pe("b", 2)]));
         let dnf = to_dnf(&e, 10).unwrap();
         assert_eq!(dnf.len(), 1);
         assert_eq!(

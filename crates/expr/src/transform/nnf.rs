@@ -72,10 +72,7 @@ mod tests {
 
     #[test]
     fn pushes_not_through_and() {
-        let e = Expr::not(Expr::and(vec![
-            p("a", CompareOp::Eq, 1),
-            p("b", CompareOp::Lt, 2),
-        ]));
+        let e = !(Expr::and(vec![p("a", CompareOp::Eq, 1), p("b", CompareOp::Lt, 2)]));
         let nnf = eliminate_not(&e);
         assert_eq!(
             nnf,
@@ -85,10 +82,7 @@ mod tests {
 
     #[test]
     fn pushes_not_through_or() {
-        let e = Expr::not(Expr::or(vec![
-            p("a", CompareOp::Gt, 1),
-            p("b", CompareOp::Le, 2),
-        ]));
+        let e = !(Expr::or(vec![p("a", CompareOp::Gt, 1), p("b", CompareOp::Le, 2)]));
         let nnf = eliminate_not(&e);
         assert_eq!(
             nnf,
@@ -115,9 +109,9 @@ mod tests {
     fn equivalence_under_total_assignments() {
         // On total assignments (oracle defined for every predicate and
         // consistent with complements), NNF must agree with the original.
-        let e = Expr::not(Expr::or(vec![
+        let e = !(Expr::or(vec![
             Expr::and(vec![p("a", CompareOp::Eq, 1), p("b", CompareOp::Lt, 2)]),
-            Expr::not(p("c", CompareOp::Ge, 3)),
+            !(p("c", CompareOp::Ge, 3)),
         ]));
         let nnf = eliminate_not(&e);
         // Enumerate assignments over base predicates by attr name.

@@ -44,7 +44,7 @@ pub fn compact(expr: &Expr) -> Expr {
             }
             Expr::or(flat)
         }
-        Expr::Not(c) => Expr::not(compact(c)),
+        Expr::Not(c) => !(compact(c)),
     }
 }
 
@@ -73,7 +73,7 @@ fn dedup(expr: &Expr) -> Expr {
         Expr::Pred(p) => Expr::Pred(p.clone()),
         Expr::And(cs) => rebuild(cs, true),
         Expr::Or(cs) => rebuild(cs, false),
-        Expr::Not(c) => Expr::not(dedup(c)),
+        Expr::Not(c) => !(dedup(c)),
     }
 }
 

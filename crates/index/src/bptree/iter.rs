@@ -167,10 +167,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::type_complexity)]
     fn bounds_combinations() {
         let t: BPlusTree<i64, ()> = (0..10).map(|i| (i, ())).collect();
-        let cases: Vec<((Bound<i64>, Bound<i64>), Vec<i64>)> = vec![
+        type BoundsCase = ((Bound<i64>, Bound<i64>), Vec<i64>);
+        let cases: Vec<BoundsCase> = vec![
             ((Bound::Included(3), Bound::Included(5)), vec![3, 4, 5]),
             ((Bound::Excluded(3), Bound::Included(5)), vec![4, 5]),
             ((Bound::Included(3), Bound::Excluded(5)), vec![3, 4]),

@@ -1,104 +1,529 @@
 //! Offline shim for `parking_lot`: the lock API the workspace uses,
 //! backed by `std::sync` with poisoning ignored (matching parking_lot's
 //! non-poisoning semantics). See `crates/shims/README.md`.
+//!
+//! # Debug-build lockdep
+//!
+//! In debug builds (`cfg(debug_assertions)`) every lock can carry a
+//! **named lock class** ([`RwLock::set_class`] / [`Mutex::set_class`]),
+//! and each blocking acquisition is checked against a process-global
+//! **acquisition-order graph**: acquiring class `B` while holding class
+//! `A` records the edge `A → B`, and an acquisition that would close a
+//! cycle (`B` already reaches `A`) panics with the offending chain
+//! before the thread ever blocks. Same-class nesting (blocking on a
+//! lock of a class the thread already holds) panics too. The entire
+//! test suite therefore doubles as a continuous deadlock detector: any
+//! two code paths that ever take two classed locks in opposite orders
+//! fail deterministically, even when the schedules never actually
+//! collide.
+//!
+//! The discipline encoded by the broker (see the README's hot-path
+//! locking section): `maintenance` → `shard[i]` → `shard[j>i]` →
+//! `directory` (directory innermost, shard locks in ascending index
+//! order), with `pool`/`senders` never held across another classed
+//! acquisition.
+//!
+//! Design notes:
+//! * Unclassed locks are untracked — the instrumentation is opt-in per
+//!   lock so third-party-ish callers see zero behaviour change.
+//! * `try_*` acquisitions are pushed on the thread's held stack (they
+//!   can be the *held* side of a deadlock) but add no ordering edges
+//!   (they never block, so they cannot be the *waiting* side).
+//! * Classes are process-global and interned by name: every
+//!   `shard[3]` in the process is one node, so the discipline is
+//!   enforced across broker instances.
+//! * Release builds compile all of it out; guards are thin newtypes
+//!   around the `std::sync` guards either way.
 
 #![forbid(unsafe_code)]
 
 use std::sync::PoisonError;
 
-/// Read-preferring reader-writer lock with parking_lot's panic-free API.
+/// Debug-build lock-dependency tracking ("lockdep"); see the
+/// [crate docs](crate). Active only under `cfg(debug_assertions)` —
+/// the release variant of this module is an inert stub.
+#[cfg(debug_assertions)]
+pub mod lockdep {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// An interned lock-class handle; obtain one via [`class`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ClassId(u32);
+
+    /// The process-global class registry and acquisition-order graph.
+    #[derive(Default)]
+    struct Graph {
+        names: Vec<String>,
+        ids: HashMap<String, u32>,
+        /// `deps[a]` = classes observed acquired while holding `a`.
+        deps: Vec<Vec<u32>>,
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+    }
+
+    fn lock_graph() -> std::sync::MutexGuard<'static, Graph> {
+        // A lockdep violation panics while this mutex is held; recover
+        // from the poison so later acquisitions (other tests in the
+        // same process) keep being checked.
+        graph().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether lockdep instrumentation is compiled into this build.
+    pub const fn is_active() -> bool {
+        true
+    }
+
+    /// Interns `name` as a lock class. Names are process-global:
+    /// every lock classed `"shard[3]"` shares one graph node.
+    pub fn class(name: &str) -> ClassId {
+        let mut graph = lock_graph();
+        if let Some(&id) = graph.ids.get(name) {
+            return ClassId(id);
+        }
+        let id = u32::try_from(graph.names.len()).unwrap_or_else(|_| {
+            panic!("lockdep: more than u32::MAX lock classes");
+        });
+        graph.names.push(name.to_owned());
+        graph.ids.insert(name.to_owned(), id);
+        graph.deps.push(Vec::new());
+        ClassId(id)
+    }
+
+    struct HeldEntry {
+        class: u32,
+        serial: u64,
+    }
+
+    struct ThreadState {
+        held: Vec<HeldEntry>,
+        next_serial: u64,
+    }
+
+    thread_local! {
+        static THREAD: RefCell<ThreadState> = const {
+            RefCell::new(ThreadState { held: Vec::new(), next_serial: 0 })
+        };
+    }
+
+    /// How an acquisition may wait, which decides whether it can be the
+    /// *waiting* side of a deadlock and therefore records order edges.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Acquire {
+        /// May block: checked against the order graph, records edges.
+        Blocking,
+        /// Never blocks (`try_*`): held-stack only, no edges.
+        Try,
+    }
+
+    /// RAII token for one tracked acquisition; popping happens on drop.
+    /// `None` inside means the lock was unclassed (or the acquisition
+    /// deliberately untracked) — a no-op token.
+    #[derive(Debug)]
+    pub(crate) struct Held(Option<u64>);
+
+    pub(crate) fn untracked() -> Held {
+        Held(None)
+    }
+
+    pub(crate) fn acquire(class: Option<ClassId>, how: Acquire) -> Held {
+        let Some(ClassId(class)) = class else {
+            return Held(None);
+        };
+        THREAD.with(|state| {
+            let mut state = state.borrow_mut();
+            if how == Acquire::Blocking && !state.held.is_empty() {
+                check_order(&state.held, class);
+            }
+            let serial = state.next_serial;
+            state.next_serial += 1;
+            state.held.push(HeldEntry { class, serial });
+            Held(Some(serial))
+        })
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            let Some(serial) = self.0 else { return };
+            THREAD.with(|state| {
+                let mut state = state.borrow_mut();
+                // Guards may be released out of acquisition order
+                // (`drop(a)` before `drop(b)`), so the "stack" is
+                // really a set keyed by serial; search from the top,
+                // where LIFO releases find their entry first.
+                if let Some(at) = state.held.iter().rposition(|e| e.serial == serial) {
+                    state.held.remove(at);
+                }
+            });
+        }
+    }
+
+    /// Validates a blocking acquisition of `next` against every class
+    /// this thread already holds, recording the new order edges.
+    /// Panics — before the thread could ever block — on same-class
+    /// nesting or on an edge that would close a cycle.
+    fn check_order(held: &[HeldEntry], next: u32) {
+        if held.iter().any(|e| e.class == next) {
+            let graph = lock_graph();
+            panic!(
+                "lockdep: blocking acquisition of lock class \"{}\" while this thread already \
+                 holds a lock of the same class (same-class nesting can deadlock)",
+                graph.names[next as usize]
+            );
+        }
+        let mut graph = lock_graph();
+        for entry in held {
+            let holding = entry.class;
+            if graph.deps[holding as usize].contains(&next) {
+                continue; // edge already known (and known acyclic)
+            }
+            if let Some(path) = path_between(&graph, next, holding) {
+                let names: Vec<&str> = path
+                    .iter()
+                    .map(|&c| graph.names[c as usize].as_str())
+                    .collect();
+                panic!(
+                    "lockdep: acquisition-order violation: acquiring lock class \"{}\" while \
+                     holding \"{}\", but the established order is {} -> \"{}\" — this edge \
+                     would close a deadlock cycle",
+                    graph.names[next as usize],
+                    graph.names[holding as usize],
+                    names
+                        .iter()
+                        .map(|n| format!("\"{n}\""))
+                        .collect::<Vec<_>>()
+                        .join(" -> "),
+                    graph.names[next as usize],
+                );
+            }
+            graph.deps[holding as usize].push(next);
+        }
+    }
+
+    /// Depth-first path `from → … → to` over the recorded order edges,
+    /// if one exists (used both as the cycle test and for the panic
+    /// message).
+    fn path_between(graph: &Graph, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut visited = vec![false; graph.names.len()];
+        let mut path = vec![from];
+        if dfs(graph, from, to, &mut visited, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    fn dfs(graph: &Graph, at: u32, to: u32, visited: &mut [bool], path: &mut Vec<u32>) -> bool {
+        if at == to {
+            return true;
+        }
+        visited[at as usize] = true;
+        for &next in &graph.deps[at as usize] {
+            if visited[next as usize] {
+                continue;
+            }
+            path.push(next);
+            if dfs(graph, next, to, visited, path) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// The class names this thread currently holds, outermost first —
+    /// an observability hook for tests.
+    pub fn held_classes() -> Vec<String> {
+        THREAD.with(|state| {
+            let state = state.borrow();
+            let graph = lock_graph();
+            state
+                .held
+                .iter()
+                .map(|e| graph.names[e.class as usize].clone())
+                .collect()
+        })
+    }
+}
+
+/// Release-build stub of the lockdep module: classes are not tracked
+/// and every check compiles out.
+#[cfg(not(debug_assertions))]
+pub mod lockdep {
+    /// Whether lockdep instrumentation is compiled into this build.
+    pub const fn is_active() -> bool {
+        false
+    }
+}
+
+#[cfg(debug_assertions)]
+use std::sync::OnceLock;
+
+/// Read-preferring reader-writer lock with parking_lot's panic-free
+/// API, instrumented with [`lockdep`] in debug builds.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: OnceLock<lockdep::ClassId>,
+    inner: std::sync::RwLock<T>,
+}
 
 /// RAII guard for shared access.
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _held: lockdep::Held,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// RAII guard for exclusive access.
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _held: lockdep::Held,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new unlocked lock.
+    /// Creates a new unlocked lock (unclassed: lockdep-untracked until
+    /// [`RwLock::set_class`] is called).
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            class: OnceLock::new(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// Assigns this lock to the named [`lockdep`] class (debug builds
+    /// only; a no-op in release). First call wins; later calls are
+    /// ignored so construction paths can race benignly.
+    #[cfg(debug_assertions)]
+    pub fn set_class(&self, name: &str) {
+        let _ = self.class.set(lockdep::class(name));
+    }
+
+    /// Assigns this lock to the named [`lockdep`] class (debug builds
+    /// only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    pub fn set_class(&self, _name: &str) {}
+
+    #[cfg(debug_assertions)]
+    fn class(&self) -> Option<lockdep::ClassId> {
+        self.class.get().copied()
+    }
+
     /// Acquires shared access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let held = lockdep::acquire(self.class(), lockdep::Acquire::Blocking);
+        RwLockReadGuard {
+            #[cfg(debug_assertions)]
+            _held: held,
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Acquires exclusive access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let held = lockdep::acquire(self.class(), lockdep::Acquire::Blocking);
+        RwLockWriteGuard {
+            #[cfg(debug_assertions)]
+            _held: held,
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive access **without lockdep tracking** — the
+    /// escape hatch for verification hooks that hold a lock across
+    /// operations which would otherwise record an inverted (and, for
+    /// the hook, intentional) acquisition order. Production paths must
+    /// use [`RwLock::write`]; every call site of this method needs a
+    /// comment arguing why the inversion cannot deadlock (typically:
+    /// the hook guarantees no concurrent taker of the inverted pair).
+    pub fn write_untracked(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            #[cfg(debug_assertions)]
+            _held: lockdep::untracked(),
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Attempts shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner: p.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Attempts exclusive access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner: p.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
-/// Mutual-exclusion lock with parking_lot's panic-free API.
+/// Mutual-exclusion lock with parking_lot's panic-free API,
+/// instrumented with [`lockdep`] in debug builds.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: OnceLock<lockdep::ClassId>,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard for a held [`Mutex`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _held: lockdep::Held,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new unlocked mutex.
+    /// Creates a new unlocked mutex (unclassed: lockdep-untracked until
+    /// [`Mutex::set_class`] is called).
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            class: OnceLock::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Assigns this mutex to the named [`lockdep`] class (debug builds
+    /// only; a no-op in release). First call wins.
+    #[cfg(debug_assertions)]
+    pub fn set_class(&self, name: &str) {
+        let _ = self.class.set(lockdep::class(name));
+    }
+
+    /// Assigns this mutex to the named [`lockdep`] class (debug builds
+    /// only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    pub fn set_class(&self, _name: &str) {}
+
+    #[cfg(debug_assertions)]
+    fn class(&self) -> Option<lockdep::ClassId> {
+        self.class.get().copied()
+    }
+
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let held = lockdep::acquire(self.class(), lockdep::Acquire::Blocking);
+        MutexGuard {
+            #[cfg(debug_assertions)]
+            _held: held,
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Attempts the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        match self.inner.try_lock() {
+            Ok(inner) => Some(MutexGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                #[cfg(debug_assertions)]
+                _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
+                inner: p.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -138,5 +563,144 @@ mod tests {
         .join();
         // parking_lot semantics: no poisoning, the data stays reachable.
         assert_eq!(*lock.read(), 0);
+    }
+
+    /// Unwrap a panic payload into the message text.
+    #[cfg(debug_assertions)]
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default()
+    }
+
+    /// The ISSUE-6 acceptance test: two shard-style classes acquired in
+    /// ascending order establish the edge; the later descending
+    /// acquisition panics in the cycle detector before blocking.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn descending_shard_acquisition_panics_in_debug() {
+        let low = RwLock::new(());
+        let high = RwLock::new(());
+        low.set_class("shimtest/shard[3]");
+        high.set_class("shimtest/shard[9]");
+
+        // Ascending (the broker discipline): records shard[3] → shard[9].
+        {
+            let _lo = low.write();
+            let _hi = high.write();
+            assert_eq!(
+                lockdep::held_classes(),
+                vec!["shimtest/shard[3]", "shimtest/shard[9]"]
+            );
+        }
+
+        // Descending: shard[9] → shard[3] would close the cycle.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _hi = high.write();
+            let _lo = low.write();
+        }))
+        .expect_err("the inverted acquisition must panic");
+        let message = panic_message(err);
+        assert!(
+            message.contains("lockdep") && message.contains("shimtest/shard[9]"),
+            "unexpected panic message: {message}"
+        );
+
+        // The offending edge was rejected, not recorded: the original
+        // ascending order still works afterwards.
+        let _lo = low.write();
+        let _hi = high.write();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn same_class_nesting_panics_in_debug() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        a.set_class("shimtest/samesame");
+        b.set_class("shimtest/samesame");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _first = a.lock();
+            let _second = b.lock();
+        }))
+        .expect_err("same-class nesting must panic");
+        assert!(panic_message(err).contains("same-class"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_cycles_are_detected() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        a.set_class("shimtest/chain-a");
+        b.set_class("shimtest/chain-b");
+        c.set_class("shimtest/chain-c");
+        {
+            let _a = a.lock();
+            let _b = b.lock();
+        }
+        {
+            let _b = b.lock();
+            let _c = c.lock();
+        }
+        // a → b → c is established; c → a closes the cycle transitively.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _c = c.lock();
+            let _a = a.lock();
+        }))
+        .expect_err("the transitive inversion must panic");
+        let message = panic_message(err);
+        assert!(message.contains("chain-a") && message.contains("chain-c"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn try_acquisitions_and_untracked_writes_record_no_edges() {
+        let a = RwLock::new(());
+        let b = RwLock::new(());
+        a.set_class("shimtest/try-a");
+        b.set_class("shimtest/try-b");
+        {
+            let _a = a.write();
+            let _b = b.write(); // try-a → try-b
+        }
+        {
+            // Inverted order, but via try_write: no edge, no panic.
+            let _b = b.write();
+            let _a = a.try_write().expect("uncontended");
+        }
+        {
+            // Inverted order via the untracked escape hatch: no panic.
+            let _b = b.write();
+            let _a = a.write_untracked();
+        }
+        // The tracked inversion still trips, proving the two paths
+        // above really recorded nothing.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _b = b.write();
+            let _a = a.write();
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_order_release_is_tracked_correctly() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        a.set_class("shimtest/release-a");
+        b.set_class("shimtest/release-b");
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // release the outer lock first
+        drop(gb);
+        #[cfg(debug_assertions)]
+        assert!(lockdep::held_classes().is_empty());
+    }
+
+    #[test]
+    fn lockdep_activity_matches_build_profile() {
+        assert_eq!(lockdep::is_active(), cfg!(debug_assertions));
     }
 }

@@ -227,7 +227,10 @@ mod tests {
         assert_eq!(e.len(), 2);
         let names: Vec<_> = e.iter().map(|(n, _)| n.to_string()).collect();
         assert_eq!(names, vec!["a", "z"]);
-        assert_eq!(e.get("z").and_then(|v| v.as_int()), Some(3));
+        assert_eq!(
+            e.get("z").and_then(super::super::value::Value::as_int),
+            Some(3)
+        );
     }
 
     #[test]
@@ -249,7 +252,10 @@ mod tests {
     fn from_pairs_collects() {
         let e: Event = vec![("b", 2_i64), ("a", 1_i64)].into_iter().collect();
         assert_eq!(e.len(), 2);
-        assert_eq!(e.get("a").and_then(|v| v.as_int()), Some(1));
+        assert_eq!(
+            e.get("a").and_then(super::super::value::Value::as_int),
+            Some(1)
+        );
     }
 
     #[test]

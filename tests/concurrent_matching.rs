@@ -96,7 +96,7 @@ fn stress(kind: EngineKind) {
     // Each event id arrives exactly once at each matching subscriber.
     let mut ticks: Vec<i64> = got_all
         .iter()
-        .map(|e| e.get("tick").and_then(|v| v.as_int()).unwrap())
+        .map(|e| e.get("tick").and_then(Value::as_int).unwrap())
         .collect();
     ticks.sort_unstable();
     ticks.dedup();

@@ -50,7 +50,7 @@ fn stock_scenario_all_engines_equal_direct_eval() {
     assert!(subs.iter().all(|s| !s.contains_not()));
     let events: Vec<Event> = (0..300).map(|_| scenario.tick()).collect();
     for kind in EngineKind::ALL {
-        check_engine_against(kind, &subs, &events, |s, e| s.eval_event(e));
+        check_engine_against(kind, &subs, &events, Expr::eval_event);
     }
 }
 

@@ -1,0 +1,151 @@
+//! Dynamic lock-order enforcement, end to end: the `parking_lot` shim's
+//! debug-build lockdep must catch a broker-level inversion of the
+//! documented discipline (ascending shard indexes, directory innermost)
+//! and must stay silent across honest broker traffic.
+//!
+//! Lock classes are process-global and interned by name, so a test-side
+//! `RwLock` classed `shard[0]` shares its class with the broker's shard
+//! 0: the acquisition-order edges recorded by *real* broker code paths
+//! (subscribe commits, migration, rebalancing) are what the deliberate
+//! inversions below collide with.
+//!
+//! The inversion tests are `cfg(debug_assertions)`-only — release
+//! builds compile the checker out entirely, which
+//! `lockdep_is_compiled_out_in_release` pins down in both profiles.
+
+use boolmatch::prelude::*;
+
+/// Honest traffic that exercises the real edge set: subscribe commits
+/// (`shard[i]` → `directory`), publishes (per-shard state only), churn,
+/// and a frequency rebalance (`maintenance` → ascending shard pairs →
+/// `directory`).
+fn run_broker_workload() {
+    let broker = Broker::builder().shards(4).build();
+    let subs: Vec<Subscription> = (0..32)
+        .map(|i| broker.subscribe(&format!("a = {}", i % 8)).unwrap())
+        .collect();
+    for i in 0..16_i64 {
+        broker.publish(Event::builder().attr("a", i % 8).build());
+    }
+    broker.rebalance_by_match_frequency(8);
+    for sub in &subs[..16] {
+        assert!(broker.unsubscribe(sub.id()));
+    }
+    broker.publish(Event::builder().attr("a", 3_i64).build());
+    drop(subs);
+}
+
+#[test]
+fn honest_broker_traffic_raises_no_lockdep_violation() {
+    // Would panic inside the shim if any real code path recorded a
+    // cycle; doubles as the no-false-positives check for this binary's
+    // process-global graph before the inversion tests poke at it.
+    run_broker_workload();
+}
+
+#[test]
+fn lockdep_is_compiled_out_in_release() {
+    assert_eq!(parking_lot::lockdep::is_active(), cfg!(debug_assertions));
+}
+
+#[cfg(debug_assertions)]
+mod debug_only {
+    use super::*;
+    use boolmatch::core::lock_classes;
+    use parking_lot::RwLock;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn classed(name: &str) -> RwLock<()> {
+        let lock = RwLock::new(());
+        lock.set_class(name);
+        lock
+    }
+
+    fn panic_text(result: std::thread::Result<()>) -> String {
+        match result {
+            Ok(()) => String::new(),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn descending_shard_acquisition_panics() {
+        // Seed the real ascending edges (and the rest of the broker's
+        // edge set) from genuine traffic…
+        run_broker_workload();
+        let lo = classed(&lock_classes::shard(0));
+        let hi = classed(&lock_classes::shard(1));
+        // …make the `shard[0]` → `shard[1]` edge explicit regardless of
+        // how much the workload migrated…
+        {
+            let _a = lo.write();
+            let _b = hi.write();
+        }
+        // …then acquire the same pair descending: a cycle.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _b = hi.write();
+            let _a = lo.write();
+        }));
+        let message = panic_text(match result {
+            Ok(()) => panic!("descending shard acquisition must panic under lockdep"),
+            Err(payload) => Err(payload),
+        });
+        assert!(
+            message.contains("lockdep"),
+            "expected a lockdep violation, got: {message}"
+        );
+        assert!(message.contains("shard[0]") && message.contains("shard[1]"));
+    }
+
+    #[test]
+    fn directory_outside_shard_panics() {
+        // Subscribe commits nest `shard[i]` → `directory`; holding a
+        // directory-classed lock *around* a shard acquisition inverts
+        // the innermost rule.
+        run_broker_workload();
+        let directory = classed(lock_classes::DIRECTORY);
+        let shard = classed(&lock_classes::shard(2));
+        // Ensure the shard → directory edge exists even if placement
+        // skipped shard 2 entirely.
+        {
+            let _s = shard.write();
+            let _d = directory.write();
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _d = directory.write();
+            let _s = shard.write();
+        }));
+        let message = panic_text(match result {
+            Ok(()) => panic!("directory-outside-shard must panic under lockdep"),
+            Err(payload) => Err(payload),
+        });
+        assert!(
+            message.contains("lockdep"),
+            "expected a lockdep violation, got: {message}"
+        );
+        assert!(message.contains("directory"));
+    }
+
+    #[test]
+    fn broker_still_works_after_a_caught_violation() {
+        // The checker panics *before* recording the violating edge, so
+        // a caught violation must leave the graph acyclic and the
+        // broker fully usable.
+        let probe_a = classed("lockdep-test/probe-a");
+        let probe_b = classed("lockdep-test/probe-b");
+        {
+            let _a = probe_a.write();
+            let _b = probe_b.write();
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _b = probe_b.write();
+            let _a = probe_a.write();
+        }));
+        assert!(result.is_err());
+        run_broker_workload();
+    }
+}
