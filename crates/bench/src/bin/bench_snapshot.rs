@@ -6,7 +6,7 @@
 //! measurement), this binary is built to run unattended: it times each
 //! named workload with a fixed warm-up + N-sample loop, records the
 //! **median ns/op**, and writes everything to one JSON file
-//! (`BENCH_PR5.json` by default). CI smoke-runs it in `--quick` mode on
+//! (`BENCH_PR7.json` by default). CI smoke-runs it in `--quick` mode on
 //! every push.
 //!
 //! ```text
@@ -14,7 +14,7 @@
 //! ```
 //!
 //! * `--quick` — smaller corpora and fewer samples (CI / smoke mode).
-//! * `--out PATH` — output path (default `BENCH_PR5.json`).
+//! * `--out PATH` — output path (default `BENCH_PR7.json`).
 //!
 //! The recorded numbers carry the same caveat as the concurrency
 //! benches: on a single-core host the `parallel` rows measure the
@@ -27,11 +27,11 @@ use std::time::Instant;
 use boolmatch_bench::Args;
 use boolmatch_broker::{Broker, DeliveryPolicy, Subscription};
 use boolmatch_core::{
-    EngineKind, FilterEngine, MatchScratch, ScratchPool, ShardTranslation, ShardedEngine,
-    SubscriptionId,
+    EngineKind, FilterEngine, MatchScratch, PlacementPolicy, ScratchPool, ShardTranslation,
+    ShardedEngine, SubscriptionId,
 };
 use boolmatch_types::Event;
-use boolmatch_workload::scenarios::{HotKeyScenario, StockScenario};
+use boolmatch_workload::scenarios::{HotKeyScenario, SelectiveScenario, StockScenario};
 
 /// One recorded measurement.
 struct Sample {
@@ -108,7 +108,7 @@ fn stock_broker(
 fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
-    let out_path = args.get("out").unwrap_or("BENCH_PR5.json").to_owned();
+    let out_path = args.get("out").unwrap_or("BENCH_PR7.json").to_owned();
     let (samples, ops) = if quick { (5, 200) } else { (15, 1_000) };
     let subscription_counts: &[usize] = if quick {
         &[1_000, 10_000]
@@ -342,12 +342,90 @@ fn main() {
         );
     }
 
+    // --- Content-aware pruning: publish cost with and without shard
+    // pruning, on a prunable and an unprunable population ---
+    {
+        // Selective workload, one group attribute per event, clustered
+        // placement with groups == shards: each event has candidates on
+        // (at most) one shard. The four rows form the PR's A/B grid:
+        // `selective/*` bounds the pruning win on a partitionable
+        // population; `unprunable/*` (the or-rooted twin, which the
+        // conservative synopsis must keep always-candidate) bounds the
+        // overhead of consulting synopses that never fire.
+        let shards = 8;
+        let subs = if quick { 800 } else { 4_000 };
+        let configs = [
+            ("selective/pruned", true, true),
+            ("selective/unpruned", true, false),
+            ("unprunable/pruned", false, true),
+            ("unprunable/unpruned", false, false),
+        ];
+        let setups: Vec<(Broker, Vec<Subscription>, Vec<Event>)> = configs
+            .iter()
+            .map(|&(_, prunable, pruning)| {
+                let broker = Broker::builder()
+                    .engine(EngineKind::NonCanonical)
+                    .shards(shards)
+                    .placement(PlacementPolicy::ClusterByAttribute)
+                    .shard_pruning(pruning)
+                    .delivery(DeliveryPolicy::DropNewest { capacity: 4 })
+                    .build();
+                let mut scenario = if prunable {
+                    SelectiveScenario::new(2_005, shards)
+                } else {
+                    SelectiveScenario::unprunable(2_005, shards)
+                };
+                let receivers: Vec<Subscription> = scenario
+                    .subscriptions(subs)
+                    .iter()
+                    .map(|e| broker.subscribe_expr(e).expect("accepted"))
+                    .collect();
+                (broker, receivers, scenario.events(64))
+            })
+            .collect();
+        // The rows in each A/B pair are a few percent apart, which is
+        // under this host's sequential drift (allocator state, CPU
+        // clock) — so sample the four configurations round-robin
+        // *within* each round instead of one full row after another,
+        // and the drift cancels out of the comparison.
+        let ops_here = ops.min(200);
+        let mut at = [0usize; 4];
+        let mut batches: Vec<Vec<f64>> = (0..4).map(|_| Vec::with_capacity(samples)).collect();
+        for round in 0..=samples {
+            for (i, (broker, _receivers, group_events)) in setups.iter().enumerate() {
+                let start = Instant::now();
+                for _ in 0..ops_here {
+                    at[i] = (at[i] + 1) % group_events.len();
+                    broker.publish(group_events[at[i]].clone());
+                }
+                if round > 0 {
+                    // Round 0 is the warm-up.
+                    batches[i].push(start.elapsed().as_nanos() as f64 / ops_here as f64);
+                }
+            }
+        }
+        for (i, &(row, _, _)) in configs.iter().enumerate() {
+            batches[i].sort_by(f64::total_cmp);
+            let median = batches[i][batches[i].len() / 2];
+            let name = format!("prune/{row}/s{shards}/{subs}");
+            println!("{name:<48} median: {median:>12.1} ns/op");
+            results.push(Sample {
+                name,
+                median_ns_per_op: median,
+                samples,
+                ops_per_sample: ops_here,
+            });
+        }
+        let prunes: u64 = setups[0].0.shard_prune_counts().iter().sum();
+        println!("    (selective/pruned skipped {prunes} shard visits)");
+    }
+
     // --- JSON output (hand-rolled: no serde in the offline workspace) ---
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
-        "  \"snapshot\": \"PR5 shard-local translation, generation-tagged ids, background rebalance\",\n",
+        "  \"snapshot\": \"PR7 content-aware shard routing: attribute synopses, clustered placement, publish-path pruning\",\n",
     );
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",

@@ -10,9 +10,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use boolmatch_core::{
-    lock_classes, BoxedEngine, EngineKind, FanOut, FanOutPool, FilterEngine, MatchScratch,
-    MatchStats, MemoryUsage, ScratchLease, ScratchPool, ShardTranslation, SubscribeError,
-    SubscriptionDirectory, SubscriptionId, WorkerPool,
+    attribute_hash, dominant_eq_attr, lock_classes, BoxedEngine, EngineKind, FanOut, FanOutPool,
+    FilterEngine, MatchScratch, MatchStats, MemoryUsage, PlacementPolicy, ScratchLease,
+    ScratchPool, ShardSynopsis, ShardTranslation, SubscribeError, SubscriptionDirectory,
+    SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -204,6 +205,10 @@ struct ShardCell {
     /// relaxed atomics on the publish path — no lock, no shared-state
     /// contention.
     hits: AtomicU64,
+    /// Publishes that skipped this shard because its attribute synopsis
+    /// proved zero candidates (one count per pruned event per publish
+    /// path), maintained like `hits` — relaxed atomics, no lock.
+    pruned: AtomicU64,
 }
 
 struct ShardState {
@@ -213,6 +218,12 @@ struct ShardState {
     /// migration) and read under the read lock publishes already hold
     /// for matching — translation never touches broker-global state.
     translation: ShardTranslation,
+    /// Conservative per-attribute summary of this shard's residents,
+    /// maintained under the same write lock as `translation` (subscribe,
+    /// unsubscribe, migration) and consulted under the read lock
+    /// publishes already hold — the content-aware prune check never
+    /// touches broker-global state either.
+    synopsis: ShardSynopsis,
 }
 
 impl ShardCell {
@@ -225,17 +236,25 @@ impl ShardCell {
         let state = RwLock::new(ShardState {
             engine,
             translation: ShardTranslation::new(),
+            synopsis: ShardSynopsis::new(),
         });
         state.set_class(&lock_classes::shard(index));
         ShardCell {
             state,
             hits: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
         }
     }
 
     fn record_hits(&self, stats: &MatchStats) {
         if stats.matched > 0 {
             self.hits.fetch_add(stats.matched as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn record_prunes(&self, n: u64) {
+        if n > 0 {
+            self.pruned.fetch_add(n, Ordering::Relaxed);
         }
     }
 }
@@ -323,6 +342,31 @@ struct RebalancerHandle {
     thread: JoinHandle<()>,
 }
 
+/// The decayed match-frequency window
+/// [`Broker::rebalance_by_match_frequency`] plans from: `baseline` is
+/// the raw per-shard counter snapshot the next tick diffs against,
+/// `scores` the exponentially decayed per-tick deltas (each tick halves
+/// the running score before adding the fresh delta). Scoring a decayed
+/// window instead of the raw last-tick delta keeps one anomalous
+/// interval from dominating the plan while sustained skew still
+/// accumulates; after any tick that migrated, the scores are reset so
+/// the next window measures the *new* placement rather than echoes of
+/// the one just fixed.
+#[derive(Default)]
+struct FreqWindow {
+    baseline: Vec<u64>,
+    scores: Vec<u64>,
+}
+
+impl FreqWindow {
+    /// Forgets everything — the next tick re-arms from scratch
+    /// (resize must not compare counters across shard sets).
+    fn clear(&mut self) {
+        self.baseline.clear();
+        self.scores.clear();
+    }
+}
+
 pub(crate) struct BrokerInner {
     /// The current shard set (cells + parallel pipeline), swapped
     /// wholesale by [`Broker::resize`]. Steady-state readers take the
@@ -347,9 +391,10 @@ pub(crate) struct BrokerInner {
     /// background thread's ticks — so a resize can never swap the shard
     /// set out from under a running migration.
     maintenance: Mutex<()>,
-    /// Last per-shard hit snapshot the frequency-weighted rebalancer
-    /// compared against (ticks act on deltas, not lifetime totals).
-    freq_baseline: Mutex<Vec<u64>>,
+    /// The frequency-weighted rebalancer's decayed planning window:
+    /// the last per-shard hit snapshot plus the decayed per-tick delta
+    /// scores (ticks act on windowed deltas, not lifetime totals).
+    freq_baseline: Mutex<FreqWindow>,
     senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
     policy: DeliveryPolicy,
     stats: AtomicStats,
@@ -372,6 +417,12 @@ pub(crate) struct BrokerInner {
     /// Engine kind a grow appends (the first shard's kind at build
     /// time).
     grow_kind: EngineKind,
+    /// Where new subscriptions land (see
+    /// [`BrokerBuilder::placement`]).
+    placement: PlacementPolicy,
+    /// Whether the publish paths consult shard synopses to skip
+    /// zero-candidate shards (see [`BrokerBuilder::shard_pruning`]).
+    prune: bool,
     /// The background rebalance thread, when configured.
     rebalancer: Mutex<Option<RebalancerHandle>>,
 }
@@ -434,6 +485,7 @@ impl BrokerInner {
                         .engine
                         .unsubscribe(local)
                         .expect("translation and shard engine are kept in sync");
+                    state.synopsis.remove(local);
                 }
             }
             self.stats
@@ -496,7 +548,21 @@ impl Broker {
         // guarantees a placement on a freshly grown shard only happens
         // once the grown set is visible, and a shrink restricts
         // placement before any dying cell leaves the set.
-        let shard = self.inner.directory.write().place();
+        let shard = {
+            let mut directory = self.inner.directory.write();
+            match self.inner.placement {
+                PlacementPolicy::LeastLoaded => directory.place(),
+                // Clustered: route to the shard the subscription's
+                // dominant equality attribute hashes to (load-capped;
+                // the directory falls back to least-loaded when the
+                // cluster target is overloaded), so shard synopses
+                // become selective and pruning actually bites.
+                PlacementPolicy::ClusterByAttribute => match dominant_eq_attr(expr) {
+                    Some(attr) => directory.place_clustered(attribute_hash(attr)),
+                    None => directory.place(),
+                },
+            }
+        };
         let set = self.shard_set();
         let cell = &set.shards[shard];
         // The expression is stored for every broker — including
@@ -518,6 +584,7 @@ impl Broker {
         };
         let id = self.inner.directory.write().commit(shard, local, stored);
         state.translation.set(local, id);
+        state.synopsis.insert(local, expr);
         drop(state);
         let (tx, rx) = self.inner.policy.channel();
         self.inner.senders.write().insert(id, tx);
@@ -628,45 +695,55 @@ impl Broker {
             .iter()
             .map(|cell| cell.hits.load(Ordering::Relaxed))
             .collect();
-        let deltas: Vec<u64> = {
-            let mut baseline = self.inner.freq_baseline.lock();
+        let scores: Vec<u64> = {
+            let mut window = self.inner.freq_baseline.lock();
+            let FreqWindow { baseline, scores } = &mut *window;
             if baseline.len() != hits.len() {
                 // The shard set changed since the last tick: re-arm and
                 // measure a fresh interval instead of comparing
                 // counters across unrelated cells.
                 *baseline = hits;
+                *scores = vec![0; baseline.len()];
                 return 0;
             }
-            let deltas = hits
-                .iter()
-                .zip(baseline.iter())
-                // Saturating: a shrink+grow can put a fresh cell (with
-                // a zeroed counter) at an index that had history.
-                .map(|(hit, base)| hit.saturating_sub(*base))
-                .collect();
+            for ((score, hit), base) in scores.iter_mut().zip(&hits).zip(baseline.iter()) {
+                // Exponential decay: halve the running score, then add
+                // this tick's delta. Saturating: a shrink+grow can put
+                // a fresh cell (with a zeroed counter) at an index
+                // that had history.
+                *score = *score / 2 + hit.saturating_sub(*base);
+            }
             *baseline = hits;
-            deltas
+            scores.clone()
         };
         let mut hot = 0;
         let mut cool = 0;
-        for (i, &delta) in deltas.iter().enumerate() {
-            if delta > deltas[hot] {
+        for (i, &score) in scores.iter().enumerate() {
+            if score > scores[hot] {
                 hot = i;
             }
-            if delta < deltas[cool] {
+            if score < scores[cool] {
                 cool = i;
             }
         }
-        // Act only on real skew: the hot shard must out-match the cool
-        // one by 2× plus an absolute floor, and must keep at least one
-        // subscription.
+        // Act only on real skew: the hot shard's windowed score must
+        // out-match the cool one's by 2× plus an absolute floor, and
+        // the hot shard must keep at least one subscription.
         if hot == cool
-            || deltas[hot] < 2 * deltas[cool] + MATCH_FREQUENCY_SKEW_FLOOR
+            || scores[hot] < 2 * scores[cool] + MATCH_FREQUENCY_SKEW_FLOOR
             || self.inner.directory.read().load(hot) <= 1
         {
             return 0;
         }
         let moved = self.migrate_between(&set, hot, cool, max_moves, MigrateMode::Frequency);
+        if moved > 0 {
+            // The placement just changed: the decayed scores describe
+            // the pre-migration world. Reset them (keeping the raw
+            // baseline) so the next window measures the new placement
+            // instead of re-migrating on stale echoes.
+            let mut window = self.inner.freq_baseline.lock();
+            window.scores.iter_mut().for_each(|s| *s = 0);
+        }
         self.note_migrated(moved);
         moved
     }
@@ -747,6 +824,11 @@ impl Broker {
                             .engine
                             .unsubscribe(local)
                             .expect("translation and shard engine are kept in sync");
+                        // Slot-keyed removal: the directory entry is
+                        // already retired, so no expression is
+                        // available here — the synopsis undoes exactly
+                        // what it indexed for this slot.
+                        from_state.synopsis.remove(local);
                         continue;
                     }
                 }
@@ -785,7 +867,9 @@ impl Broker {
                     .expect("directory and shard engines are kept in sync");
                 let cleared = from_state.translation.clear_if(local, global);
                 debug_assert!(cleared, "relocated entries were resident");
+                from_state.synopsis.remove(local);
                 to_state.translation.set(new_local, global);
+                to_state.synopsis.insert(new_local, &expr);
                 moved += 1;
             } else {
                 // The victim was retired between planning and commit;
@@ -943,6 +1027,20 @@ impl Broker {
             .collect()
     }
 
+    /// Publish prune counts per shard: how many times each shard was
+    /// skipped because its attribute synopsis proved zero candidates
+    /// for the event being matched (one count per pruned event, on
+    /// every publish pipeline). The observability counterpart of
+    /// [`Broker::shard_match_hits`] for content-aware routing: on a
+    /// well-clustered workload most shards accumulate prunes, not hits.
+    pub fn shard_prune_counts(&self) -> Vec<u64> {
+        self.shard_set()
+            .shards
+            .iter()
+            .map(|cell| cell.pruned.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Whether a background rebalance thread is attached (see
     /// [`BrokerBuilder::background_rebalance`]).
     pub fn background_rebalance_active(&self) -> bool {
@@ -1090,8 +1188,18 @@ impl Broker {
         scratch: &mut MatchScratch,
         out: &mut Vec<SubscriptionId>,
     ) {
+        let prune = self.inner.prune;
         for cell in &set.shards {
             let state = cell.state.read();
+            // Content-aware pruning: a shard whose synopsis proves zero
+            // candidates for this event is skipped before any matching
+            // work — same shard read lock, no extra locking. The
+            // synopsis is conservative, so the matched set is identical
+            // to the unpruned walk.
+            if prune && !state.synopsis.admits(event) {
+                cell.record_prunes(1);
+                continue;
+            }
             let stats = state.engine.match_event_into(event, scratch);
             cell.record_hits(&stats);
             out.extend(
@@ -1205,6 +1313,7 @@ impl Broker {
         out: &mut Vec<SubscriptionId>,
     ) {
         let shards = set.shards.len();
+        let prune = self.inner.prune;
         let run: Arc<FanOut<ScratchLease>> = fan.publish_rendezvous.checkout(shards - 1);
         for s in 1..shards {
             let slot = run.slot(s - 1);
@@ -1215,12 +1324,19 @@ impl Broker {
                 let lease = {
                     let state = cell.state.read();
                     let mut lease = scratches.lease(&*state.engine);
-                    let stats = state.engine.match_event_into(&event, &mut lease);
-                    cell.record_hits(&stats);
-                    // Shard-local translation under the shard read lock
-                    // — see `match_into` for why that makes it sound
-                    // against concurrent migration.
-                    lease.translate_matched(|l| state.translation.global_of(l));
+                    // Pruned shards park their fresh (empty) lease
+                    // without matching — the merge sees no ids, exactly
+                    // like the sequential walk's `continue`.
+                    if !prune || state.synopsis.admits(&event) {
+                        let stats = state.engine.match_event_into(&event, &mut lease);
+                        cell.record_hits(&stats);
+                        // Shard-local translation under the shard read
+                        // lock — see `match_into` for why that makes it
+                        // sound against concurrent migration.
+                        lease.translate_matched(|l| state.translation.global_of(l));
+                    } else {
+                        cell.record_prunes(1);
+                    }
                     lease
                 }; // shard lock released before the rendezvous
                 drop(event);
@@ -1231,14 +1347,18 @@ impl Broker {
         {
             let cell = &set.shards[0];
             let state = cell.state.read();
-            let stats = state.engine.match_event_into(event, scratch);
-            cell.record_hits(&stats);
-            out.extend(
-                scratch
-                    .matched()
-                    .iter()
-                    .filter_map(|&l| state.translation.global_of(l)),
-            );
+            if !prune || state.synopsis.admits(event) {
+                let stats = state.engine.match_event_into(event, scratch);
+                cell.record_hits(&stats);
+                out.extend(
+                    scratch
+                        .matched()
+                        .iter()
+                        .filter_map(|&l| state.translation.global_of(l)),
+                );
+            } else {
+                cell.record_prunes(1);
+            }
         }
         let mut lost = 0u64;
         run.wait_each(|slot| match slot {
@@ -1308,9 +1428,17 @@ impl Broker {
             if let Some(fan) = pipeline {
                 self.match_batch_parallel(&set, fan, events, &mut state.scratch, &mut buckets);
             } else {
+                let prune = self.inner.prune;
                 for cell in &set.shards {
                     let shard_state = cell.state.read();
+                    let mut pruned = 0u64;
                     for (event, bucket) in events.iter().zip(&mut buckets) {
+                        // Per-event prune decision under the
+                        // once-per-batch shard lock.
+                        if prune && !shard_state.synopsis.admits(event) {
+                            pruned += 1;
+                            continue;
+                        }
                         let stats = shard_state
                             .engine
                             .match_event_into(event, &mut state.scratch);
@@ -1323,6 +1451,7 @@ impl Broker {
                                 .filter_map(|&l| shard_state.translation.global_of(l)),
                         );
                     }
+                    cell.record_prunes(pruned);
                 }
             }
             self.trim_oversized(&mut state.scratch);
@@ -1389,6 +1518,7 @@ impl Broker {
         buckets: &mut [Vec<SubscriptionId>],
     ) {
         let shards = set.shards.len();
+        let prune = self.inner.prune;
         // The worker jobs are `'static`; the one per-batch allocation
         // for sharing the event list is this Vec of Arc clones.
         let shared: Arc<Vec<Arc<Event>>> = Arc::new(events.to_vec());
@@ -1408,17 +1538,26 @@ impl Broker {
                     let mut lease = scratches.lease(&*state.engine);
                     let mut flat: Vec<SubscriptionId> = Vec::new();
                     let mut ends: Vec<usize> = Vec::with_capacity(shared.len());
+                    let mut pruned = 0u64;
                     for event in shared.iter() {
-                        let stats = state.engine.match_event_into(event, &mut lease);
-                        cell.record_hits(&stats);
-                        flat.extend(
-                            lease
-                                .matched()
-                                .iter()
-                                .filter_map(|&l| state.translation.global_of(l)),
-                        );
+                        // Pruned events contribute no ids; the end
+                        // offset is still pushed so per-event slices
+                        // stay aligned with the batch.
+                        if !prune || state.synopsis.admits(event) {
+                            let stats = state.engine.match_event_into(event, &mut lease);
+                            cell.record_hits(&stats);
+                            flat.extend(
+                                lease
+                                    .matched()
+                                    .iter()
+                                    .filter_map(|&l| state.translation.global_of(l)),
+                            );
+                        } else {
+                            pruned += 1;
+                        }
                         ends.push(flat.len());
                     }
+                    cell.record_prunes(pruned);
                     (flat, ends)
                 };
                 drop(shared);
@@ -1429,7 +1568,12 @@ impl Broker {
         {
             let cell = &set.shards[0];
             let state = cell.state.read();
+            let mut pruned = 0u64;
             for (event, bucket) in events.iter().zip(buckets.iter_mut()) {
+                if prune && !state.synopsis.admits(event) {
+                    pruned += 1;
+                    continue;
+                }
                 let stats = state.engine.match_event_into(event, scratch);
                 cell.record_hits(&stats);
                 bucket.extend(
@@ -1439,6 +1583,7 @@ impl Broker {
                         .filter_map(|&l| state.translation.global_of(l)),
                 );
             }
+            cell.record_prunes(pruned);
         }
         // Slot order is shard order, so per-event ids concatenate
         // exactly like the sequential shard-major walk.
@@ -1572,7 +1717,7 @@ impl Broker {
         let mut usage = MemoryUsage::default();
         for cell in &set.shards {
             let state = cell.state.read();
-            routing += state.translation.heap_bytes();
+            routing += state.translation.heap_bytes() + state.synopsis.heap_bytes();
             usage = usage + state.engine.memory_usage();
         }
         usage
@@ -1703,6 +1848,9 @@ pub struct BrokerBuilder {
     scratch_trim_cap: Option<usize>,
     recycled_ids: bool,
     background: Option<(Duration, RebalancePolicy)>,
+    placement: PlacementPolicy,
+    /// `None` means "not set" and resolves to enabled.
+    shard_pruning: Option<bool>,
 }
 
 impl fmt::Debug for BrokerBuilder {
@@ -1717,6 +1865,8 @@ impl fmt::Debug for BrokerBuilder {
             .field("scratch_trim_cap", &self.scratch_trim_cap)
             .field("recycled_ids", &self.recycled_ids)
             .field("background_rebalance", &self.background)
+            .field("placement", &self.placement)
+            .field("shard_pruning", &self.shard_pruning.unwrap_or(true))
             .finish()
     }
 }
@@ -1816,6 +1966,38 @@ impl BrokerBuilder {
         self
     }
 
+    /// Chooses where new subscriptions land (default:
+    /// [`PlacementPolicy::LeastLoaded`]).
+    /// [`ClusterByAttribute`](PlacementPolicy::ClusterByAttribute)
+    /// routes each subscription to the shard its dominant equality
+    /// attribute hashes to (load-capped, falling back to least-loaded
+    /// when a cluster outgrows twice the other shards' average), which
+    /// makes the per-shard attribute synopses selective — on a
+    /// partitionable workload an event then candidates at one or two
+    /// shards and [`shard pruning`](BrokerBuilder::shard_pruning) skips
+    /// the rest. Delivery is identical under either policy; only shard
+    /// assignment — and therefore pruning effectiveness — changes.
+    #[must_use]
+    pub fn placement(mut self, policy: PlacementPolicy) -> Self {
+        self.placement = policy;
+        self
+    }
+
+    /// Enables or disables content-aware shard pruning on the publish
+    /// paths (default: **enabled**). When enabled, every publish
+    /// consults each shard's attribute synopsis (under the shard read
+    /// lock it already holds) and skips shards that provably contain
+    /// zero candidate subscriptions for the event. The synopsis is
+    /// conservative — it may admit a shard with no matches but never
+    /// excludes one with a match — so delivery is identical either
+    /// way; disabling only serves A/B measurement (see the
+    /// `bench_snapshot` prune rows).
+    #[must_use]
+    pub fn shard_pruning(mut self, enabled: bool) -> Self {
+        self.shard_pruning = Some(enabled);
+        self
+    }
+
     /// Sets the live-subscription count at which publishes switch from
     /// the sequential shard walk to the parallel fan-out (default:
     /// [`DEFAULT_PARALLEL_THRESHOLD`]). `0` forces the fan-out for
@@ -1894,7 +2076,7 @@ impl BrokerBuilder {
             shard_set: RwLock::new(Arc::new(ShardSet { shards, fanout })),
             directory: RwLock::new(directory),
             maintenance: Mutex::new(()),
-            freq_baseline: Mutex::new(Vec::new()),
+            freq_baseline: Mutex::new(FreqWindow::default()),
             scratch_trim_cap,
             migration_epoch: AtomicU64::new(0),
             senders: RwLock::new(HashMap::new()),
@@ -1905,6 +2087,8 @@ impl BrokerBuilder {
                 .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
             worker_threads,
             grow_kind,
+            placement: self.placement,
+            prune: self.shard_pruning.unwrap_or(true),
             rebalancer: Mutex::new(None),
         });
         // Register the broker-global locks with lockdep (debug builds):
@@ -2569,6 +2753,91 @@ mod tests {
         // The batch path feeds the same counters.
         broker.publish_batch_events(&[ev(&[("a", 1)]), ev(&[("b", 1)])]);
         assert_eq!(broker.shard_match_hits(), vec![3, 2]);
+    }
+
+    #[test]
+    fn content_aware_pruning_skips_shards_on_every_pipeline() {
+        // Sequential walk, forced parallel fan-out, and both batch
+        // paths: a clustered partitionable workload keeps each group on
+        // one shard, so a one-group event prunes the other three.
+        for threshold in [usize::MAX, 0] {
+            let broker = Broker::builder()
+                .shards(4)
+                .placement(PlacementPolicy::ClusterByAttribute)
+                .parallel_threshold(threshold)
+                .build();
+            let _subs: Vec<_> = (0..16)
+                .map(|i| broker.subscribe(&format!("g{} = 1", i % 4)).unwrap())
+                .collect();
+            assert_eq!(broker.publish(ev(&[("g0", 1)])), 4);
+            let after_publish: u64 = broker.shard_prune_counts().iter().sum();
+            assert_eq!(
+                after_publish, 3,
+                "a one-group event candidates exactly one shard (threshold={threshold})"
+            );
+            assert_eq!(
+                broker.publish_batch_events(&[ev(&[("g1", 1)]), ev(&[("g2", 1)])]),
+                8
+            );
+            let after_batch: u64 = broker.shard_prune_counts().iter().sum();
+            assert_eq!(after_batch, 3 + 2 * 3, "three prunes per batched event");
+        }
+    }
+
+    #[test]
+    fn pruning_can_be_disabled_for_measurement() {
+        let broker = Broker::builder()
+            .shards(4)
+            .placement(PlacementPolicy::ClusterByAttribute)
+            .shard_pruning(false)
+            .build();
+        let _subs: Vec<_> = (0..16)
+            .map(|i| broker.subscribe(&format!("g{} = 1", i % 4)).unwrap())
+            .collect();
+        // Same deliveries, no prunes: the knob only changes the walk.
+        assert_eq!(broker.publish(ev(&[("g0", 1)])), 4);
+        assert_eq!(broker.publish_batch_events(&[ev(&[("g1", 1)])]), 4);
+        assert_eq!(broker.shard_prune_counts(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn synopsis_survives_migration_resize_and_churn() {
+        // Drive every synopsis maintenance path — subscribe,
+        // unsubscribe, count- and frequency-based migration, grow,
+        // shrink — then verify no subscription was over-pruned: each
+        // survivor still receives an event tailored to it, with
+        // pruning active.
+        let broker = Broker::builder()
+            .shards(3)
+            .placement(PlacementPolicy::ClusterByAttribute)
+            .build();
+        let mut subs: Vec<(usize, Subscription)> = (0..24)
+            .map(|i| {
+                let sub = broker
+                    .subscribe(&format!("topic = {} and n >= {}", i % 6, i / 6))
+                    .unwrap();
+                (i, sub)
+            })
+            .collect();
+        for &i in &[21usize, 13, 8, 2] {
+            let pos = subs.iter().position(|(n, _)| *n == i).unwrap();
+            drop(subs.remove(pos).1);
+        }
+        broker.rebalance();
+        broker.resize(5);
+        broker.resize(2);
+        broker.rebalance_by_match_frequency(usize::MAX);
+        broker.resize(3);
+        broker.rebalance();
+
+        for (i, sub) in &subs {
+            let event = ev(&[("topic", (i % 6) as i64), ("n", (i / 6) as i64)]);
+            assert!(
+                broker.publish(event) >= 1,
+                "survivor {i} lost to over-pruning"
+            );
+            assert!(!sub.drain().is_empty(), "survivor {i} missed its delivery");
+        }
     }
 
     #[test]

@@ -42,6 +42,16 @@
 //! shard-count **resizing** ([`ShardedEngine::resize`]). The broker
 //! builds its per-shard locking around the same directory.
 //!
+//! Fan-out is also **content-aware**: each shard keeps a
+//! [`ShardSynopsis`] — a conservative per-attribute summary of its
+//! residents' required conjuncts — and the publish paths skip shards
+//! whose synopsis proves zero candidates (reported as
+//! [`MatchStats::shards_pruned`]). An optional
+//! [`PlacementPolicy::ClusterByAttribute`] co-places subscriptions
+//! sharing a dominant equality attribute so that pruning actually
+//! bites; see the `synopsis` module docs for the conservativeness
+//! contract.
+//!
 //! For **intra-event** parallelism, one publish can fan out across the
 //! shards: [`ShardedEngine::match_event_parallel`] matches every shard
 //! concurrently (each worker drawing a warm [`MatchScratch`] from a
@@ -87,6 +97,7 @@ mod routing;
 mod scratch;
 mod shard;
 mod stats;
+mod synopsis;
 
 pub use counting::{CountingConfig, CountingEngine, CountingVariantEngine};
 pub use encode::{decode, encode, DecodeError, EncodeError, IdExpr};
@@ -100,7 +111,10 @@ pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
 pub use pool::{
     FanOut, FanOutPool, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool,
 };
-pub use routing::{lock_classes, PredicateRouter, ShardTranslation, SubscriptionDirectory};
+pub use routing::{
+    lock_classes, PlacementPolicy, PredicateRouter, ShardTranslation, SubscriptionDirectory,
+};
 pub use scratch::{MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;
+pub use synopsis::{attribute_hash, dominant_eq_attr, ShardSynopsis};

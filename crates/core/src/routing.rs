@@ -86,6 +86,32 @@ pub mod lock_classes {
 /// issued — see [`SubscriptionDirectory`]'s commit).
 const NO_GLOBAL: u64 = u64::MAX;
 
+/// Subscriptions a clustered shard may hold beyond twice its fair share
+/// before [`SubscriptionDirectory::place_clustered`] falls back to
+/// least-loaded placement. The slack lets clusters form on a young
+/// (near-empty) directory, where the fair share rounds to zero.
+const CLUSTER_LOAD_SLACK: usize = 8;
+
+/// How a sharded engine or broker picks the shard a new subscription
+/// lands on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Least-loaded shard, ties broken round-robin — the default, and
+    /// the policy every pre-existing load-balance guarantee is stated
+    /// against. See [`SubscriptionDirectory::place`].
+    #[default]
+    LeastLoaded,
+    /// Route each subscription to the shard specialised in its
+    /// **dominant equality attribute** (deterministic hash of the
+    /// attribute name), falling back to least-loaded when the
+    /// subscription has no required equality conjunct or the preferred
+    /// shard is over the load cap. Co-locating similar subscriptions is
+    /// what makes synopsis pruning effective: events touching one
+    /// attribute population then admit one or two shards instead of
+    /// all of them. See [`SubscriptionDirectory::place_clustered`].
+    ClusterByAttribute,
+}
+
 /// Where one live subscription currently lives.
 #[derive(Debug, Clone)]
 struct Placement {
@@ -369,6 +395,40 @@ impl SubscriptionDirectory {
         self.cursor = (chosen + 1) % limit;
         self.loads[chosen] += 1;
         chosen
+    }
+
+    /// Content-aware variant of [`SubscriptionDirectory::place`] for
+    /// [`PlacementPolicy::ClusterByAttribute`]: reserves the *preferred*
+    /// shard — `attr_hash` (the subscription's dominant equality
+    /// attribute, hashed) mapped onto the placeable shards — so
+    /// subscriptions sharing an attribute co-reside and synopsis pruning
+    /// can skip every other shard.
+    ///
+    /// Clustering is **load-capped**: when the preferred shard already
+    /// carries more than twice the other shards' average load (plus a
+    /// small bootstrap slack), placement falls back to the least-loaded
+    /// choice, so a degenerate workload clustering onto one attribute
+    /// cannot recreate the churn-skew pathology least-loaded placement
+    /// exists to prevent.
+    pub fn place_clustered(&mut self, attr_hash: u64) -> usize {
+        let limit = self.active;
+        let preferred = usize::try_from(attr_hash % limit as u64).expect("shard index fits usize");
+        if limit == 1 {
+            self.loads[0] += 1;
+            return 0;
+        }
+        // The cap compares against the *other* shards' average load, so
+        // a lone runaway cluster cannot raise its own ceiling: a
+        // clustered shard never exceeds twice the rest's fair share
+        // (plus the bootstrap slack).
+        let others: usize = self.loads[..limit].iter().sum::<usize>() - self.loads[preferred];
+        let cap = 2 * (others / (limit - 1)) + CLUSTER_LOAD_SLACK;
+        if self.loads[preferred] < cap {
+            self.loads[preferred] += 1;
+            preferred
+        } else {
+            self.place_among(limit)
+        }
     }
 
     /// Restricts every subsequent [`SubscriptionDirectory::place`] to
@@ -980,6 +1040,41 @@ mod tests {
         // refills the least-loaded shard first (all tied: cursor order).
         let next = dir.place();
         assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn clustered_placement_prefers_the_hashed_shard_until_the_cap() {
+        let mut dir = SubscriptionDirectory::new(4);
+        // hash 6 → shard 2, regardless of loads (under the cap).
+        for _ in 0..3 {
+            assert_eq!(dir.place_clustered(6), 2);
+        }
+        assert_eq!(dir.loads(), &[0, 0, 3, 0]);
+        // With the other shards empty the cap is pure bootstrap slack:
+        // pile on until the preferred shard hits it, then fall back to
+        // least-loaded.
+        for _ in 0..CLUSTER_LOAD_SLACK - 3 {
+            assert_eq!(dir.place_clustered(6), 2);
+        }
+        let overflow = dir.place_clustered(6);
+        assert_ne!(overflow, 2, "over the cap: least-loaded fallback");
+        assert_eq!(dir.load(2), CLUSTER_LOAD_SLACK);
+        // The cap scales with the fair share, so a busy directory lets
+        // clusters keep growing past the bootstrap slack.
+        for _ in 0..40 {
+            dir.place();
+        }
+        assert_eq!(dir.place_clustered(6), 2, "2 × fair share not reached");
+    }
+
+    #[test]
+    fn clustered_placement_respects_shrink_restriction() {
+        let mut dir = SubscriptionDirectory::new(4);
+        dir.restrict_placement(2);
+        // hash 3 → shard 3 of 4, but only shards 0..2 are placeable:
+        // the preference folds onto the survivors (3 % 2 = 1).
+        assert_eq!(dir.place_clustered(3), 1);
+        assert_eq!(dir.loads(), &[0, 1, 0, 0]);
     }
 
     #[test]

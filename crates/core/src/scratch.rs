@@ -14,6 +14,12 @@
 //! disciplines stay sound under sharing (stamps are compared against a
 //! generation that is bumped on every match; hit counters are restored
 //! to zero before a match returns).
+//!
+//! Shards skipped by content-aware pruning engage no scratch at all:
+//! [`ShardedEngine`](crate::ShardedEngine)'s walk consults the shard's
+//! attribute synopsis *before* checking a scratch out of the pool, so
+//! a pruned shard costs neither a lease nor a buffer reset — its
+//! `matched` output is simply absent from the merge.
 
 use crate::eval::EvalFrame;
 use crate::{FulfilledSet, SubscriptionId};

@@ -62,20 +62,36 @@ use boolmatch_types::Event;
 
 use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
 use crate::pool::{PooledScratch, ScratchPool};
-use crate::routing::{PredicateRouter, ShardTranslation, SubscriptionDirectory};
+use crate::routing::{PlacementPolicy, PredicateRouter, ShardTranslation, SubscriptionDirectory};
+use crate::synopsis::{attribute_hash, dominant_eq_attr, ShardSynopsis};
 use crate::{FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
 
 /// A boxed engine usable as a shard.
 pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
 
-/// One shard: its engine plus the local → global translation map
-/// matching reads. Keeping the map *with* the shard (instead of in the
-/// shared directory) is what keeps translation off any shared state —
-/// the broker's concurrent form protects both together under one
-/// per-shard lock.
+/// One shard: its engine plus the two read-side structures matching
+/// consults — the local → global translation map and the attribute
+/// synopsis pruning reads. Keeping both *with* the shard (instead of in
+/// the shared directory) is what keeps the publish path off any shared
+/// state — the broker's concurrent form protects all three together
+/// under one per-shard lock.
 struct ShardSlot {
     engine: BoxedEngine,
     translation: ShardTranslation,
+    /// Conservative summary of the residents' required conjuncts;
+    /// maintained in lockstep with `translation` so matching can skip
+    /// the shard when it provably holds zero candidates.
+    synopsis: ShardSynopsis,
+}
+
+impl ShardSlot {
+    fn new(engine: BoxedEngine) -> Self {
+        ShardSlot {
+            engine,
+            translation: ShardTranslation::new(),
+            synopsis: ShardSynopsis::new(),
+        }
+    }
 }
 
 /// `S` inner engines composed into one [`FilterEngine`].
@@ -101,6 +117,8 @@ pub struct ShardedEngine {
     /// Stride router for the per-shard *predicate* spaces (predicates
     /// never migrate); rebuilt on resize.
     pred_router: PredicateRouter,
+    /// How `subscribe` picks a shard; see [`PlacementPolicy`].
+    placement: PlacementPolicy,
 }
 
 impl ShardedEngine {
@@ -142,14 +160,24 @@ impl ShardedEngine {
         ShardedEngine {
             directory: SubscriptionDirectory::new(engines.len()),
             pred_router: PredicateRouter::new(engines.len()),
-            shards: engines
-                .into_iter()
-                .map(|engine| ShardSlot {
-                    engine,
-                    translation: ShardTranslation::new(),
-                })
-                .collect(),
+            shards: engines.into_iter().map(ShardSlot::new).collect(),
+            placement: PlacementPolicy::default(),
         }
+    }
+
+    /// Sets the [`PlacementPolicy`] subsequent subscribes use. Existing
+    /// placements are untouched; pair a switch to
+    /// [`PlacementPolicy::ClusterByAttribute`] on a populated engine
+    /// with [`ShardedEngine::rebalance`] if the old spread matters.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The policy `subscribe` currently places with.
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.placement
     }
 
     /// Number of shards.
@@ -179,6 +207,16 @@ impl ShardedEngine {
     /// Panics if `i >= shard_count()`.
     pub fn translation(&self, i: usize) -> &ShardTranslation {
         &self.shards[i].translation
+    }
+
+    /// Shard `i`'s attribute synopsis, for inspection (the conservative
+    /// candidate summary matching prunes against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn synopsis(&self, i: usize) -> &ShardSynopsis {
+        &self.shards[i].synopsis
     }
 
     /// Live subscriptions per shard, as the shard engines report them.
@@ -244,10 +282,7 @@ impl ShardedEngine {
         if new_shards > old {
             let kind = self.kind();
             for _ in old..new_shards {
-                self.shards.push(ShardSlot {
-                    engine: kind.build(),
-                    translation: ShardTranslation::new(),
-                });
+                self.shards.push(ShardSlot::new(kind.build()));
                 self.directory.add_shard();
             }
         } else {
@@ -304,7 +339,9 @@ impl ShardedEngine {
         debug_assert!(relocated, "single-threaded relocation cannot race");
         let cleared = self.shards[from].translation.clear_if(local, global);
         debug_assert!(cleared, "translation and directory are kept in sync");
+        self.shards[from].synopsis.remove(local);
         self.shards[to].translation.set(new_local, global);
+        self.shards[to].synopsis.insert(new_local, &expr);
         Ok(())
     }
 
@@ -341,13 +378,24 @@ impl ShardedEngine {
         if self.shards.len() == 1 {
             return self.match_event_into(event, scratch);
         }
-        let mut remote: Vec<Option<(PooledScratch<'_>, MatchStats)>> =
+        let mut remote: Vec<Option<(Option<PooledScratch<'_>>, MatchStats)>> =
             (1..self.shards.len()).map(|_| None).collect();
         let mut stats = MatchStats::default();
         std::thread::scope(|scope| {
             for (slot_shard, slot) in self.shards[1..].iter().zip(remote.iter_mut()) {
                 scope.spawn(move || {
                     let engine = &slot_shard.engine;
+                    // Same pruning decision as the sequential walk: a
+                    // shard with provably zero candidates contributes an
+                    // empty result without even leasing a scratch.
+                    if !slot_shard.synopsis.admits(event) {
+                        let pruned = MatchStats {
+                            shards_pruned: 1,
+                            ..MatchStats::default()
+                        };
+                        *slot = Some((None, pruned));
+                        return;
+                    }
                     let mut lease = scratches.checkout(engine);
                     let stats = engine.match_event_into(event, &mut lease);
                     // Translate to global ids in place through the
@@ -366,11 +414,17 @@ impl ShardedEngine {
                                 .expect("matched locals hold live translation entries"),
                         )
                     });
-                    *slot = Some((lease, stats));
+                    *slot = Some((Some(lease), stats));
                 });
             }
-            // Shard 0 inline, into the caller's scratch.
-            stats = self.shards[0].engine.match_event_into(event, scratch);
+            // Shard 0 inline, into the caller's scratch (clearing any
+            // stale matched ids when the synopsis prunes the shard).
+            if self.shards[0].synopsis.admits(event) {
+                stats = self.shards[0].engine.match_event_into(event, scratch);
+            } else {
+                scratch.matched.clear();
+                stats.shards_pruned += 1;
+            }
         });
         scratch.translate_matched(|local| {
             Some(
@@ -386,7 +440,9 @@ impl ShardedEngine {
             // lint: allow(panic-policy, reason = "scope join guarantees every spawned worker filled its slot")
             let (lease, shard_stats) = slot.take().expect("scoped worker fills its slot");
             stats = stats + shard_stats;
-            matched.extend_from_slice(lease.matched());
+            if let Some(lease) = lease {
+                matched.extend_from_slice(lease.matched());
+            }
         }
         scratch.matched = matched;
         stats
@@ -421,11 +477,18 @@ impl FilterEngine for ShardedEngine {
     }
 
     fn subscribe(&mut self, expr: &Expr) -> Result<SubscriptionId, SubscribeError> {
-        let shard = self.directory.place();
+        let shard = match self.placement {
+            PlacementPolicy::LeastLoaded => self.directory.place(),
+            PlacementPolicy::ClusterByAttribute => match dominant_eq_attr(expr) {
+                Some(attr) => self.directory.place_clustered(attribute_hash(attr)),
+                None => self.directory.place(),
+            },
+        };
         match self.shards[shard].engine.subscribe(expr) {
             Ok(local) => {
                 let global = self.directory.commit(shard, local, Arc::new(expr.clone()));
                 self.shards[shard].translation.set(local, global);
+                self.shards[shard].synopsis.insert(local, expr);
                 Ok(global)
             }
             Err(e) => {
@@ -447,6 +510,7 @@ impl FilterEngine for ShardedEngine {
         self.directory.retire(id);
         let cleared = self.shards[shard].translation.clear_if(local, id);
         debug_assert!(cleared, "translation and directory are kept in sync");
+        self.shards[shard].synopsis.remove(local);
         Ok(())
     }
 
@@ -493,6 +557,8 @@ impl FilterEngine for ShardedEngine {
         stats
     }
 
+    // lint: hot-path — the sequential matching walk, including the
+    // synopsis prune decision: per-shard state only, no global locks.
     fn match_event_into(&self, event: &Event, scratch: &mut MatchScratch) -> MatchStats {
         // Per shard: phase 1 straight into phase 2, all in the shard's
         // own (local) id spaces — no translation of predicate ids, no
@@ -505,6 +571,14 @@ impl FilterEngine for ShardedEngine {
         matched.clear();
         let mut stats = MatchStats::default();
         for (s, shard) in self.shards.iter().enumerate() {
+            // Content-aware pruning: a shard whose synopsis proves zero
+            // candidates is skipped before either phase runs. The
+            // synopsis is conservative, so the matched set is identical
+            // to the unpruned walk.
+            if !shard.synopsis.admits(event) {
+                stats.shards_pruned += 1;
+                continue;
+            }
             shard.engine.phase1(event, &mut fulfilled);
             stats = stats + shard.engine.phase2(&fulfilled, scratch, &mut shard_out);
             matched.extend(shard_out.iter().map(|&l| self.global_of(s, l)));
@@ -514,6 +588,7 @@ impl FilterEngine for ShardedEngine {
         scratch.shard_matched = shard_out;
         stats
     }
+    // lint: end-hot-path
 
     fn subscription_count(&self) -> usize {
         self.shards
@@ -567,14 +642,14 @@ impl FilterEngine for ShardedEngine {
     fn memory_usage(&self) -> MemoryUsage {
         // The sharding layer's own overhead — the write-side directory
         // (slot table + stored expressions for migration) plus every
-        // shard's read-side translation map — is reported as
-        // unsubscription/rebalancing support.
+        // shard's read-side translation map and attribute synopsis — is
+        // reported as unsubscription/rebalancing support.
         let routing = MemoryUsage {
             unsub_support: self.directory.heap_bytes()
                 + self
                     .shards
                     .iter()
-                    .map(|s| s.translation.heap_bytes())
+                    .map(|s| s.translation.heap_bytes() + s.synopsis.heap_bytes())
                     .sum::<usize>(),
             ..MemoryUsage::default()
         };
@@ -836,6 +911,7 @@ mod tests {
             per_shard.iter().map(|s| s.predicate_count()).sum::<usize>()
         );
         let translation_bytes: usize = (0..4).map(|i| engine.translation(i).heap_bytes()).sum();
+        let synopsis_bytes: usize = (0..4).map(|i| engine.synopsis(i).heap_bytes()).sum();
         assert_eq!(
             engine.memory_usage().total(),
             per_shard
@@ -843,13 +919,18 @@ mod tests {
                 .map(|s| s.memory_usage().total())
                 .sum::<usize>()
                 + engine.directory().heap_bytes()
-                + translation_bytes,
-            "engine totals plus the directory and per-shard translation maps"
+                + translation_bytes
+                + synopsis_bytes,
+            "engine totals plus the directory, translation maps, and synopses"
         );
         assert!(engine.directory().heap_bytes() > 0);
         assert!(
             translation_bytes > 0,
             "per-shard reverse maps are charged, not free"
+        );
+        assert!(
+            synopsis_bytes > 0,
+            "attribute synopses are charged, not free"
         );
         assert!(engine.subscription_id_bound() >= 12);
         assert!(engine.predicate_universe() > 0);
@@ -890,6 +971,132 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pruning_skips_zero_candidate_shards_and_preserves_matches() {
+        // Clustered placement on a partitionable workload: every
+        // subscription's dominant equality attribute names its group, so
+        // each group lands on one shard and an event carrying a single
+        // group attribute can candidate at most one shard (plus any
+        // always-candidate shards — none here).
+        let scratches = ScratchPool::new(8);
+        for kind in EngineKind::ALL {
+            let mut flat = Matcher::new(kind.build());
+            let mut engine =
+                ShardedEngine::new(kind, 8).with_placement(PlacementPolicy::ClusterByAttribute);
+            assert_eq!(
+                engine.placement_policy(),
+                PlacementPolicy::ClusterByAttribute
+            );
+            for i in 0..64 {
+                let e = Expr::parse(&format!("g{} = 1 and seq >= {}", i % 8, i / 8)).unwrap();
+                let a = flat.subscribe(&e).unwrap();
+                let b = engine.subscribe(&e).unwrap();
+                assert_eq!(a, b, "arrival-order ids stay aligned");
+            }
+            let mut seq = MatchScratch::new();
+            let mut par = MatchScratch::new();
+            let mut pruned_total = 0usize;
+            for g in 0..8i64 {
+                let event = Event::from_pairs([(format!("g{g}"), 1i64), ("seq".to_string(), 3i64)]);
+                let flat_ids = {
+                    let mut ids = flat.match_event(&event).matched;
+                    ids.sort_unstable();
+                    ids
+                };
+                let seq_stats = engine.match_event_into(&event, &mut seq);
+                let par_stats = engine.match_event_parallel(&event, &scratches, &mut par);
+                assert_eq!(seq_stats, par_stats, "kind={kind} g={g}");
+                let mut got = seq.matched().to_vec();
+                got.sort_unstable();
+                assert_eq!(got, flat_ids, "pruning changed the answer, kind={kind}");
+                pruned_total += seq_stats.shards_pruned;
+                assert!(
+                    seq_stats.shards_pruned >= 7,
+                    "clustering confines g{g} to one shard, kind={kind}: \
+                     pruned only {}",
+                    seq_stats.shards_pruned
+                );
+            }
+            assert!(pruned_total > 0);
+            // A flat engine never reports pruning.
+            assert_eq!(
+                flat.match_event(&ev(&[("g0", 1), ("seq", 3)]))
+                    .stats
+                    .shards_pruned,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn synopsis_tracks_churn_migration_and_resize() {
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, 3)
+            .with_placement(PlacementPolicy::ClusterByAttribute);
+        let exprs: Vec<Expr> = (0..18)
+            .map(|i| Expr::parse(&format!("topic = {} and n >= {}", i % 6, i)).unwrap())
+            .collect();
+        let ids: Vec<_> = exprs.iter().map(|e| engine.subscribe(e).unwrap()).collect();
+        // Churn, then force migrations and a resize ladder.
+        for &i in &[1usize, 4, 9, 16] {
+            engine.unsubscribe(ids[i]).unwrap();
+        }
+        engine.rebalance();
+        engine.resize(5);
+        engine.resize(2);
+        engine.resize(3);
+        engine.rebalance();
+
+        // Every resident must still be covered by its shard's synopsis:
+        // matching an event tailored to each surviving subscription
+        // still finds it, with pruning active on every walk.
+        let mut scratch = MatchScratch::new();
+        for (i, (id, expr)) in ids.iter().zip(&exprs).enumerate() {
+            if [1usize, 4, 9, 16].contains(&i) {
+                continue;
+            }
+            let event = ev(&[("topic", (i % 6) as i64), ("n", i as i64)]);
+            let result = engine.match_event(&event, &mut scratch);
+            assert!(
+                result.matched.contains(id),
+                "survivor {i} lost to over-pruning: {expr}"
+            );
+        }
+        // And the synopsis live counts reconcile with the directory.
+        let live: usize = (0..engine.shard_count())
+            .map(|s| engine.synopsis(s).live())
+            .sum();
+        assert_eq!(live, engine.subscription_count());
+    }
+
+    #[test]
+    fn disjunctive_subscriptions_keep_every_shard_candidate() {
+        // Top-level `or` defeats per-attribute summarisation; the
+        // synopsis must fall back to always-candidate rather than
+        // guess — conservativeness over pruning power.
+        let mut engine = ShardedEngine::new(EngineKind::NonCanonical, 4);
+        for i in 0..8 {
+            engine
+                .subscribe(&Expr::parse(&format!("a = {i} or b = {i}")).unwrap())
+                .unwrap();
+        }
+        let mut scratch = MatchScratch::new();
+        let stats = engine.match_event(&ev(&[("zzz", 99)]), &mut scratch).stats;
+        assert_eq!(
+            stats.shards_pruned, 0,
+            "or-rooted residents pin their shard"
+        );
+    }
+
+    #[test]
+    fn empty_shards_are_always_pruned() {
+        let mut engine = ShardedEngine::new(EngineKind::Counting, 4);
+        engine.subscribe(&Expr::parse("k = 1").unwrap()).unwrap();
+        let mut scratch = MatchScratch::new();
+        let stats = engine.match_event(&ev(&[("k", 1)]), &mut scratch).stats;
+        assert_eq!(stats.matched, 1);
+        assert_eq!(stats.shards_pruned, 3, "three empty shards skipped");
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct MatchStats {
     pub comparisons: usize,
     /// Subscriptions reported as matching.
     pub matched: usize,
+    /// Shards skipped without any matching work because their attribute
+    /// synopsis proved zero candidates (sharded engines only; always 0
+    /// for flat engines).
+    pub shards_pruned: usize,
 }
 
 impl Add for MatchStats {
@@ -37,6 +41,7 @@ impl Add for MatchStats {
             increments: self.increments + rhs.increments,
             comparisons: self.comparisons + rhs.comparisons,
             matched: self.matched + rhs.matched,
+            shards_pruned: self.shards_pruned + rhs.shards_pruned,
         }
     }
 }
@@ -45,13 +50,15 @@ impl fmt::Display for MatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fulfilled={} candidates={} evaluations={} increments={} comparisons={} matched={}",
+            "fulfilled={} candidates={} evaluations={} increments={} comparisons={} \
+             matched={} shards_pruned={}",
             self.fulfilled,
             self.candidates,
             self.evaluations,
             self.increments,
             self.comparisons,
-            self.matched
+            self.matched,
+            self.shards_pruned
         )
     }
 }
@@ -69,11 +76,13 @@ mod tests {
             increments: 4,
             comparisons: 5,
             matched: 6,
+            shards_pruned: 7,
         };
         let b = a;
         let c = a + b;
         assert_eq!(c.fulfilled, 2);
         assert_eq!(c.matched, 12);
+        assert_eq!(c.shards_pruned, 14);
     }
 
     #[test]
@@ -86,6 +95,7 @@ mod tests {
             "increments",
             "comparisons",
             "matched",
+            "shards_pruned",
         ] {
             assert!(s.contains(field), "missing {field}");
         }

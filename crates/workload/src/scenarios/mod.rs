@@ -9,15 +9,18 @@
 //! subscribe/unsubscribe interleaved with publishing, for the sharded
 //! broker's write path), rebalancing (churn with periodic
 //! shard-rebalance and shard-resize marks, for the live-migration
-//! equivalence tests and benches), and hot keys (a minority of
+//! equivalence tests and benches), hot keys (a minority of
 //! subscriptions absorbing most matches, for the match-frequency
-//! rebalancing policy).
+//! rebalancing policy), and selective populations (partitionable
+//! attribute groups, for content-aware clustered placement and shard
+//! pruning — with an or-rooted unprunable control stream).
 
 mod auction;
 mod churn;
 mod hotkey;
 mod news;
 mod rebalance;
+mod selective;
 mod stock;
 
 pub use auction::AuctionScenario;
@@ -25,4 +28,5 @@ pub use churn::{ChurnOp, ChurnScenario};
 pub use hotkey::HotKeyScenario;
 pub use news::NewsScenario;
 pub use rebalance::{RebalanceOp, RebalanceScenario};
+pub use selective::SelectiveScenario;
 pub use stock::StockScenario;

@@ -176,6 +176,7 @@ pub fn run_with_progress(
                     increments: stats_sum.increments / events,
                     comparisons: stats_sum.comparisons / events,
                     matched: stats_sum.matched / events,
+                    shards_pruned: stats_sum.shards_pruned / events,
                 },
             };
             progress(&row);

@@ -15,6 +15,11 @@
 //!   frequency-based rebalancing plus live broker `resize`, delivers
 //!   exactly like a flat broker, for every engine kind and
 //!   S ∈ {1, 3, 8}.
+//! * **Content-aware pruning is invisible to delivery** — a clustered,
+//!   pruning broker replaying the selective workload (with churn, both
+//!   rebalancers and live resizes mid-stream) delivers exactly like a
+//!   flat broker, for every engine kind and S ∈ {1, 3, 8}, while the
+//!   per-shard prune counters prove shards really were skipped.
 //! * **Hot-key skew** — on the `HotKeyScenario` workload,
 //!   count-balanced placement provably concentrates the match load on
 //!   one shard, and the frequency-weighted rebalancer measurably
@@ -26,7 +31,9 @@ use std::time::Duration;
 
 use boolmatch::broker::RebalancePolicy;
 use boolmatch::prelude::*;
-use boolmatch::workload::scenarios::{ChurnOp, HotKeyScenario, RebalanceOp, RebalanceScenario};
+use boolmatch::workload::scenarios::{
+    ChurnOp, HotKeyScenario, RebalanceOp, RebalanceScenario, SelectiveScenario,
+};
 
 /// A one-shot latch: `open` releases every current and future `wait`.
 struct Latch {
@@ -266,6 +273,88 @@ fn churny_rebalancing_resizing_recycled_broker_delivers_like_flat() {
                 ss.subscriptions_created > sharded_live.len() as u64,
                 "the stream actually churned"
             );
+        }
+    }
+}
+
+/// Content-aware routing, end to end: a broker with
+/// `ClusterByAttribute` placement and (default-on) synopsis pruning
+/// replays the selective workload — group-pinned conjunctions, churn
+/// mid-stream, both rebalancing policies, a live resize up and back —
+/// and must deliver exactly like a flat broker, per publish and per
+/// surviving subscriber, for every engine kind and S ∈ {1, 3, 8}.
+/// For S > 1 the per-shard prune counters must show that shards were
+/// really skipped, not merely matched-and-empty: the equivalence holds
+/// *because* the synopsis is conservative, not because pruning never
+/// engaged.
+#[test]
+fn clustered_pruning_broker_delivers_like_flat() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 3, 8] {
+            let flat = Broker::builder().engine(kind).build();
+            let sharded = Broker::builder()
+                .engine(kind)
+                .shards(shards)
+                .placement(PlacementPolicy::ClusterByAttribute)
+                .build();
+
+            let mut scenario = SelectiveScenario::new(0x5e1ec7 + shards as u64, 8);
+            let mut live: Vec<(Subscription, Subscription)> = scenario
+                .subscriptions(48)
+                .iter()
+                .map(|expr| {
+                    (
+                        flat.subscribe_expr(expr).unwrap(),
+                        sharded.subscribe_expr(expr).unwrap(),
+                    )
+                })
+                .collect();
+
+            for (step, event) in scenario.events(120).into_iter().enumerate() {
+                match step {
+                    // Churn: dropping the handle unsubscribes, which
+                    // must retract the synopsis entry on whichever
+                    // shard currently hosts the subscription.
+                    s if s % 9 == 4 => {
+                        drop(live.remove(live.len() / 2));
+                    }
+                    40 => {
+                        sharded.rebalance();
+                        sharded.rebalance_by_match_frequency(8);
+                    }
+                    70 => {
+                        sharded.resize(shards + 1);
+                    }
+                    100 => {
+                        sharded.resize(shards);
+                    }
+                    _ => {}
+                }
+                let a = flat.publish(event.clone());
+                let b = sharded.publish(event);
+                assert_eq!(a, b, "kind={kind} shards={shards} step={step}");
+            }
+
+            for (i, (a, b)) in live.iter().enumerate() {
+                assert_eq!(
+                    a.drain().len(),
+                    b.drain().len(),
+                    "survivor {i}, kind={kind} shards={shards}"
+                );
+            }
+            assert_eq!(
+                flat.stats().notifications_delivered,
+                sharded.stats().notifications_delivered
+            );
+            if shards > 1 {
+                // Counters reset with the cells on resize, so this
+                // covers (at least) the post-resize tail of the stream.
+                let prunes: u64 = sharded.shard_prune_counts().iter().sum();
+                assert!(
+                    prunes > 0,
+                    "pruning never fired: kind={kind} shards={shards}"
+                );
+            }
         }
     }
 }

@@ -451,6 +451,11 @@ fn migration_does_not_block_matching_on_other_shards() {
             // Shard 2: the migration source.
             GateEngine::plain(),
         ])
+        // The probe event matches nothing, so content-aware pruning
+        // would (correctly) skip shard 0 without entering `phase1` —
+        // but this test instruments lock acquisition *inside* the
+        // engine, so it needs the walk to reach it.
+        .shard_pruning(false)
         .build();
 
     // Least-loaded placement: arrivals 0..6 land on shards 0,1,2,0,1,2.

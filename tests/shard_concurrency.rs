@@ -199,6 +199,11 @@ fn write_locked_shard_does_not_block_matching_on_other_shards() {
                 release: release.clone(),
             }),
         ])
+        // The probe event matches nothing, so content-aware pruning
+        // would (correctly) skip shard 0 without entering `phase1` —
+        // but this test instruments lock acquisition *inside* the
+        // engine, so it needs the walk to reach it.
+        .shard_pruning(false)
         .build();
 
     // Least-loaded placement (round-robin from empty): subscription 0
