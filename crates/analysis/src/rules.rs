@@ -29,6 +29,7 @@ const GLOBAL_LOCKS: &[&str] = &[
     "shard_set",
     "freq_baseline",
     "rebalancer",
+    "delivery_maintenance",
 ];
 
 /// Panicking constructs disallowed in hot-path regions. `assert!` /

@@ -24,7 +24,7 @@ use boolmatch_workload::scenarios::StockScenario;
 const SUBSCRIPTIONS: usize = 2_000;
 const EVENT_BATCH: usize = 1_024;
 
-fn build_broker(kind: EngineKind) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+fn build_broker(kind: EngineKind) -> (Broker, Vec<boolmatch_broker::DeliveryReceiver>) {
     // Bounded queues so slow draining cannot make memory the variable
     // under test; drops exercise the same delivery path.
     let broker = Broker::builder()

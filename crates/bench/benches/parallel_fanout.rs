@@ -34,7 +34,7 @@ fn build_broker(
     shards: usize,
     subscriptions: usize,
     parallel: bool,
-) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+) -> (Broker, Vec<boolmatch_broker::DeliveryReceiver>) {
     let broker = Broker::builder()
         .engine(EngineKind::NonCanonical)
         .shards(shards)

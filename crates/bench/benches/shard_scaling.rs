@@ -36,7 +36,7 @@ const PUBLISHERS: usize = 4;
 fn build_broker(
     kind: EngineKind,
     shards: usize,
-) -> (Broker, Vec<crossbeam::channel::Receiver<Arc<Event>>>) {
+) -> (Broker, Vec<boolmatch_broker::DeliveryReceiver>) {
     let broker = Broker::builder()
         .engine(kind)
         .shards(shards)

@@ -6,7 +6,7 @@
 //! measurement), this binary is built to run unattended: it times each
 //! named workload with a fixed warm-up + N-sample loop, records the
 //! **median ns/op**, and writes everything to one JSON file
-//! (`BENCH_PR7.json` by default). CI smoke-runs it in `--quick` mode on
+//! (`BENCH_PR8.json` by default). CI smoke-runs it in `--quick` mode on
 //! every push.
 //!
 //! ```text
@@ -14,7 +14,7 @@
 //! ```
 //!
 //! * `--quick` — smaller corpora and fewer samples (CI / smoke mode).
-//! * `--out PATH` — output path (default `BENCH_PR7.json`).
+//! * `--out PATH` — output path (default `BENCH_PR8.json`).
 //!
 //! The recorded numbers carry the same caveat as the concurrency
 //! benches: on a single-core host the `parallel` rows measure the
@@ -108,7 +108,7 @@ fn stock_broker(
 fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
-    let out_path = args.get("out").unwrap_or("BENCH_PR7.json").to_owned();
+    let out_path = args.get("out").unwrap_or("BENCH_PR8.json").to_owned();
     let (samples, ops) = if quick { (5, 200) } else { (15, 1_000) };
     let subscription_counts: &[usize] = if quick {
         &[1_000, 10_000]
@@ -420,12 +420,100 @@ fn main() {
         println!("    (selective/pruned skipped {prunes} shard visits)");
     }
 
+    // --- Delivery tier: the enqueue hot path, and a stalled
+    // subscriber's cost to everyone else ---
+    {
+        // One always-matching subscriber, drop-oldest so the queue is
+        // permanently full at steady state: the recorded figure is the
+        // full publish → match → snapshot → enqueue path with the
+        // overflow branch taken on every op — the delivery tier's
+        // worst-case per-notification price.
+        let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+        let sub = broker
+            .subscribe_with_policy("feed >= 0", DeliveryPolicy::DropOldest { capacity: 1_024 })
+            .expect("accepted");
+        let event = Arc::new(Event::builder().attr("feed", 1_i64).build());
+        record(
+            &mut results,
+            "delivery/enqueue/drop_oldest",
+            samples,
+            ops,
+            || {
+                broker.publish_arc(Arc::clone(&event));
+            },
+        );
+        drop(sub);
+
+        // A/B: 64 healthy bounded subscribers, with and without one
+        // fully stalled drop-newest neighbour. The two rows bounding
+        // the tier's core promise — a dead consumer costs the fan-out
+        // one capped enqueue, not a stall — should sit within a few
+        // percent of each other. Sampled round-robin within each round
+        // so sequential host drift cancels out of the comparison.
+        let healthy = 64;
+        let setups: Vec<(&str, Broker, Vec<Subscription>)> = [("absent", false), ("present", true)]
+            .into_iter()
+            .map(|(row, stalled)| {
+                let broker = Broker::builder().engine(EngineKind::NonCanonical).build();
+                let mut subs: Vec<Subscription> = (0..healthy)
+                    .map(|_| {
+                        broker
+                            .subscribe_with_policy(
+                                "feed >= 0",
+                                DeliveryPolicy::DropOldest { capacity: 256 },
+                            )
+                            .expect("accepted")
+                    })
+                    .collect();
+                if stalled {
+                    // Never drained: permanently full within 64
+                    // publishes, shedding on every one after.
+                    subs.push(
+                        broker
+                            .subscribe_with_policy(
+                                "feed >= 0",
+                                DeliveryPolicy::DropNewest { capacity: 64 },
+                            )
+                            .expect("accepted"),
+                    );
+                }
+                (row, broker, subs)
+            })
+            .collect();
+        let ops_here = ops.min(200);
+        let mut batches: Vec<Vec<f64>> = (0..2).map(|_| Vec::with_capacity(samples)).collect();
+        for round in 0..=samples {
+            for (i, (_, broker, _)) in setups.iter().enumerate() {
+                let start = Instant::now();
+                for _ in 0..ops_here {
+                    broker.publish_arc(Arc::clone(&event));
+                }
+                if round > 0 {
+                    // Round 0 is the warm-up.
+                    batches[i].push(start.elapsed().as_nanos() as f64 / ops_here as f64);
+                }
+            }
+        }
+        for (i, (row, _, _)) in setups.iter().enumerate() {
+            batches[i].sort_by(f64::total_cmp);
+            let median = batches[i][batches[i].len() / 2];
+            let name = format!("delivery/slow_consumer/{row}/subs{healthy}");
+            println!("{name:<48} median: {median:>12.1} ns/op");
+            results.push(Sample {
+                name,
+                median_ns_per_op: median,
+                samples,
+                ops_per_sample: ops_here,
+            });
+        }
+    }
+
     // --- JSON output (hand-rolled: no serde in the offline workspace) ---
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
-        "  \"snapshot\": \"PR7 content-aware shard routing: attribute synopses, clustered placement, publish-path pruning\",\n",
+        "  \"snapshot\": \"PR8 asynchronous delivery tier: bounded subscriber queues, overflow policies, slow-consumer quarantine\",\n",
     );
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",

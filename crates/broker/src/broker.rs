@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError, Weak};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -17,10 +17,11 @@ use boolmatch_core::{
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
-use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 
-use crate::delivery::DeliveryPolicy;
+use crate::delivery::{
+    Consumer, DeliveryPolicy, Enqueue, NotifyQueue, QuarantineConfig, SubscriberLag, TickOutcome,
+};
 use crate::subscriber::Subscription;
 
 /// Errors surfaced by [`Broker`] operations.
@@ -69,9 +70,20 @@ pub struct BrokerStats {
     pub events_published: u64,
     /// Notifications placed on subscriber queues.
     pub notifications_delivered: u64,
-    /// Notifications dropped by a full [`DeliveryPolicy::DropNewest`]
-    /// queue.
+    /// Notifications shed at enqueue: a full
+    /// [`DeliveryPolicy::DropNewest`] queue, a timed-out
+    /// [`DeliveryPolicy::Block`] wait, or a quarantine-capped queue.
+    /// (Per-subscriber shed totals — including the evicted-oldest
+    /// notifications a [`DeliveryPolicy::DropOldest`] queue replaces —
+    /// are in [`SubscriberLag::dropped`].)
     pub notifications_dropped: u64,
+    /// Notifications addressed to a subscriber whose queue was already
+    /// closed — handle dropped without unsubscribe, or torn down by a
+    /// [`DeliveryPolicy::Disconnect`] overflow / consumer panic /
+    /// quarantine auto-disconnect. Each such send also prunes the
+    /// subscription; before this counter existed they vanished
+    /// silently.
+    pub notifications_disconnected: u64,
     /// Subscriptions registered over the broker's lifetime.
     pub subscriptions_created: u64,
     /// Subscriptions removed (explicitly or by handle drop).
@@ -89,6 +101,19 @@ pub struct BrokerStats {
     /// parallel ≡ sequential contract was broken and the engine that
     /// panicked needs investigating.
     pub fanout_worker_failures: u64,
+    /// Slow-consumer demotions by [`Broker::delivery_maintenance_tick`]
+    /// (including auto-disconnects): a subscriber's lag stayed over the
+    /// [`QuarantineConfig::lag_watermark`] for the configured strikes
+    /// and its queue was capped (or closed).
+    pub subscribers_quarantined: u64,
+    /// Quarantined subscribers whose lag drained back under the
+    /// recovery floor and whose queue cap was lifted.
+    pub quarantine_recoveries: u64,
+    /// Consumer callbacks ([`Broker::subscribe_consumer`]) that
+    /// panicked; each panic tears down only its own subscription — the
+    /// delivery worker survives and every other subscriber is
+    /// unaffected.
+    pub consumer_panics: u64,
 }
 
 #[derive(Default)]
@@ -96,20 +121,26 @@ struct AtomicStats {
     events_published: AtomicU64,
     notifications_delivered: AtomicU64,
     notifications_dropped: AtomicU64,
+    notifications_disconnected: AtomicU64,
     subscriptions_created: AtomicU64,
     subscriptions_removed: AtomicU64,
     subscriptions_migrated: AtomicU64,
     fanout_worker_failures: AtomicU64,
+    subscribers_quarantined: AtomicU64,
+    quarantine_recoveries: AtomicU64,
+    consumer_panics: AtomicU64,
 }
 
 /// Per-publisher-thread reusable buffers: the match scratch plus the
-/// global matched-id accumulator (publish) and the per-event matched
-/// buckets (publish_batch).
+/// global matched-id accumulator (publish), the per-event matched
+/// buckets (publish_batch), and the delivery snapshot of matched
+/// subscribers' queue handles.
 #[derive(Default)]
 struct PublishState {
     scratch: MatchScratch,
     matched: Vec<SubscriptionId>,
     buckets: Vec<Vec<SubscriptionId>>,
+    targets: Vec<(SubscriptionId, Arc<NotifyQueue>)>,
 }
 
 thread_local! {
@@ -157,6 +188,32 @@ pub const BACKGROUND_REBALANCE_CHUNK: usize = 32;
 /// [`Broker::rebalance_by_match_frequency`] treats shard hit skew as
 /// noise and moves nothing.
 pub const MATCH_FREQUENCY_SKEW_FLOOR: u64 = 16;
+
+/// Default number of delivery worker threads (the pool draining
+/// consumer-callback queues), overridable with
+/// [`BrokerBuilder::delivery_workers`]. The pool is built lazily on the
+/// first [`Broker::subscribe_consumer`]; pull-only brokers never spawn
+/// it.
+pub const DEFAULT_DELIVERY_WORKERS: usize = 2;
+
+/// Events one consumer drain job moves per queue-lock acquisition:
+/// large enough to amortise the lock, small enough that a deep backlog
+/// releases it (and wakes `Block`-policy publishers) regularly.
+const DELIVERY_DRAIN_BATCH: usize = 32;
+
+/// What one [`Broker::delivery_maintenance_tick`] changed; all zeros
+/// when quarantine is not configured or every subscriber was steady.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryTickReport {
+    /// Subscribers newly quarantined this tick (queue capped), not
+    /// counting auto-disconnects.
+    pub demoted: usize,
+    /// Quarantined subscribers released this tick.
+    pub recovered: usize,
+    /// Subscribers disconnected this tick
+    /// ([`QuarantineConfig::auto_disconnect`]).
+    pub disconnected: usize,
+}
 
 /// What the background rebalance thread balances on each tick; see
 /// [`BrokerBuilder::background_rebalance`].
@@ -335,9 +392,9 @@ impl StopLatch {
     }
 }
 
-/// The background rebalance thread's handle, joined when the broker's
-/// last reference drops.
-struct RebalancerHandle {
+/// A background thread's handle (rebalancer or delivery maintenance),
+/// joined when the broker's last reference drops.
+struct BackgroundHandle {
     stop: Arc<StopLatch>,
     thread: JoinHandle<()>,
 }
@@ -395,8 +452,28 @@ pub(crate) struct BrokerInner {
     /// the last per-shard hit snapshot plus the decayed per-tick delta
     /// scores (ticks act on windowed deltas, not lifetime totals).
     freq_baseline: Mutex<FreqWindow>,
-    senders: RwLock<HashMap<SubscriptionId, Sender<Arc<Event>>>>,
+    /// Each live subscriber's notification queue, keyed by global id —
+    /// the delivery tier's root. Publishes take the read side only to
+    /// snapshot the matched subscribers' queue `Arc`s (never across an
+    /// enqueue); the write side is subscribe/unsubscribe churn.
+    ///
+    /// **Lock order:** queue locks (`delivery-queue[g]`) sit *inside*
+    /// this lock — the quarantine tick walks queues under the read
+    /// guard — and are leaves: no path acquires anything while holding
+    /// one, and no path ever holds two.
+    senders: RwLock<HashMap<SubscriptionId, Arc<NotifyQueue>>>,
     policy: DeliveryPolicy,
+    /// Slow-consumer quarantine thresholds; `None` leaves lag
+    /// unmonitored (ticks are no-ops).
+    quarantine: Option<QuarantineConfig>,
+    /// The worker pool draining consumer-callback queues, spawned
+    /// lazily by the first [`Broker::subscribe_consumer`] so pull-only
+    /// brokers pay nothing.
+    delivery_pool: OnceLock<Arc<WorkerPool>>,
+    /// Thread count for `delivery_pool` when it spawns.
+    delivery_workers: usize,
+    /// The background quarantine-tick thread, when configured.
+    delivery_maintenance: Mutex<Option<BackgroundHandle>>,
     stats: AtomicStats,
     /// Heap-byte cap above which a publish scratch is trimmed after
     /// use instead of keeping its high-water capacity — applied to the
@@ -424,14 +501,18 @@ pub(crate) struct BrokerInner {
     /// zero-candidate shards (see [`BrokerBuilder::shard_pruning`]).
     prune: bool,
     /// The background rebalance thread, when configured.
-    rebalancer: Mutex<Option<RebalancerHandle>>,
+    rebalancer: Mutex<Option<BackgroundHandle>>,
 }
 
 impl Drop for BrokerInner {
     fn drop(&mut self) {
-        if let Some(handle) = self.rebalancer.get_mut().take() {
+        let handles = [
+            self.rebalancer.get_mut().take(),
+            self.delivery_maintenance.get_mut().take(),
+        ];
+        for handle in handles.into_iter().flatten() {
             handle.stop.signal();
-            // The last broker reference can die on the rebalancer
+            // The last broker reference can die on a background
             // thread itself (its tick upgrades the Weak into a
             // temporary strong handle); joining ourselves would
             // deadlock — the thread is already past its loop and
@@ -439,6 +520,16 @@ impl Drop for BrokerInner {
             if handle.thread.thread().id() != std::thread::current().id() {
                 let _ = handle.thread.join();
             }
+        }
+        // Deterministic delivery teardown: close every queue (waking
+        // blocked receivers and `Block`-policy publishers; queued
+        // events stay drainable through surviving handles), then let
+        // the delivery pool drop with the struct — `WorkerPool`'s Drop
+        // runs every already-queued consumer drain job to completion
+        // before joining, so consumer subscribers see everything that
+        // was enqueued before the broker died, and nothing after.
+        for queue in self.senders.get_mut().values() {
+            queue.close(false);
         }
     }
 }
@@ -449,7 +540,8 @@ impl BrokerInner {
     }
 
     pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        let existed = self.senders.write().remove(&id).is_some();
+        let queue = self.senders.write().remove(&id);
+        let existed = queue.is_some();
         if existed {
             // The sender map is the source of truth; the directory and
             // shard state follow. Retiring the directory entry first
@@ -492,6 +584,14 @@ impl BrokerInner {
                 .subscriptions_removed
                 .fetch_add(1, Ordering::Relaxed);
         }
+        // Close the queue last, with no broker lock held: a receiver
+        // parked in `recv` wakes to drain the remainder and then gets
+        // its `None`, and a publish racing this unsubscribe either
+        // missed the map (no enqueue) or enqueues into the closed queue
+        // and counts the send as disconnected.
+        if let Some(queue) = queue {
+            queue.close(false);
+        }
         existed
     }
 }
@@ -528,12 +628,82 @@ impl Broker {
         self.subscribe_expr(&Expr::parse(expression)?)
     }
 
+    /// [`Broker::subscribe`] with a per-subscriber [`DeliveryPolicy`]
+    /// overriding the builder-wide default — one subscriber can take
+    /// bounded backpressure ([`DeliveryPolicy::Block`]) while its
+    /// neighbours shed ([`DeliveryPolicy::DropOldest`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Broker::subscribe`].
+    pub fn subscribe_with_policy(
+        &self,
+        expression: &str,
+        policy: DeliveryPolicy,
+    ) -> Result<Subscription, BrokerError> {
+        self.subscribe_expr_with_policy(&Expr::parse(expression)?, policy)
+    }
+
+    /// Registers a **consumer-callback** subscription: instead of the
+    /// subscriber pulling on its handle, the broker's delivery worker
+    /// pool invokes `consumer` for each notification, in publish order,
+    /// with per-subscriber panic isolation — a panicking callback tears
+    /// down only its own subscription (counted in
+    /// [`BrokerStats::consumer_panics`]) and never poisons the worker
+    /// or other subscribers. The returned handle controls the
+    /// subscription's lifetime exactly like a pull handle; its queue is
+    /// drained by the pool, so pulling on it races the callback.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broker::subscribe`].
+    pub fn subscribe_consumer(
+        &self,
+        expression: &str,
+        policy: DeliveryPolicy,
+        consumer: impl Fn(Arc<Event>) + Send + Sync + 'static,
+    ) -> Result<Subscription, BrokerError> {
+        self.subscribe_with(&Expr::parse(expression)?, policy, Some(Arc::new(consumer)))
+    }
+
     /// Registers an already-parsed subscription.
     ///
     /// # Errors
     ///
     /// Returns [`BrokerError::Subscribe`] when the engine refuses it.
     pub fn subscribe_expr(&self, expr: &Expr) -> Result<Subscription, BrokerError> {
+        self.subscribe_with(expr, self.inner.policy, None)
+    }
+
+    /// [`Broker::subscribe_expr`] with a per-subscriber
+    /// [`DeliveryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Subscribe`] when the engine refuses it.
+    pub fn subscribe_expr_with_policy(
+        &self,
+        expr: &Expr,
+        policy: DeliveryPolicy,
+    ) -> Result<Subscription, BrokerError> {
+        self.subscribe_with(expr, policy, None)
+    }
+
+    /// The one subscribe body: placement → shard registration →
+    /// directory commit → delivery-queue creation.
+    fn subscribe_with(
+        &self,
+        expr: &Expr,
+        policy: DeliveryPolicy,
+        consumer: Option<Consumer>,
+    ) -> Result<Subscription, BrokerError> {
+        if consumer.is_some() {
+            // First consumer subscription spawns the delivery pool;
+            // pull-only brokers never pay for the threads.
+            self.inner
+                .delivery_pool
+                .get_or_init(|| Arc::new(WorkerPool::new(self.inner.delivery_workers)));
+        }
         // Load-aware placement: the directory reserves a unit of load
         // on the least-loaded shard (round-robin tie-break, so a
         // churn-free stream places like classic round-robin while a
@@ -586,13 +756,15 @@ impl Broker {
         state.translation.set(local, id);
         state.synopsis.insert(local, expr);
         drop(state);
-        let (tx, rx) = self.inner.policy.channel();
-        self.inner.senders.write().insert(id, tx);
+        // The queue's lock is classed by the id's delivery-queue group
+        // (same-class nesting detection proves no path holds two).
+        let queue = Arc::new(NotifyQueue::new(id.index(), policy, consumer));
+        self.inner.senders.write().insert(id, Arc::clone(&queue));
         self.inner
             .stats
             .subscriptions_created
             .fetch_add(1, Ordering::Relaxed);
-        Ok(Subscription::new(id, rx, Arc::downgrade(&self.inner)))
+        Ok(Subscription::new(id, queue, Arc::downgrade(&self.inner)))
     }
 
     /// Removes a subscription by id (handles also unsubscribe on drop).
@@ -1084,8 +1256,9 @@ impl Broker {
     /// lock** — the matching/translation phase acquires no
     /// broker-global lock beyond the one-pointer clone of the current
     /// shard set (and, in particular, never the placement directory's;
-    /// delivery afterwards takes the sender-map read lock, outside all
-    /// engine locks). Concurrent
+    /// delivery afterwards takes the sender-map read lock just long
+    /// enough to snapshot the matched queues, then enqueues with no
+    /// broker lock held). Concurrent
     /// publishers match in parallel and a write-locked shard (a
     /// subscription in progress) delays only its own shard's portion of
     /// the match. All locks are released before delivery; the
@@ -1467,25 +1640,19 @@ impl Broker {
             .fetch_add(events.len() as u64, Ordering::Relaxed);
 
         // Phase B: delivery, outside the scratch borrow and all engine
-        // locks, under one sender-map read lock for the whole batch.
+        // locks. Each event snapshots its matched subscribers' queues
+        // under a short sender-map read and enqueues outside it — the
+        // same two-phase walk as the single-publish path, so a slow
+        // consumer (or a `Block`-policy wait) in the middle of a batch
+        // never extends the window in which an unsubscribe is stalled.
         // The caller's Arcs are delivered as-is: no event is cloned.
         let mut delivered = 0usize;
-        let mut dead: Vec<SubscriptionId> = Vec::new();
-        {
-            // lint: allow(hot-path-locking, reason = "delivery reads the sender map by design, outside all engine locks")
-            let senders = self.inner.senders.read();
-            for (event, matched) in events.iter().zip(&buckets) {
-                if matched.is_empty() {
-                    continue;
-                }
-                delivered += self.deliver_locked(&senders, event, matched, &mut dead);
+        for (event, matched) in events.iter().zip(&buckets) {
+            if matched.is_empty() {
+                continue;
             }
+            delivered += self.deliver_matched_arc(event, matched);
         }
-        self.prune_dead(dead);
-        self.inner
-            .stats
-            .notifications_delivered
-            .fetch_add(delivered as u64, Ordering::Relaxed);
         // Bucket half of the high-water fix: a bucket a pathological
         // event grew past the trim cap is released, not parked.
         let mut buckets = buckets;
@@ -1613,51 +1780,112 @@ impl Broker {
 
     /// [`Broker::deliver_matched`] for an already-shared event: the
     /// caller's `Arc` is what every subscriber receives (zero copies).
+    ///
+    /// Delivery is two-phase (the unsubscribe-stall fix): the
+    /// sender-map read lock is held only long enough to snapshot the
+    /// matched subscribers' queue handles into a thread-local buffer;
+    /// every enqueue — including a [`DeliveryPolicy::Block`] wait —
+    /// then runs with **no** broker lock held, so subscribe/unsubscribe
+    /// churn never queues behind a long fan-out walk. At-most-once
+    /// still holds: a subscriber unsubscribed after the snapshot has
+    /// its queue closed by the unsubscribe, and the late enqueue lands
+    /// as a counted disconnected send, not a delivery.
     fn deliver_matched_arc(&self, event: &Arc<Event>, matched: &[SubscriptionId]) -> usize {
         if matched.is_empty() {
             return 0;
         }
-        let mut dead: Vec<SubscriptionId> = Vec::new();
-        let delivered = {
-            // lint: allow(hot-path-locking, reason = "delivery reads the sender map by design, outside all engine locks")
-            let senders = self.inner.senders.read();
-            self.deliver_locked(&senders, event, matched, &mut dead)
-        };
-        self.prune_dead(dead);
-        self.inner
-            .stats
-            .notifications_delivered
-            .fetch_add(delivered as u64, Ordering::Relaxed);
+        let mut targets = PUBLISH_STATE.with(|cell| {
+            let state = &mut *cell.borrow_mut();
+            let mut targets = std::mem::take(&mut state.targets);
+            targets.clear();
+            {
+                // lint: allow(hot-path-locking, reason = "delivery snapshots the sender map by design — held for the matched-id lookups only, never across an enqueue")
+                let senders = self.inner.senders.read();
+                targets.extend(
+                    matched
+                        .iter()
+                        .filter_map(|id| senders.get(id).map(|q| (*id, Arc::clone(q)))),
+                );
+            }
+            targets
+        });
+        let delivered = self.enqueue_targets(&targets, event);
+        targets.clear();
+        // Same trim-cap rule as the matched-id buffer: a pathological
+        // fan-out must not pin its peak snapshot capacity per thread.
+        if targets.capacity() * std::mem::size_of::<(SubscriptionId, Arc<NotifyQueue>)>()
+            > self.inner.scratch_trim_cap
+        {
+            targets = Vec::new();
+        }
+        PUBLISH_STATE.with(|cell| cell.borrow_mut().targets = targets);
         delivered
     }
 
-    /// Delivery core: queues `event` to `matched` under an
-    /// already-held sender-map lock, collecting disconnected
-    /// subscribers into `dead` for pruning after the lock is released.
-    fn deliver_locked(
+    /// Delivery core: enqueues `event` onto each snapshot target's
+    /// queue — no broker lock held, one classed queue lock per target —
+    /// scheduling consumer drain jobs and pruning subscribers whose
+    /// queue turned out closed.
+    fn enqueue_targets(
         &self,
-        senders: &HashMap<SubscriptionId, Sender<Arc<Event>>>,
+        targets: &[(SubscriptionId, Arc<NotifyQueue>)],
         event: &Arc<Event>,
-        matched: &[SubscriptionId],
-        dead: &mut Vec<SubscriptionId>,
     ) -> usize {
         let mut delivered = 0usize;
-        for id in matched {
-            let Some(sender) = senders.get(id) else {
-                continue;
-            };
-            match self.inner.policy.deliver(sender, Arc::clone(event)) {
-                Ok(true) => delivered += 1,
-                Ok(false) => {
-                    self.inner
-                        .stats
-                        .notifications_dropped
-                        .fetch_add(1, Ordering::Relaxed);
+        let mut dropped = 0u64;
+        let mut disconnected = 0u64;
+        let mut dead: Vec<SubscriptionId> = Vec::new();
+        for (id, queue) in targets {
+            let (outcome, schedule) = queue.enqueue(Arc::clone(event));
+            match outcome {
+                Enqueue::Delivered => delivered += 1,
+                Enqueue::Dropped => dropped += 1,
+                Enqueue::Disconnected => {
+                    disconnected += 1;
+                    dead.push(*id);
                 }
-                Err(()) => dead.push(*id),
+            }
+            if schedule {
+                self.schedule_drain(*id, queue);
             }
         }
+        let stats = &self.inner.stats;
+        if delivered > 0 {
+            stats
+                .notifications_delivered
+                .fetch_add(delivered as u64, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            stats
+                .notifications_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+        if disconnected > 0 {
+            stats
+                .notifications_disconnected
+                .fetch_add(disconnected, Ordering::Relaxed);
+        }
+        self.prune_dead(dead);
         delivered
+    }
+
+    /// Hands `queue`'s freshly non-empty backlog to the delivery pool.
+    /// Called only on the enqueue that flipped the queue's scheduled
+    /// bit, so each consumer queue has at most one drain job queued or
+    /// running — the per-subscriber FIFO guarantee. The job captures
+    /// only a `Weak` broker reference: it can never keep a dropped
+    /// broker alive, and the pool's own Drop (which runs queued jobs to
+    /// completion) cannot deadlock on the broker's teardown.
+    fn schedule_drain(&self, id: SubscriptionId, queue: &Arc<NotifyQueue>) {
+        let Some(pool) = self.inner.delivery_pool.get() else {
+            // Unreachable in practice: the scheduled bit only flips on
+            // consumer queues, and the first consumer subscribe built
+            // the pool. Degrades to pull-only delivery if not.
+            return;
+        };
+        let weak = Arc::downgrade(&self.inner);
+        let queue = Arc::clone(queue);
+        pool.submit(move || drain_consumer_queue(&weak, id, &queue));
     }
 
     /// Unsubscribes disconnected subscribers found during delivery
@@ -1740,11 +1968,97 @@ impl Broker {
             events_published: s.events_published.load(Ordering::Relaxed),
             notifications_delivered: s.notifications_delivered.load(Ordering::Relaxed),
             notifications_dropped: s.notifications_dropped.load(Ordering::Relaxed),
+            notifications_disconnected: s.notifications_disconnected.load(Ordering::Relaxed),
             subscriptions_created: s.subscriptions_created.load(Ordering::Relaxed),
             subscriptions_removed: s.subscriptions_removed.load(Ordering::Relaxed),
             subscriptions_migrated: s.subscriptions_migrated.load(Ordering::Relaxed),
             fanout_worker_failures: s.fanout_worker_failures.load(Ordering::Relaxed),
+            subscribers_quarantined: s.subscribers_quarantined.load(Ordering::Relaxed),
+            quarantine_recoveries: s.quarantine_recoveries.load(Ordering::Relaxed),
+            consumer_panics: s.consumer_panics.load(Ordering::Relaxed),
         }
+    }
+
+    /// One subscriber's lag snapshot — queue depth, lifetime
+    /// enqueued/shed counts, quarantine status — or `None` for an
+    /// unknown id.
+    pub fn subscriber_lag(&self, id: SubscriptionId) -> Option<SubscriberLag> {
+        self.inner.senders.read().get(&id).map(|queue| queue.lag())
+    }
+
+    /// Number of subscribers currently quarantined (demoted and not
+    /// yet recovered).
+    pub fn quarantined_count(&self) -> usize {
+        self.inner
+            .senders
+            .read()
+            .values()
+            .filter(|queue| queue.quarantined())
+            .count()
+    }
+
+    /// One slow-consumer quarantine tick: every subscriber's lag is
+    /// checked against the configured [`QuarantineConfig`] — consumers
+    /// over the watermark accumulate strikes toward demotion (queue
+    /// capped, or closed under
+    /// [`auto_disconnect`](QuarantineConfig::auto_disconnect));
+    /// quarantined consumers that drained accumulate strikes toward
+    /// release. A no-op unless [`BrokerBuilder::quarantine`] was set.
+    ///
+    /// This is the tick the
+    /// [`BrokerBuilder::delivery_maintenance`] background thread runs
+    /// on its interval; it is public so operators and tests can drive
+    /// the state machine deterministically. Ticks serialize with
+    /// migration/resize on the maintenance lock (sender-map *contents*
+    /// must not churn mid-walk is not required — the read guard only
+    /// pins the map, and each queue is judged under its own lock).
+    pub fn delivery_maintenance_tick(&self) -> DeliveryTickReport {
+        let Some(config) = self.inner.quarantine else {
+            return DeliveryTickReport::default();
+        };
+        let _maintenance = self.inner.maintenance.lock();
+        let mut report = DeliveryTickReport::default();
+        let mut to_disconnect: Vec<SubscriptionId> = Vec::new();
+        {
+            // Lock order: `senders` read → per-queue leaf locks, one at
+            // a time (never two queues at once).
+            let senders = self.inner.senders.read();
+            for (id, queue) in senders.iter() {
+                match queue.maintenance_tick(&config) {
+                    TickOutcome::Steady => {}
+                    TickOutcome::Demoted => report.demoted += 1,
+                    TickOutcome::Recovered => report.recovered += 1,
+                    TickOutcome::Disconnect => {
+                        report.disconnected += 1;
+                        to_disconnect.push(*id);
+                    }
+                }
+            }
+        }
+        // Unsubscribing takes the sender-map write lock — strictly
+        // after the read guard above is gone.
+        for id in to_disconnect {
+            self.inner.unsubscribe(id);
+        }
+        let stats = &self.inner.stats;
+        let demotions = (report.demoted + report.disconnected) as u64;
+        if demotions > 0 {
+            stats
+                .subscribers_quarantined
+                .fetch_add(demotions, Ordering::Relaxed);
+        }
+        if report.recovered > 0 {
+            stats
+                .quarantine_recoveries
+                .fetch_add(report.recovered as u64, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Whether a background delivery-maintenance thread is attached
+    /// (see [`BrokerBuilder::delivery_maintenance`]).
+    pub fn delivery_maintenance_active(&self) -> bool {
+        self.inner.delivery_maintenance.lock().is_some()
     }
 
     /// One background tick of `policy`; returns the subscriptions
@@ -1778,6 +2092,55 @@ fn background_rebalance_loop(
         // `broker` drops here; if an exiting owner raced us, this may
         // be the last reference — BrokerInner's Drop skips joining the
         // thread it is running on, so the teardown stays clean.
+    }
+}
+
+/// The background delivery-maintenance thread body: one quarantine
+/// tick every `interval` until the broker goes away or shutdown is
+/// signalled. Same `Weak`-upgrade lifecycle as the rebalancer loop.
+fn delivery_maintenance_loop(weak: Weak<BrokerInner>, stop: Arc<StopLatch>, interval: Duration) {
+    while !stop.wait_timeout(interval) {
+        let Some(inner) = weak.upgrade() else {
+            break;
+        };
+        let broker = Broker { inner };
+        broker.delivery_maintenance_tick();
+    }
+}
+
+/// One consumer drain job: moves batches off `queue` and feeds them to
+/// the subscriber's callback until the queue is empty (which clears the
+/// scheduled bit under the queue lock — the next enqueue schedules a
+/// fresh job). Runs on the delivery pool with nothing locked across
+/// the callback; a panicking callback is caught, its subscription torn
+/// down, and the worker — and every other subscriber — continues.
+fn drain_consumer_queue(weak: &Weak<BrokerInner>, id: SubscriptionId, queue: &Arc<NotifyQueue>) {
+    let Some(consumer) = queue.consumer() else {
+        return;
+    };
+    let mut batch: Vec<Arc<Event>> = Vec::with_capacity(DELIVERY_DRAIN_BATCH);
+    loop {
+        batch.clear();
+        if !queue.pop_batch(&mut batch, DELIVERY_DRAIN_BATCH) {
+            return;
+        }
+        for event in batch.drain(..) {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                consumer(event);
+            }));
+            if outcome.is_err() {
+                // Panic isolation: discard this subscriber's backlog
+                // and remove it; the broker may already be mid-drop
+                // (failed upgrade), in which case the queue close is
+                // all that is left to do.
+                queue.close(true);
+                if let Some(inner) = weak.upgrade() {
+                    inner.stats.consumer_panics.fetch_add(1, Ordering::Relaxed);
+                    inner.unsubscribe(id);
+                }
+                return;
+            }
+        }
     }
 }
 
@@ -1843,6 +2206,9 @@ pub struct BrokerBuilder {
     /// 0 means "not set" and resolves to 1.
     shards: usize,
     policy: DeliveryPolicy,
+    quarantine: Option<QuarantineConfig>,
+    delivery_interval: Option<Duration>,
+    delivery_workers: Option<usize>,
     parallel_threshold: Option<usize>,
     worker_threads: Option<usize>,
     scratch_trim_cap: Option<usize>,
@@ -1860,6 +2226,9 @@ impl fmt::Debug for BrokerBuilder {
             .field("custom", &self.custom.as_ref().map(Vec::len))
             .field("shards", &self.shards.max(1))
             .field("policy", &self.policy)
+            .field("quarantine", &self.quarantine)
+            .field("delivery_maintenance", &self.delivery_interval)
+            .field("delivery_workers", &self.delivery_workers)
             .field("parallel_threshold", &self.parallel_threshold)
             .field("worker_threads", &self.worker_threads)
             .field("scratch_trim_cap", &self.scratch_trim_cap)
@@ -1927,11 +2296,51 @@ impl BrokerBuilder {
         self
     }
 
-    /// Sets the delivery policy (default:
-    /// [`DeliveryPolicy::Unbounded`]).
+    /// Sets the broker-wide default delivery policy (default:
+    /// [`DeliveryPolicy::Unbounded`]); individual subscribers can
+    /// override it with [`Broker::subscribe_with_policy`].
     #[must_use]
     pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables slow-consumer quarantine with the given thresholds; see
+    /// [`QuarantineConfig`] and [`Broker::delivery_maintenance_tick`].
+    /// Without this, lag is unmonitored and ticks are no-ops.
+    #[must_use]
+    pub fn quarantine(mut self, config: QuarantineConfig) -> Self {
+        self.quarantine = Some(config);
+        self
+    }
+
+    /// Attaches a **background delivery-maintenance thread**: every
+    /// `interval` it runs one
+    /// [`Broker::delivery_maintenance_tick`], demoting (and possibly
+    /// recovering) slow consumers autonomously. Same lifecycle as the
+    /// [`background rebalance`](BrokerBuilder::background_rebalance)
+    /// thread: parks between ticks, holds only a weak broker
+    /// reference, wakes immediately on shutdown, joined when the last
+    /// broker handle drops. Pointless without
+    /// [`BrokerBuilder::quarantine`].
+    #[must_use]
+    pub fn delivery_maintenance(mut self, interval: Duration) -> Self {
+        self.delivery_interval = Some(interval);
+        self
+    }
+
+    /// Sets the number of delivery worker threads draining
+    /// consumer-callback queues (default:
+    /// [`DEFAULT_DELIVERY_WORKERS`]). The pool spawns lazily on the
+    /// first [`Broker::subscribe_consumer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn delivery_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a delivery pool needs at least one thread");
+        self.delivery_workers = Some(n);
         self
     }
 
@@ -2081,6 +2490,10 @@ impl BrokerBuilder {
             migration_epoch: AtomicU64::new(0),
             senders: RwLock::new(HashMap::new()),
             policy: self.policy,
+            quarantine: self.quarantine,
+            delivery_pool: OnceLock::new(),
+            delivery_workers: self.delivery_workers.unwrap_or(DEFAULT_DELIVERY_WORKERS),
+            delivery_maintenance: Mutex::new(None),
             stats: AtomicStats::default(),
             parallel_threshold: self
                 .parallel_threshold
@@ -2101,6 +2514,7 @@ impl BrokerBuilder {
         inner.shard_set.set_class("shard-set");
         inner.freq_baseline.set_class("freq-baseline");
         inner.rebalancer.set_class("rebalancer");
+        inner.delivery_maintenance.set_class("delivery-maintenance");
         if let Some((interval, policy)) = self.background {
             let stop = Arc::new(StopLatch::new());
             let weak = Arc::downgrade(&inner);
@@ -2111,7 +2525,19 @@ impl BrokerBuilder {
                     .spawn(move || background_rebalance_loop(weak, stop, interval, policy))
                     .expect("spawning the background rebalance thread")
             };
-            *inner.rebalancer.lock() = Some(RebalancerHandle { stop, thread });
+            *inner.rebalancer.lock() = Some(BackgroundHandle { stop, thread });
+        }
+        if let Some(interval) = self.delivery_interval {
+            let stop = Arc::new(StopLatch::new());
+            let weak = Arc::downgrade(&inner);
+            let thread = {
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("boolmatch-delivery".into())
+                    .spawn(move || delivery_maintenance_loop(weak, stop, interval))
+                    .expect("spawning the delivery maintenance thread")
+            };
+            *inner.delivery_maintenance.lock() = Some(BackgroundHandle { stop, thread });
         }
         Broker { inner }
     }

@@ -34,8 +34,9 @@
 //! `shard_scaling` benches) and **no broker-global lock sits on the
 //! steady-state matching path** (the placement-directory write lock
 //! can be held indefinitely without delaying a single publish — proven
-//! in `tests/hot_path.rs`; delivery afterwards takes only the
-//! sender-map read lock). Only `subscribe`/`unsubscribe` take a write
+//! in `tests/hot_path.rs`; delivery afterwards takes the sender-map
+//! read lock just long enough to snapshot the matched subscribers'
+//! queues). Only `subscribe`/`unsubscribe` take a write
 //! lock, and only on the one shard that owns the subscription:
 //! registration churn stalls `1/n` of matching instead of all of it
 //! (proven deterministically in `tests/shard_concurrency.rs`).
@@ -45,6 +46,28 @@
 //! allocation per event, shared across matching and delivery — and
 //! amortises lock acquisition, scratch reuse and the sender-map lookup
 //! across a whole batch of events.
+//!
+//! # The delivery tier
+//!
+//! A publish **enqueues and returns**: each subscriber owns a bounded
+//! ring-buffer [notification queue](DeliveryPolicy) with lag counters
+//! ([`SubscriberLag`]), so a slow — or completely stalled — consumer
+//! can never block a publisher, stall another subscriber, or stall an
+//! unsubscribe; its damage is bounded by its own queue capacity. What
+//! a *full* queue does is the subscriber's [`DeliveryPolicy`]
+//! (broker-wide default via [`BrokerBuilder::delivery`], per-subscriber
+//! via [`Broker::subscribe_with_policy`]): grow without bound, shed
+//! newest or oldest, disconnect the subscriber, or apply bounded
+//! backpressure ([`DeliveryPolicy::Block`] — the publisher waits up to
+//! a timeout on that one queue, holding no broker lock). Queues are
+//! drained by pulling on the [`Subscription`] handle or, with
+//! [`Broker::subscribe_consumer`], by a lazily spawned delivery worker
+//! pool that invokes a callback per notification with per-subscriber
+//! panic isolation. A [`quarantine`](BrokerBuilder::quarantine) tier
+//! on top demotes consumers whose lag stays over a watermark — queue
+//! capped (or auto-disconnected) until they drain — driven manually
+//! with [`Broker::delivery_maintenance_tick`] or autonomously with
+//! [`BrokerBuilder::delivery_maintenance`].
 //!
 //! Multi-shard brokers additionally carry a **parallel publish
 //! pipeline**: past [`BrokerBuilder::parallel_threshold`] live
@@ -94,9 +117,9 @@ mod delivery;
 mod subscriber;
 
 pub use broker::{
-    trim_publish_scratch, Broker, BrokerBuilder, BrokerError, BrokerStats, Publisher,
-    RebalancePolicy, BACKGROUND_REBALANCE_CHUNK, DEFAULT_PARALLEL_THRESHOLD,
-    DEFAULT_SCRATCH_TRIM_CAP, MATCH_FREQUENCY_SKEW_FLOOR,
+    trim_publish_scratch, Broker, BrokerBuilder, BrokerError, BrokerStats, DeliveryTickReport,
+    Publisher, RebalancePolicy, BACKGROUND_REBALANCE_CHUNK, DEFAULT_DELIVERY_WORKERS,
+    DEFAULT_PARALLEL_THRESHOLD, DEFAULT_SCRATCH_TRIM_CAP, MATCH_FREQUENCY_SKEW_FLOOR,
 };
-pub use delivery::DeliveryPolicy;
+pub use delivery::{DeliveryPolicy, DeliveryReceiver, QuarantineConfig, SubscriberLag};
 pub use subscriber::Subscription;

@@ -6,9 +6,9 @@ use std::time::Duration;
 
 use boolmatch_core::SubscriptionId;
 use boolmatch_types::Event;
-use crossbeam::channel::{Receiver, RecvTimeoutError};
 
 use crate::broker::BrokerInner;
+use crate::delivery::{DeliveryReceiver, NotifyQueue, SubscriberLag};
 
 /// A live subscription: the receiving end of the notification queue.
 ///
@@ -30,20 +30,25 @@ use crate::broker::BrokerInner;
 /// ```
 pub struct Subscription {
     id: SubscriptionId,
-    receiver: Receiver<Arc<Event>>,
+    queue: Arc<NotifyQueue>,
     broker: Weak<BrokerInner>,
+    /// Cleared by [`Subscription::detach`] so Drop neither
+    /// unsubscribes nor releases the queue's receiver count (the
+    /// returned [`DeliveryReceiver`] took it over).
+    owns_receiver: bool,
 }
 
 impl Subscription {
     pub(crate) fn new(
         id: SubscriptionId,
-        receiver: Receiver<Arc<Event>>,
+        queue: Arc<NotifyQueue>,
         broker: Weak<BrokerInner>,
     ) -> Self {
         Subscription {
             id,
-            receiver,
+            queue,
             broker,
+            owns_receiver: true,
         }
     }
 
@@ -54,46 +59,55 @@ impl Subscription {
 
     /// Takes the next queued notification without blocking.
     pub fn try_recv(&self) -> Option<Arc<Event>> {
-        self.receiver.try_recv().ok()
+        self.queue.try_recv()
     }
 
     /// Blocks until a notification arrives or the broker goes away.
     pub fn recv(&self) -> Option<Arc<Event>> {
-        self.receiver.recv().ok()
+        self.queue.recv()
     }
 
     /// Blocks up to `timeout`; `None` on timeout or disconnect.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
-        match self.receiver.recv_timeout(timeout) {
-            Ok(e) => Some(e),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
-        }
+        self.queue.recv_timeout(timeout)
     }
 
     /// Drains everything currently queued.
     pub fn drain(&self) -> Vec<Arc<Event>> {
-        self.receiver.try_iter().collect()
+        self.queue.drain()
     }
 
     /// Number of notifications currently queued.
     pub fn queued(&self) -> usize {
-        self.receiver.len()
+        self.queue.len()
+    }
+
+    /// This subscriber's lag snapshot: queue depth, lifetime
+    /// enqueued/dropped counts, and quarantine status.
+    pub fn lag(&self) -> SubscriberLag {
+        self.queue.lag()
     }
 
     /// Detaches the handle from the broker *without* unsubscribing:
     /// matching continues, notifications accumulate in the queue, and
     /// the subscription must later be removed via
-    /// [`crate::Broker::unsubscribe`]. Returns the receiver.
-    pub fn detach(mut self) -> Receiver<Arc<Event>> {
+    /// [`crate::Broker::unsubscribe`]. Returns the receiving handle.
+    pub fn detach(mut self) -> DeliveryReceiver {
         self.broker = Weak::new();
-        let receiver = self.receiver.clone();
-        // Drop runs but finds no broker: no unsubscribe.
+        let receiver = DeliveryReceiver::new(Arc::clone(&self.queue));
+        // Hand the subscription's receiver slot to the new handle:
+        // Drop runs but neither unsubscribes nor closes the queue.
+        self.owns_receiver = false;
+        self.queue.drop_receiver();
         receiver
     }
 }
 
 impl Drop for Subscription {
     fn drop(&mut self) {
+        if self.owns_receiver {
+            self.queue.drop_receiver();
+        }
         if let Some(broker) = self.broker.upgrade() {
             broker.unsubscribe(self.id);
         }
@@ -162,6 +176,20 @@ mod tests {
         broker.publish(ev(1));
         assert_eq!(rx.len(), 1);
         assert!(broker.unsubscribe(id));
+    }
+
+    #[test]
+    fn lag_reports_queue_depth_and_drops() {
+        let broker = Broker::builder().build();
+        let sub = broker
+            .subscribe_with_policy("a = 1", crate::DeliveryPolicy::DropNewest { capacity: 2 })
+            .unwrap();
+        for _ in 0..5 {
+            broker.publish(ev(1));
+        }
+        let lag = sub.lag();
+        assert_eq!((lag.queued, lag.enqueued, lag.dropped), (2, 2, 3));
+        assert!(!lag.quarantined);
     }
 
     #[test]

@@ -74,10 +74,22 @@ pub mod lock_classes {
     pub const POOL: &str = "pool";
     /// The broker's subscriber-sender map — leaf, read during delivery.
     pub const SENDERS: &str = "senders";
+    /// Per-subscriber delivery queues share [`DELIVERY_QUEUE_GROUPS`]
+    /// lock classes (grouped by subscription-id index) instead of one
+    /// class per queue: lockdep's graph stays small while same-class
+    /// nesting inside a group still catches any path that ever holds
+    /// two queue locks at once — no broker path may.
+    pub const DELIVERY_QUEUE_GROUPS: usize = 8;
     /// The class name for shard `index`'s state lock; ascending-index
     /// nesting only.
     pub fn shard(index: usize) -> String {
         format!("shard[{index}]")
+    }
+    /// The class name for the delivery-queue group a subscription id
+    /// falls in — a leaf below the sender-map read lock: enqueue and
+    /// drain take exactly one queue lock and nothing under it.
+    pub fn delivery_queue(index: usize) -> String {
+        format!("delivery-queue[{}]", index % DELIVERY_QUEUE_GROUPS)
     }
 }
 

@@ -1,5 +1,6 @@
-//! Offline shim for `parking_lot`: the lock API the workspace uses,
-//! backed by `std::sync` with poisoning ignored (matching parking_lot's
+//! Offline shim for `parking_lot`: the lock API the workspace uses
+//! (including [`Condvar`] for the broker's delivery queues), backed by
+//! `std::sync` with poisoning ignored (matching parking_lot's
 //! non-poisoning semantics). See `crates/shims/README.md`.
 //!
 //! # Debug-build lockdep
@@ -435,24 +436,28 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard for a held [`Mutex`].
+///
+/// The inner `std` guard lives in an `Option` solely so [`Condvar`]
+/// can move it out across a wait and put the reacquired guard back;
+/// outside that window it is always `Some`.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(debug_assertions)]
     _held: lockdep::Held,
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard holds the lock")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("guard holds the lock")
     }
 }
 
@@ -500,7 +505,7 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard {
             #[cfg(debug_assertions)]
             _held: held,
-            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
@@ -510,12 +515,12 @@ impl<T: ?Sized> Mutex<T> {
             Ok(inner) => Some(MutexGuard {
                 #[cfg(debug_assertions)]
                 _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
-                inner,
+                inner: Some(inner),
             }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
                 #[cfg(debug_assertions)]
                 _held: lockdep::acquire(self.class(), lockdep::Acquire::Try),
-                inner: p.into_inner(),
+                inner: Some(p.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
@@ -524,6 +529,82 @@ impl<T: ?Sized> Mutex<T> {
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`]: whether the wait gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait returned because the timeout elapsed (the
+    /// predicate should be rechecked either way — wakeups can be
+    /// spurious).
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable paired with the shim [`Mutex`], mirroring
+/// parking_lot's `&mut MutexGuard` API over `std::sync::Condvar`.
+///
+/// # Lockdep interaction
+///
+/// A wait releases and reacquires the mutex, but the guard's lockdep
+/// token is deliberately kept alive across it: the thread still
+/// *logically* owns the critical section, and the reacquisition adds
+/// no order edges (it acquires a class the checker already records as
+/// held). The checker therefore stays conservative — waiting while
+/// holding *another* classed lock is still a discipline smell, but it
+/// is the caller's to avoid (condvar waits belong on leaf locks).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard`'s mutex for the wait
+    /// and reacquiring it before returning. Wakeups can be spurious;
+    /// always recheck the predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// [`Condvar::wait`] bounded by `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -702,5 +783,56 @@ mod tests {
     #[test]
     fn lockdep_activity_matches_build_profile() {
         assert_eq!(lockdep::is_active(), cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The guard still owns the lock after the wait.
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock.lock(), 1);
+    }
+
+    /// A classed mutex stays on lockdep's held stack across a condvar
+    /// wait: the waiting thread never records new edges, and the guard
+    /// keeps working on wake.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn condvar_wait_preserves_lockdep_hold() {
+        let lock = Mutex::new(());
+        lock.set_class("shimtest/condvar-hold");
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        assert_eq!(lockdep::held_classes(), vec!["shimtest/condvar-hold"]);
+        let _ = cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+        assert_eq!(lockdep::held_classes(), vec!["shimtest/condvar-hold"]);
+        drop(guard);
+        assert!(lockdep::held_classes().is_empty());
     }
 }

@@ -11,9 +11,11 @@
 //! shard-rebalance and shard-resize marks, for the live-migration
 //! equivalence tests and benches), hot keys (a minority of
 //! subscriptions absorbing most matches, for the match-frequency
-//! rebalancing policy), and selective populations (partitionable
+//! rebalancing policy), selective populations (partitionable
 //! attribute groups, for content-aware clustered placement and shard
-//! pruning — with an or-rooted unprunable control stream).
+//! pruning — with an or-rooted unprunable control stream), and slow
+//! consumers (full fan-out pressure with scripted stall / burst /
+//! disconnect / panic faults, for the asynchronous delivery tier).
 
 mod auction;
 mod churn;
@@ -21,6 +23,7 @@ mod hotkey;
 mod news;
 mod rebalance;
 mod selective;
+mod slow_consumer;
 mod stock;
 
 pub use auction::AuctionScenario;
@@ -29,4 +32,7 @@ pub use hotkey::HotKeyScenario;
 pub use news::NewsScenario;
 pub use rebalance::{RebalanceOp, RebalanceScenario};
 pub use selective::SelectiveScenario;
+pub use slow_consumer::{
+    ConsumerDirective, FaultAction, FaultDriver, FaultEvent, FaultPlan, SlowConsumerScenario,
+};
 pub use stock::StockScenario;
