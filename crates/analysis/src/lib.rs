@@ -10,14 +10,24 @@
 //! token-pattern rules ([`rules`]); the dynamic half of the story is
 //! the debug-build lockdep in the `parking_lot` shim.
 //!
+//! Since PR 9 the lint is **interprocedural**: a parser layer
+//! ([`callgraph`]) recognises `fn` items and call sites over the whole
+//! workspace, per-function effect summaries ([`summary`]) record which
+//! named locks each function acquires and whether it can panic or
+//! block, and the summaries propagate transitively — so a hot-path
+//! region calling a helper three modules away that grabs `directory`
+//! is reported at the call site, with the full chain in the message.
+//!
 //! Run it as `cargo run -p boolmatch-analysis` (binary name
 //! `invariant-lint`); it exits non-zero when any finding survives, so
 //! CI can gate on it. `--format=json` emits machine-readable findings.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod summary;
 
-pub use rules::{lint_source, Finding, RULES};
+pub use rules::{lint_files, lint_source, Finding, RULES};
 
 use std::fs;
 use std::io;
@@ -48,10 +58,12 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every source file under `root`; paths in findings are
-/// root-relative.
+/// Lints every source file under `root` **as one workspace** — the
+/// call graph and effect summaries span all of them, so a hot-path
+/// call into another crate's helper is still traced. Paths in findings
+/// are root-relative.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for path in workspace_sources(root)? {
         let source = fs::read_to_string(&path)?;
         let label = path
@@ -59,9 +71,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .into_owned();
-        findings.extend(lint_source(&label, &source));
+        files.push((label, source));
     }
-    Ok(findings)
+    Ok(lint_files(&files))
 }
 
 /// Renders findings as human-readable text, one per line.
@@ -357,6 +369,242 @@ mod tests {
         assert!(json.contains("\"line\": 12"));
         assert!(json.contains("\\\"quoted\\\""));
         assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    /// The seeded acceptance fixture: a hot-path region calls a helper
+    /// in another module (file), which calls a second helper, which
+    /// writes the broker-global directory. The finding lands at the
+    /// hot-path call site with the full chain and the terminal site.
+    #[test]
+    fn hot_path_call_into_another_module_reports_the_full_chain() {
+        let hot = "
+            // lint: hot-path
+            fn publish(&self) {
+                refresh_routing(self);
+            }
+            // lint: end-hot-path
+        ";
+        let cold = "
+            fn refresh_routing(b: &Broker) {
+                rebuild_table(b);
+            }
+            fn rebuild_table(b: &Broker) {
+                let directory = b.inner.directory.write();
+                drop(directory);
+            }
+        ";
+        let findings = lint_files(&[
+            ("crates/broker/src/hot.rs".into(), hot.into()),
+            ("crates/core/src/cold.rs".into(), cold.into()),
+        ]);
+        assert_eq!(findings.len(), 1, "{}", render_text(&findings));
+        let f = &findings[0];
+        assert_eq!(f.rule, "hot-path-locking");
+        assert_eq!(f.file, "crates/broker/src/hot.rs");
+        assert_eq!(f.line, 4);
+        assert!(f.message.contains("refresh_routing → rebuild_table"));
+        assert!(f.message.contains("`directory.write()`"));
+        assert!(f.message.contains("crates/core/src/cold.rs:6"));
+    }
+
+    #[test]
+    fn transitive_panic_reports_at_the_hot_call_site() {
+        let files = [
+            (
+                "hot.rs".to_owned(),
+                "// lint: hot-path\nfn fast(&self) { decode(self); }\n// lint: end-hot-path\n"
+                    .to_owned(),
+            ),
+            (
+                "cold.rs".to_owned(),
+                "fn decode(b: &B) { parse_header(b).unwrap(); }\n".to_owned(),
+            ),
+        ];
+        let findings = lint_files(&files);
+        assert_eq!(findings.len(), 1, "{}", render_text(&findings));
+        assert_eq!(findings[0].rule, "panic-policy");
+        assert_eq!(findings[0].file, "hot.rs");
+        assert!(findings[0].message.contains("decode"));
+        assert!(findings[0].message.contains(".unwrap()"));
+    }
+
+    /// Mutual recursion must terminate the fixpoint and still report.
+    #[test]
+    fn recursive_helpers_terminate_and_report() {
+        let src = "
+            // lint: hot-path
+            fn fast(&self) { ping(3); }
+            // lint: end-hot-path
+            fn ping(n: u32) {
+                if n > 0 { pong(n); }
+                let g = self.maintenance.lock();
+                drop(g);
+            }
+            fn pong(n: u32) { ping(n - 1); }
+        ";
+        let hits = rules_hit(src);
+        assert_eq!(hits, vec!["hot-path-locking"]);
+    }
+
+    /// An allow at the hot-path call site stops the inherited effect —
+    /// one written reason covers the whole chain above it.
+    #[test]
+    fn allow_at_the_call_site_stops_propagation() {
+        let src = r#"
+            // lint: hot-path
+            fn fast(&self) {
+                // lint: allow(hot-path-locking, reason = "epoch sweep is amortised against the publish budget")
+                sweep_epochs(self);
+            }
+            // lint: end-hot-path
+            fn sweep_epochs(b: &B) {
+                let g = b.maintenance.lock();
+                drop(g);
+            }
+        "#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    /// Two same-named definitions: only effects common to both
+    /// propagate, and the printed chain marks the ambiguity.
+    #[test]
+    fn ambiguous_callees_propagate_shared_effects_and_say_so() {
+        let variant_a = "
+            fn prune(&self) {
+                let maintenance = self.inner.maintenance.lock();
+                drop(maintenance);
+            }
+        ";
+        let variant_b = "
+            fn prune(&self) {
+                let maintenance = self.inner.maintenance.lock();
+                let directory = self.inner.directory.write();
+                drop((maintenance, directory));
+            }
+        ";
+        let hot = "
+            // lint: hot-path
+            fn sweep(&self) { prune(self); }
+            // lint: end-hot-path
+        ";
+        let findings = lint_files(&[
+            ("a.rs".into(), variant_a.into()),
+            ("b.rs".into(), variant_b.into()),
+            ("hot.rs".into(), hot.into()),
+        ]);
+        assert_eq!(findings.len(), 1, "{}", render_text(&findings));
+        assert!(findings[0].message.contains("`maintenance`"));
+        assert!(findings[0].message.contains("(×2 defs)"));
+        assert!(
+            !render_text(&findings).contains("`directory`"),
+            "directory is not common to both candidates and must not propagate"
+        );
+    }
+
+    #[test]
+    fn blocking_while_locked_flags_sleeps_and_exempts_condvar_waits() {
+        let bad = "
+            fn drain(&self) {
+                let senders = self.inner.senders.read();
+                sleep(Duration::from_millis(5));
+                drop(senders);
+            }
+        ";
+        assert_eq!(rules_hit(bad), vec!["blocking-while-locked"]);
+
+        // The wait *consumes* the guard it names: the condvar releases
+        // it for the sleep, so nothing is held.
+        let condvar = "
+            fn dequeue(&self) {
+                let mut state = self.state.lock();
+                while state.queue.is_empty() {
+                    self.not_empty.wait(&mut state);
+                }
+            }
+        ";
+        assert!(rules_hit(condvar).is_empty());
+
+        // Explicitly released before the block: fine.
+        let released = "
+            fn pace(&self) {
+                let senders = self.inner.senders.read();
+                drop(senders);
+                sleep(Duration::from_millis(5));
+            }
+        ";
+        assert!(rules_hit(released).is_empty());
+    }
+
+    #[test]
+    fn blocking_while_locked_traces_through_helpers() {
+        let src = "
+            fn flush(&self) {
+                let directory = self.inner.directory.read();
+                settle(self);
+                drop(directory);
+            }
+            fn settle(&self) {
+                self.worker.join()
+            }
+        ";
+        let findings = lint_source("fixture.rs", src);
+        assert_eq!(findings.len(), 1, "{}", render_text(&findings));
+        assert_eq!(findings[0].rule, "blocking-while-locked");
+        assert!(findings[0].message.contains("settle"));
+        assert!(findings[0].message.contains(".join()"));
+        assert!(findings[0].message.contains("`directory`"));
+    }
+
+    #[test]
+    fn atomic_ordering_requires_justification_outside_counter_cells() {
+        let bad = "
+            fn spin(&self) {
+                while self.flag.load(Ordering::Relaxed) {}
+            }
+        ";
+        assert_eq!(rules_hit(bad), vec!["atomic-ordering"]);
+
+        let good = "
+            fn tally(&self) {
+                self.stats.events_published.fetch_add(1, Ordering::Relaxed);
+                // ordering: handshake is the scope join, not this flag.
+                while self.flag.load(Ordering::Relaxed) {}
+            }
+        ";
+        assert!(rules_hit(good).is_empty());
+    }
+
+    /// Satellite regression: the allow must cover the *whole statement*
+    /// that follows it — the old next-code-line scoping leaked findings
+    /// on the continuation lines of a multi-line call chain.
+    #[test]
+    fn allow_covers_the_full_statement_not_just_the_next_line() {
+        let multiline = r#"
+            // lint: hot-path
+            fn fast(&self) {
+                // lint: allow(hot-path-locking, reason = "startup-only snapshot read")
+                let snapshot = self
+                    .inner
+                    .directory
+                    .read();
+                drop(snapshot);
+            }
+            // lint: end-hot-path
+        "#;
+        assert!(rules_hit(multiline).is_empty());
+
+        // …and no further: the next statement still reports.
+        let next_statement = r#"
+            // lint: hot-path
+            fn fast(&self) {
+                // lint: allow(hot-path-locking, reason = "first read is amortised")
+                let a = self.inner.directory.read();
+                let b = self.inner.directory.read();
+                drop((a, b));
+            }
+            // lint: end-hot-path
+        "#;
+        assert_eq!(rules_hit(next_statement), vec!["hot-path-locking"]);
     }
 
     #[test]

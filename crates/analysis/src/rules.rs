@@ -1,28 +1,58 @@
 //! The invariant rules, run over the token/comment stream from
-//! [`crate::lexer`].
+//! [`crate::lexer`] — intraprocedurally per file, and
+//! interprocedurally over the workspace call graph built by
+//! [`crate::callgraph`] with the effect summaries of
+//! [`crate::summary`].
 //!
 //! Regions are declared in comments (see the README's *Invariants &
 //! analysis* section for the user-facing catalogue):
 //!
 //! - `// lint: hot-path` … `// lint: end-hot-path` — the enclosed code
 //!   runs on the publish fast path: the `hot-path-locking`,
-//!   `panic-policy` and `scratch-hygiene` rules apply.
+//!   `panic-policy` and `scratch-hygiene` rules apply — including
+//!   **through calls**: a helper (anywhere in the workspace) that
+//!   transitively acquires a broker-global lock or panics is reported
+//!   at the hot-path call site, with the full call chain.
 //! - `// lint: lock-order` … `// lint: end-lock-order` — the enclosed
 //!   code holds several engine locks at once: the `lock-order` rule
 //!   applies (ascending shard indexes, directory innermost).
-//! - `// lint: allow(rule, reason = "…")` — suppress `rule` on this
-//!   line and on the next code line. A missing or empty reason is
-//!   itself a finding (`lint-hygiene`).
+//! - `// lint: allow(rule, reason = "…")` — suppress `rule` over the
+//!   **whole statement** that follows (to the terminating `;`, or the
+//!   close of a brace block at the statement's own depth). A missing
+//!   or empty reason is itself a finding (`lint-hygiene`). An allow at
+//!   an effect's source — or at a call site — also stops that effect
+//!   from propagating to callers: one written justification covers the
+//!   chain above it.
 //!
-//! The `safety-comment` rule is global: every `unsafe` block needs a
-//! `SAFETY:` comment within the three preceding lines.
+//! Rules that need no region:
+//!
+//! - `safety-comment` — every `unsafe` block needs a `SAFETY:` comment
+//!   within the three preceding lines.
+//! - `blocking-while-locked` — no blocking operation (condvar wait,
+//!   channel receive, zero-arg `.join()`, `sleep`, or a call that
+//!   transitively reaches one) while a **named** lock guard (a
+//!   [`GLOBAL_LOCKS`] field or a per-shard/per-queue `state`) is live.
+//!   A condvar wait that *takes the guard as an argument* releases it
+//!   for the sleep and is exempt.
+//! - `atomic-ordering` — every `Ordering::Relaxed` outside the
+//!   allow-listed lock-free counter cells
+//!   ([`RELAXED_COUNTER_CELLS`]) needs a `// ordering:` justification
+//!   comment within the three preceding lines.
 
+use crate::callgraph::{self, CallGraph};
 use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::summary::{
+    self, blocking_op, chain, is_method_call, merge_candidates, method_receiver, Effects,
+};
 
 /// Broker-global lock *field* names: acquiring any of these inside a
-/// hot-path region is a finding. `shard` states are per-shard and fine;
-/// `senders` reads during delivery carry an explicit allow.
-const GLOBAL_LOCKS: &[&str] = &[
+/// hot-path region — directly or through any call chain — is a
+/// finding. `shard` states are per-shard and fine; `senders` reads
+/// during delivery carry an explicit allow. The names are the
+/// `boolmatch_core::lock_classes` vocabulary plus the unclassed
+/// broker-global mutexes; the drift-guard test in
+/// `crates/analysis/tests/drift.rs` keeps the two in sync.
+pub const GLOBAL_LOCKS: &[&str] = &[
     "directory",
     "maintenance",
     "senders",
@@ -32,12 +62,70 @@ const GLOBAL_LOCKS: &[&str] = &[
     "delivery_maintenance",
 ];
 
+/// Lock classes that are *leaves by discipline*, not broker-global
+/// locks: hot paths may touch them (`pool` slots are `try_lock`-only;
+/// per-shard `state` and per-queue locks are per-instance). Listed so
+/// the drift-guard test can prove every `lock_classes` name is either
+/// banned ([`GLOBAL_LOCKS`]) or deliberately exempt — never silently
+/// unknown to the lint.
+pub const LEAF_LOCKS: &[&str] = &["pool"];
+
+/// Field names whose guards the `blocking-while-locked` rule tracks in
+/// addition to [`GLOBAL_LOCKS`]: the per-shard / per-delivery-queue
+/// `state` locks. Blocking while one is live stalls every publisher
+/// that routes through that shard or queue.
+pub const SHARD_GUARD_FIELDS: &[&str] = &["state"];
+
 /// Panicking constructs disallowed in hot-path regions. `assert!` /
 /// `debug_assert!` stay legal: they state invariants, and the policy
 /// targets *recoverable-error-turned-abort* sites, not invariant
 /// checks.
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Monotonic statistics counters that may use `Ordering::Relaxed`
+/// without a justification comment: they are single-writer-per-event
+/// fetch-adds and racy-read loads whose only consumer is reporting —
+/// no control flow or data is published through them. Everything else
+/// relaxed needs a `// ordering:` comment saying why.
+pub const RELAXED_COUNTER_CELLS: &[&str] = &[
+    // Per-shard match/prune tallies (`ShardCell`).
+    "hits",
+    "pruned",
+    // Per-queue delivery tallies (`NotifyQueue`).
+    "enqueued",
+    "dropped",
+    // Broker-wide `BrokerStats` cells.
+    "events_published",
+    "notifications_delivered",
+    "notifications_dropped",
+    "notifications_disconnected",
+    "subscriptions_created",
+    "subscriptions_removed",
+    "subscriptions_migrated",
+    "fanout_worker_failures",
+    "subscribers_quarantined",
+    "quarantine_recoveries",
+    "consumer_panics",
+];
+
+/// Atomic operations whose trailing `Ordering` argument the
+/// `atomic-ordering` rule attributes backwards to a receiver.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
 
 /// Every rule the lint knows, as stable machine-readable names.
 pub const RULES: &[&str] = &[
@@ -46,6 +134,8 @@ pub const RULES: &[&str] = &[
     "scratch-hygiene",
     "panic-policy",
     "safety-comment",
+    "blocking-while-locked",
+    "atomic-ordering",
     "lint-hygiene",
 ];
 
@@ -126,32 +216,37 @@ fn parse_allow(tail: &str) -> Directive {
     }
 }
 
-/// An inclusive line range a region covers.
+/// An inclusive line range a region (or an allow's statement) covers.
 #[derive(Debug, Clone, Copy)]
-struct Region {
-    start: u32,
-    end: u32,
+pub(crate) struct Region {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
 }
 
 impl Region {
-    fn contains(&self, line: u32) -> bool {
+    pub(crate) fn contains(&self, line: u32) -> bool {
         self.start <= line && line <= self.end
     }
 }
 
 /// Everything the rules need about one file, precomputed.
-struct FileView<'a> {
-    file: &'a str,
-    lexed: &'a Lexed,
-    hot: Vec<Region>,
+pub(crate) struct FileView<'a> {
+    pub(crate) file: &'a str,
+    pub(crate) lexed: &'a Lexed,
+    pub(crate) hot: Vec<Region>,
     lock_order: Vec<Region>,
-    /// `(rule, lines-it-covers)` per well-formed allow.
-    allows: Vec<(String, [u32; 2])>,
-    findings: Vec<Finding>,
+    /// `(rule, statement-range-it-covers)` per well-formed allow.
+    allows: Vec<(String, Region)>,
+    pub(crate) findings: Vec<Finding>,
 }
 
 impl<'a> FileView<'a> {
-    fn new(file: &'a str, lexed: &'a Lexed, last_line: u32) -> Self {
+    pub(crate) fn new(file: &'a str, lexed: &'a Lexed) -> Self {
+        let last_line = lexed
+            .tokens
+            .last()
+            .map_or(1, |t| t.line)
+            .max(lexed.comments.last().map_or(1, |c| c.line));
         let mut view = FileView {
             file,
             lexed,
@@ -164,17 +259,11 @@ impl<'a> FileView<'a> {
         view
     }
 
-    fn report(&mut self, line: u32, rule: &'static str, message: String) {
+    pub(crate) fn report(&mut self, line: u32, rule: &'static str, message: String) {
         // `lint-hygiene` findings are never suppressible — an allow
         // that allowed itself would be unfalsifiable.
-        if rule != "lint-hygiene" {
-            let suppressed = self
-                .allows
-                .iter()
-                .any(|(r, lines)| r == rule && lines.contains(&line));
-            if suppressed {
-                return;
-            }
+        if rule != "lint-hygiene" && self.is_allowed(rule, line) {
+            return;
         }
         self.findings.push(Finding {
             file: self.file.to_owned(),
@@ -184,15 +273,69 @@ impl<'a> FileView<'a> {
         });
     }
 
-    /// First token line strictly after `line` — where a preceding-line
-    /// allow lands.
-    fn next_code_line(&self, line: u32) -> u32 {
-        self.lexed
-            .tokens
+    pub(crate) fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
             .iter()
-            .map(|t| t.line)
-            .find(|&l| l > line)
-            .unwrap_or(line)
+            .any(|(r, range)| r == rule && range.contains(line))
+    }
+
+    /// The line range an allow on `line` suppresses: the allow's own
+    /// line through the end of the statement that follows — the first
+    /// `;` at the statement's brace depth, or the close of a brace
+    /// block opened at that depth (an `if`/`match`/loop statement, or
+    /// a whole item), whichever comes first. `else` branches and
+    /// `.`/`?` continuations keep the statement open.
+    fn allow_cover(&self, line: u32) -> Region {
+        let toks = &self.lexed.tokens;
+        let Some(first) = toks.iter().position(|t| t.line >= line) else {
+            return Region {
+                start: line,
+                end: line,
+            };
+        };
+        let stmt_depth = toks[first].depth;
+        let mut j = first;
+        while let Some(tok) = toks.get(j) {
+            if tok.depth < stmt_depth {
+                // The enclosing block closed before any terminator: the
+                // statement ended on the previous token's line.
+                let end = if j > first { toks[j - 1].line } else { line };
+                return Region { start: line, end };
+            }
+            match tok.kind {
+                TokKind::Punct(';') if tok.depth == stmt_depth => {
+                    return Region {
+                        start: line,
+                        end: tok.line,
+                    };
+                }
+                // A brace block opened at the statement's own depth
+                // just closed (its `}` sits one level in). Unless the
+                // statement visibly continues, it ends here.
+                TokKind::Punct('}') if tok.depth == stmt_depth + 1 => match toks.get(j + 1) {
+                    Some(next)
+                        if next.ident() == Some("else")
+                            || next.is_punct('.')
+                            || next.is_punct('?') => {}
+                    Some(next) if next.is_punct(';') => {
+                        return Region {
+                            start: line,
+                            end: next.line,
+                        };
+                    }
+                    _ => {
+                        return Region {
+                            start: line,
+                            end: tok.line,
+                        };
+                    }
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = toks.last().map_or(line, |t| t.line);
+        Region { start: line, end }
     }
 
     fn collect_directives(&mut self, last_line: u32) {
@@ -253,7 +396,7 @@ impl<'a> FileView<'a> {
                     }
                     match reason.as_deref() {
                         Some(r) if !r.trim().is_empty() => {
-                            let covers = [line, self.next_code_line(line)];
+                            let covers = self.allow_cover(line);
                             self.allows.push((rule, covers));
                         }
                         _ => self.report(
@@ -293,7 +436,7 @@ impl<'a> FileView<'a> {
         }
     }
 
-    fn in_hot(&self, line: u32) -> bool {
+    pub(crate) fn in_hot(&self, line: u32) -> bool {
         self.hot.iter().any(|r| r.contains(line))
     }
 
@@ -302,40 +445,58 @@ impl<'a> FileView<'a> {
     }
 }
 
-/// Lints one file's source; `file` is only a label for findings.
+/// Lints one file's source; `file` is only a label for findings. The
+/// interprocedural pass still runs — over this file's own call graph.
 pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let last_line = lexed
-        .tokens
-        .last()
-        .map_or(1, |t| t.line)
-        .max(lexed.comments.last().map_or(1, |c| c.line));
-    let mut view = FileView::new(file, &lexed, last_line);
-    check_hot_path_locking(&mut view);
-    check_panic_policy(&mut view);
-    check_scratch_hygiene(&mut view);
-    check_lock_order(&mut view);
-    check_safety_comments(&mut view);
-    let mut findings = view.findings;
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    lint_files(&[(file.to_owned(), source.to_owned())])
+}
+
+/// Lints a set of sources as one workspace: per-file rules plus the
+/// interprocedural pass over the cross-file call graph.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<Lexed> = files.iter().map(|(_, source)| lex(source)).collect();
+    let mut views: Vec<FileView> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((label, _), lx)| FileView::new(label, lx))
+        .collect();
+    for view in &mut views {
+        check_hot_path_locking(view);
+        check_panic_policy(view);
+        check_scratch_hygiene(view);
+        check_lock_order(view);
+        check_safety_comments(view);
+        check_atomic_ordering(view);
+    }
+
+    // Interprocedural pass: call graph, then effect summaries to a
+    // fixpoint, then the transitive checks.
+    let file_refs: Vec<(&str, &Lexed)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((label, _), lx)| (label.as_str(), lx))
+        .collect();
+    let graph = callgraph::build(&file_refs);
+    let effects = {
+        let allowed =
+            |file: usize, rule: &str, line: u32| -> bool { views[file].is_allowed(rule, line) };
+        let mut effects = summary::direct_effects(&file_refs, &graph, &allowed);
+        summary::propagate(&graph, &mut effects, &allowed);
+        effects
+    };
+    let hot_by_file: Vec<Vec<Region>> = views.iter().map(|v| v.hot.clone()).collect();
+    let labels: Vec<&str> = files.iter().map(|(label, _)| label.as_str()).collect();
+    for (file_idx, view) in views.iter_mut().enumerate() {
+        check_transitive_hot_path(view, file_idx, &graph, &effects, &hot_by_file, &labels);
+        check_blocking_while_locked(view, file_idx, &graph, &effects, &labels);
+    }
+
+    let mut findings: Vec<Finding> = views.into_iter().flat_map(|v| v.findings).collect();
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    findings.dedup();
     findings
-}
-
-/// `receiver.method(` shape at token index `i` (pointing at `method`):
-/// returns the receiver ident.
-fn method_call_receiver(toks: &[Tok], i: usize) -> Option<&str> {
-    if i < 2 || !toks[i - 1].is_punct('.') {
-        return None;
-    }
-    if toks.get(i + 1).is_none_or(|t| !t.is_punct('(')) {
-        return None;
-    }
-    toks[i - 2].ident()
-}
-
-/// Is token `i` a `.method(` call (any receiver)?
-fn is_method_call(toks: &[Tok], i: usize) -> bool {
-    i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
 }
 
 /// No broker-global lock may be acquired inside a hot-path region.
@@ -346,7 +507,7 @@ fn check_hot_path_locking(view: &mut FileView<'_>) {
         if !matches!(method, "read" | "write" | "lock") || !view.in_hot(tok.line) {
             continue;
         }
-        if let Some(receiver) = method_call_receiver(toks, i) {
+        if let Some(receiver) = method_receiver(toks, i) {
             if GLOBAL_LOCKS.contains(&receiver) {
                 let line = tok.line;
                 view.report(
@@ -616,4 +777,364 @@ fn check_safety_comments(view: &mut FileView<'_>) {
             );
         }
     }
+}
+
+/// Every `Ordering::Relaxed` outside the allow-listed counter cells
+/// needs a `// ordering:` justification comment within the three
+/// preceding lines (or on its own line). Applies file-wide — relaxed
+/// atomics are exactly the construct whose correctness is invisible at
+/// the use site.
+fn check_atomic_ordering(view: &mut FileView<'_>) {
+    let toks = &view.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.ident() != Some("Ordering")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            || toks.get(i + 3).and_then(Tok::ident) != Some("Relaxed")
+        {
+            continue;
+        }
+        let line = tok.line;
+        // Attribute the ordering backwards to the atomic op it
+        // parameterises, and that op's receiver cell.
+        let mut receiver = None;
+        for k in (i.saturating_sub(24)..i).rev() {
+            let Some(name) = toks[k].ident() else {
+                continue;
+            };
+            if ATOMIC_OPS.contains(&name) && toks.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+                receiver = method_receiver(toks, k);
+                break;
+            }
+        }
+        if receiver.is_some_and(|r| RELAXED_COUNTER_CELLS.contains(&r)) {
+            continue;
+        }
+        let justified = view.lexed.comments.iter().any(|c| {
+            c.line + 3 >= line
+                && c.line <= line
+                && c.text
+                    .trim_start_matches(['/', '!'])
+                    .trim_start()
+                    .starts_with("ordering:")
+        });
+        if justified {
+            continue;
+        }
+        let cell = receiver.unwrap_or("<unknown>");
+        view.report(
+            line,
+            "atomic-ordering",
+            format!(
+                "`Ordering::Relaxed` on `{cell}` is outside the allow-listed lock-free \
+                 counter cells; add a `// ordering:` comment stating why relaxed is \
+                 sound here, or use an acquire/release ordering"
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural checks
+// ---------------------------------------------------------------------------
+
+/// Hot-path regions, through calls: a call site inside a hot-path
+/// region whose callee **transitively** acquires a broker-global lock
+/// or panics is reported here, with the full call chain. Effects whose
+/// direct site already sits inside a hot-path region are skipped —
+/// the intraprocedural rules reported them at the source.
+fn check_transitive_hot_path(
+    view: &mut FileView<'_>,
+    file_idx: usize,
+    graph: &CallGraph,
+    effects: &[Effects],
+    hot_by_file: &[Vec<Region>],
+    labels: &[&str],
+) {
+    for call in &graph.calls {
+        if call.file != file_idx || !view.in_hot(call.line) {
+            continue;
+        }
+        let candidates = graph.resolve(&call.callee);
+        if candidates.is_empty() {
+            continue;
+        }
+        let merged = merge_candidates(candidates, effects);
+        for lock in &merged.locks {
+            let Some(found) = chain(
+                graph,
+                effects,
+                merged.lock_via[lock],
+                candidates.len(),
+                |e| e.locks.get(lock),
+            ) else {
+                continue;
+            };
+            if hot_by_file[found.file]
+                .iter()
+                .any(|r| r.contains(found.line))
+            {
+                continue;
+            }
+            view.report(
+                call.line,
+                "hot-path-locking",
+                format!(
+                    "`{callee}(…)` transitively acquires the broker-global `{lock}` lock: \
+                     `{what}` at {site_file}:{site_line}, reached via {path}; the publish \
+                     fast path must stay off every global lock — restructure the helper, \
+                     or justify this call with an allow",
+                    callee = call.callee,
+                    what = found.what,
+                    site_file = labels[found.file],
+                    site_line = found.line,
+                    path = found.path,
+                ),
+            );
+        }
+        if merged.panics {
+            if let Some(found) = chain(graph, effects, merged.panic_via, candidates.len(), |e| {
+                e.panics.as_ref()
+            }) {
+                if !hot_by_file[found.file]
+                    .iter()
+                    .any(|r| r.contains(found.line))
+                {
+                    view.report(
+                        call.line,
+                        "panic-policy",
+                        format!(
+                            "`{callee}(…)` can transitively panic: `{what}` at \
+                             {site_file}:{site_line}, reached via {path}; a hot-path \
+                             publish must not abort — handle the error in the helper, \
+                             or justify this call with an allow",
+                            callee = call.callee,
+                            what = found.what,
+                            site_file = labels[found.file],
+                            site_line = found.line,
+                            path = found.path,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A named lock guard tracked by `blocking-while-locked`.
+struct LiveGuard {
+    /// Binding name (`senders`, `_maintenance`, …).
+    name: String,
+    /// Lock field the guard came from.
+    lock: String,
+    /// Brace depth of the binding: the guard dies when the depth drops
+    /// below it.
+    depth: u32,
+    line: u32,
+}
+
+/// No blocking operation — direct, or through any call chain — while a
+/// named lock guard is live. Applies everywhere (no region needed): a
+/// parked thread holding `directory` or a shard `state` stalls every
+/// publisher behind it, and only a lucky test interleaving would catch
+/// it dynamically. A condvar wait that takes the guard as an argument
+/// releases it for the sleep and is exempt (so are waits naming every
+/// live guard).
+fn check_blocking_while_locked(
+    view: &mut FileView<'_>,
+    file_idx: usize,
+    graph: &CallGraph,
+    effects: &[Effects],
+    labels: &[&str],
+) {
+    let toks = &view.lexed.tokens;
+    for (fn_idx, item) in graph.fns.iter().enumerate() {
+        if item.file != file_idx {
+            continue;
+        }
+        // Call sites of this fn, findable by token index.
+        let calls_here: Vec<&callgraph::CallSite> = graph.calls_of[fn_idx]
+            .iter()
+            .map(|&c| &graph.calls[c])
+            .collect();
+        let mut next_call = 0usize;
+        let mut guards: Vec<LiveGuard> = Vec::new();
+        for i in (item.open + 1)..item.close {
+            if !item.owns(i) {
+                continue;
+            }
+            let tok = &toks[i];
+            guards.retain(|g| tok.depth >= g.depth);
+            // Explicit early release: `drop(guard)`.
+            if tok.ident() == Some("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                if let Some(dropped) = toks.get(i + 2).and_then(Tok::ident) {
+                    if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        guards.retain(|g| g.name != dropped);
+                    }
+                }
+            }
+            if tok.ident() == Some("let") {
+                if let Some(guard) = guard_binding(toks, i) {
+                    guards.push(guard);
+                }
+            }
+            if guards.is_empty() {
+                continue;
+            }
+            // Direct blocking operation?
+            if let Some(what) = blocking_op(toks, i) {
+                // The `Block { .. }` arm is a summary marker for the
+                // enclosing fn, not a positional blocking op — the
+                // concrete wait inside the arm is checked on its own.
+                if !what.starts_with("Block") {
+                    let exempt = call_arg_idents(toks, i);
+                    if let Some(guard) = guards.iter().find(|g| !exempt.contains(&g.name)) {
+                        let line = tok.line;
+                        let message = format!(
+                            "`{what}` while the `{lock}` guard `{name}` (bound line \
+                             {gline}) is live — blocking with a named lock held invites \
+                             deadlock; drop the guard first, hand it to the wait, or \
+                             justify with an allow",
+                            lock = guard.lock,
+                            name = guard.name,
+                            gline = guard.line,
+                        );
+                        view.report(line, "blocking-while-locked", message);
+                    }
+                    continue;
+                }
+            }
+            // Transitively blocking call?
+            while next_call < calls_here.len() && calls_here[next_call].tok < i {
+                next_call += 1;
+            }
+            if next_call < calls_here.len() && calls_here[next_call].tok == i {
+                let call = calls_here[next_call];
+                let candidates = graph.resolve(&call.callee);
+                if candidates.is_empty() {
+                    continue;
+                }
+                let merged = merge_candidates(candidates, effects);
+                if !merged.blocks {
+                    continue;
+                }
+                let exempt = call_arg_idents(toks, i);
+                let Some(guard) = guards.iter().find(|g| !exempt.contains(&g.name)) else {
+                    continue;
+                };
+                let Some(found) = chain(graph, effects, merged.block_via, candidates.len(), |e| {
+                    e.blocks.as_ref()
+                }) else {
+                    continue;
+                };
+                let line = call.line;
+                let message = format!(
+                    "`{callee}(…)` transitively blocks (`{what}` at {site_file}:{site_line}, \
+                     reached via {path}) while the `{lock}` guard `{name}` (bound line \
+                     {gline}) is live — release the guard before the call, or justify \
+                     with an allow",
+                    callee = call.callee,
+                    what = found.what,
+                    site_file = labels[found.file],
+                    site_line = found.line,
+                    path = found.path,
+                    lock = guard.lock,
+                    name = guard.name,
+                    gline = guard.line,
+                );
+                view.report(line, "blocking-while-locked", message);
+            }
+        }
+    }
+}
+
+/// Recognises `let [mut] NAME = …RECEIVER.read/write/lock();` — a
+/// named guard binding the `blocking-while-locked` rule tracks. The
+/// lock call must terminate the statement (`();` directly): a chained
+/// temporary (`directory.read().skew_pair()`) releases its guard at
+/// the statement's end and binds only the derived value.
+fn guard_binding(toks: &[Tok], let_idx: usize) -> Option<LiveGuard> {
+    let depth = toks[let_idx].depth;
+    let mut j = let_idx + 1;
+    if toks.get(j).and_then(Tok::ident) == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j).and_then(Tok::ident)?;
+    if name == "_" {
+        return None; // `let _ = …` drops the guard immediately
+    }
+    // Tuple/struct/enum patterns (`let (a, b) =`, `let Some(x) =`)
+    // are not single-guard bindings.
+    if toks
+        .get(j + 1)
+        .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+    {
+        return None;
+    }
+    // Find the statement's terminating `;` at the binding depth.
+    let mut k = j + 1;
+    let mut end = None;
+    while let Some(tok) = toks.get(k) {
+        if tok.depth < depth {
+            break;
+        }
+        if tok.kind == TokKind::Punct(';') && tok.depth == depth {
+            end = Some(k);
+            break;
+        }
+        k += 1;
+    }
+    let end = end?;
+    // `… RECEIVER . METHOD ( ) ;`
+    if end < 5 {
+        return None;
+    }
+    let method = toks[end - 3].ident()?;
+    if !matches!(method, "read" | "write" | "lock") {
+        return None;
+    }
+    if !toks[end - 2].is_punct('(') || !toks[end - 1].is_punct(')') || !toks[end - 4].is_punct('.')
+    {
+        return None;
+    }
+    let receiver = toks[end - 5].ident()?;
+    if !GLOBAL_LOCKS.contains(&receiver) && !SHARD_GUARD_FIELDS.contains(&receiver) {
+        return None;
+    }
+    Some(LiveGuard {
+        name: name.to_owned(),
+        lock: receiver.to_owned(),
+        depth,
+        line: toks[let_idx].line,
+    })
+}
+
+/// Identifiers appearing in the argument list of the call at token
+/// `i` (the callee name; `i + 1` must be the `(`). A condvar wait that
+/// names a guard here consumes/releases it for the sleep.
+fn call_arg_idents(toks: &[Tok], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    if toks.get(i + 1).is_none_or(|t| !t.is_punct('(')) {
+        return out;
+    }
+    let mut parens = 1i32;
+    let mut j = i + 2;
+    while let Some(tok) = toks.get(j) {
+        match tok.kind {
+            TokKind::Punct('(') => parens += 1,
+            TokKind::Punct(')') => {
+                parens -= 1;
+                if parens == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident(ref name) => out.push(name.clone()),
+            _ => {}
+        }
+        j += 1;
+        if j > i + 512 {
+            break; // degenerate; stop scanning
+        }
+    }
+    out
 }

@@ -1,0 +1,134 @@
+//! Drift guards: the lint's hard-coded vocabulary must track the
+//! workspace it patrols. A new lock class in
+//! `boolmatch_core::lock_classes`, a new broker-global lock field, or
+//! a new rule that never makes the README table should fail *here*,
+//! not silently escape enforcement or documentation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use boolmatch_analysis::rules::{GLOBAL_LOCKS, LEAF_LOCKS, RELAXED_COUNTER_CELLS, RULES};
+use boolmatch_analysis::workspace_sources;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// Every flat (string-const) lock class in `lock_classes` must be
+/// classified by the lint: either banned on the hot path
+/// (`GLOBAL_LOCKS`) or a documented leaf (`LEAF_LOCKS`). Parameterised
+/// classes (`shard[{i}]`, `delivery-queue[{g}]`) are per-instance by
+/// construction — the test pins that they stay indexed.
+#[test]
+fn every_lock_class_is_classified_by_the_lint() {
+    let routing = fs::read_to_string(workspace_root().join("crates/core/src/routing.rs"))
+        .expect("routing.rs is readable");
+    let start = routing
+        .find("pub mod lock_classes")
+        .expect("lock_classes module exists");
+    let module = &routing[start..];
+    let end = module.find("\n}").expect("lock_classes module closes");
+    let module = &module[..end];
+
+    let mut flat_classes = Vec::new();
+    for line in module.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("pub const ") {
+            if rest.contains("&str") {
+                let value = rest
+                    .split('"')
+                    .nth(1)
+                    .expect("string lock-class const carries a literal");
+                flat_classes.push(value.to_owned());
+            }
+        }
+        if let Some(at) = line.find("format!(\"") {
+            let value = line[at..]
+                .split('"')
+                .nth(1)
+                .expect("format! carries a literal");
+            assert!(
+                value.contains('['),
+                "parameterised lock class `{value}` must stay per-instance \
+                 (indexed); a flat class belongs in GLOBAL_LOCKS or LEAF_LOCKS"
+            );
+        }
+    }
+    assert!(
+        !flat_classes.is_empty(),
+        "found no flat lock classes — the textual scan of lock_classes broke"
+    );
+    for class in &flat_classes {
+        assert!(
+            GLOBAL_LOCKS.contains(&class.as_str()) || LEAF_LOCKS.contains(&class.as_str()),
+            "lock class `{class}` is neither banned on the hot path (GLOBAL_LOCKS) \
+             nor a documented leaf (LEAF_LOCKS) — classify it in \
+             crates/analysis/src/rules.rs"
+        );
+    }
+}
+
+/// Every name the lint bans or allow-lists must exist in the sources it
+/// patrols — a renamed broker field would otherwise leave a stale entry
+/// silently matching nothing.
+#[test]
+fn lint_vocabulary_names_exist_in_the_workspace() {
+    let root = workspace_root();
+    let mut haystack = String::new();
+    for path in workspace_sources(&root).expect("workspace sources are readable") {
+        if path.to_string_lossy().contains("crates/shims/") {
+            continue;
+        }
+        haystack.push_str(&fs::read_to_string(&path).expect("source is readable"));
+    }
+    for lock in GLOBAL_LOCKS {
+        assert!(
+            haystack.contains(&format!("{lock}:")),
+            "GLOBAL_LOCKS entry `{lock}` matches no field declaration in the \
+             workspace — stale vocabulary?"
+        );
+    }
+    for cell in RELAXED_COUNTER_CELLS {
+        assert!(
+            haystack.contains(&format!("{cell}:")),
+            "RELAXED_COUNTER_CELLS entry `{cell}` matches no field declaration \
+             in the workspace — stale vocabulary?"
+        );
+    }
+}
+
+/// The README's rule table and the lint's `RULES` list must stay in
+/// lockstep, both directions.
+#[test]
+fn readme_rule_table_matches_rules() {
+    let readme =
+        fs::read_to_string(workspace_root().join("README.md")).expect("README is readable");
+    let section = readme
+        .split("## Invariants & analysis")
+        .nth(1)
+        .expect("README has an Invariants & analysis section");
+    let section = section.split("\n## ").next().expect("section has content");
+    let mut documented: Vec<String> = section
+        .lines()
+        .filter_map(|line| line.trim().strip_prefix("| `"))
+        .map(|rest| {
+            rest.split('`')
+                .next()
+                .expect("table cell closes its backtick")
+                .to_owned()
+        })
+        .collect();
+    documented.sort();
+    documented.dedup();
+    let mut rules: Vec<String> = RULES.iter().map(|r| (*r).to_owned()).collect();
+    rules.sort();
+    assert_eq!(
+        documented, rules,
+        "README rule table and rules::RULES drifted apart — document new rules \
+         in the table, or remove stale rows"
+    );
+}

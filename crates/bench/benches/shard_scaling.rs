@@ -78,6 +78,9 @@ fn publish_under_churn(broker: &Broker, per_thread: u64) -> Duration {
             // subscription writes racing the publishers' reads.
             let mut churn = ChurnScenario::new(7, 200).with_publish_ratio(0.0);
             let mut live: Vec<Subscription> = Vec::new();
+            // ordering: plain quit flag — the churn loop only has to
+            // notice the store eventually; no data is published
+            // through it.
             while !stop.load(Ordering::Relaxed) {
                 match churn.next_op() {
                     ChurnOp::Subscribe(expr) => {
@@ -110,6 +113,8 @@ fn publish_under_churn(broker: &Broker, per_thread: u64) -> Duration {
             }
         });
         elapsed = start.elapsed();
+        // ordering: quit flag (see the load above); scope join is the
+        // synchronisation point.
         stop.store(true, Ordering::Relaxed);
     });
     elapsed

@@ -978,6 +978,7 @@ impl Broker {
             let expr = {
                 let directory = self.inner.directory.read();
                 match directory.placement_of(global) {
+                    // lint: allow(panic-policy, reason = "unreachable: the guard just confirmed the placement is live, and live placements store their expression")
                     Some((shard, at)) if shard == from && at == local => Arc::clone(
                         directory
                             .expr_of(global)

@@ -391,6 +391,7 @@ impl SubscriptionDirectory {
             "placement limit {limit} outside 1..={}",
             self.shard_count()
         );
+        // lint: allow(panic-policy, reason = "unreachable: the assert above pins limit > 0, so the slice has a minimum")
         let min = self.loads[..limit]
             .iter()
             .copied()

@@ -62,6 +62,7 @@ impl Expr {
     pub fn and(mut children: Vec<Expr>) -> Expr {
         assert!(!children.is_empty(), "conjunction needs at least one child");
         if children.len() == 1 {
+            // lint: allow(panic-policy, reason = "unreachable: this branch requires len() == 1, so pop() yields Some")
             children.pop().unwrap()
         } else {
             Expr::And(children)
@@ -76,6 +77,7 @@ impl Expr {
     pub fn or(mut children: Vec<Expr>) -> Expr {
         assert!(!children.is_empty(), "disjunction needs at least one child");
         if children.len() == 1 {
+            // lint: allow(panic-policy, reason = "unreachable: this branch requires len() == 1, so pop() yields Some")
             children.pop().unwrap()
         } else {
             Expr::Or(children)

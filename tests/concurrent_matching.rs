@@ -73,12 +73,15 @@ fn stress(kind: EngineKind) {
                         delivered > usize::from(n % 2 == 0),
                         "event {n} under-delivered ({delivered}) on {kind}"
                     );
+                    // ordering: pure tally; the scope join below
+                    // happens-before the final load.
                     published.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
     });
 
+    // ordering: read after the scope join; all writers are done.
     let total = published.load(Ordering::Relaxed);
     assert_eq!(total, PUBLISHERS * EVENTS_PER_PUBLISHER);
 
