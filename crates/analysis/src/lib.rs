@@ -250,6 +250,37 @@ mod tests {
         assert!(rules_hit(good).is_empty());
     }
 
+    /// The batch-matching checkout sites obey the same hygiene pair:
+    /// a `BatchScratch` reset in a hot-path region (pool checkout, the
+    /// broker's per-shard batch loop) must re-arm capacity for the
+    /// engine it is about to serve, or the first chunk kernel of the
+    /// next batch reallocates every lane plane.
+    #[test]
+    fn scratch_hygiene_covers_batch_scratch_checkout() {
+        let bad = "
+            // lint: hot-path
+            fn checkout(&self) -> BatchScratch {
+                let mut batch = self.take_batch();
+                batch.reset();
+                batch
+            }
+            // lint: end-hot-path
+        ";
+        assert_eq!(rules_hit(bad), vec!["scratch-hygiene"]);
+
+        let good = "
+            // lint: hot-path
+            fn publish_batch_cell(&self, state: &ShardState, batch: &mut BatchScratch) {
+                batch.reset();
+                batch.ensure_capacity(&*state.engine);
+                let stats = state.engine.match_batch(events, &skip, batch);
+                drop(stats);
+            }
+            // lint: end-hot-path
+        ";
+        assert!(rules_hit(good).is_empty());
+    }
+
     #[test]
     fn lock_order_flags_shard_state_under_a_live_directory_guard() {
         let bad = "

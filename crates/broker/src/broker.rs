@@ -10,10 +10,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use boolmatch_core::{
-    attribute_hash, dominant_eq_attr, lock_classes, BoxedEngine, EngineKind, FanOut, FanOutPool,
-    FilterEngine, MatchScratch, MatchStats, MemoryUsage, PlacementPolicy, ScratchLease,
-    ScratchPool, ShardSynopsis, ShardTranslation, SubscribeError, SubscriptionDirectory,
-    SubscriptionId, WorkerPool,
+    attribute_hash, dominant_eq_attr, lock_classes, BatchScratch, BatchScratchPool, BoxedEngine,
+    EngineKind, FanOut, FanOutPool, FilterEngine, MatchScratch, MatchStats, MemoryUsage,
+    PlacementPolicy, ScratchLease, ScratchPool, ShardSynopsis, ShardTranslation, SubscribeError,
+    SubscriptionDirectory, SubscriptionId, WorkerPool,
 };
 use boolmatch_expr::{Expr, ParseError};
 use boolmatch_types::Event;
@@ -132,14 +132,17 @@ struct AtomicStats {
 }
 
 /// Per-publisher-thread reusable buffers: the match scratch plus the
-/// global matched-id accumulator (publish), the per-event matched
-/// buckets (publish_batch), and the delivery snapshot of matched
-/// subscribers' queue handles.
+/// global matched-id accumulator (publish), the batch scratch, skip
+/// mask, per-event matched buckets and `Arc` buffer (publish_batch),
+/// and the delivery snapshot of matched subscribers' queue handles.
 #[derive(Default)]
 struct PublishState {
     scratch: MatchScratch,
+    batch: BatchScratch,
+    skip: Vec<bool>,
     matched: Vec<SubscriptionId>,
     buckets: Vec<Vec<SubscriptionId>>,
+    event_arcs: Vec<Arc<Event>>,
     targets: Vec<(SubscriptionId, Arc<NotifyQueue>)>,
 }
 
@@ -330,6 +333,7 @@ type ShardMatches = (Vec<SubscriptionId>, Vec<usize>);
 struct Fanout {
     pool: Arc<WorkerPool>,
     scratches: Arc<ScratchPool>,
+    batch_scratches: Arc<BatchScratchPool>,
     publish_rendezvous: Arc<FanOutPool<ScratchLease>>,
     batch_rendezvous: Arc<FanOutPool<ShardMatches>>,
 }
@@ -340,8 +344,12 @@ impl Fanout {
             pool: Arc::new(WorkerPool::new(threads)),
             // One warm scratch per worker, plus headroom for a slot
             // probed while a return is in flight; same sizing for the
-            // parked rendezvous.
+            // batch-scratch pool and the parked rendezvous.
             scratches: Arc::new(ScratchPool::with_trim_cap(threads + 1, scratch_trim_cap)),
+            batch_scratches: Arc::new(BatchScratchPool::with_trim_cap(
+                threads + 1,
+                scratch_trim_cap,
+            )),
             publish_rendezvous: Arc::new(FanOutPool::new(threads + 1)),
             batch_rendezvous: Arc::new(FanOutPool::new(threads + 1)),
         }
@@ -1445,6 +1453,16 @@ impl Broker {
         }
     }
 
+    /// [`Broker::trim_oversized`] for the thread-local batch scratch:
+    /// a batch that grew the lane planes or per-event buckets past
+    /// [`BrokerBuilder::scratch_trim_cap`] releases the capacity
+    /// instead of pinning it in every publisher thread.
+    fn trim_oversized_batch(&self, batch: &mut BatchScratch) {
+        if batch.heap_bytes() > self.inner.scratch_trim_cap {
+            batch.trim();
+        }
+    }
+
     /// The fan-out pipeline the next publish should use, or `None` for
     /// the sequential walk: requires the worker pool (multi-shard sets
     /// only) and at least `parallel_threshold` live subscriptions.
@@ -1600,35 +1618,55 @@ impl Broker {
                 buckets.resize_with(events.len(), Vec::new);
             }
             if let Some(fan) = pipeline {
-                self.match_batch_parallel(&set, fan, events, &mut state.scratch, &mut buckets);
+                self.match_batch_parallel(
+                    &set,
+                    fan,
+                    events,
+                    &mut state.batch,
+                    &mut state.skip,
+                    &mut buckets,
+                );
             } else {
                 let prune = self.inner.prune;
                 for cell in &set.shards {
                     let shard_state = cell.state.read();
-                    let mut pruned = 0u64;
-                    for (event, bucket) in events.iter().zip(&mut buckets) {
-                        // Per-event prune decision under the
-                        // once-per-batch shard lock.
-                        if prune && !shard_state.synopsis.admits(event) {
-                            pruned += 1;
-                            continue;
-                        }
-                        let stats = shard_state
+                    // One synopsis walk per shard fills the whole
+                    // batch's skip mask — the same per-event prune
+                    // decisions as before, under the once-per-batch
+                    // shard lock.
+                    let pruned = if prune {
+                        shard_state
+                            .synopsis
+                            .admits_batch(events, &[], &mut state.skip)
+                            as u64
+                    } else {
+                        state.skip.clear();
+                        state.skip.resize(events.len(), false);
+                        0
+                    };
+                    cell.record_prunes(pruned);
+                    if pruned as usize == events.len() {
+                        continue;
+                    }
+                    state.batch.reset();
+                    state.batch.ensure_capacity(&*shard_state.engine);
+                    let stats =
+                        shard_state
                             .engine
-                            .match_event_into(event, &mut state.scratch);
-                        cell.record_hits(&stats);
+                            .match_batch(events, &state.skip, &mut state.batch);
+                    cell.record_hits(&stats);
+                    for (e, bucket) in buckets.iter_mut().enumerate().take(events.len()) {
                         bucket.extend(
                             state
-                                .scratch
-                                .matched()
+                                .batch
+                                .matched(e)
                                 .iter()
                                 .filter_map(|&l| shard_state.translation.global_of(l)),
                         );
                     }
-                    cell.record_prunes(pruned);
                 }
             }
-            self.trim_oversized(&mut state.scratch);
+            self.trim_oversized_batch(&mut state.batch);
             for bucket in buckets.iter_mut().take(events.len()) {
                 // Same migration-race guard as the single-publish path.
                 self.dedup_matched(epoch, bucket);
@@ -1666,23 +1704,42 @@ impl Broker {
 
     /// [`Broker::publish_batch`] for callers holding plain events: each
     /// is cloned into an `Arc` once (the only copies made — matching
-    /// and delivery then share them).
+    /// and delivery then share them). The `Arc` list itself lives in a
+    /// reusable thread-local buffer, so the steady-state wrapper adds
+    /// no allocation beyond the per-event `Arc`s.
     pub fn publish_batch_events(&self, events: &[Event]) -> usize {
-        let shared: Vec<Arc<Event>> = events.iter().map(|e| Arc::new(e.clone())).collect();
-        self.publish_batch(&shared)
+        // Take the buffer *out* of the thread-local cell: publish_batch
+        // re-borrows PUBLISH_STATE, so the RefCell borrow must not be
+        // live across the call.
+        let mut shared =
+            PUBLISH_STATE.with(|cell| std::mem::take(&mut cell.borrow_mut().event_arcs));
+        shared.clear();
+        shared.extend(events.iter().map(|e| Arc::new(e.clone())));
+        let delivered = self.publish_batch(&shared);
+        // Drop the Arcs now (deliveries hold their own clones) and park
+        // the buffer's capacity for the next batch — unless a
+        // pathological batch grew it past the trim cap.
+        shared.clear();
+        if shared.capacity() * std::mem::size_of::<Arc<Event>>() > self.inner.scratch_trim_cap {
+            shared = Vec::new();
+        }
+        PUBLISH_STATE.with(|cell| cell.borrow_mut().event_arcs = shared);
+        delivered
     }
 
     /// Batch counterpart of [`Broker::match_parallel_into`]: each
-    /// remote shard's worker matches the whole batch against its shard
-    /// (shard lock taken once, one leased scratch reused across the
-    /// batch) into per-event buckets; the caller does shard 0 inline
-    /// and merges the worker buckets in shard order.
+    /// remote shard's worker runs the engine's batch kernel over the
+    /// whole batch (shard lock taken once, one leased [`BatchScratch`]
+    /// reused across the batch, the shard's synopsis consulted once to
+    /// build the skip mask) into per-event buckets; the caller does
+    /// shard 0 inline and merges the worker buckets in shard order.
     fn match_batch_parallel(
         &self,
         set: &Arc<ShardSet>,
         fan: &Fanout,
         events: &[Arc<Event>],
-        scratch: &mut MatchScratch,
+        batch: &mut BatchScratch,
+        skip: &mut Vec<bool>,
         buckets: &mut [Vec<SubscriptionId>],
     ) {
         let shards = set.shards.len();
@@ -1698,34 +1755,43 @@ impl Broker {
         for s in 1..shards {
             let slot = run.slot(s - 1);
             let cell = Arc::clone(&set.shards[s]);
-            let scratches = Arc::clone(&fan.scratches);
+            let scratches = Arc::clone(&fan.batch_scratches);
             let shared = Arc::clone(&shared);
             fan.pool.submit(move || {
                 let out = {
                     let state = cell.state.read();
-                    let mut lease = scratches.lease(&*state.engine);
+                    let mut skip: Vec<bool> = Vec::new();
+                    let pruned = if prune {
+                        state.synopsis.admits_batch(&shared, &[], &mut skip) as u64
+                    } else {
+                        skip.resize(shared.len(), false);
+                        0
+                    };
+                    cell.record_prunes(pruned);
                     let mut flat: Vec<SubscriptionId> = Vec::new();
                     let mut ends: Vec<usize> = Vec::with_capacity(shared.len());
-                    let mut pruned = 0u64;
-                    for event in shared.iter() {
-                        // Pruned events contribute no ids; the end
-                        // offset is still pushed so per-event slices
-                        // stay aligned with the batch.
-                        if !prune || state.synopsis.admits(event) {
-                            let stats = state.engine.match_event_into(event, &mut lease);
-                            cell.record_hits(&stats);
+                    if pruned as usize == shared.len() {
+                        // Fully-pruned shard: aligned empty per-event
+                        // slices, no scratch lease, no kernel run —
+                        // exactly like the sequential walk's `continue`.
+                        ends.resize(shared.len(), 0);
+                    } else {
+                        let mut lease = scratches.lease(&*state.engine);
+                        let stats = state.engine.match_batch(&shared, &skip, &mut lease);
+                        cell.record_hits(&stats);
+                        for e in 0..shared.len() {
+                            // Pruned events contribute no ids; the end
+                            // offset is still pushed so per-event
+                            // slices stay aligned with the batch.
                             flat.extend(
                                 lease
-                                    .matched()
+                                    .matched(e)
                                     .iter()
                                     .filter_map(|&l| state.translation.global_of(l)),
                             );
-                        } else {
-                            pruned += 1;
+                            ends.push(flat.len());
                         }
-                        ends.push(flat.len());
                     }
-                    cell.record_prunes(pruned);
                     (flat, ends)
                 };
                 drop(shared);
@@ -1736,22 +1802,28 @@ impl Broker {
         {
             let cell = &set.shards[0];
             let state = cell.state.read();
-            let mut pruned = 0u64;
-            for (event, bucket) in events.iter().zip(buckets.iter_mut()) {
-                if prune && !state.synopsis.admits(event) {
-                    pruned += 1;
-                    continue;
-                }
-                let stats = state.engine.match_event_into(event, scratch);
-                cell.record_hits(&stats);
-                bucket.extend(
-                    scratch
-                        .matched()
-                        .iter()
-                        .filter_map(|&l| state.translation.global_of(l)),
-                );
-            }
+            let pruned = if prune {
+                state.synopsis.admits_batch(events, &[], skip) as u64
+            } else {
+                skip.clear();
+                skip.resize(events.len(), false);
+                0
+            };
             cell.record_prunes(pruned);
+            if (pruned as usize) < events.len() {
+                batch.reset();
+                batch.ensure_capacity(&*state.engine);
+                let stats = state.engine.match_batch(events, skip, batch);
+                cell.record_hits(&stats);
+                for (e, bucket) in buckets.iter_mut().enumerate().take(events.len()) {
+                    bucket.extend(
+                        batch
+                            .matched(e)
+                            .iter()
+                            .filter_map(|&l| state.translation.global_of(l)),
+                    );
+                }
+            }
         }
         // Slot order is shard order, so per-event ids concatenate
         // exactly like the sequential shard-major walk.
@@ -1949,9 +2021,16 @@ impl Broker {
             routing += state.translation.heap_bytes() + state.synopsis.heap_bytes();
             usage = usage + state.engine.memory_usage();
         }
+        // Warm batch scratches parked in the fan-out pool are broker
+        // memory too — charge them to the scratch bucket.
+        let pooled_scratch = set
+            .fanout
+            .as_ref()
+            .map_or(0, |fan| fan.batch_scratches.heap_bytes());
         usage
             + MemoryUsage {
                 unsub_support: routing,
+                scratch: pooled_scratch,
                 ..MemoryUsage::default()
             }
     }

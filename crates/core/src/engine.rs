@@ -2,12 +2,14 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use boolmatch_expr::{DnfError, Expr};
 use boolmatch_types::Event;
 
 use crate::{
-    EncodeError, FulfilledSet, MatchScratch, MatchStats, Matcher, MemoryUsage, SubscriptionId,
+    BatchScratch, EncodeError, FulfilledSet, MatchScratch, MatchStats, Matcher, MemoryUsage,
+    SubscriptionId,
 };
 
 /// The result of matching one event.
@@ -239,6 +241,53 @@ pub trait FilterEngine {
         }
     }
 
+    /// Matches a whole batch of events in one call, leaving per-event
+    /// matched ids in `batch` ([`BatchScratch::matched`]) and returning
+    /// the summed stats.
+    ///
+    /// `skip` marks events to exclude (empty means "none"): a skipped
+    /// event does no matching work, contributes nothing to the stats,
+    /// and its matched list is left empty — sharded callers use this to
+    /// prune a shard's non-candidates once per batch. When `skip` is
+    /// non-empty it must have one flag per event.
+    ///
+    /// The contract against the per-event path: for every non-skipped
+    /// event, `batch.matched(e)` holds exactly the ids
+    /// [`FilterEngine::match_event`] reports for `events[e]`
+    /// (per-event order is unspecified, like [`MatchScratch::matched`]),
+    /// and the summed stats equal the sum of the per-event stats —
+    /// except [`MatchStats::batch_events`]/[`MatchStats::batch_passes`],
+    /// which only the batch path reports. Single-event batches run the
+    /// byte-identical scalar path.
+    ///
+    /// This default simply loops [`FilterEngine::match_event_into`]
+    /// (one predicate-table pass per event), so custom engines keep
+    /// working; the built-in engines override it with lane kernels that
+    /// walk the predicate tables once per chunk of up to 64 events.
+    fn match_batch(
+        &self,
+        events: &[Arc<Event>],
+        skip: &[bool],
+        batch: &mut BatchScratch,
+    ) -> MatchStats {
+        debug_assert!(
+            skip.is_empty() || skip.len() == events.len(),
+            "skip mask must be empty or one flag per event"
+        );
+        batch.begin_batch(events.len());
+        let mut stats = MatchStats::default();
+        for (e, event) in events.iter().enumerate() {
+            if skip.get(e).copied().unwrap_or(false) {
+                continue;
+            }
+            stats = stats + self.match_event_into(event, &mut batch.scalar);
+            stats.batch_events += 1;
+            stats.batch_passes += 1;
+            batch.matched[e].extend_from_slice(&batch.scalar.matched);
+        }
+        stats
+    }
+
     /// Number of registered (original) subscriptions.
     fn subscription_count(&self) -> usize;
 
@@ -308,6 +357,15 @@ impl<T: FilterEngine + ?Sized> FilterEngine for Box<T> {
 
     fn match_event(&self, event: &Event, scratch: &mut MatchScratch) -> MatchResult {
         (**self).match_event(event, scratch)
+    }
+
+    fn match_batch(
+        &self,
+        events: &[Arc<Event>],
+        skip: &[bool],
+        batch: &mut BatchScratch,
+    ) -> MatchStats {
+        (**self).match_batch(events, skip, batch)
     }
 
     fn subscription_count(&self) -> usize {

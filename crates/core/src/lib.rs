@@ -109,12 +109,13 @@ pub use interner::PredicateInterner;
 pub use memory::MemoryUsage;
 pub use noncanonical::{NonCanonicalConfig, NonCanonicalEngine};
 pub use pool::{
-    FanOut, FanOutPool, PooledScratch, ScratchLease, ScratchPool, SlotGuard, WorkerPool,
+    BatchScratchLease, BatchScratchPool, FanOut, FanOutPool, PooledBatchScratch, PooledScratch,
+    ScratchLease, ScratchPool, SlotGuard, WorkerPool,
 };
 pub use routing::{
     lock_classes, PlacementPolicy, PredicateRouter, ShardTranslation, SubscriptionDirectory,
 };
-pub use scratch::{MatchScratch, Matcher};
+pub use scratch::{BatchScratch, MatchScratch, Matcher};
 pub use shard::{BoxedEngine, ShardedEngine};
 pub use stats::MatchStats;
 pub use synopsis::{attribute_hash, dominant_eq_attr, ShardSynopsis};

@@ -38,7 +38,7 @@ use parking_lot::Mutex;
 use crate::routing::lock_classes;
 
 use crate::engine::FilterEngine;
-use crate::MatchScratch;
+use crate::{BatchScratch, MatchScratch};
 
 // ---------------------------------------------------------------------------
 // ScratchPool
@@ -214,18 +214,18 @@ pub struct ScratchLease {
 // match; the Option is only ever None after Drop took the scratch, so
 // the expects below are unreachable while a guard is usable.
 macro_rules! impl_scratch_guard {
-    ($guard:ty) => {
+    ($guard:ty, $target:ty) => {
         impl std::ops::Deref for $guard {
-            type Target = MatchScratch;
+            type Target = $target;
 
-            fn deref(&self) -> &MatchScratch {
+            fn deref(&self) -> &$target {
                 // lint: allow(panic-policy, reason = "guard invariant: the scratch is Some from construction until Drop")
                 self.scratch.as_ref().expect("present until drop")
             }
         }
 
         impl std::ops::DerefMut for $guard {
-            fn deref_mut(&mut self) -> &mut MatchScratch {
+            fn deref_mut(&mut self) -> &mut $target {
                 // lint: allow(panic-policy, reason = "guard invariant: the scratch is Some from construction until Drop")
                 self.scratch.as_mut().expect("present until drop")
             }
@@ -249,10 +249,159 @@ macro_rules! impl_scratch_guard {
     };
 }
 
-impl_scratch_guard!(PooledScratch<'_>);
-impl_scratch_guard!(ScratchLease);
+impl_scratch_guard!(PooledScratch<'_>, MatchScratch);
+impl_scratch_guard!(ScratchLease, MatchScratch);
+impl_scratch_guard!(PooledBatchScratch<'_>, BatchScratch);
+impl_scratch_guard!(BatchScratchLease, BatchScratch);
 
 // lint: end-hot-path
+
+// ---------------------------------------------------------------------------
+// BatchScratchPool
+
+/// A non-blocking pool of reusable [`BatchScratch`]es — the batch-path
+/// twin of [`ScratchPool`], with the same contract: `try_lock`-probed
+/// slots (checkout never blocks), the hygiene pair applied exactly once
+/// per checkout, over-cap returns trimmed before parking.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_core::{BatchScratchPool, EngineKind};
+///
+/// let engine = EngineKind::Counting.build();
+/// let pool = BatchScratchPool::new(2);
+/// {
+///     let _batch = pool.checkout(&engine); // hygiene applied once here
+/// } // returned to the pool on drop
+/// assert_eq!(pool.pooled(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BatchScratchPool {
+    slots: Vec<Mutex<Option<BatchScratch>>>,
+    trim_cap: usize,
+}
+
+impl BatchScratchPool {
+    /// A pool holding at most `slots` warm batch scratches (at least
+    /// one), with no trim cap.
+    pub fn new(slots: usize) -> Self {
+        Self::with_trim_cap(slots, usize::MAX)
+    }
+
+    /// A pool whose parked batch scratches are bounded: one returning
+    /// with more than `trim_cap` heap bytes is [trimmed]
+    /// (capacity released) before it re-enters the pool.
+    ///
+    /// [trimmed]: BatchScratch::trim
+    pub fn with_trim_cap(slots: usize, trim_cap: usize) -> Self {
+        let slots: Vec<Mutex<Option<BatchScratch>>> =
+            (0..slots.max(1)).map(|_| Mutex::new(None)).collect();
+        for slot in &slots {
+            slot.set_class(lock_classes::POOL);
+        }
+        BatchScratchPool { slots, trim_cap }
+    }
+
+    /// Maximum number of batch scratches the pool retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of batch scratches currently parked (skipping slots
+    /// another thread holds locked at probe time).
+    pub fn pooled(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(Mutex::try_lock)
+            .filter(|slot| slot.is_some())
+            .count()
+    }
+
+    /// Total heap bytes held by the parked batch scratches — the
+    /// steady-state probe, like [`ScratchPool::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(Mutex::try_lock)
+            .filter_map(|slot| slot.as_ref().map(BatchScratch::heap_bytes))
+            .sum()
+    }
+
+    // lint: hot-path — batch-scratch checkout/return runs once per
+    // batch fan-out job; pool slots are probed try-lock-only so a
+    // worker never blocks here.
+
+    /// Checks a batch scratch out for matching against `engine`,
+    /// borrowing the pool. The hygiene pair — [`BatchScratch::reset`] +
+    /// [`BatchScratch::ensure_capacity`] — runs exactly once, here.
+    pub fn checkout(&self, engine: &(impl FilterEngine + ?Sized)) -> PooledBatchScratch<'_> {
+        PooledBatchScratch {
+            pool: self,
+            scratch: Some(self.take(engine)),
+        }
+    }
+
+    /// [`BatchScratchPool::checkout`] for `'static` contexts (jobs on a
+    /// [`WorkerPool`]): the lease holds an `Arc` to the pool instead of
+    /// a borrow.
+    pub fn lease(self: &Arc<Self>, engine: &(impl FilterEngine + ?Sized)) -> BatchScratchLease {
+        BatchScratchLease {
+            pool: Arc::clone(self),
+            scratch: Some(self.take(engine)),
+        }
+    }
+
+    /// Checkout core: pop a warm batch scratch from the first free
+    /// occupied slot (or build a fresh one), then apply the hygiene
+    /// pair.
+    fn take(&self, engine: &(impl FilterEngine + ?Sized)) -> BatchScratch {
+        let mut scratch = self
+            .slots
+            .iter()
+            .filter_map(Mutex::try_lock)
+            .find_map(|mut slot| slot.take())
+            .unwrap_or_default();
+        scratch.reset();
+        scratch.ensure_capacity(engine);
+        scratch
+    }
+
+    /// Parks `scratch` in the first free empty slot; drops it when the
+    /// pool is full or every slot is contended (never blocks).
+    fn put(&self, mut scratch: BatchScratch) {
+        if scratch.heap_bytes() > self.trim_cap {
+            scratch.trim();
+        }
+        for slot in &self.slots {
+            if let Some(mut slot) = slot.try_lock() {
+                if slot.is_none() {
+                    *slot = Some(scratch);
+                    return;
+                }
+            }
+        }
+    }
+
+    // lint: end-hot-path
+}
+
+/// A checked-out batch scratch borrowing its [`BatchScratchPool`];
+/// derefs to [`BatchScratch`] and returns the scratch on drop.
+#[derive(Debug)]
+pub struct PooledBatchScratch<'a> {
+    pool: &'a BatchScratchPool,
+    scratch: Option<BatchScratch>,
+}
+
+/// A checked-out batch scratch holding its [`BatchScratchPool`] by
+/// `Arc` — the `'static` form worker-pool jobs use; derefs to
+/// [`BatchScratch`] and returns the scratch on drop.
+#[derive(Debug)]
+pub struct BatchScratchLease {
+    pool: Arc<BatchScratchPool>,
+    scratch: Option<BatchScratch>,
+}
 
 // ---------------------------------------------------------------------------
 // WorkerPool
@@ -662,6 +811,61 @@ mod tests {
         }
         assert_eq!(pool.pooled(), 1);
         assert_eq!(pool.heap_bytes(), warm, "steady state allocates nothing");
+    }
+
+    #[test]
+    fn batch_checkout_reuses_and_stops_allocating() {
+        let mut engine = EngineKind::Counting.build();
+        for i in 0..50 {
+            engine
+                .subscribe(&Expr::parse(&format!("(a = {i} or b = 1) and c <= {i}")).unwrap())
+                .unwrap();
+        }
+        let pool = BatchScratchPool::new(2);
+        let events: Vec<Arc<Event>> = (0..80)
+            .map(|_| Arc::new(Event::builder().attr("b", 1_i64).attr("c", 0_i64).build()))
+            .collect();
+
+        // Warm-up: two batches grow every lane/scalar buffer fully.
+        for _ in 0..2 {
+            let mut batch = pool.checkout(&engine);
+            engine.match_batch(&events, &[], &mut batch);
+        }
+        assert_eq!(pool.pooled(), 1);
+        let warm = pool.heap_bytes();
+        assert!(warm > 0);
+
+        // Steady state: repeated checkouts re-use the warm batch
+        // scratch and the pool's footprint stays bit-identical.
+        for _ in 0..50 {
+            let mut batch = pool.checkout(&engine);
+            let stats = engine.match_batch(&events, &[], &mut batch);
+            assert_eq!(stats.batch_events, 80);
+        }
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.heap_bytes(), warm, "steady state allocates nothing");
+    }
+
+    #[test]
+    fn batch_pool_trims_oversized_returns() {
+        let mut engine = EngineKind::Counting.build();
+        for i in 0..64 {
+            engine
+                .subscribe(&Expr::parse(&format!("x{i} = 1 and y{i} = 2")).unwrap())
+                .unwrap();
+        }
+        let pool = BatchScratchPool::with_trim_cap(1, 64);
+        let events: Vec<Arc<Event>> = (0..70)
+            .map(|_| Arc::new(Event::builder().attr("x0", 1_i64).build()))
+            .collect();
+        {
+            let mut batch = pool.checkout(&engine);
+            engine.match_batch(&events, &[], &mut batch);
+            assert!(batch.heap_bytes() > 64);
+        }
+        // The oversized return was trimmed before parking.
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.heap_bytes(), 0);
     }
 
     #[test]

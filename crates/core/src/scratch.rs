@@ -24,6 +24,12 @@
 use crate::eval::EvalFrame;
 use crate::{FulfilledSet, SubscriptionId};
 
+/// Lane width of the batch kernels: [`crate::FilterEngine::match_batch`]
+/// processes events in chunks of at most `LANE_WIDTH` lanes. 64 keeps a
+/// matching unit's transposed hit-lane row within one cache line and
+/// makes the per-predicate lane set a single `u64` mask.
+pub(crate) const LANE_WIDTH: usize = 64;
+
 /// Reusable per-event mutable state for [`FilterEngine`] matching.
 ///
 /// Create one per thread (or per call site) and pass it to
@@ -176,6 +182,260 @@ impl MatchScratch {
     }
 }
 
+/// Reusable struct-of-arrays state for
+/// [`crate::FilterEngine::match_batch`]: width-`B` lanes over the
+/// engine's hot tables, plus per-event output buffers.
+///
+/// The batch kernels process events in chunks of at most 64 lanes (one
+/// `u64` mask per predicate; one cache line of hit counters per flat
+/// conjunction). The transposed *hit lanes* put the `B` counters of one
+/// matching unit at `unit * 64 + lane`, so one predicate-table posting
+/// touches `B` contiguous bytes and the count vector is read once per
+/// chunk instead of once per event. Like [`MatchScratch`], all buffers
+/// resize lazily to the engine at hand and are restored to their
+/// between-batches state (lanes all zero, marks all zero) before a
+/// batch returns, so one batch scratch may serve any number of engines
+/// and engine kinds.
+///
+/// Pools apply the same hygiene pair as for [`MatchScratch`]:
+/// [`BatchScratch::reset`] + [`BatchScratch::ensure_capacity`] once per
+/// checkout.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use boolmatch_core::{BatchScratch, EngineKind, FilterEngine};
+/// use boolmatch_expr::Expr;
+/// use boolmatch_types::Event;
+///
+/// let mut engine = EngineKind::Counting.build();
+/// let id = engine.subscribe(&Expr::parse("a = 1 and b = 2")?)?;
+/// let events = vec![
+///     Arc::new(Event::builder().attr("a", 1_i64).attr("b", 2_i64).build()),
+///     Arc::new(Event::builder().attr("a", 1_i64).build()),
+/// ];
+/// let mut batch = BatchScratch::new();
+/// let stats = engine.match_batch(&events, &[], &mut batch);
+/// assert_eq!(batch.matched(0), &[id]);
+/// assert!(batch.matched(1).is_empty());
+/// assert_eq!(stats.batch_events, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Embedded per-event scratch: supplies the shared evaluator stack
+    /// and stamp space, and carries the scalar fallback — single-event
+    /// chunks delegate to
+    /// [`match_event_into`](crate::FilterEngine::match_event_into), so
+    /// `B = 1` batches run the byte-identical scalar path.
+    pub(crate) scalar: MatchScratch,
+    /// Per-lane phase-1 outputs ([`LANE_WIDTH`] sets, reused per chunk).
+    pub(crate) fulfilled: Vec<FulfilledSet>,
+    /// Transposed hit lanes: the counter of (flat unit, lane) lives at
+    /// `unit * LANE_WIDTH + lane`. All-zero between batches — the scan
+    /// restores them, exactly like `MatchScratch::hit`.
+    pub(crate) lanes: Vec<u8>,
+    /// Per-(subscription, lane) dedup marks at
+    /// `sub * LANE_WIDTH + lane`; set while a chunk collects output and
+    /// cleared back through the output lists before the chunk ends.
+    pub(crate) marks: Vec<u8>,
+    /// Distinct predicates fulfilled by any lane of the current chunk,
+    /// in first-seen order.
+    pub(crate) union_ids: Vec<u32>,
+    /// Lane bitmask per union predicate, parallel to `union_ids`.
+    pub(crate) union_mask: Vec<u64>,
+    /// Generation-stamped predicate → union-row map (sized to the
+    /// predicate universe).
+    pub(crate) pred_stamps: Vec<u32>,
+    pub(crate) pred_rows: Vec<u32>,
+    pub(crate) pred_generation: u32,
+    /// Per-lane candidate buffers: subscription indexes touched per
+    /// lane (non-canonical kernel).
+    pub(crate) candidates: Vec<Vec<u32>>,
+    /// Chunk-global candidate units (counting variant): every flat
+    /// conjunction touched by any lane of the current chunk, in
+    /// first-touch order. Global rather than per-lane so the scan can
+    /// stream each touched lane region once instead of striding one
+    /// cache line per (candidate, lane).
+    pub(crate) unit_candidates: Vec<u32>,
+    /// Generation-stamped flat-unit → touched map backing the
+    /// candidate dedup; shares `pred_generation` with the predicate
+    /// stamps.
+    pub(crate) unit_stamps: Vec<u32>,
+    /// Per-event matched ids — the output of the most recent
+    /// [`crate::FilterEngine::match_batch`], indexed by event position.
+    pub(crate) matched: Vec<Vec<SubscriptionId>>,
+    /// Per-event accumulator of translated global ids, used by
+    /// [`crate::ShardedEngine`] while `matched` carries one shard's
+    /// local output.
+    pub(crate) shard_matched: Vec<Vec<SubscriptionId>>,
+    /// Per-event skip flags a sharded walk derives per shard (caller
+    /// skips OR-ed with the shard synopsis verdicts).
+    pub(crate) shard_skip: Vec<bool>,
+}
+
+impl BatchScratch {
+    /// Creates an empty batch scratch; buffers grow lazily to the
+    /// engines and batch widths it is used with.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Matched subscription ids of event `event` (its position in the
+    /// `events` slice) from the most recent
+    /// [`crate::FilterEngine::match_batch`], without duplicates. Within
+    /// one event the order is unspecified — the per-event scalar walk
+    /// and the lane kernels may discover the same set in different
+    /// orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is outside the most recent batch.
+    pub fn matched(&self, event: usize) -> &[SubscriptionId] {
+        &self.matched[event]
+    }
+
+    /// Clears all per-batch state while keeping every buffer's capacity
+    /// — the hygiene step a pool applies once per checkout, mirroring
+    /// [`MatchScratch::reset`]. Lanes and marks are already
+    /// self-restoring between batches and are left alone.
+    pub fn reset(&mut self) {
+        self.scalar.reset();
+        self.union_ids.clear();
+        self.union_mask.clear();
+        for c in &mut self.candidates {
+            c.clear();
+        }
+        self.unit_candidates.clear();
+        for m in &mut self.matched {
+            m.clear();
+        }
+        for m in &mut self.shard_matched {
+            m.clear();
+        }
+        self.shard_skip.clear();
+    }
+
+    /// Releases all buffers (capacity included); the batch analogue of
+    /// [`MatchScratch::trim`].
+    pub fn trim(&mut self) {
+        *self = BatchScratch::default();
+    }
+
+    /// Pre-sizes the buffers for `engine` so the first batch does not
+    /// pay the growth cost. Purely an optimisation: every buffer also
+    /// resizes lazily inside the batch kernels.
+    pub fn ensure_capacity(&mut self, engine: &(impl crate::FilterEngine + ?Sized)) {
+        self.scalar.ensure_capacity(engine);
+        self.ensure_lanes(engine.unit_slot_bound());
+        self.ensure_marks(engine.subscription_id_bound());
+        let universe = engine.predicate_universe();
+        if self.pred_stamps.len() < universe {
+            self.pred_stamps.resize(universe, 0);
+            self.pred_rows.resize(universe, 0);
+        }
+        self.ensure_chunk_buffers();
+    }
+
+    /// Approximate heap bytes held by the batch buffers (the embedded
+    /// scalar scratch included).
+    pub fn heap_bytes(&self) -> usize {
+        let nested_vec = |vs: &Vec<Vec<u32>>| {
+            vs.iter().map(|v| v.capacity() * 4).sum::<usize>()
+                + vs.capacity() * std::mem::size_of::<Vec<u32>>()
+        };
+        let nested_ids = |vs: &Vec<Vec<SubscriptionId>>| {
+            vs.iter()
+                .map(|v| v.capacity() * std::mem::size_of::<SubscriptionId>())
+                .sum::<usize>()
+                + vs.capacity() * std::mem::size_of::<Vec<SubscriptionId>>()
+        };
+        self.scalar.heap_bytes()
+            + self
+                .fulfilled
+                .iter()
+                .map(FulfilledSet::heap_bytes)
+                .sum::<usize>()
+            + self.fulfilled.capacity() * std::mem::size_of::<FulfilledSet>()
+            + self.lanes.capacity()
+            + self.marks.capacity()
+            + self.union_ids.capacity() * 4
+            + self.union_mask.capacity() * 8
+            + self.pred_stamps.capacity() * 4
+            + self.pred_rows.capacity() * 4
+            + nested_vec(&self.candidates)
+            + self.unit_candidates.capacity() * 4
+            + self.unit_stamps.capacity() * 4
+            + nested_ids(&self.matched)
+            + nested_ids(&self.shard_matched)
+            + self.shard_skip.capacity()
+    }
+
+    /// Sizes and clears the per-event output buffers for a batch of
+    /// `events` events. Every batch entry point calls this first.
+    pub(crate) fn begin_batch(&mut self, events: usize) {
+        if self.matched.len() < events {
+            self.matched.resize_with(events, Vec::new);
+        }
+        for m in self.matched.iter_mut().take(events) {
+            m.clear();
+        }
+    }
+
+    /// Ensures the hit lanes cover `slots` matching units
+    /// (zero-filled).
+    pub(crate) fn ensure_lanes(&mut self, slots: usize) {
+        let need = slots * LANE_WIDTH;
+        if self.lanes.len() < need {
+            self.lanes.resize(need, 0);
+        }
+        if self.unit_stamps.len() < slots {
+            self.unit_stamps.resize(slots, 0);
+        }
+    }
+
+    /// Ensures the dedup marks cover `slots` subscriptions
+    /// (zero-filled).
+    pub(crate) fn ensure_marks(&mut self, slots: usize) {
+        let need = slots * LANE_WIDTH;
+        if self.marks.len() < need {
+            self.marks.resize(need, 0);
+        }
+    }
+
+    /// Ensures the per-lane chunk buffers (fulfilled sets, candidate
+    /// lists) exist for every lane.
+    pub(crate) fn ensure_chunk_buffers(&mut self) {
+        if self.fulfilled.len() < LANE_WIDTH {
+            self.fulfilled.resize_with(LANE_WIDTH, FulfilledSet::new);
+        }
+        if self.candidates.len() < LANE_WIDTH {
+            self.candidates.resize_with(LANE_WIDTH, Vec::new);
+        }
+    }
+
+    /// Starts a stamped union pass over a predicate universe of
+    /// `universe` ids: clears the union rows, ensures the stamp map
+    /// covers the universe, bumps the generation (with wrap-around
+    /// reset) and returns the fresh generation value.
+    pub(crate) fn begin_union(&mut self, universe: usize) -> u32 {
+        self.union_ids.clear();
+        self.union_mask.clear();
+        if self.pred_stamps.len() < universe {
+            self.pred_stamps.resize(universe, 0);
+            self.pred_rows.resize(universe, 0);
+        }
+        if self.pred_generation == u32::MAX {
+            self.pred_stamps.fill(0);
+            self.unit_stamps.fill(0);
+            self.pred_generation = 0;
+        }
+        self.pred_generation += 1;
+        self.pred_generation
+    }
+}
+
 /// An engine bundled with its own [`MatchScratch`] — the convenience
 /// handle for single-threaded owners (tests, benches, CLI tools) that
 /// want the pre-redesign `&mut self` ergonomics back.
@@ -297,6 +557,93 @@ mod tests {
                 assert!(e.match_event(&partial, &mut scratch).matched.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn batch_scratch_is_shareable_across_engine_kinds() {
+        // One batch scratch serving three engines of different kinds:
+        // the lane/mark self-restore discipline must not leak state.
+        let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+        let expr = Expr::parse("(a = 1 or b = 2) and c = 3").unwrap();
+        for e in &mut engines {
+            e.subscribe(&expr).unwrap();
+        }
+        let mut batch = BatchScratch::new();
+        let events: Vec<std::sync::Arc<Event>> = (0..70)
+            .map(|i| {
+                std::sync::Arc::new(if i % 2 == 0 {
+                    Event::builder().attr("b", 2_i64).attr("c", 3_i64).build()
+                } else {
+                    Event::builder().attr("c", 3_i64).build()
+                })
+            })
+            .collect();
+        for _ in 0..3 {
+            for e in &engines {
+                e.match_batch(&events, &[], &mut batch);
+                for (i, _) in events.iter().enumerate() {
+                    assert_eq!(batch.matched(i).len(), usize::from(i % 2 == 0), "event {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reset_keeps_capacity_trim_releases() {
+        let mut engine = EngineKind::Counting.build();
+        for i in 0..20 {
+            engine
+                .subscribe(&Expr::parse(&format!("(x{i} = 1 or y{i} = 2) and z{i} = 3")).unwrap())
+                .unwrap();
+        }
+        let mut batch = BatchScratch::new();
+        assert_eq!(batch.heap_bytes(), 0);
+        let events: Vec<std::sync::Arc<Event>> = (0..80)
+            .map(|_| std::sync::Arc::new(Event::builder().attr("x0", 1_i64).build()))
+            .collect();
+        engine.match_batch(&events, &[], &mut batch);
+        let grown = batch.heap_bytes();
+        assert!(grown > 0);
+        // The hygiene pair is allocation-neutral once warm.
+        batch.reset();
+        batch.ensure_capacity(&engine);
+        let warm = batch.heap_bytes();
+        assert!(warm >= grown);
+        batch.reset();
+        batch.ensure_capacity(&engine);
+        assert_eq!(batch.heap_bytes(), warm);
+        batch.trim();
+        assert_eq!(batch.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_scratch_ensure_capacity_presizes_lanes() {
+        let mut engine = EngineKind::CountingVariant.build();
+        for i in 0..5 {
+            engine
+                .subscribe(&Expr::parse(&format!("a{i} = 1 and b{i} = 2")).unwrap())
+                .unwrap();
+        }
+        let mut batch = BatchScratch::new();
+        batch.ensure_capacity(&engine);
+        assert!(batch.lanes.len() >= engine.unit_slot_bound() * LANE_WIDTH);
+        assert!(batch.marks.len() >= engine.subscription_id_bound() * LANE_WIDTH);
+        assert_eq!(batch.fulfilled.len(), LANE_WIDTH);
+        assert_eq!(batch.candidates.len(), LANE_WIDTH);
+    }
+
+    #[test]
+    fn batch_union_generation_wraparound() {
+        let mut batch = BatchScratch::new();
+        batch.pred_generation = u32::MAX - 1;
+        let g1 = batch.begin_union(4);
+        assert_eq!(g1, u32::MAX);
+        // The wrap resets the stamp plane instead of aliasing stale
+        // generations.
+        batch.pred_stamps.fill(g1);
+        let g2 = batch.begin_union(4);
+        assert_eq!(g2, 1);
+        assert!(batch.pred_stamps.iter().all(|&s| s == 0));
     }
 
     #[test]

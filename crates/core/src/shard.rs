@@ -61,10 +61,10 @@ use boolmatch_expr::Expr;
 use boolmatch_types::Event;
 
 use crate::engine::{EngineKind, FilterEngine, SubscribeError, UnsubscribeError};
-use crate::pool::{PooledScratch, ScratchPool};
+use crate::pool::{BatchScratchPool, PooledBatchScratch, PooledScratch, ScratchPool};
 use crate::routing::{PlacementPolicy, PredicateRouter, ShardTranslation, SubscriptionDirectory};
 use crate::synopsis::{attribute_hash, dominant_eq_attr, ShardSynopsis};
-use crate::{FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
+use crate::{BatchScratch, FulfilledSet, MatchScratch, MatchStats, MemoryUsage, SubscriptionId};
 
 /// A boxed engine usable as a shard.
 pub type BoxedEngine = Box<dyn FilterEngine + Send + Sync>;
@@ -448,6 +448,101 @@ impl ShardedEngine {
         stats
     }
 
+    /// [`FilterEngine::match_batch`], with the per-shard batch matching
+    /// fanned out across threads: each worker takes the **whole batch**
+    /// for its shard — pruning it through the shard synopsis once per
+    /// batch, then running the shard engine's batch kernel — and
+    /// results merge per event in shard order, so the per-event matched
+    /// sets and the summed [`MatchStats`] equal the sequential
+    /// [`FilterEngine::match_batch`] walk. Shard 0 runs inline into the
+    /// caller's `batch`; every other shard leases a warm
+    /// [`BatchScratch`] from `scratches`. With one shard this *is* the
+    /// sequential walk.
+    pub fn match_batch_parallel(
+        &self,
+        events: &[Arc<Event>],
+        skip: &[bool],
+        scratches: &BatchScratchPool,
+        batch: &mut BatchScratch,
+    ) -> MatchStats {
+        if self.shards.len() == 1 {
+            return self.match_batch(events, skip, batch);
+        }
+        let mut remote: Vec<Option<(Option<PooledBatchScratch<'_>>, MatchStats)>> =
+            (1..self.shards.len()).map(|_| None).collect();
+        let mut stats = MatchStats::default();
+        std::thread::scope(|scope| {
+            for (slot_shard, slot) in self.shards[1..].iter().zip(remote.iter_mut()) {
+                scope.spawn(move || {
+                    let engine = &slot_shard.engine;
+                    let mut lease = scratches.checkout(engine);
+                    let mut shard_skip = std::mem::take(&mut lease.shard_skip);
+                    let pruned = slot_shard
+                        .synopsis
+                        .admits_batch(events, skip, &mut shard_skip);
+                    let mut shard_stats = MatchStats {
+                        shards_pruned: pruned,
+                        ..MatchStats::default()
+                    };
+                    if shard_skip.iter().all(|&sk| sk) {
+                        // Every event pruned: the lease goes straight
+                        // back to the pool without any matching work.
+                        lease.shard_skip = shard_skip;
+                        *slot = Some((None, shard_stats));
+                        return;
+                    }
+                    shard_stats = shard_stats + engine.match_batch(events, &shard_skip, &mut lease);
+                    lease.shard_skip = shard_skip;
+                    // Translate to global ids in place through the
+                    // shard's own map, as on the per-event parallel
+                    // path.
+                    for m in lease.matched.iter_mut().take(events.len()) {
+                        for id in m.iter_mut() {
+                            *id = slot_shard
+                                .translation
+                                .global_of(*id)
+                                // lint: allow(panic-policy, reason = "single-owner invariant: every matched local has a live translation entry")
+                                .expect("matched locals hold live translation entries");
+                        }
+                    }
+                    *slot = Some((Some(lease), shard_stats));
+                });
+            }
+            // Shard 0 inline, into the caller's batch scratch.
+            let shard0 = &self.shards[0];
+            let mut shard_skip = std::mem::take(&mut batch.shard_skip);
+            stats.shards_pruned += shard0.synopsis.admits_batch(events, skip, &mut shard_skip);
+            if shard_skip.iter().all(|&sk| sk) {
+                // Clear any stale per-event output when the whole batch
+                // is pruned for shard 0.
+                batch.begin_batch(events.len());
+            } else {
+                stats = stats + shard0.engine.match_batch(events, &shard_skip, batch);
+                for m in batch.matched.iter_mut().take(events.len()) {
+                    for id in m.iter_mut() {
+                        *id = shard0
+                            .translation
+                            .global_of(*id)
+                            // lint: allow(panic-policy, reason = "single-owner invariant: every matched local has a live translation entry")
+                            .expect("matched locals hold live translation entries");
+                    }
+                }
+            }
+            batch.shard_skip = shard_skip;
+        });
+        for slot in &mut remote {
+            // lint: allow(panic-policy, reason = "scope join guarantees every spawned worker filled its slot")
+            let (lease, shard_stats) = slot.take().expect("scoped worker fills its slot");
+            stats = stats + shard_stats;
+            if let Some(lease) = lease {
+                for (e, m) in batch.matched.iter_mut().enumerate().take(events.len()) {
+                    m.extend_from_slice(&lease.matched[e]);
+                }
+            }
+        }
+        stats
+    }
+
     /// Translation of one shard's matched local id through that
     /// shard's own map; matched locals are always live on this
     /// single-owner engine.
@@ -586,6 +681,45 @@ impl FilterEngine for ShardedEngine {
         scratch.fulfilled = fulfilled;
         scratch.matched = matched;
         scratch.shard_matched = shard_out;
+        stats
+    }
+
+    fn match_batch(
+        &self,
+        events: &[Arc<Event>],
+        skip: &[bool],
+        batch: &mut BatchScratch,
+    ) -> MatchStats {
+        // Per shard: prune the whole batch through the synopsis once,
+        // then hand the surviving events to the shard engine's batch
+        // kernel in one call — the association tables are walked once
+        // per (shard, chunk) instead of once per (shard, event). Local
+        // matched ids are translated into the per-event global
+        // accumulator as each shard completes, so `batch.matched` ends
+        // up identical (as per-event sets) to the per-event walk.
+        batch.begin_batch(events.len());
+        let mut acc = std::mem::take(&mut batch.shard_matched);
+        if acc.len() < events.len() {
+            acc.resize_with(events.len(), Vec::new);
+        }
+        for m in acc.iter_mut().take(events.len()) {
+            m.clear();
+        }
+        let mut shard_skip = std::mem::take(&mut batch.shard_skip);
+        let mut stats = MatchStats::default();
+        for (s, shard) in self.shards.iter().enumerate() {
+            stats.shards_pruned += shard.synopsis.admits_batch(events, skip, &mut shard_skip);
+            if shard_skip.iter().all(|&sk| sk) {
+                continue;
+            }
+            stats = stats + shard.engine.match_batch(events, &shard_skip, batch);
+            for (e, out) in acc.iter_mut().enumerate().take(events.len()) {
+                out.extend(batch.matched[e].iter().map(|&l| self.global_of(s, l)));
+            }
+        }
+        std::mem::swap(&mut batch.matched, &mut acc);
+        batch.shard_matched = acc;
+        batch.shard_skip = shard_skip;
         stats
     }
     // lint: end-hot-path
@@ -757,6 +891,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_agrees_with_per_event_walk_and_parallel_fanout() {
+        // Sequential match_batch, the parallel batch fan-out, and the
+        // per-event walk must agree on ids (as per-event sets) and on
+        // summed stats — including shards_pruned, which the batch paths
+        // account per (event, shard) through the synopsis.
+        let scratches = BatchScratchPool::new(8);
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 3, 8] {
+                let mut engine = ShardedEngine::new(kind, shards)
+                    .with_placement(PlacementPolicy::ClusterByAttribute);
+                for i in 0..48 {
+                    let e = Expr::parse(&format!("g{} = 1 and seq >= {}", i % 8, i / 8)).unwrap();
+                    engine.subscribe(&e).unwrap();
+                }
+                let events: Vec<Arc<Event>> = (0..150)
+                    .map(|t| {
+                        Arc::new(Event::from_pairs([
+                            (format!("g{}", t % 8), 1i64),
+                            ("seq".to_string(), (t % 7) as i64),
+                        ]))
+                    })
+                    .collect();
+                let mut scratch = MatchScratch::new();
+                let mut scalar_total = MatchStats::default();
+                let mut want: Vec<Vec<SubscriptionId>> = Vec::new();
+                for event in &events {
+                    scalar_total = scalar_total + engine.match_event_into(event, &mut scratch);
+                    let mut ids = scratch.matched().to_vec();
+                    ids.sort_unstable();
+                    want.push(ids);
+                }
+
+                let mut batch = BatchScratch::new();
+                for parallel in [false, true] {
+                    let stats = if parallel {
+                        engine.match_batch_parallel(&events, &[], &scratches, &mut batch)
+                    } else {
+                        engine.match_batch(&events, &[], &mut batch)
+                    };
+                    for (e, want_ids) in want.iter().enumerate() {
+                        let mut got = batch.matched(e).to_vec();
+                        got.sort_unstable();
+                        assert_eq!(
+                            &got, want_ids,
+                            "kind={kind} shards={shards} parallel={parallel} event {e}"
+                        );
+                    }
+                    let mut stats = stats;
+                    stats.batch_events = 0;
+                    stats.batch_passes = 0;
+                    assert_eq!(
+                        stats, scalar_total,
+                        "kind={kind} shards={shards} parallel={parallel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_skip_mask_composes_with_shard_pruning() {
+        let mut engine = ShardedEngine::new(EngineKind::Counting, 4)
+            .with_placement(PlacementPolicy::ClusterByAttribute);
+        for i in 0..16 {
+            let e = Expr::parse(&format!("g{} = 1", i % 4)).unwrap();
+            engine.subscribe(&e).unwrap();
+        }
+        let events: Vec<Arc<Event>> = (0..8)
+            .map(|t| Arc::new(Event::from_pairs([(format!("g{}", t % 4), 1i64)])))
+            .collect();
+        let skip = [false, true, false, true, false, true, false, true];
+        let mut batch = BatchScratch::new();
+        let stats = engine.match_batch(&events, &skip, &mut batch);
+        assert_eq!(stats.batch_events, 4);
+        for (e, &skipped) in skip.iter().enumerate() {
+            assert_eq!(batch.matched(e).is_empty(), skipped, "event {e}");
+        }
+        // Each live event candidates one shard; the other 3 are pruned
+        // per event (4 live events × 3 shards), and caller-skipped
+        // events never count as pruned.
+        assert_eq!(stats.shards_pruned, 12);
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub struct MatchStats {
     /// synopsis proved zero candidates (sharded engines only; always 0
     /// for flat engines).
     pub shards_pruned: usize,
+    /// Events matched through [`FilterEngine::match_batch`]; always 0
+    /// on the per-event paths.
+    ///
+    /// [`FilterEngine::match_batch`]: crate::FilterEngine::match_batch
+    pub batch_events: usize,
+    /// Predicate-table (association) passes the batch path performed
+    /// for those events. The amortization is observable as
+    /// `batch_passes < batch_events`: a real batch kernel walks the
+    /// table once per lane-chunk, while the per-event fallback pays one
+    /// pass per event.
+    pub batch_passes: usize,
 }
 
 impl Add for MatchStats {
@@ -42,6 +53,8 @@ impl Add for MatchStats {
             comparisons: self.comparisons + rhs.comparisons,
             matched: self.matched + rhs.matched,
             shards_pruned: self.shards_pruned + rhs.shards_pruned,
+            batch_events: self.batch_events + rhs.batch_events,
+            batch_passes: self.batch_passes + rhs.batch_passes,
         }
     }
 }
@@ -51,14 +64,16 @@ impl fmt::Display for MatchStats {
         write!(
             f,
             "fulfilled={} candidates={} evaluations={} increments={} comparisons={} \
-             matched={} shards_pruned={}",
+             matched={} shards_pruned={} batch_events={} batch_passes={}",
             self.fulfilled,
             self.candidates,
             self.evaluations,
             self.increments,
             self.comparisons,
             self.matched,
-            self.shards_pruned
+            self.shards_pruned,
+            self.batch_events,
+            self.batch_passes
         )
     }
 }
@@ -77,12 +92,16 @@ mod tests {
             comparisons: 5,
             matched: 6,
             shards_pruned: 7,
+            batch_events: 8,
+            batch_passes: 9,
         };
         let b = a;
         let c = a + b;
         assert_eq!(c.fulfilled, 2);
         assert_eq!(c.matched, 12);
         assert_eq!(c.shards_pruned, 14);
+        assert_eq!(c.batch_events, 16);
+        assert_eq!(c.batch_passes, 18);
     }
 
     #[test]
@@ -96,6 +115,8 @@ mod tests {
             "comparisons",
             "matched",
             "shards_pruned",
+            "batch_events",
+            "batch_passes",
         ] {
             assert!(s.contains(field), "missing {field}");
         }

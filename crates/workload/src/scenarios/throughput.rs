@@ -1,0 +1,169 @@
+//! Throughput scenario: a high-rate event stream over a compact
+//! attribute universe, for batch-matching benchmarks.
+//!
+//! The batch kernels win by streaming many events through the
+//! predicate tables per pass: phase 1 produces one fulfilled set per
+//! lane, then a **single** association-table walk serves the whole
+//! chunk. That only pays when consecutive events fulfil overlapping
+//! predicate sets — a stream of unrelated events degenerates to the
+//! scalar walk with extra bookkeeping. This generator therefore models
+//! the workload batching is *for*: a firehose feed (ticks, telemetry,
+//! click streams) where events share a handful of hot routing keys and
+//! coarse load buckets, so a 64-event chunk touches each hot posting
+//! list once instead of 64 times. The `bench_snapshot` `batch/*` grid
+//! measures exactly this stream at B ∈ {1, 8, 64, 256}.
+//!
+//! Like every scenario in this module the generator is deterministic:
+//! the same seed yields the same subscriptions and the same event
+//! stream, so paired A/B bench rows and equivalence tests see
+//! identical inputs.
+
+use boolmatch_expr::Expr;
+use boolmatch_types::Event;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct `sym` routing keys the stream publishes. Small on purpose:
+/// the overlap across a batch's fulfilled sets is what the batched
+/// table pass amortizes.
+const SYMBOLS: i64 = 8;
+
+/// Coarse `load` buckets subscriptions threshold against.
+const LOAD_BUCKETS: i64 = 10;
+
+/// Generates the throughput workload: subscriptions spread evenly over
+/// a few hot routing keys, and a high-rate event stream over the same
+/// keys.
+///
+/// Subscriptions alternate between a conjunctive shape (`sym` key plus
+/// a `load` threshold — the counting engines' sweet spot) and a
+/// non-canonical shape with an alternative arm, so all three engine
+/// kinds exercise their real structures on this stream.
+///
+/// # Examples
+///
+/// ```
+/// use boolmatch_workload::scenarios::ThroughputScenario;
+///
+/// let mut s = ThroughputScenario::new(42);
+/// let subs = s.subscriptions(16);
+/// assert_eq!(subs.len(), 16);
+/// let batch = s.batch(64);
+/// assert_eq!(batch.len(), 64);
+/// // Deterministic: a re-seeded twin produces the identical stream.
+/// let mut twin = ThroughputScenario::new(42);
+/// twin.subscriptions(16);
+/// assert_eq!(format!("{:?}", twin.batch(64)), format!("{:?}", batch));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputScenario {
+    rng: StdRng,
+    /// Arrival index of the next subscription.
+    next_sub: usize,
+    /// Events generated so far.
+    ticks: u64,
+}
+
+impl ThroughputScenario {
+    /// Creates a deterministic scenario from a seed.
+    pub fn new(seed: u64) -> Self {
+        ThroughputScenario {
+            rng: StdRng::seed_from_u64(seed),
+            next_sub: 0,
+            ticks: 0,
+        }
+    }
+
+    /// The next subscription in arrival order. Even arrivals are
+    /// conjunctive (`sym = k and load >= t`); odd arrivals carry an
+    /// alternative arm (`sym = k or load >= 8`), keeping the workload
+    /// non-canonical.
+    pub fn subscription(&mut self) -> Expr {
+        let index = self.next_sub;
+        self.next_sub += 1;
+        let sym = index as i64 % SYMBOLS;
+        let threshold = (index as i64 / SYMBOLS) % LOAD_BUCKETS;
+        let text = if index % 2 == 0 {
+            format!("sym = {sym} and load >= {threshold}")
+        } else {
+            format!("sym = {sym} or load >= {}", LOAD_BUCKETS - 2)
+        };
+        Expr::parse(&text).expect("generated subscription parses")
+    }
+
+    /// A batch of subscriptions, in arrival order.
+    pub fn subscriptions(&mut self, n: usize) -> Vec<Expr> {
+        (0..n).map(|_| self.subscription()).collect()
+    }
+
+    /// The next event: a hot routing key, a coarse load bucket, and a
+    /// monotone sequence number (never subscribed against — it keeps
+    /// events distinct without widening the predicate universe).
+    pub fn event(&mut self) -> Event {
+        let seq = self.ticks as i64;
+        self.ticks += 1;
+        let sym = self.rng.random_range(0..SYMBOLS);
+        let load = self.rng.random_range(0..LOAD_BUCKETS);
+        Event::builder()
+            .attr("sym", sym)
+            .attr("load", load)
+            .attr("seq", seq)
+            .build()
+    }
+
+    /// The next `n` events of the stream, as one batch.
+    pub fn batch(&mut self, n: usize) -> Vec<Event> {
+        (0..n).map(|_| self.event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use boolmatch_types::Value;
+
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ThroughputScenario::new(9);
+        let mut b = ThroughputScenario::new(9);
+        let subs_a: Vec<String> = a
+            .subscriptions(24)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let subs_b: Vec<String> = b
+            .subscriptions(24)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(subs_a, subs_b);
+        assert_eq!(format!("{:?}", a.batch(50)), format!("{:?}", b.batch(50)));
+    }
+
+    #[test]
+    fn subscriptions_cover_both_shapes_and_all_symbols() {
+        let mut s = ThroughputScenario::new(1);
+        let subs = s.subscriptions(2 * SYMBOLS as usize);
+        let texts: Vec<String> = subs.iter().map(ToString::to_string).collect();
+        assert!(texts.iter().any(|t| t.contains("and")), "conjunctive arm");
+        assert!(texts.iter().any(|t| t.contains("or")), "alternative arm");
+        for sym in 0..SYMBOLS {
+            assert!(
+                texts.iter().any(|t| t.contains(&format!("sym = {sym}"))),
+                "symbol {sym} covered"
+            );
+        }
+    }
+
+    #[test]
+    fn events_stay_in_the_hot_universe() {
+        let mut s = ThroughputScenario::new(3);
+        for event in s.batch(200) {
+            let sym = event.get("sym").and_then(Value::as_int).unwrap();
+            let load = event.get("load").and_then(Value::as_int).unwrap();
+            assert!((0..SYMBOLS).contains(&sym));
+            assert!((0..LOAD_BUCKETS).contains(&load));
+        }
+    }
+}

@@ -177,6 +177,8 @@ pub fn run_with_progress(
                     comparisons: stats_sum.comparisons / events,
                     matched: stats_sum.matched / events,
                     shards_pruned: stats_sum.shards_pruned / events,
+                    batch_events: stats_sum.batch_events / events,
+                    batch_passes: stats_sum.batch_passes / events,
                 },
             };
             progress(&row);

@@ -19,7 +19,10 @@
 //!   pruning broker replaying the selective workload (with churn, both
 //!   rebalancers and live resizes mid-stream) delivers exactly like a
 //!   flat broker, for every engine kind and S ∈ {1, 3, 8}, while the
-//!   per-shard prune counters prove shards really were skipped.
+//!   per-shard prune counters prove shards really were skipped —
+//!   and the batched publish path (`publish_batch_events`, one
+//!   synopsis walk and one engine batch pass per shard per batch)
+//!   delivers identically to the flat broker's one-at-a-time walk.
 //! * **Hot-key skew** — on the `HotKeyScenario` workload,
 //!   count-balanced placement provably concentrates the match load on
 //!   one shard, and the frequency-weighted rebalancer measurably
@@ -353,6 +356,74 @@ fn clustered_pruning_broker_delivers_like_flat() {
                 assert!(
                     prunes > 0,
                     "pruning never fired: kind={kind} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// The batch publish path composes with content-aware pruning: a
+/// clustered pruning broker consuming the selective stream in batches
+/// (through `publish_batch_events`, so the thread-local `Arc` buffer
+/// reuse is on the tested path too) delivers exactly like a flat
+/// broker consuming the same stream one event at a time — per batch
+/// and per surviving subscriber, with churn mid-stream — while the
+/// prune counters prove the batch path really skipped shards via the
+/// once-per-batch synopsis walk.
+#[test]
+fn batched_publish_composes_with_clustered_pruning() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 3, 8] {
+            let flat = Broker::builder().engine(kind).build();
+            let sharded = Broker::builder()
+                .engine(kind)
+                .shards(shards)
+                .placement(PlacementPolicy::ClusterByAttribute)
+                .build();
+
+            let mut scenario = SelectiveScenario::new(0xba7c4 + shards as u64, 8);
+            let mut live: Vec<(Subscription, Subscription)> = scenario
+                .subscriptions(48)
+                .iter()
+                .map(|expr| {
+                    (
+                        flat.subscribe_expr(expr).unwrap(),
+                        sharded.subscribe_expr(expr).unwrap(),
+                    )
+                })
+                .collect();
+
+            for round in 0..12 {
+                // Batch lengths sweep past the 64-lane chunk width so
+                // partial and full chunks both replay.
+                let events = scenario.events(8 + round * 9);
+                if round == 5 {
+                    drop(live.remove(live.len() / 2));
+                }
+                if round == 8 {
+                    sharded.rebalance_by_match_frequency(8);
+                }
+                let single: usize = events.iter().map(|e| flat.publish(e.clone())).sum();
+                let batched = sharded.publish_batch_events(&events);
+                assert_eq!(batched, single, "kind={kind} shards={shards} round={round}");
+            }
+
+            for (i, (a, b)) in live.iter().enumerate() {
+                assert_eq!(
+                    a.drain().len(),
+                    b.drain().len(),
+                    "survivor {i}, kind={kind} shards={shards}"
+                );
+            }
+            assert_eq!(
+                flat.stats().notifications_delivered,
+                sharded.stats().notifications_delivered
+            );
+            if shards > 1 {
+                let prunes: u64 = sharded.shard_prune_counts().iter().sum();
+                assert!(
+                    prunes > 0,
+                    "batch pruning never fired: kind={kind} shards={shards}"
                 );
             }
         }

@@ -7,6 +7,10 @@
 //!   over deterministic churn streams for every engine kind and
 //!   S ∈ {1, 3, 8} at the core level, and for forced-parallel vs
 //!   forced-sequential brokers (single publishes and batches).
+//! * **Batch answer identity** — the engines' batch kernels
+//!   (`match_batch`, sequential and parallel fan-out) replay churn
+//!   windows sweeping the 64-lane chunk boundary and must equal the
+//!   per-event walk, ids and stats, for every kind and S ∈ {1, 3, 8}.
 //! * **Merge isolation** — a stalled worker on one shard can neither
 //!   corrupt nor reorder another shard's contribution to the merge:
 //!   results land by shard index, not completion order, and the other
@@ -22,8 +26,8 @@ use std::thread;
 use std::time::Duration;
 
 use boolmatch::core::{
-    FilterEngine, FulfilledSet, MatchScratch, MatchStats, MemoryUsage, ScratchPool, SubscribeError,
-    UnsubscribeError,
+    BatchScratch, BatchScratchPool, FilterEngine, FulfilledSet, MatchScratch, MatchStats,
+    MemoryUsage, ScratchPool, SubscribeError, UnsubscribeError,
 };
 use boolmatch::expr::Expr;
 use boolmatch::prelude::*;
@@ -65,6 +69,137 @@ fn parallel_matches_sequential_under_churn() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Matches every event of `window` per-event (the scalar reference),
+/// then through the sequential batch kernel and the parallel batch
+/// fan-out, and asserts both agree with the reference: the same ids
+/// per event (as sets — batch kernels may permute within an event) and
+/// the same summed [`MatchStats`]. `batch_events`/`batch_passes` are
+/// zeroed before the stats comparison: they record the amortization
+/// itself and have no scalar counterpart.
+#[allow(clippy::too_many_arguments)]
+fn assert_batch_equals_per_event(
+    engine: &ShardedEngine,
+    scratches: &BatchScratchPool,
+    window: &[Arc<Event>],
+    scratch: &mut MatchScratch,
+    seq_batch: &mut BatchScratch,
+    par_batch: &mut BatchScratch,
+    context: &str,
+) {
+    if window.is_empty() {
+        return;
+    }
+    let mut scalar_total = MatchStats::default();
+    let mut want: Vec<Vec<SubscriptionId>> = Vec::new();
+    for event in window {
+        scalar_total = scalar_total + engine.match_event_into(event, scratch);
+        let mut ids = scratch.matched().to_vec();
+        ids.sort_unstable();
+        want.push(ids);
+    }
+    let mut seq_stats = engine.match_batch(window, &[], seq_batch);
+    let mut par_stats = engine.match_batch_parallel(window, &[], scratches, par_batch);
+    for (e, want_ids) in want.iter().enumerate() {
+        let mut got = seq_batch.matched(e).to_vec();
+        got.sort_unstable();
+        assert_eq!(&got, want_ids, "sequential batch ids: {context} event {e}");
+        let mut got = par_batch.matched(e).to_vec();
+        got.sort_unstable();
+        assert_eq!(&got, want_ids, "parallel batch ids: {context} event {e}");
+    }
+    seq_stats.batch_events = 0;
+    seq_stats.batch_passes = 0;
+    par_stats.batch_events = 0;
+    par_stats.batch_passes = 0;
+    assert_eq!(seq_stats, scalar_total, "sequential batch stats: {context}");
+    assert_eq!(par_stats, scalar_total, "parallel batch stats: {context}");
+}
+
+/// The batch kernels under churn: windows of the publish stream,
+/// matched as one batch (sequentially and through the parallel batch
+/// fan-out), must equal the per-event walk — ids and stats — for every
+/// engine kind and S ∈ {1, 3, 8}, across subscribe/unsubscribe churn
+/// that recycles flat slots and retracts synopsis entries mid-stream.
+/// Window lengths sweep 1..=67, crossing the 64-lane chunk boundary so
+/// single-lane fallback, partial chunks and full chunks all replay.
+#[test]
+fn batch_matches_per_event_under_churn() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 3, 8] {
+            let engine_scratches = BatchScratchPool::new(shards);
+            let mut engine = ShardedEngine::new(kind, shards);
+            let mut scratch = MatchScratch::new();
+            let mut seq_batch = BatchScratch::new();
+            let mut par_batch = BatchScratch::new();
+            let mut live: Vec<SubscriptionId> = Vec::new();
+            let mut window: Vec<Arc<Event>> = Vec::new();
+            let mut window_cap = 1usize;
+
+            let mut churn = ChurnScenario::new(59, 80);
+            for (step, op) in churn.ops(1_500).into_iter().enumerate() {
+                match op {
+                    ChurnOp::Subscribe(expr) => {
+                        // Flush before the table changes under the
+                        // pending window.
+                        assert_batch_equals_per_event(
+                            &engine,
+                            &engine_scratches,
+                            &window,
+                            &mut scratch,
+                            &mut seq_batch,
+                            &mut par_batch,
+                            &format!("kind={kind} shards={shards} step={step}"),
+                        );
+                        window.clear();
+                        live.push(engine.subscribe(&expr).expect("accepted"));
+                    }
+                    ChurnOp::Unsubscribe(i) => {
+                        assert_batch_equals_per_event(
+                            &engine,
+                            &engine_scratches,
+                            &window,
+                            &mut scratch,
+                            &mut seq_batch,
+                            &mut par_batch,
+                            &format!("kind={kind} shards={shards} step={step}"),
+                        );
+                        window.clear();
+                        engine.unsubscribe(live.remove(i)).expect("live id");
+                    }
+                    ChurnOp::Publish(event) => {
+                        window.push(Arc::new(event));
+                        if window.len() >= window_cap {
+                            assert_batch_equals_per_event(
+                                &engine,
+                                &engine_scratches,
+                                &window,
+                                &mut scratch,
+                                &mut seq_batch,
+                                &mut par_batch,
+                                &format!("kind={kind} shards={shards} step={step}"),
+                            );
+                            window.clear();
+                            // 1, 2, …, 67, 1, …: covers B = 1, partial
+                            // chunks, one full 64-lane chunk and a
+                            // chunk-and-a-bit.
+                            window_cap = window_cap % 67 + 1;
+                        }
+                    }
+                }
+            }
+            assert_batch_equals_per_event(
+                &engine,
+                &engine_scratches,
+                &window,
+                &mut scratch,
+                &mut seq_batch,
+                &mut par_batch,
+                &format!("kind={kind} shards={shards} final"),
+            );
         }
     }
 }
